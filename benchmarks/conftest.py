@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md §3 for the experiment index). Benchmarks print the
+same rows/series the paper reports — run with ``-s`` to see them — and
+make light *shape* assertions (who wins, where notches sit, slope signs)
+so a regression in the reproduction fails the harness.
+
+Expensive pipelines run once per benchmark (``rounds=1``) — the timing
+of interest is itself part of the experiment (e.g. the speedup table),
+not a micro-benchmark statistic.
+"""
+
+import numpy as np
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print a table so it appears even without -s (via -rP or report)."""
+    def _print(text):
+        with capsys.disabled():
+            print()
+            print(text)
+    return _print
+
+
+def db(x):
+    return 10.0 * np.log10(np.maximum(np.asarray(x, dtype=float),
+                                      1e-300))

@@ -1,0 +1,83 @@
+"""EXP-X12 (draft Fig. 12, extension): class-A companding PSD.
+
+The class-A log-domain integrator with an external noise generator: the
+noise intensity is modulated by the instantaneous output (companding),
+so the output PSD scales with the *signal level* — the draft's central
+externally-linear observation. The spectrum is regenerated and the
+variance is cross-checked against the draft's eq. (34) integrated
+directly.
+"""
+
+import numpy as np
+import scipy.integrate
+
+from repro.io.tables import format_table
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.translinear.class_a import (
+    ClassAParams,
+    class_a_system,
+    class_a_variance_ode_rhs,
+)
+
+from conftest import db, run_once
+
+
+def pipeline():
+    params = ClassAParams()
+    analyzer = MftNoiseAnalyzer(class_a_system(params), 384)
+    f_pole = params.pole / (2.0 * np.pi)
+    freqs = np.geomspace(f_pole / 30.0, 10.0 * f_pole, 13)
+    spectrum = analyzer.psd(freqs)
+    variance = analyzer.average_output_variance()
+
+    sol = scipy.integrate.solve_ivp(
+        lambda t, k: [class_a_variance_ode_rhs(params, t, k[0])],
+        (0.0, 40.0 * params.period), [0.0], rtol=1e-10, atol=1e-30,
+        t_eval=np.linspace(39.0 * params.period, 40.0 * params.period,
+                           401))
+    eq34_variance = float(np.trapezoid(sol.y[0], sol.t) / params.period)
+
+    # Companding: drive level modulates the noise.
+    quiet = MftNoiseAnalyzer(
+        class_a_system(ClassAParams(u_amplitude=0.05e-6)),
+        384).average_output_variance()
+    loud = MftNoiseAnalyzer(
+        class_a_system(ClassAParams(u_amplitude=0.9e-6)),
+        384).average_output_variance()
+    return params, freqs, spectrum, variance, eq34_variance, quiet, loud
+
+
+def test_fig12_class_a(benchmark, print_table):
+    (params, freqs, spectrum, variance, eq34_variance, quiet,
+     loud) = run_once(benchmark, pipeline)
+    rows = [[f / 1e3, s, d] for f, s, d in
+            zip(freqs, spectrum.psd, db(spectrum.psd))]
+    print_table(format_table(
+        ["f [kHz]", "PSD [A^2/Hz]", "PSD [dB]"], rows,
+        title="Fig. 12 — class-A companding integrator output noise"))
+    print_table(format_table(
+        ["quantity", "value"],
+        [["engine avg variance", variance],
+         ["draft eq. (34) avg variance", eq34_variance],
+         ["variance at 0.05 uA drive", quiet],
+         ["variance at 0.9 uA drive", loud]],
+        title="variance cross-checks"))
+
+    # One-pole shape around a = I/(C V_T).
+    f_pole = params.pole / (2.0 * np.pi)
+    low = spectrum.at(freqs[0])
+    high = spectrum.at(10.0 * f_pole)
+    assert low > 10.0 * high
+    # Engine variance == draft eq. (34).
+    assert variance == np.clip(variance, 0.99 * eq34_variance,
+                               1.01 * eq34_variance)
+    # Companding: the noise variance tracks the mean-square signal,
+    # Var ∝ <y_s²> = y_dc² + (u_m |H|)²/2 with the first-order gain |H|.
+    gain = params.gain / np.hypot(params.pole,
+                                  2.0 * np.pi * params.f_input)
+    dc = params.gain / params.pole * params.u_dc
+    expected_ratio = ((dc ** 2 + 0.5 * (0.9e-6 * gain) ** 2)
+                      / (dc ** 2 + 0.5 * (0.05e-6 * gain) ** 2))
+    assert loud / quiet == np.clip(loud / quiet,
+                                   0.97 * expected_ratio,
+                                   1.03 * expected_ratio)

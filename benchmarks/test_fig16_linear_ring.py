@@ -1,0 +1,86 @@
+"""EXP-X16 (draft Fig. 16 / eqs. (40)–(42), extension): linear ring.
+
+The linear 3-stage ring-oscillator model has closed-form covariance
+growth and PSD. The benchmark regenerates: the variance/cross-
+correlation trajectories against eq. (40), the exact PSD of eq. (41)
+versus Razavi's near-carrier ``B/Δω²``, and the engine's transient
+covariance against both.
+"""
+
+import numpy as np
+
+from repro.baselines.razavi import (
+    linear_ring_psd_exact,
+    linear_ring_variance_slope,
+    razavi_linear_oscillator_psd,
+)
+from repro.io.tables import format_table
+from repro.lptv.system import Phase, PiecewiseLTISystem
+from repro.noise.covariance import transient_covariance
+from repro.oscillator.linear_ring import (
+    LinearRingParams,
+    linear_ring_cross_correlation,
+    linear_ring_system,
+    linear_ring_variance,
+)
+
+from conftest import run_once
+
+
+def pipeline():
+    params = LinearRingParams()
+    a, b = linear_ring_system(params)
+    period = 2.0 * np.pi / params.omega_osc
+    phase = Phase("osc", period / 16.0, a, b)
+    system = PiecewiseLTISystem(phases=[phase])
+    times, trace = transient_covariance(system, 400,
+                                        segments_per_phase=4)
+    sim_var = trace[:, 0, 0]
+    sim_cross = trace[:, 0, 1]
+    closed_var = linear_ring_variance(params, times)
+    closed_cross = linear_ring_cross_correlation(params, times)
+
+    b_coef = linear_ring_variance_slope(params.resistance,
+                                        params.capacitance,
+                                        params.noise_intensity)
+    rel_offsets = np.array([1e-5, 1e-4, 1e-3, 1e-2])
+    omega_o = params.omega_osc
+    exact = linear_ring_psd_exact(params.resistance, params.capacitance,
+                                  params.noise_intensity,
+                                  omega_o * (1.0 + rel_offsets))
+    razavi = razavi_linear_oscillator_psd(b_coef,
+                                          rel_offsets * omega_o)
+    return (params, times, sim_var, closed_var, sim_cross,
+            closed_cross, rel_offsets, exact, razavi)
+
+
+def test_fig16_linear_ring(benchmark, print_table):
+    (params, times, sim_var, closed_var, sim_cross, closed_cross,
+     rel_offsets, exact, razavi) = run_once(benchmark, pipeline)
+
+    stride = len(times) // 8
+    rows = [[t * 1e9, sv, cv, sc, cc] for t, sv, cv, sc, cc in zip(
+        times[::stride], sim_var[::stride], closed_var[::stride],
+        sim_cross[::stride], closed_cross[::stride])]
+    print_table(format_table(
+        ["t [ns]", "sim var", "eq.(40) var", "sim cross",
+         "eq.(40) cross"],
+        rows, title="Fig. 16 — linear ring covariance growth"))
+    print_table(format_table(
+        ["offset/omega_o", "exact eq.(41)", "Razavi B/dw^2", "ratio"],
+        [[o, e, r, e / r] for o, e, r in zip(rel_offsets, exact,
+                                             razavi)],
+        title="near-carrier PSD: eq. (41) vs eq. (42)"))
+
+    # Engine covariance == closed forms (eq. (40)) over 400 steps.
+    assert np.allclose(sim_var[1:], closed_var[1:], rtol=1e-6)
+    assert np.allclose(sim_cross[1:], closed_cross[1:], rtol=1e-5,
+                       atol=1e-12 * sim_var[-1])
+    # Variance grows, cross-correlation falls at half the rate.
+    half = len(times) // 2
+    dv = sim_var[-1] - sim_var[half]
+    dk = sim_cross[-1] - sim_cross[half]
+    assert dk == np.clip(dk, -0.51 * dv, -0.49 * dv)
+    # Near the carrier, eq. (41) -> Razavi's B/dw^2.
+    assert abs(exact[0] / razavi[0] - 1.0) < 1e-2
+    assert abs(exact[-1] / razavi[-1] - 1.0) < 0.1

@@ -1,0 +1,62 @@
+"""EXP-X18 (draft Fig. 18, extension): tanh ring-oscillator phase noise.
+
+The full nonlinear pipeline: autonomous shooting for the orbit
+(≈ 70 MHz), linearised LPTV noise model, variance-slope extraction, and
+the single-sideband spectrum — compared between the direct ESD engine
+and the Demir analytical formula (draft eq. (44)), which the draft
+matches "to within 1 dBc/Hz". The direct computation is run at offsets
+far enough from the carrier to converge in reasonable time (the draft
+notes convergence within ~500 Hz of the carrier is impractical — the
+same limitation applies here, by construction).
+"""
+
+import numpy as np
+
+from repro.io.tables import format_table
+from repro.oscillator.ring3 import Ring3Params, ring3_phase_noise
+
+from conftest import run_once
+
+#: Offsets for the analytical curve [Hz].
+OFFSETS = np.logspace(4.5, 7.0, 6)
+#: Offsets at which the direct ESD computation is affordable.
+DIRECT_OFFSETS = np.array([2e6, 5e6])
+
+
+def pipeline():
+    params = Ring3Params()
+    analytic = ring3_phase_noise(params=params, offsets=OFFSETS,
+                                 n_periods=40, n_segments=128)
+    direct = ring3_phase_noise(params=params, offsets=DIRECT_OFFSETS,
+                               n_periods=40, n_segments=96,
+                               direct=True)
+    return analytic, direct
+
+
+def test_fig18_phase_noise(benchmark, print_table):
+    analytic, direct = run_once(benchmark, pipeline)
+    print_table(format_table(
+        ["offset [Hz]", "L(f_m) Demir [dBc/Hz]"],
+        [[f, f"{l:.2f}"] for f, l in zip(OFFSETS,
+                                         analytic["ssb_demir_dbc"])],
+        title=f"Fig. 18 — SSB phase noise "
+              f"(f_osc = {analytic['f_osc'] / 1e6:.1f} MHz, "
+              f"c = {analytic['c']:.3e} s)"))
+    print_table(format_table(
+        ["offset [Hz]", "direct ESD [dBc/Hz]", "Demir [dBc/Hz]",
+         "delta [dB]"],
+        [[f, f"{d:.2f}", f"{a:.2f}", f"{d - a:.2f}"]
+         for f, d, a in zip(DIRECT_OFFSETS, direct["ssb_direct_dbc"],
+                            direct["ssb_demir_dbc"])],
+        title="direct time-domain ESD vs Demir formula"))
+
+    # Oscillation frequency near the draft's 70.4 MHz.
+    assert abs(analytic["f_osc"] - 70.4e6) < 0.06 * 70.4e6
+    # -20 dB/decade across the sweep.
+    slopes = np.diff(analytic["ssb_demir_dbc"]) / np.diff(
+        np.log10(OFFSETS))
+    assert np.allclose(slopes, -20.0, atol=0.3)
+    # Direct vs Demir: the draft quotes agreement within ~1 dBc/Hz;
+    # allow 3 dB for the coarser settings used here.
+    deltas = direct["ssb_direct_dbc"] - direct["ssb_demir_dbc"]
+    assert np.all(np.abs(deltas) < 3.0), deltas

@@ -1,0 +1,69 @@
+"""EXP-F3 (paper Fig. 3): switched RC spectrum versus Rice's analysis.
+
+Combinations of the clock-period/time-constant ratio and duty cycle,
+simulated with the MFT engine and compared pointwise against the
+closed-form (Rice-style) expressions. The paper's qualitative claim —
+short holds look like a continuous-time spectrum, ~20 τ holds look
+"sampled-data like" — is asserted through the sample-and-hold limit.
+"""
+
+import numpy as np
+
+from repro.baselines.rice import (
+    rice_sampled_data_limit_psd,
+    rice_switched_rc_psd,
+)
+from repro.circuits import SwitchedRcParams, switched_rc_system
+from repro.io.tables import format_table
+from repro.mft.engine import MftNoiseAnalyzer
+
+from conftest import run_once
+
+#: (period/tau, duty) combinations in the spirit of the paper's figure:
+#: hold lengths of 2.5, 5 and 20 time constants.
+CASES = [(5.0, 0.5), (10.0, 0.5), (25.0, 0.2)]
+
+
+def pipeline():
+    results = []
+    for ratio, duty in CASES:
+        params = SwitchedRcParams(resistance=10e3, capacitance=1e-9,
+                                  period=ratio * 1e-5, duty=duty)
+        # Stay inside the main lobe of the hold sinc: the S/H-limit
+        # comparison diverges (log of zero) at the sinc nulls.
+        t_hold = (1.0 - params.duty) * params.period
+        freqs = np.linspace(100.0, 0.7 / t_hold, 25)
+        psd = MftNoiseAnalyzer(switched_rc_system(params),
+                               64).psd(freqs).psd
+        rice = rice_switched_rc_psd(params, freqs)
+        sh = rice_sampled_data_limit_psd(params, freqs)
+        results.append((params, freqs, psd, rice, sh))
+    return results
+
+
+def test_fig3_switched_rc(benchmark, print_table):
+    results = run_once(benchmark, pipeline)
+    rows = []
+    for params, freqs, psd, rice, sh in results:
+        hold_taus = (1 - params.duty) * params.period / params.tau
+        dev = np.max(np.abs(10 * np.log10(psd / rice)))
+        sh_dev = np.sqrt(np.mean(
+            (10 * np.log10(np.maximum(rice, 1e-300)
+                           / np.maximum(sh, 1e-300))) ** 2))
+        rows.append([f"T/tau={params.period_over_tau:.0f} "
+                     f"d={params.duty}", f"{hold_taus:.1f}",
+                     f"{dev:.4f}", f"{sh_dev:.2f}"])
+    print_table(format_table(
+        ["case", "hold [tau]", "max |sim - Rice| [dB]",
+         "rms dist. to S/H limit [dB]"],
+        rows, title="Fig. 3 — switched RC vs Rice closed form"))
+
+    # Simulated == analytical for every combination (paper: "match very
+    # well").
+    for params, freqs, psd, rice, _sh in results:
+        assert np.allclose(psd, rice, rtol=2e-3, atol=0.0), params
+
+    # Sampled-data trend: distance to the S/H limit shrinks as the hold
+    # lengthens (2.5 τ -> 5 τ -> 20 τ).
+    distances = [float(r[3]) for r in rows]
+    assert distances[0] > distances[1] > distances[2]

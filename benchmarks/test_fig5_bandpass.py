@@ -1,0 +1,69 @@
+"""EXP-F5 (paper Fig. 5): output noise spectrum of the SC band-pass.
+
+The paper plots the simulated spectrum of a 128 kHz-clock SC band-pass
+filter against published (Tóth–Suyama) data. The published points are
+not available; the reproduction asserts the band-pass shape (peak at the
+design centre frequency, falling skirts) and cross-checks the MFT value
+against a strictly-converged run of the independent brute-force
+transient engine at three frequencies.
+
+A note on the harmonic-transfer comparator: the dominant noise in this
+circuit is switch thermal noise with sub-nanosecond time constants
+(80 Ω × 10 pF), so frequency-domain folding needs O(10⁴–10⁵) image bands
+to converge — the very cost that motivates the paper's time-domain
+formulation. The folding comparator is therefore exercised on the
+switched RC and low-pass circuits (where it converges) rather than here.
+"""
+
+import numpy as np
+
+from repro.circuits import ScBandpassParams, sc_bandpass_system
+from repro.io.tables import format_table
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.brute_force import brute_force_psd
+
+from conftest import db, run_once
+
+
+def pipeline():
+    params = ScBandpassParams()
+    model = sc_bandpass_system(params)
+    freqs = np.linspace(1e3, 40e3, 40)
+    analyzer = MftNoiseAnalyzer(model.system, 24)
+    mft = analyzer.psd(freqs)
+
+    check_freqs = np.array([5e3, params.f_center, 20e3])
+    mft_check = np.array([analyzer.psd_at(f) for f in check_freqs])
+    bf = brute_force_psd(model.system, check_freqs,
+                         segments_per_phase=24, tol_db=0.005,
+                         window_periods=100, max_periods=100000)
+    return params, freqs, mft, check_freqs, mft_check, bf
+
+
+def test_fig5_bandpass(benchmark, print_table):
+    (params, freqs, mft, check_freqs, mft_check,
+     bf) = run_once(benchmark, pipeline)
+    rows = [[f / 1e3, s, d] for f, s, d in
+            zip(freqs[::4], mft.psd[::4], db(mft.psd[::4]))]
+    print_table(format_table(
+        ["f [kHz]", "PSD [V^2/Hz]", "PSD [dB]"], rows,
+        title="Fig. 5 — SC band-pass output noise (MFT)"))
+    cross = [[f / 1e3, m, b, 10 * np.log10(b / m)] for f, m, b in
+             zip(check_freqs, mft_check, bf.psd)]
+    print_table(format_table(
+        ["f [kHz]", "MFT", "brute force (0.005 dB stop)",
+         "delta [dB]"],
+        cross, title=f"cross-check vs transient engine "
+                     f"({bf.info['total_periods']} periods total)"))
+
+    # Band-pass shape: peak near f_center, falling on both sides.
+    peak_idx = int(np.argmax(mft.psd))
+    f_peak = freqs[peak_idx]
+    assert abs(f_peak - params.f_center) < 0.15 * params.f_center
+    assert mft.psd[peak_idx] > 5.0 * mft.psd[0]
+    assert mft.psd[peak_idx] > 5.0 * mft.psd[-1]
+    # Strictly-converged transient engine agrees with the steady-state
+    # engine (the 1/t settling tail keeps this at the ~1 dB level even
+    # at a 0.005 dB stopping criterion near the high-Q resonance).
+    deltas = 10.0 * np.log10(bf.psd / mft_check)
+    assert np.all(np.abs(deltas) < 1.2), deltas

@@ -1,0 +1,69 @@
+"""EXP-F7 (paper Fig. 7): SC low-pass spectrum, two op-amp models.
+
+The paper compares its simulation against measured data for (a) a
+source-follower op-amp at ω_u = 9π·10⁶ rad/s and (b) a single-stage
+op-amp at 2π·10⁷ rad/s with a 100 pF equivalent capacitance, and notes
+that the sampled-and-held-only theory (Tóth) wrongly digs a deep notch
+at 2 f_clk. All three curves are regenerated here; the notch contrast is
+the asserted shape.
+"""
+
+import numpy as np
+
+from repro.baselines.toth_suyama import (
+    ideal_lowpass_model,
+    sampled_and_held_psd,
+)
+from repro.circuits import ScLowpassParams, sc_lowpass_system
+from repro.io.tables import format_table
+from repro.mft.engine import MftNoiseAnalyzer
+
+from conftest import db, run_once
+
+SPP = 64
+
+
+def pipeline():
+    params = ScLowpassParams()
+    freqs = np.linspace(200.0, 12e3, 36)
+
+    follower = MftNoiseAnalyzer(
+        sc_lowpass_system(params).system, SPP).psd(freqs)
+    single = MftNoiseAnalyzer(
+        sc_lowpass_system(opamp_model="single-stage").system,
+        SPP).psd(freqs)
+
+    m, q, l_row = ideal_lowpass_model(
+        params.c1, params.c2, params.c3,
+        extra_sampled_psd=params.opamp_noise_psd,
+        f_clock=params.f_clock)
+    period = 1.0 / params.f_clock
+    sh_theory = sampled_and_held_psd(m, q, l_row, period, period / 2.0,
+                                     freqs)
+    return params, freqs, follower, single, sh_theory
+
+
+def test_fig7_lowpass(benchmark, print_table):
+    params, freqs, follower, single, sh_theory = run_once(benchmark,
+                                                          pipeline)
+    rows = [[f / 1e3, a, b, c] for f, a, b, c in zip(
+        freqs[::3], db(follower.psd[::3]), db(single.psd[::3]),
+        db(sh_theory.psd[::3]))]
+    print_table(format_table(
+        ["f [kHz]", "follower op-amp [dB]", "single-stage [dB]",
+         "S/H-only theory [dB]"],
+        rows, title="Fig. 7 — SC low-pass output noise"))
+
+    # Both op-amp models give the same order of magnitude over the
+    # audio band (the paper matches both to the same measured data).
+    sel = freqs < 6e3
+    assert np.all(np.abs(db(follower.psd[sel])
+                         - db(single.psd[sel])) < 6.0)
+
+    # The S/H-only theory notches hard at 2 f_clk; the engines do not
+    # (the experimentally observed behaviour the paper reproduces).
+    f_notch = 2.0 * params.f_clock
+    idx = int(np.argmin(np.abs(freqs - f_notch)))
+    ref = int(np.argmin(np.abs(freqs - 0.55 * params.f_clock)))
+    assert sh_theory.psd[idx] < 1e-2 * sh_theory.psd[ref]
+    assert follower.psd[idx] > 1e-3 * follower.psd[ref]

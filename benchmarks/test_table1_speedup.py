@@ -1,0 +1,105 @@
+"""EXP-T1 (the DAC paper's headline): MFT vs brute force vs Monte Carlo.
+
+Per-frequency-point cost of the three engines on the paper's circuits.
+The absolute milliseconds are machine-dependent; the *shape* — MFT needs
+one steady-state solve per frequency while the transient engine pays
+tens-to-hundreds of clock periods and Monte Carlo pays thousands of
+trajectories-periods — is the reproduced result, asserted as a minimum
+speedup factor.
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines.montecarlo import monte_carlo_psd
+from repro.circuits import (
+    sc_bandpass_system,
+    sc_lowpass_system,
+    switched_rc_system,
+)
+from repro.io.tables import format_table
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.brute_force import brute_force_psd
+
+from conftest import run_once
+
+SPP = 48
+N_FREQS = 8
+
+
+def _time_circuit(label, system, f_max, mc_kwargs):
+    freqs = np.linspace(f_max / N_FREQS, f_max, N_FREQS)
+
+    analyzer = MftNoiseAnalyzer(system, SPP)
+    analyzer.covariance  # shared setup, counted separately
+    t0 = time.perf_counter()
+    mft = analyzer.psd(freqs)
+    mft_per_freq = (time.perf_counter() - t0) / N_FREQS
+
+    t0 = time.perf_counter()
+    bf = brute_force_psd(system, freqs, segments_per_phase=SPP,
+                         tol_db=0.1, window_periods=5,
+                         max_periods=20000)
+    bf_per_freq = (time.perf_counter() - t0) / N_FREQS
+    periods = bf.info["total_periods"] / N_FREQS
+
+    t0 = time.perf_counter()
+    monte_carlo_psd(system, rng=1, **mc_kwargs)
+    mc_total = time.perf_counter() - t0
+
+    agreement = np.max(np.abs(
+        10 * np.log10(np.maximum(bf.psd, 1e-300)
+                      / np.maximum(mft.psd, 1e-300))))
+    return {
+        "label": label,
+        "mft_ms": mft_per_freq * 1e3,
+        "bf_ms": bf_per_freq * 1e3,
+        "bf_periods": periods,
+        "mc_s": mc_total,
+        "speedup": bf_per_freq / mft_per_freq,
+        "agreement_db": agreement,
+    }
+
+
+def pipeline():
+    mc_small = dict(n_trajectories=16, n_periods=64,
+                    samples_per_period=32, segment_periods=16)
+    rows = []
+    rows.append(_time_circuit(
+        "switched RC", switched_rc_system(
+            resistance=10e3, capacitance=1e-9, period=5e-5, duty=0.5),
+        f_max=60e3, mc_kwargs=mc_small))
+    rows.append(_time_circuit(
+        "SC low-pass", sc_lowpass_system().system, f_max=10e3,
+        mc_kwargs=mc_small))
+    rows.append(_time_circuit(
+        "SC band-pass", sc_bandpass_system().system, f_max=30e3,
+        mc_kwargs=mc_small))
+    return rows
+
+
+def test_table1_speedup(benchmark, print_table):
+    rows = run_once(benchmark, pipeline)
+    table = [[r["label"], f"{r['mft_ms']:.2f}", f"{r['bf_ms']:.2f}",
+              f"{r['bf_periods']:.0f}", f"{r['mc_s']:.2f}",
+              f"{r['speedup']:.1f}x", f"{r['agreement_db']:.2f}"]
+             for r in rows]
+    print_table(format_table(
+        ["circuit", "MFT [ms/freq]", "brute force [ms/freq]",
+         "BF periods/freq", "Monte Carlo total [s]", "speedup",
+         "|BF-MFT| [dB]"],
+        table, title="Table 1 — per-frequency cost of the engines"))
+
+    for r in rows:
+        # The headline: the steady-state method wins by a wide margin
+        # and the two engines agree on the answer. The brute-force
+        # engine's own 0.1 dB / 5-period stopping rule leaves an O(1 dB)
+        # settling bias near the band-pass resonance (|multiplier| ≈
+        # 0.97 decays over ~100 cycles), hence the loose bound.
+        assert r["speedup"] > 3.0, r["label"]
+        assert r["bf_periods"] >= 8.0, r["label"]
+        assert r["agreement_db"] < 2.5, r["label"]
+    # Monte Carlo is the most expensive path even at these small
+    # ensemble sizes (its error bars are still ~10 %).
+    assert all(r["mc_s"] > r["mft_ms"] / 1e3 * N_FREQS for r in rows)

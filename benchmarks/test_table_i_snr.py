@@ -1,0 +1,46 @@
+"""EXP-XT1 (draft Table I, extension): class-AB/B SNR versus drive.
+
+Seevinck's integrator in class-B operation with an external noise
+generator: the draft's Table I lists an SNR that is *flat to within
+0.25 dB* from 5 µA to 200 µA peak input and creeps up slightly with
+drive (52.08 → 52.30 dB). The absolute level depends on the unpublished
+generator PSD; the reproduced shape is the flatness and the upward
+creep. The noise PSD here is calibrated so the 5 µA row lands near the
+draft's 52 dB.
+"""
+
+from repro.io.tables import format_table
+from repro.translinear.class_ab import ClassAbParams, class_ab_snr_table
+
+from conftest import run_once
+
+#: Draft Table I drive levels [A].
+PEAKS = [5e-6, 10e-6, 20e-6, 50e-6, 100e-6, 200e-6]
+DRAFT_SNRS = [52.08, 52.12, 52.17, 52.23, 52.27, 52.29]
+
+#: External generator PSD chosen so SNR(5 µA) ≈ 52.1 dB (see module
+#: docstring; the draft does not quote the generator level).
+CALIBRATED_PARAMS = ClassAbParams(noise_psd=6.4e-24)
+
+
+def pipeline():
+    return class_ab_snr_table(PEAKS, base_params=CALIBRATED_PARAMS,
+                              n_segments=384)
+
+
+def test_table_i_snr(benchmark, print_table):
+    rows = run_once(benchmark, pipeline)
+    table = [[r["u_peak"] * 1e6, f"{r['snr_db']:.2f}", draft]
+             for r, draft in zip(rows, DRAFT_SNRS)]
+    print_table(format_table(
+        ["peak input [uA]", "SNR [dB] (ours)", "SNR [dB] (draft)"],
+        table, title="Table I — output SNR of the class-B integrator"))
+
+    snrs = [r["snr_db"] for r in rows]
+    # Flat across a 40x drive range (companding): draft swing 0.22 dB;
+    # allow 1 dB for the reconstructed operating point.
+    assert max(snrs) - min(snrs) < 1.0
+    # Slight upward creep with drive.
+    assert snrs[-1] >= snrs[0]
+    # Calibrated absolute level near the draft's.
+    assert abs(snrs[0] - DRAFT_SNRS[0]) < 1.5

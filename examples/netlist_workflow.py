@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Netlist-driven workflow: analyse a circuit written as SPICE-like text.
+
+The scenario: a colleague hands you a switched-capacitor gain stage as a
+netlist file. Parse it, sanity-check the topology phase by phase, build
+the LPTV model and compare the noise spectrum of two op-amp bandwidth
+choices — all without writing circuit-assembly code.
+
+Run:  python examples/netlist_workflow.py
+"""
+
+import numpy as np
+
+from repro import NoiseAnalysis, parse_netlist
+from repro.circuit.topology import diagnose
+from repro.io.tables import format_table
+
+NETLIST_TEMPLATE = """* switched-capacitor gain-of-4 stage
+* input sampling branch: Cs charges in phi1, dumps into the virtual
+* ground in phi2; Cf sets the gain Cs/Cf = 4.
+Vin  in    0    0
+S1   in    a    phi1  ron=200
+Cs   a     0    400p
+S2   a     vg   phi2  ron=200
+Cf   vg    out  100p
+* damping branch keeps the stage's discrete-time pole inside the unit
+* circle so a steady-state noise analysis exists.
+S3   b     out  phi1  ron=200
+S4   b     vg   phi2  ron=200
+Cd   b     0    20p
+OPAMP_SF op1 0 vg out wu={wu} noise=4.0e-16
+.clock f=100k phases=phi1,phi2 duty=0.5
+.output out
+"""
+
+
+def build(wu):
+    parsed = parse_netlist(NETLIST_TEMPLATE.format(wu=wu))
+    findings = diagnose(parsed.netlist, parsed.schedule)
+    if findings:
+        raise SystemExit("topology problems:\n" + "\n".join(findings))
+    return parsed.to_model()
+
+
+def main():
+    freqs = np.linspace(1e3, 300e3, 50)
+    rows = []
+    spectra = {}
+    for label, wu in (("10 MHz op-amp", 2 * np.pi * 10e6),
+                      ("100 MHz op-amp", 2 * np.pi * 100e6)):
+        model = build(wu)
+        analysis = NoiseAnalysis(model, segments_per_phase=32)
+        spectrum = analysis.psd(freqs)
+        spectra[label] = spectrum
+        rows.append([
+            label,
+            np.sqrt(analysis.output_variance()) * 1e6,
+            spectrum.at(10e3),
+            spectrum.at(200e3),
+        ])
+    print(format_table(
+        ["op-amp", "total rms noise [uV]", "S(10 kHz)", "S(200 kHz)"],
+        rows,
+        title="Gain-of-4 SC stage: op-amp bandwidth vs output noise"))
+    print("\nA faster op-amp settles the charge transfer harder and "
+          "samples more wideband noise onto the capacitors — the same "
+          "trend as the paper's Fig. 9.")
+
+    ratio = spectra["100 MHz op-amp"].psd / spectra["10 MHz op-amp"].psd
+    print(f"PSD ratio (100 MHz / 10 MHz): min {ratio.min():.2f}, "
+          f"max {ratio.max():.2f} over {freqs[0] / 1e3:.0f}-"
+          f"{freqs[-1] / 1e3:.0f} kHz")
+
+
+if __name__ == "__main__":
+    main()

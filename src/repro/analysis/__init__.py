@@ -1,0 +1,11 @@
+"""High-level analysis façade.
+
+:class:`~repro.analysis.api.NoiseAnalysis` wraps the full pipeline —
+netlist/model in, spectra and reports out — for users who don't want to
+assemble the engines by hand.
+"""
+
+from .api import NoiseAnalysis, compare_spectra
+from .spectrum import SpectrumComparison
+
+__all__ = ["NoiseAnalysis", "compare_spectra", "SpectrumComparison"]

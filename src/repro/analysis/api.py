@@ -1,0 +1,133 @@
+"""The one-stop :class:`NoiseAnalysis` façade.
+
+Typical use (this is the quickstart example)::
+
+    from repro.circuits import sc_lowpass_system
+    from repro.analysis import NoiseAnalysis
+
+    model = sc_lowpass_system()
+    analysis = NoiseAnalysis(model)
+    spectrum = analysis.psd(frequencies)          # fast MFT engine
+    trace = analysis.convergence_trace(7.5e3)     # paper Fig. 1
+    report = analysis.contribution_report(7.5e3)  # per-state breakdown
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..io.tables import format_table
+from ..mft.engine import MftNoiseAnalyzer
+from ..noise.brute_force import brute_force_psd
+from ..noise.snr import integrated_noise_power, snr_db
+from .spectrum import SpectrumComparison
+
+
+def _system_of(model_or_system):
+    if hasattr(model_or_system, "system"):
+        return model_or_system.system, model_or_system
+    if hasattr(model_or_system, "discretize"):
+        return model_or_system, None
+    raise ReproError(
+        "expected a SwitchedCircuitModel or an LPTV system, got "
+        f"{type(model_or_system).__name__}")
+
+
+class NoiseAnalysis:
+    """High-level noise analysis of a switched circuit.
+
+    Accepts either a :class:`~repro.circuit.statespace.SwitchedCircuitModel`
+    (netlist-based) or a bare LPTV system.
+    """
+
+    def __init__(self, model_or_system, segments_per_phase=64,
+                 output_row=0):
+        self.system, self.model = _system_of(model_or_system)
+        self.segments_per_phase = segments_per_phase
+        self.output_row = output_row
+        self.engine = MftNoiseAnalyzer(self.system, segments_per_phase,
+                                       output_row)
+
+    # -- spectra -------------------------------------------------------------
+
+    def psd(self, frequencies):
+        """Averaged double-sided PSD via the MFT steady-state engine."""
+        return self.engine.psd(frequencies)
+
+    def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
+                        **kwargs):
+        """Same quantity via the baseline transient engine (slow)."""
+        return brute_force_psd(self.system, frequencies,
+                               output_row=self.output_row,
+                               segments_per_phase=self.segments_per_phase,
+                               tol_db=tol_db,
+                               window_periods=window_periods, **kwargs)
+
+    def convergence_trace(self, frequency, tol_db=0.1, window_periods=5,
+                          **kwargs):
+        """PSD-vs-time trace at one frequency (paper Fig. 1)."""
+        result = self.psd_brute_force([frequency], tol_db=tol_db,
+                                      window_periods=window_periods,
+                                      **kwargs)
+        return result.info["details"][0].trace
+
+    def instantaneous_psd(self, frequency):
+        """``S(t, f)`` over one period of the steady state."""
+        return self.engine.instantaneous_psd(frequency)
+
+    # -- scalar figures of merit ----------------------------------------------
+
+    def output_variance(self):
+        """Period-averaged output noise variance."""
+        return self.engine.average_output_variance()
+
+    def snr(self, signal_power, f_low=None, f_high=None,
+            frequencies=None):
+        """SNR from band-integrated PSD (or total variance).
+
+        With ``frequencies`` given, the noise power is the integral of
+        the double-sided PSD over the band (×2); otherwise the average
+        output variance is used — the draft's Table I convention.
+        """
+        if frequencies is None:
+            return snr_db(signal_power, self.output_variance())
+        spectrum = self.psd(frequencies)
+        return snr_db(signal_power,
+                      integrated_noise_power(spectrum, f_low, f_high))
+
+    # -- reports ---------------------------------------------------------------
+
+    def contribution_report(self, frequency):
+        """Per-state cross-spectral contribution table at one frequency.
+
+        The rows sum (weighted by the output row) to the output PSD —
+        the "relative contributions of various portions of the circuit"
+        the paper advertises.
+        """
+        contributions = self.engine.cross_spectral_contributions(frequency)
+        l_row = np.asarray(self.system.output_matrix)[self.output_row]
+        rows = []
+        total = float(l_row @ contributions)
+        for name, value, weight in zip(self.system.state_names,
+                                       contributions, l_row):
+            share = (weight * value / total) if total != 0.0 else 0.0
+            rows.append([name, value, weight, share])
+        table = format_table(
+            ["state", "cross-PSD [V^2/Hz]", "output weight", "share"],
+            rows, title=f"Cross-spectral contributions at "
+                        f"{frequency:.6g} Hz (total {total:.4g})")
+        return table
+
+
+def compare_spectra(frequencies, reference, candidate,
+                    reference_name="reference",
+                    candidate_name="candidate"):
+    """Build a :class:`SpectrumComparison` from arrays or PsdResults."""
+    ref = getattr(reference, "psd", reference)
+    cand = getattr(candidate, "psd", candidate)
+    return SpectrumComparison(
+        frequencies=np.asarray(frequencies, dtype=float),
+        reference=np.asarray(ref, dtype=float),
+        candidate=np.asarray(cand, dtype=float),
+        reference_name=reference_name, candidate_name=candidate_name)

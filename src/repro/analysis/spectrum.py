@@ -1,0 +1,53 @@
+"""Spectrum comparison container used by benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass
+class SpectrumComparison:
+    """Two spectra on a common grid plus deviation statistics."""
+
+    frequencies: np.ndarray
+    reference: np.ndarray
+    candidate: np.ndarray
+    reference_name: str = "reference"
+    candidate_name: str = "candidate"
+
+    def __post_init__(self):
+        self.frequencies = np.asarray(self.frequencies, dtype=float)
+        self.reference = np.asarray(self.reference, dtype=float)
+        self.candidate = np.asarray(self.candidate, dtype=float)
+        if not (self.frequencies.shape == self.reference.shape
+                == self.candidate.shape):
+            raise ReproError("comparison arrays must share one shape")
+
+    def deviation_db(self):
+        """Pointwise ``10 log10(candidate/reference)`` (inf-safe)."""
+        ref = np.maximum(self.reference, 1e-300)
+        cand = np.maximum(self.candidate, 1e-300)
+        return 10.0 * np.log10(cand / ref)
+
+    @property
+    def max_abs_db(self):
+        return float(np.max(np.abs(self.deviation_db())))
+
+    @property
+    def rms_db(self):
+        dev = self.deviation_db()
+        return float(np.sqrt(np.mean(dev ** 2)))
+
+    def within(self, tol_db):
+        """True when every point agrees within ``tol_db``."""
+        return self.max_abs_db <= tol_db
+
+    def summary(self):
+        return (f"{self.candidate_name} vs {self.reference_name}: "
+                f"max |Δ| = {self.max_abs_db:.3f} dB, "
+                f"rms = {self.rms_db:.3f} dB over "
+                f"{self.frequencies.size} frequencies")

@@ -1,0 +1,59 @@
+"""Demir–Mehrotra–Roychowdhury oscillator phase-noise formulas.
+
+The paper's Fig. 18 compares its time-domain spectrum against the
+analytical single-sideband expression of Demir et al. (paper eq. (44)):
+
+    L(f_m) = 10 log10( f_o² c / (π² f_o⁴ c² + f_m²) )   [dBc/Hz]
+
+where ``c`` characterises the phase diffusion. The paper computes ``c``
+from two time-domain quantities its own engine already produces:
+
+    c = B / S²
+
+with ``B`` the slope of the linearly-growing variance envelope and ``S``
+the slew rate of the large-signal waveform at its zero crossings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def demir_c_parameter(variance_slope, zero_crossing_slew):
+    """``c = B / S²`` from the variance slope and zero-crossing slew."""
+    if variance_slope <= 0.0:
+        raise ReproError(
+            f"variance slope must be positive, got {variance_slope}")
+    if zero_crossing_slew == 0.0:
+        raise ReproError("zero-crossing slew must be non-zero")
+    return variance_slope / zero_crossing_slew ** 2
+
+
+def demir_lorentzian_ssb(f_osc, c_parameter, offset_frequencies):
+    """Single-sideband phase noise L(f_m) in dBc/Hz (paper eq. (44))."""
+    f_m = np.atleast_1d(np.asarray(offset_frequencies, dtype=float))
+    if np.any(f_m <= 0.0):
+        raise ReproError("offset frequencies must be positive")
+    num = f_osc ** 2 * c_parameter
+    den = np.pi ** 2 * f_osc ** 4 * c_parameter ** 2 + f_m ** 2
+    return 10.0 * np.log10(num / den)
+
+
+def demir_corner_frequency(f_osc, c_parameter):
+    """Offset below which the Lorentzian flattens: ``π f_o² c``."""
+    return np.pi * f_osc ** 2 * c_parameter
+
+
+def lorentzian_psd(f_osc, c_parameter, frequencies, power=0.5):
+    """Double-sided Lorentzian PSD of the oscillator fundamental.
+
+    ``power`` is the carrier power in the fundamental (0.5 for a
+    unit-amplitude sinusoid). The total power integrates to ``power``
+    regardless of ``c`` — phase noise redistributes, never creates,
+    power.
+    """
+    freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    gamma = np.pi * f_osc ** 2 * c_parameter  # half-width [Hz]
+    return power / np.pi * gamma / ((freqs - f_osc) ** 2 + gamma ** 2)

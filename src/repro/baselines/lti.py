@@ -1,0 +1,51 @@
+"""Stationary AC noise analysis of LTI circuits.
+
+The no-switching limit every periodic engine must reproduce: for
+``dx = A x dt + B dW`` with stable constant ``A`` the output
+``y = l^T x`` has the textbook double-sided PSD
+
+    S_y(ω) = l^T (jωI − A)^{-1} B B^T (−jωI − A^T)^{-1} l
+
+and stationary variance from the continuous Lyapunov equation. This is
+Rohrer-style frequency-domain noise analysis, used as a comparator and as
+the d→1 limit of the switched RC benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..linalg.lyapunov import solve_continuous_lyapunov
+
+
+def lti_noise_psd(a_matrix, b_matrix, l_row, frequencies):
+    """Double-sided output PSD of a stable LTI SDE at frequencies [Hz]."""
+    a = np.atleast_2d(np.asarray(a_matrix, dtype=float))
+    b = np.asarray(b_matrix, dtype=float)
+    if b.ndim == 1:
+        b = b.reshape(a.shape[0], -1)
+    l_row = np.atleast_1d(np.asarray(l_row, dtype=float))
+    if l_row.size != a.shape[0]:
+        raise ReproError(
+            f"output row has {l_row.size} entries for {a.shape[0]} states")
+    freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    eye = np.eye(a.shape[0])
+    psd = np.empty_like(freqs)
+    for idx, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        transfer = np.linalg.solve(1j * omega * eye - a, b)
+        gain = l_row @ transfer
+        psd[idx] = float(np.real(gain @ gain.conj()))
+    return psd
+
+
+def lti_output_variance(a_matrix, b_matrix, l_row):
+    """Stationary output variance via the continuous Lyapunov equation."""
+    a = np.atleast_2d(np.asarray(a_matrix, dtype=float))
+    b = np.asarray(b_matrix, dtype=float)
+    if b.ndim == 1:
+        b = b.reshape(a.shape[0], -1)
+    l_row = np.atleast_1d(np.asarray(l_row, dtype=float))
+    k = solve_continuous_lyapunov(a, b @ b.T).real
+    return float(l_row @ k @ l_row)

@@ -1,0 +1,53 @@
+"""Razavi's LTI oscillator phase-noise approximation.
+
+For a linear (unstable) oscillator model driven by additive white noise
+the paper derives (its eq. (41)–(42)) the near-carrier PSD
+
+    PSD(ω_o + Δω) ≈ B / Δω²,       B = (R²/9) ω_o² I_n
+
+matching Razavi's classic result. The exact linear-model expression,
+eq. (41) without the transient term, is also provided for the Fig. 16
+closed-form study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def razavi_linear_oscillator_psd(b_coefficient, offset_radps):
+    """Near-carrier PSD ``B / Δω²`` [V²/Hz vs rad/s offset]."""
+    offsets = np.atleast_1d(np.asarray(offset_radps, dtype=float))
+    if np.any(offsets == 0.0):
+        raise ReproError("offset must be non-zero (the model diverges "
+                         "at the carrier)")
+    return b_coefficient / offsets ** 2
+
+
+def linear_ring_psd_exact(resistance, capacitance, noise_intensity,
+                          omega):
+    """Paper eq. (41) (steady-state part) for the linear 3-stage ring.
+
+    ``A = R²ω_o I_n / (36√3)``, ``B = R² ω_o² I_n / 9``,
+    ``ω_o = √3 / RC``:
+
+        PSD(ω) = (6A/RC) / (ω² + 3ω_o²) + 2B (ω² + ω_o²)/(ω² − ω_o²)²
+    """
+    omega = np.atleast_1d(np.asarray(omega, dtype=float))
+    omega_o = np.sqrt(3.0) / (resistance * capacitance)
+    a_coef = resistance ** 2 / (36.0 * np.sqrt(3.0)) * omega_o \
+        * noise_intensity
+    b_coef = resistance ** 2 / 9.0 * omega_o ** 2 * noise_intensity
+    term1 = (6.0 * a_coef / (resistance * capacitance)
+             / (omega ** 2 + 3.0 * omega_o ** 2))
+    term2 = (2.0 * b_coef * (omega ** 2 + omega_o ** 2)
+             / (omega ** 2 - omega_o ** 2) ** 2)
+    return term1 + term2
+
+
+def linear_ring_variance_slope(resistance, capacitance, noise_intensity):
+    """Slope of the linearly-growing variance, ``B`` of paper eq. (40)."""
+    omega_o = np.sqrt(3.0) / (resistance * capacitance)
+    return resistance ** 2 / 9.0 * omega_o ** 2 * noise_intensity

@@ -1,0 +1,209 @@
+"""Ideal-SC discrete-time noise analysis ("full and fast charge transfer").
+
+Tóth–Suyama / Tóth-Yusim-Suyama analyse switched-capacitor networks under
+the assumption that every charge transfer settles completely within its
+phase. The network then reduces to a discrete-time Gauss–Markov system
+
+    x_{n+1} = M x_n + w_n,     w_n ~ N(0, Q)     (one clock cycle)
+
+whose output, zero-order-held for ``t_hold`` each period, has the PSD
+
+    S(f) = |P(f)|²/T · S_x(e^{j2πfT}),
+    |P(f)|² = t_hold² sinc²(f t_hold),
+    S_x(e^{jθ}) = l^T (e^{jθ}I − M)^{-1} Q (e^{-jθ}I − Mᵀ)^{-1} l
+
+This module implements the generic machinery plus event helpers for the
+two elementary "full and fast" operations (parallel equilibration and
+charging from a source), and a ready-made scalar model of the paper's SC
+low-pass filter. Because it keeps **only the sampled-and-held portion**
+of the noise, its spectrum shows a deep notch at ``2 f_clk`` (the sinc
+zero for a half-period hold) that the full continuous-time engines do
+not — reproducing the discrepancy the paper highlights between Tóth's
+theory and experiment in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import NoiseModelError, ReproError
+from ..linalg.lyapunov import solve_discrete_lyapunov
+from ..noise.result import PsdResult
+from ..units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+@dataclass
+class IdealScNetwork:
+    """A discrete-time ideal-SC model built from per-phase events.
+
+    The state is the vector of capacitor voltages. Events are applied in
+    order to build the one-cycle affine-Gaussian map; each event is a
+    pair ``(M, Q)`` composed as ``x -> M x + w``.
+    """
+
+    capacitances: np.ndarray
+    temperature: float = ROOM_TEMPERATURE
+    events: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.capacitances = np.asarray(self.capacitances, dtype=float)
+        if np.any(self.capacitances <= 0.0):
+            raise ReproError("capacitances must be positive")
+
+    @property
+    def n_states(self):
+        return self.capacitances.size
+
+    # -- event builders ------------------------------------------------------
+
+    def connect_parallel(self, indices):
+        """Equilibrate a group of grounded capacitors through a switch.
+
+        Full-and-fast: all voltages end at the charge-conserving average
+        ``ΣC_i v_i / ΣC_i`` plus a *common* sampled noise of variance
+        ``kT / ΣC_i`` (the R→0 limit of the resistive divider).
+        """
+        indices = list(indices)
+        if len(indices) < 2:
+            raise ReproError("connect_parallel needs >= 2 capacitors")
+        n = self.n_states
+        m = np.eye(n)
+        c_grp = self.capacitances[indices]
+        c_tot = float(c_grp.sum())
+        for i in indices:
+            m[i, :] = 0.0
+            for j, cj in zip(indices, c_grp):
+                m[i, j] = cj / c_tot
+        q = np.zeros((n, n))
+        var = BOLTZMANN * self.temperature / c_tot
+        for i in indices:
+            for j in indices:
+                q[i, j] = var
+        self.events.append((m, q))
+        return self
+
+    def connect_to_source(self, indices, gain_rows=None):
+        """Charge capacitors from an ideal source through one switch.
+
+        All listed capacitors end exactly at the source value (zero here;
+        noise analysis is around a zero operating point) plus a common
+        sampled noise ``kT / ΣC``. ``gain_rows`` optionally makes the
+        "source" a linear combination of the current state (e.g. an ideal
+        buffer of another capacitor's voltage): a dict ``state -> weight``.
+        """
+        indices = list(indices)
+        n = self.n_states
+        m = np.eye(n)
+        source_row = np.zeros(n)
+        if gain_rows:
+            for j, weight in gain_rows.items():
+                source_row[j] = float(weight)
+        for i in indices:
+            m[i, :] = source_row
+        c_tot = float(self.capacitances[indices].sum())
+        var = BOLTZMANN * self.temperature / c_tot
+        q = np.zeros((n, n))
+        for i in indices:
+            for j in indices:
+                q[i, j] = var
+        self.events.append((m, q))
+        return self
+
+    def custom_event(self, m_matrix, q_matrix):
+        """Append an arbitrary affine-Gaussian event ``x -> M x + w``."""
+        m = np.asarray(m_matrix, dtype=float)
+        q = np.asarray(q_matrix, dtype=float)
+        n = self.n_states
+        if m.shape != (n, n) or q.shape != (n, n):
+            raise ReproError(
+                f"event matrices must be ({n}, {n}); got {m.shape} and "
+                f"{q.shape}")
+        self.events.append((m, 0.5 * (q + q.T)))
+        return self
+
+    # -- analysis ------------------------------------------------------------
+
+    def cycle_map(self):
+        """Compose all events into the one-cycle ``(M, Q)``."""
+        if not self.events:
+            raise NoiseModelError("ideal SC network has no events")
+        n = self.n_states
+        m_acc = np.eye(n)
+        q_acc = np.zeros((n, n))
+        for m, q in self.events:
+            q_acc = m @ q_acc @ m.T + q
+            m_acc = m @ m_acc
+        return m_acc, 0.5 * (q_acc + q_acc.T)
+
+    def sampled_covariance(self):
+        """Steady-state covariance of the sampled sequence ``x_n``."""
+        m, q = self.cycle_map()
+        return solve_discrete_lyapunov(m, q).real
+
+
+def discrete_spectrum(m_matrix, q_matrix, l_row, thetas):
+    """Discrete-time output spectrum ``S_x(e^{jθ})`` [V² per sample]."""
+    m = np.asarray(m_matrix, dtype=float)
+    q = np.asarray(q_matrix, dtype=float)
+    l_row = np.asarray(l_row, dtype=float)
+    n = m.shape[0]
+    eye = np.eye(n)
+    out = np.empty(len(thetas))
+    for idx, theta in enumerate(np.asarray(thetas, dtype=float)):
+        h = np.linalg.solve(np.exp(1j * theta) * eye - m,
+                            q.astype(complex))
+        h = np.linalg.solve(np.exp(-1j * theta) * eye - m, h.T).T
+        # h is now (e^{jθ}−M)^{-1} Q (e^{-jθ}−Mᵀ)^{-T}... assemble output.
+        out[idx] = float(np.real(l_row @ h @ l_row))
+    return out
+
+
+def sampled_and_held_psd(m_matrix, q_matrix, l_row, period, hold_time,
+                         frequencies):
+    """PSD of the zero-order-held output of the discrete-time model.
+
+    ``hold_time`` is how long each sample is held within the period
+    (``T/2`` for the paper's low-pass output, yielding the sinc notch at
+    ``2 f_clk``). Returns a :class:`~repro.noise.result.PsdResult` with a
+    double-sided PSD in V²/Hz.
+    """
+    freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    if hold_time <= 0.0 or hold_time > period:
+        raise ReproError(
+            f"hold_time must be in (0, period]; got {hold_time}")
+    thetas = 2.0 * np.pi * freqs * period
+    s_discrete = discrete_spectrum(m_matrix, q_matrix, l_row, thetas)
+    shape = (hold_time ** 2 / period) * np.sinc(freqs * hold_time) ** 2
+    return PsdResult(frequencies=freqs, psd=shape * s_discrete,
+                     method="toth-suyama",
+                     info={"period": period, "hold_time": hold_time})
+
+
+def ideal_lowpass_model(c1=300e-12, c2=100e-12, c3=100e-12,
+                        temperature=ROOM_TEMPERATURE,
+                        extra_sampled_psd=0.0, f_clock=4e3):
+    """Scalar full-and-fast model of the paper's SC low-pass filter.
+
+    One cycle of the damped integrator: the output (state, voltage on
+    C2) loses ``C3/C2`` of itself to the damping branch and receives the
+    input-branch and damping-branch sampled noises scaled into the
+    integrating capacitor:
+
+        v(n+1) = (1 − C3/C2) v(n)
+                 + (C1/C2) n1 + (C3/C2) n3,
+        Var(n1) = kT/C1 + S_extra·f_clk,   Var(n3) = kT/C3
+
+    ``extra_sampled_psd`` folds a white op-amp input PSD into an
+    equivalent per-sample variance (PSD × clock rate) the way the
+    ideal-SC theory does. Returns ``(M, Q, l)`` ready for
+    :func:`sampled_and_held_psd`.
+    """
+    kt = BOLTZMANN * temperature
+    m = np.array([[1.0 - c3 / c2]])
+    var = ((c1 / c2) ** 2 * (kt / c1 + extra_sampled_psd * f_clock)
+           + (c3 / c2) ** 2 * (kt / c3))
+    q = np.array([[var]])
+    l_row = np.array([1.0])
+    return m, q, l_row

@@ -1,0 +1,57 @@
+"""Circuit-level substrate: components, netlists, MNA, state extraction.
+
+This package turns a switched-capacitor netlist into the
+:class:`~repro.lptv.system.PiecewiseLTISystem` the noise engines consume:
+
+1. :mod:`repro.circuit.components` — linear primitives (R, C, switches,
+   controlled sources, white-noise sources).
+2. :mod:`repro.circuit.phases` — clock schedules and switch patterns.
+3. :mod:`repro.circuit.netlist` — the circuit container, with op-amp
+   macromodel builders in :mod:`repro.circuit.opamp`.
+4. :mod:`repro.circuit.mna` — per-phase modified nodal analysis with
+   capacitors treated as voltage branches (their branch currents are the
+   state derivatives).
+5. :mod:`repro.circuit.statespace` — per-phase state-space extraction and
+   assembly into the LPTV system.
+6. :mod:`repro.circuit.parser` — a small SPICE-like text format.
+7. :mod:`repro.circuit.topology` — graph diagnostics that turn singular
+   MNA matrices into actionable error messages.
+"""
+
+from .components import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    WhiteNoiseCurrent,
+    WhiteNoiseVoltage,
+)
+from .phases import ClockSchedule
+from .netlist import Netlist
+from .opamp import add_ideal_opamp, add_single_stage_opamp, add_source_follower_opamp
+from .statespace import PhaseStateSpace, extract_phase_state_space, build_lptv_system
+from .parser import parse_netlist
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Switch",
+    "VoltageSource",
+    "CurrentSource",
+    "Vcvs",
+    "Vccs",
+    "WhiteNoiseVoltage",
+    "WhiteNoiseCurrent",
+    "ClockSchedule",
+    "Netlist",
+    "add_source_follower_opamp",
+    "add_single_stage_opamp",
+    "add_ideal_opamp",
+    "PhaseStateSpace",
+    "extract_phase_state_space",
+    "build_lptv_system",
+    "parse_netlist",
+]

@@ -1,0 +1,200 @@
+"""Linear circuit primitives.
+
+Every component is an immutable dataclass naming its terminals by node
+label. Ground is the node ``"0"`` (``"gnd"`` is accepted as an alias by
+the netlist). Components do not stamp themselves — stamping lives in
+:mod:`repro.circuit.mna` — they only carry validated data, which keeps
+the numerics testable in isolation.
+
+Noise conventions (double-sided, matching the paper):
+
+* a noisy resistor of value ``R`` carries a parallel thermal-noise
+  current source of PSD ``2kT/R`` [A²/Hz];
+* a closed noisy switch behaves as a noisy resistor of value ``ron``;
+* explicit :class:`WhiteNoiseVoltage` / :class:`WhiteNoiseCurrent`
+  sources carry the double-sided PSD given to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CircuitError
+from ..units import ROOM_TEMPERATURE
+
+
+def _require_positive(name, field_name, value):
+    if not value > 0.0:
+        raise CircuitError(
+            f"{name}: {field_name} must be positive, got {value!r}")
+
+
+def _require_non_negative(name, field_name, value):
+    if value < 0.0:
+        raise CircuitError(
+            f"{name}: {field_name} must be >= 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor; thermally noisy unless ``noisy=False``."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    resistance: float
+    noisy: bool = True
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self):
+        _require_positive(self.name, "resistance", self.resistance)
+        _require_positive(self.name, "temperature", self.temperature)
+        if self.node_pos == self.node_neg:
+            raise CircuitError(f"{self.name}: both terminals on "
+                               f"{self.node_pos!r}")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor — one state variable of the switched system."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    capacitance: float
+
+    def __post_init__(self):
+        _require_positive(self.name, "capacitance", self.capacitance)
+        if self.node_pos == self.node_neg:
+            raise CircuitError(f"{self.name}: both terminals on "
+                               f"{self.node_pos!r}")
+
+
+@dataclass(frozen=True)
+class Switch:
+    """Phase-controlled switch.
+
+    ``closed_in`` lists the clock phases during which the switch conducts
+    (as a resistor ``ron``, noisy by default). In all other phases it is
+    an open circuit. ``ron=None`` requests an *ideal* closed switch; the
+    state-space extractor only supports ideal switches through the
+    charge-redistribution jump path, and raises a clear error otherwise.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    closed_in: tuple
+    ron: float | None = 80.0
+    noisy: bool = True
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self):
+        if isinstance(self.closed_in, str):
+            object.__setattr__(self, "closed_in", (self.closed_in,))
+        else:
+            object.__setattr__(self, "closed_in",
+                               tuple(str(p) for p in self.closed_in))
+        if not self.closed_in:
+            raise CircuitError(
+                f"{self.name}: switch is never closed; remove it instead")
+        if self.ron is not None:
+            _require_positive(self.name, "ron", self.ron)
+        _require_positive(self.name, "temperature", self.temperature)
+
+    def is_closed(self, phase_name):
+        return str(phase_name) in self.closed_in
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """DC voltage source (noiseless). Sets the operating point only —
+    the noise analysis is linear, so DC values never enter ``A``/``B``."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """DC current source (noiseless), flowing from node_pos to node_neg
+    through the source externally — i.e. it injects into node_pos."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class Vcvs:
+    """Voltage-controlled voltage source:
+    ``v(out_pos) − v(out_neg) = gain · (v(ctrl_pos) − v(ctrl_neg))``."""
+
+    name: str
+    out_pos: str
+    out_neg: str
+    ctrl_pos: str
+    ctrl_neg: str
+    gain: float
+
+    def __post_init__(self):
+        if self.gain == 0.0:
+            raise CircuitError(f"{self.name}: zero-gain VCVS is a short "
+                               "to its negative output node; use a wire")
+
+
+@dataclass(frozen=True)
+class Vccs:
+    """Voltage-controlled current source (transconductor):
+    a current ``gm · (v(ctrl_pos) − v(ctrl_neg))`` flows from ``out_pos``
+    to ``out_neg`` through the source."""
+
+    name: str
+    out_pos: str
+    out_neg: str
+    ctrl_pos: str
+    ctrl_neg: str
+    gm: float
+
+    def __post_init__(self):
+        if self.gm == 0.0:
+            raise CircuitError(f"{self.name}: zero-gm VCCS does nothing")
+
+
+@dataclass(frozen=True)
+class WhiteNoiseVoltage:
+    """White voltage noise source in series between its two nodes.
+
+    ``psd`` is the double-sided PSD in V²/Hz. In the MNA formulation it
+    is a voltage branch whose value is driven by a unit-intensity Wiener
+    increment scaled by ``sqrt(psd)``.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    psd: float
+
+    def __post_init__(self):
+        _require_non_negative(self.name, "psd", self.psd)
+
+
+@dataclass(frozen=True)
+class WhiteNoiseCurrent:
+    """White current noise source injecting into ``node_pos`` (and out of
+    ``node_neg``). ``psd`` is the double-sided PSD in A²/Hz."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    psd: float
+
+    def __post_init__(self):
+        _require_non_negative(self.name, "psd", self.psd)
+
+
+#: Components that add a branch-current unknown to the MNA system.
+VOLTAGE_DEFINED = (VoltageSource, Vcvs, WhiteNoiseVoltage, Capacitor)

@@ -1,0 +1,205 @@
+"""The :class:`Netlist` container.
+
+A netlist is an ordered collection of primitives plus a ground-node
+convention (``"0"``, with ``"gnd"``/``"GND"`` accepted as aliases). It
+knows nothing about clock phases beyond what its switches declare; pair
+it with a :class:`~repro.circuit.phases.ClockSchedule` and call
+:meth:`Netlist.to_lptv` to obtain the switched state-space system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import BOLTZMANN
+from .components import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    WhiteNoiseCurrent,
+    WhiteNoiseVoltage,
+)
+
+GROUND = "0"
+_GROUND_ALIASES = {"0", "gnd", "GND", "Gnd", "ground"}
+
+
+def canonical_node(label):
+    """Normalise a node label; all ground aliases map to ``"0"``."""
+    label = str(label)
+    return GROUND if label in _GROUND_ALIASES else label
+
+
+class Netlist:
+    """An ordered collection of circuit primitives."""
+
+    def __init__(self, title=""):
+        self.title = title
+        self.components = []
+        self._names = set()
+
+    # -- generic add --------------------------------------------------------
+
+    def add(self, component):
+        """Add a pre-built component (terminals are canonicalised)."""
+        if component.name in self._names:
+            raise CircuitError(f"duplicate component name "
+                               f"{component.name!r}")
+        component = _canonicalise(component)
+        self._names.add(component.name)
+        self.components.append(component)
+        return component
+
+    # -- typed helpers -------------------------------------------------------
+
+    def add_resistor(self, name, node_pos, node_neg, resistance,
+                     noisy=True, temperature=None):
+        kwargs = {} if temperature is None else {"temperature": temperature}
+        return self.add(Resistor(name, node_pos, node_neg,
+                                 float(resistance), noisy, **kwargs))
+
+    def add_capacitor(self, name, node_pos, node_neg, capacitance):
+        return self.add(Capacitor(name, node_pos, node_neg,
+                                  float(capacitance)))
+
+    def add_switch(self, name, node_pos, node_neg, closed_in, ron=80.0,
+                   noisy=True, temperature=None):
+        kwargs = {} if temperature is None else {"temperature": temperature}
+        return self.add(Switch(name, node_pos, node_neg, closed_in,
+                               ron if ron is None else float(ron),
+                               noisy, **kwargs))
+
+    def add_voltage_source(self, name, node_pos, node_neg, value=0.0):
+        return self.add(VoltageSource(name, node_pos, node_neg,
+                                      float(value)))
+
+    def add_current_source(self, name, node_pos, node_neg, value=0.0):
+        return self.add(CurrentSource(name, node_pos, node_neg,
+                                      float(value)))
+
+    def add_vcvs(self, name, out_pos, out_neg, ctrl_pos, ctrl_neg, gain):
+        return self.add(Vcvs(name, out_pos, out_neg, ctrl_pos, ctrl_neg,
+                             float(gain)))
+
+    def add_vccs(self, name, out_pos, out_neg, ctrl_pos, ctrl_neg, gm):
+        return self.add(Vccs(name, out_pos, out_neg, ctrl_pos, ctrl_neg,
+                             float(gm)))
+
+    def add_noise_voltage(self, name, node_pos, node_neg, psd):
+        return self.add(WhiteNoiseVoltage(name, node_pos, node_neg,
+                                          float(psd)))
+
+    def add_noise_current(self, name, node_pos, node_neg, psd):
+        return self.add(WhiteNoiseCurrent(name, node_pos, node_neg,
+                                          float(psd)))
+
+    # -- views ---------------------------------------------------------------
+
+    def nodes(self):
+        """All non-ground node labels, in first-appearance order."""
+        seen = []
+        for comp in self.components:
+            for node in _terminals(comp):
+                if node != GROUND and node not in seen:
+                    seen.append(node)
+        return seen
+
+    def capacitors(self):
+        return [c for c in self.components if isinstance(c, Capacitor)]
+
+    def switches(self):
+        return [c for c in self.components if isinstance(c, Switch)]
+
+    def state_names(self):
+        """State variables: one capacitor voltage each, netlist order."""
+        return [c.name for c in self.capacitors()]
+
+    def phase_names_used(self):
+        names = []
+        for sw in self.switches():
+            for p in sw.closed_in:
+                if p not in names:
+                    names.append(p)
+        return names
+
+    def noise_descriptors(self):
+        """Enumerate every noise mechanism in the circuit.
+
+        Returns a list of ``(label, kind, component)`` where kind is
+        ``"thermal-resistor"``, ``"thermal-switch"``, ``"voltage"`` or
+        ``"current"``. The order defines the global noise-input columns
+        shared by every phase.
+        """
+        out = []
+        for comp in self.components:
+            if isinstance(comp, Resistor) and comp.noisy:
+                out.append((f"{comp.name}:thermal", "thermal-resistor",
+                            comp))
+            elif isinstance(comp, Switch) and comp.noisy:
+                if comp.ron is None:
+                    continue  # ideal switches carry no thermal noise
+                out.append((f"{comp.name}:thermal", "thermal-switch", comp))
+            elif isinstance(comp, WhiteNoiseVoltage):
+                out.append((comp.name, "voltage", comp))
+            elif isinstance(comp, WhiteNoiseCurrent):
+                out.append((comp.name, "current", comp))
+        return out
+
+    def signal_sources(self):
+        """Deterministic sources, the columns of the signal-input matrix."""
+        return [c for c in self.components
+                if isinstance(c, (VoltageSource, CurrentSource))]
+
+    def thermal_current_psd(self, comp, resistance):
+        """Double-sided thermal current PSD ``2kT/R`` of a resistive part."""
+        return 2.0 * BOLTZMANN * comp.temperature / resistance
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_lptv(self, schedule, outputs, segments_per_phase=None):
+        """Build the switched LPTV system; see
+        :func:`repro.circuit.statespace.build_lptv_system`."""
+        from .statespace import build_lptv_system
+        del segments_per_phase  # discretization density chosen at analysis
+        return build_lptv_system(self, schedule, outputs)
+
+    def __len__(self):
+        return len(self.components)
+
+    def __repr__(self):
+        kinds = {}
+        for comp in self.components:
+            kinds[type(comp).__name__] = kinds.get(type(comp).__name__,
+                                                   0) + 1
+        summary = ", ".join(f"{v}×{k}" for k, v in sorted(kinds.items()))
+        return f"<Netlist {self.title!r}: {summary}>"
+
+
+def _terminals(comp):
+    nodes = [comp.node_pos, comp.node_neg] if hasattr(comp, "node_pos") \
+        else []
+    if isinstance(comp, (Vcvs, Vccs)):
+        nodes = [comp.out_pos, comp.out_neg, comp.ctrl_pos, comp.ctrl_neg]
+    return nodes
+
+
+def _canonicalise(comp):
+    """Return a copy of ``comp`` with canonical node labels."""
+    if isinstance(comp, (Vcvs, Vccs)):
+        return type(comp)(comp.name,
+                          canonical_node(comp.out_pos),
+                          canonical_node(comp.out_neg),
+                          canonical_node(comp.ctrl_pos),
+                          canonical_node(comp.ctrl_neg),
+                          comp.gain if isinstance(comp, Vcvs) else comp.gm)
+    replacements = {
+        "node_pos": canonical_node(comp.node_pos),
+        "node_neg": canonical_node(comp.node_neg),
+    }
+    import dataclasses
+    return dataclasses.replace(comp, **replacements)

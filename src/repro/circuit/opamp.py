@@ -1,0 +1,103 @@
+"""Operational-amplifier macromodels (paper Fig. 6 (a) and (b)).
+
+The paper uses two single-pole macromodels:
+
+* **(a) source-follower output** — a transconductance stage integrating
+  onto an internal capacitor, buffered by an ideal unity-gain follower.
+  The closed-loop behaviour depends only on the unity-gain frequency
+  ``ω_u = g_m / C_int``; the internal capacitor value is immaterial
+  (asserted by a regression test), exactly as the paper observes.
+* **(b) single-stage (folded-cascode-like)** — the transconductance
+  drives the output node directly, loaded by a large output resistance
+  and the equivalent-circuit capacitance ``C_eq``. Here the response
+  depends on both ``ω_u = g_m / C_eq`` *and* ``C_eq``, again as the
+  paper observes.
+
+Input-referred white voltage noise ``S_v`` [V²/Hz, double-sided] is
+modelled as an equivalent current ``g_m² S_v`` injected at the
+integrating node, which is mathematically identical to a series source
+at the non-inverting input for these single-pole models.
+
+An ideal (infinite-bandwidth) op-amp is a large-gain VCVS.
+"""
+
+from __future__ import annotations
+
+from ..errors import CircuitError
+
+#: Open-loop DC gain used for the "large" resistances/gains of the models.
+DEFAULT_DC_GAIN = 1e7
+
+
+def add_source_follower_opamp(netlist, name, in_pos, in_neg, out,
+                              unity_gain_radps, input_noise_psd=0.0,
+                              c_internal=1e-12, dc_gain=DEFAULT_DC_GAIN):
+    """Macromodel (a): integrator stage + ideal follower.
+
+    Elements added (nodes prefixed ``name:``):
+
+    * VCCS ``g_m = ω_u · C_int`` from the input pair into internal node,
+    * ``C_int`` and a large resistor ``R_dc = A0 / g_m`` at the internal
+      node (finite DC gain keeps the open-loop system well-posed),
+    * unity-gain VCVS from the internal node to ``out``,
+    * optional noise current ``g_m² · S_v`` at the internal node.
+
+    Returns the internal node label.
+    """
+    _check(unity_gain_radps, c_internal)
+    internal = f"{name}:x"
+    gm = unity_gain_radps * c_internal
+    # Current is drawn *out of* the internal node for positive input so
+    # that the integrator inverts like a real diff pair: out_pos=ground
+    # side. Orientation: v_x integrates +gm (v_inp - v_inn).
+    netlist.add_vccs(f"{name}:gm", internal, "0", in_neg, in_pos, gm)
+    netlist.add_capacitor(f"{name}:cint", internal, "0", c_internal)
+    netlist.add_resistor(f"{name}:rdc", internal, "0",
+                         dc_gain / gm, noisy=False)
+    netlist.add_vcvs(f"{name}:buf", out, "0", internal, "0", 1.0)
+    if input_noise_psd > 0.0:
+        netlist.add_noise_current(f"{name}:vn", internal, "0",
+                                  gm ** 2 * input_noise_psd)
+    return internal
+
+
+def add_single_stage_opamp(netlist, name, in_pos, in_neg, out,
+                           unity_gain_radps, c_equiv,
+                           input_noise_psd=0.0, dc_gain=DEFAULT_DC_GAIN):
+    """Macromodel (b): transconductor loaded by ``R_out || C_eq`` at out.
+
+    ``ω_u = g_m / C_eq``; the output resistance is ``A0 / g_m`` (noiseless
+    — the paper's op-amp noise is the input-referred source only).
+    """
+    _check(unity_gain_radps, c_equiv)
+    gm = unity_gain_radps * c_equiv
+    netlist.add_vccs(f"{name}:gm", out, "0", in_neg, in_pos, gm)
+    netlist.add_capacitor(f"{name}:cout", out, "0", c_equiv)
+    netlist.add_resistor(f"{name}:rout", out, "0", dc_gain / gm,
+                         noisy=False)
+    if input_noise_psd > 0.0:
+        netlist.add_noise_current(f"{name}:vn", out, "0",
+                                  gm ** 2 * input_noise_psd)
+    return out
+
+
+def add_ideal_opamp(netlist, name, in_pos, in_neg, out,
+                    gain=DEFAULT_DC_GAIN):
+    """Infinite-bandwidth op-amp: a large-gain VCVS.
+
+    Note: with an ideal op-amp the output node is a VCVS output, so an
+    output capacitor (or observing an integrator feedback capacitor) is
+    needed for noise outputs.
+    """
+    netlist.add_vcvs(f"{name}:avol", out, "0", in_pos, in_neg, gain)
+    return out
+
+
+def _check(unity_gain_radps, capacitance):
+    if unity_gain_radps <= 0.0:
+        raise CircuitError(
+            f"op-amp unity-gain frequency must be positive, got "
+            f"{unity_gain_radps}")
+    if capacitance <= 0.0:
+        raise CircuitError(
+            f"op-amp capacitance must be positive, got {capacitance}")

@@ -1,0 +1,210 @@
+"""A small SPICE-flavoured netlist text format.
+
+Enough syntax to express every circuit in the paper in a readable file::
+
+    * switched-capacitor low-pass filter
+    R1   in   a    80
+    C1   a    0    300p
+    S4   in   a    phi1  ron=80
+    S5   a    0    phi2  ron=80
+    VN1  b    0    psd=4e-16          ; white noise voltage source
+    IN1  b    0    psd=1e-20          ; white noise current source
+    E1   out  0    x    0    1.0      ; VCVS
+    G1   x    0    p    n    1e-3     ; VCCS
+    OPAMP_SF op1  p  n  out  wu=28.3meg  noise=4e-16
+    OPAMP_1P op2  p  n  out  wu=62.8meg  ceq=100p  noise=4e-16
+    OPAMP_IDEAL op3  p  n  out
+    .clock  f=4k  phases=phi1,phi2  duty=0.5
+    .output out
+    .end
+
+Rules: first token decides the element (by leading letter or keyword);
+``name=value`` options accept engineering notation; ``*`` or ``;`` start
+comments; node ``0``/``gnd`` is ground. ``.clock`` is optional (circuits
+without switches are LTI); ``duty`` splits a two-phase clock, or give
+explicit ``durations=...`` for more phases.
+"""
+
+from __future__ import annotations
+
+from ..errors import CircuitError
+from ..units import parse_value
+from .netlist import Netlist
+from .opamp import (
+    add_ideal_opamp,
+    add_single_stage_opamp,
+    add_source_follower_opamp,
+)
+from .phases import ClockSchedule
+
+
+class ParsedCircuit:
+    """Result of :func:`parse_netlist`."""
+
+    def __init__(self, netlist, schedule, outputs, title=""):
+        self.netlist = netlist
+        self.schedule = schedule
+        self.outputs = outputs
+        self.title = title
+
+    def to_model(self):
+        """Build the :class:`SwitchedCircuitModel` (needs .clock/.output)."""
+        if self.schedule is None:
+            raise CircuitError("netlist has no .clock directive")
+        if not self.outputs:
+            raise CircuitError("netlist has no .output directive")
+        return self.netlist.to_lptv(self.schedule, self.outputs)
+
+
+def parse_netlist(text):
+    """Parse netlist source text into a :class:`ParsedCircuit`."""
+    netlist = Netlist()
+    schedule = None
+    outputs = []
+    title = ""
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line or line.startswith("*"):
+            if line_no == 1 and line.startswith("*"):
+                title = line.lstrip("*").strip()
+                netlist.title = title
+            continue
+        try:
+            done = _parse_line(line, netlist, outputs)
+            if isinstance(done, ClockSchedule):
+                if schedule is not None:
+                    raise CircuitError("multiple .clock directives")
+                schedule = done
+            if done == ".end":
+                break
+        except CircuitError:
+            raise
+        except Exception as exc:
+            raise CircuitError(
+                f"line {line_no}: cannot parse {line!r}: {exc}") from exc
+    return ParsedCircuit(netlist, schedule, outputs, title)
+
+
+def _options(tokens):
+    opts = {}
+    rest = []
+    for tok in tokens:
+        if "=" in tok:
+            key, value = tok.split("=", 1)
+            opts[key.lower()] = value
+        else:
+            rest.append(tok)
+    return rest, opts
+
+
+def _parse_line(line, netlist, outputs):
+    tokens = line.split()
+    head = tokens[0]
+    upper = head.upper()
+
+    if upper == ".END":
+        return ".end"
+    if upper == ".CLOCK":
+        return _parse_clock(tokens[1:])
+    if upper == ".OUTPUT":
+        if len(tokens) < 2:
+            raise CircuitError(".output needs at least one node")
+        outputs.extend(tokens[1:])
+        return None
+    if upper.startswith("OPAMP"):
+        return _parse_opamp(upper, tokens, netlist)
+
+    kind = upper[0]
+    rest, opts = _options(tokens[1:])
+    name = head
+    if kind == "R":
+        _need(rest, 3, line)
+        netlist.add_resistor(name, rest[0], rest[1], parse_value(rest[2]),
+                             noisy=opts.get("noisy", "1") not in
+                             ("0", "false", "no"))
+    elif kind == "C":
+        _need(rest, 3, line)
+        netlist.add_capacitor(name, rest[0], rest[1], parse_value(rest[2]))
+    elif kind == "S":
+        _need(rest, 3, line)
+        phases = tuple(rest[2].split(","))
+        ron = parse_value(opts["ron"]) if "ron" in opts else 80.0
+        netlist.add_switch(name, rest[0], rest[1], phases, ron=ron,
+                           noisy=opts.get("noisy", "1") not in
+                           ("0", "false", "no"))
+    elif kind == "V" and "psd" in opts:
+        _need(rest, 2, line)
+        netlist.add_noise_voltage(name, rest[0], rest[1],
+                                  parse_value(opts["psd"]))
+    elif kind == "I" and "psd" in opts:
+        _need(rest, 2, line)
+        netlist.add_noise_current(name, rest[0], rest[1],
+                                  parse_value(opts["psd"]))
+    elif kind == "V":
+        _need(rest, 2, line)
+        value = parse_value(rest[2]) if len(rest) > 2 else 0.0
+        netlist.add_voltage_source(name, rest[0], rest[1], value)
+    elif kind == "I":
+        _need(rest, 2, line)
+        value = parse_value(rest[2]) if len(rest) > 2 else 0.0
+        netlist.add_current_source(name, rest[0], rest[1], value)
+    elif kind == "E":
+        _need(rest, 5, line)
+        netlist.add_vcvs(name, rest[0], rest[1], rest[2], rest[3],
+                         parse_value(rest[4]))
+    elif kind == "G":
+        _need(rest, 5, line)
+        netlist.add_vccs(name, rest[0], rest[1], rest[2], rest[3],
+                         parse_value(rest[4]))
+    else:
+        raise CircuitError(f"unknown element type {head!r}")
+    return None
+
+
+def _parse_opamp(upper, tokens, netlist):
+    rest, opts = _options(tokens[1:])
+    _need(rest, 4, " ".join(tokens))
+    name, in_pos, in_neg, out = rest[:4]
+    noise = parse_value(opts.get("noise", "0"))
+    if upper == "OPAMP_SF":
+        add_source_follower_opamp(
+            netlist, name, in_pos, in_neg, out,
+            unity_gain_radps=parse_value(opts["wu"]),
+            input_noise_psd=noise,
+            c_internal=parse_value(opts.get("cint", "1p")))
+    elif upper == "OPAMP_1P":
+        add_single_stage_opamp(
+            netlist, name, in_pos, in_neg, out,
+            unity_gain_radps=parse_value(opts["wu"]),
+            c_equiv=parse_value(opts["ceq"]), input_noise_psd=noise)
+    elif upper == "OPAMP_IDEAL":
+        add_ideal_opamp(netlist, name, in_pos, in_neg, out,
+                        gain=parse_value(opts.get("gain", "1e7")))
+    else:
+        raise CircuitError(f"unknown op-amp model {upper!r} "
+                           "(OPAMP_SF, OPAMP_1P, OPAMP_IDEAL)")
+    return None
+
+
+def _parse_clock(tokens):
+    _rest, opts = _options(tokens)
+    if "f" not in opts or "phases" not in opts:
+        raise CircuitError(".clock needs f=<freq> phases=<a,b,...>")
+    frequency = parse_value(opts["f"])
+    names = tuple(opts["phases"].split(","))
+    if "durations" in opts:
+        durations = tuple(parse_value(v)
+                          for v in opts["durations"].split(","))
+        return ClockSchedule(phase_names=names, durations=durations)
+    if "duty" in opts:
+        if len(names) != 2:
+            raise CircuitError("duty= needs exactly two phases")
+        return ClockSchedule.two_phase(frequency,
+                                       duty=parse_value(opts["duty"]),
+                                       names=names)
+    return ClockSchedule.uniform(frequency, names)
+
+
+def _need(rest, count, line):
+    if len(rest) < count:
+        raise CircuitError(f"too few fields in {line!r}")

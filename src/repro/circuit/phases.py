@@ -1,0 +1,100 @@
+"""Clock schedules for switched circuits.
+
+A :class:`ClockSchedule` is an ordered list of named phases with
+durations that tile one clock period. Two-phase non-overlapping clocks —
+the workhorse of switched-capacitor design — get a convenience
+constructor. Non-overlap gaps are modelled as explicit (usually short)
+phases during which *all* switches are open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class ClockSchedule:
+    """Ordered clock phases tiling one period."""
+
+    phase_names: tuple
+    durations: tuple
+
+    def __post_init__(self):
+        names = tuple(str(n) for n in self.phase_names)
+        durations = tuple(float(d) for d in self.durations)
+        if len(names) != len(durations):
+            raise ScheduleError(
+                f"{len(names)} phase names but {len(durations)} durations")
+        if not names:
+            raise ScheduleError("schedule needs at least one phase")
+        if len(set(names)) != len(names):
+            raise ScheduleError(f"duplicate phase names: {names}")
+        if any(d <= 0.0 for d in durations):
+            raise ScheduleError(f"all durations must be positive: "
+                                f"{durations}")
+        object.__setattr__(self, "phase_names", names)
+        object.__setattr__(self, "durations", durations)
+
+    @classmethod
+    def two_phase(cls, frequency, duty=0.5, names=("phi1", "phi2")):
+        """Standard two-phase clock at ``frequency`` Hz.
+
+        ``duty`` is the fraction of the period spent in the first phase.
+        """
+        if frequency <= 0.0:
+            raise ScheduleError(f"clock frequency must be positive: "
+                                f"{frequency}")
+        if not 0.0 < duty < 1.0:
+            raise ScheduleError(f"duty must be in (0, 1): {duty}")
+        period = 1.0 / float(frequency)
+        return cls(phase_names=tuple(names),
+                   durations=(duty * period, (1.0 - duty) * period))
+
+    @classmethod
+    def uniform(cls, frequency, names):
+        """Equal-duration phases at ``frequency`` Hz."""
+        if frequency <= 0.0:
+            raise ScheduleError(f"clock frequency must be positive: "
+                                f"{frequency}")
+        names = tuple(str(n) for n in names)
+        period = 1.0 / float(frequency)
+        return cls(phase_names=names,
+                   durations=(period / len(names),) * len(names))
+
+    @property
+    def period(self):
+        return float(sum(self.durations))
+
+    @property
+    def frequency(self):
+        return 1.0 / self.period
+
+    @property
+    def n_phases(self):
+        return len(self.phase_names)
+
+    @property
+    def boundaries(self):
+        """Cumulative phase boundary times ``[0, ..., period]``."""
+        return np.concatenate([[0.0], np.cumsum(self.durations)])
+
+    def duration_of(self, phase_name):
+        try:
+            idx = self.phase_names.index(str(phase_name))
+        except ValueError:
+            raise ScheduleError(
+                f"unknown phase {phase_name!r}; schedule has "
+                f"{self.phase_names}") from None
+        return self.durations[idx]
+
+    def validate_phase_names(self, names, owner=""):
+        """Check that every name in ``names`` is a schedule phase."""
+        unknown = [n for n in names if str(n) not in self.phase_names]
+        if unknown:
+            raise ScheduleError(
+                f"{owner or 'component'} references unknown phase(s) "
+                f"{unknown}; schedule has {list(self.phase_names)}")

@@ -1,0 +1,226 @@
+"""Per-phase state-space extraction and LPTV assembly.
+
+The state vector is the ordered list of capacitor voltages (including the
+internal capacitors of op-amp macromodels) — one basis shared by every
+clock phase, so covariance matrices propagate across phase boundaries
+without re-projection. For each phase the resistive MNA solve of
+:mod:`repro.circuit.mna` yields
+
+    dx/dt = A x + B n + Bu w,        v_node = Tx x + Tn n + Ts w
+
+and the assembly step checks that every requested output is a *pure*
+state combination (``Tn`` row = 0, ``Tx`` row identical in all phases):
+observing a node with direct white-noise feedthrough has unbounded
+bandwidth and is almost always a modelling mistake, so it is rejected
+with an actionable message instead of silently producing a white floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CircuitError, NoiseModelError
+from ..lptv.system import Phase, PiecewiseLTISystem
+from .mna import assemble_phase
+
+
+@dataclass
+class PhaseStateSpace:
+    """State-space matrices of one clock phase."""
+
+    phase_name: str
+    a_matrix: np.ndarray
+    b_noise: np.ndarray
+    b_signal: np.ndarray
+    #: Node-voltage maps: ``v = tx x + tn n + ts w`` (rows ordered like
+    #: ``node_names``).
+    tx: np.ndarray
+    tn: np.ndarray
+    ts: np.ndarray
+    node_names: list
+    state_names: list
+    noise_labels: list
+    signal_names: list
+
+    def node_row(self, node):
+        try:
+            idx = self.node_names.index(str(node))
+        except ValueError:
+            raise CircuitError(
+                f"unknown node {node!r}; circuit nodes: "
+                f"{self.node_names}") from None
+        return self.tx[idx], self.tn[idx], self.ts[idx]
+
+
+@dataclass
+class SwitchedCircuitModel:
+    """A netlist bound to a clock schedule, ready for noise analysis.
+
+    ``system`` is the :class:`~repro.lptv.system.PiecewiseLTISystem` the
+    engines consume; ``phase_spaces`` keeps the per-phase matrices for
+    signal-transfer analysis and diagnostics.
+    """
+
+    system: PiecewiseLTISystem
+    phase_spaces: list
+    schedule: object
+    netlist: object
+    output_specs: list = field(default_factory=list)
+
+    @property
+    def noise_labels(self):
+        return self.phase_spaces[0].noise_labels
+
+    def signal_system(self):
+        """A parallel LPTV system whose inputs are the *signal* sources.
+
+        Useful with :func:`repro.lptv.htf.harmonic_transfer_functions` to
+        compute the switched filter's signal frequency response with the
+        same machinery used for noise.
+        """
+        phases = []
+        for space, duration in zip(self.phase_spaces,
+                                   self.schedule.durations):
+            phases.append(Phase(
+                name=space.phase_name, duration=duration,
+                a_matrix=space.a_matrix, b_matrix=space.b_signal))
+        return PiecewiseLTISystem(
+            phases=phases, output_matrix=self.system.output_matrix,
+            state_names=list(self.system.state_names),
+            output_names=list(self.system.output_names))
+
+
+def extract_phase_state_space(netlist, phase_name, noise_descriptors=None,
+                              signal_sources=None):
+    """State-space matrices of one clock phase of ``netlist``."""
+    if noise_descriptors is None:
+        noise_descriptors = netlist.noise_descriptors()
+    if signal_sources is None:
+        signal_sources = netlist.signal_sources()
+    mna = assemble_phase(netlist, phase_name, noise_descriptors,
+                         signal_sources)
+    inv_p, inv_n, inv_s = mna.solve_maps()
+    rows = mna.cap_current_rows
+    inv_c = np.diag(1.0 / mna.capacitances) if rows else np.zeros((0, 0))
+    a = inv_c @ inv_p[rows, :]
+    b = inv_c @ inv_n[rows, :]
+    bu = inv_c @ inv_s[rows, :]
+    n_nodes = len(mna.node_index)
+    node_names = [None] * n_nodes
+    for node, k in mna.node_index.items():
+        node_names[k] = node
+    return PhaseStateSpace(
+        phase_name=str(phase_name), a_matrix=a, b_noise=b, b_signal=bu,
+        tx=inv_p[:n_nodes, :], tn=inv_n[:n_nodes, :],
+        ts=inv_s[:n_nodes, :], node_names=node_names,
+        state_names=netlist.state_names(),
+        noise_labels=[d[0] for d in noise_descriptors],
+        signal_names=[s.name for s in signal_sources])
+
+
+def build_lptv_system(netlist, schedule, outputs, feedthrough_tol=1e-9):
+    """Bind ``netlist`` to ``schedule`` and build the switched system.
+
+    Parameters
+    ----------
+    outputs:
+        List of output specifications. Each entry is either a node label
+        (output = that node's voltage), a capacitor name prefixed with
+        ``"@"`` (output = that capacitor's voltage state), or a
+        ``(label, dict_of_state_weights)`` pair for differential /
+        combined outputs.
+    feedthrough_tol:
+        Maximum allowed white-noise feedthrough (relative) at an output
+        node before the build is rejected.
+
+    Returns
+    -------
+    SwitchedCircuitModel
+    """
+    if not outputs:
+        raise CircuitError("at least one output must be requested")
+    for sw in netlist.switches():
+        schedule.validate_phase_names(sw.closed_in, owner=sw.name)
+    caps = netlist.capacitors()
+    if not caps:
+        raise CircuitError("the circuit has no capacitors, hence no "
+                           "states — noise analysis needs dynamics")
+    noise_descriptors = netlist.noise_descriptors()
+    if not noise_descriptors:
+        raise NoiseModelError(
+            "the circuit has no noise sources: mark a resistor/switch as "
+            "noisy or add an explicit white-noise source")
+    signal_sources = netlist.signal_sources()
+
+    spaces = [extract_phase_state_space(netlist, name, noise_descriptors,
+                                        signal_sources)
+              for name in schedule.phase_names]
+
+    state_names = netlist.state_names()
+    l_rows = []
+    output_names = []
+    for spec in outputs:
+        row, label = _output_row(spec, spaces, state_names,
+                                 feedthrough_tol)
+        l_rows.append(row)
+        output_names.append(label)
+
+    phases = []
+    for space, duration in zip(spaces, schedule.durations):
+        phases.append(Phase(name=space.phase_name, duration=duration,
+                            a_matrix=space.a_matrix,
+                            b_matrix=space.b_noise))
+    system = PiecewiseLTISystem(
+        phases=phases, output_matrix=np.asarray(l_rows),
+        state_names=state_names, output_names=output_names)
+    return SwitchedCircuitModel(
+        system=system, phase_spaces=spaces, schedule=schedule,
+        netlist=netlist, output_specs=list(outputs))
+
+
+def _output_row(spec, spaces, state_names, feedthrough_tol):
+    n = len(state_names)
+    if isinstance(spec, tuple) and len(spec) == 2 and isinstance(
+            spec[1], dict):
+        label, weights = spec
+        row = np.zeros(n)
+        for name, weight in weights.items():
+            if name not in state_names:
+                raise CircuitError(
+                    f"output {label!r}: unknown state {name!r}; states "
+                    f"are {state_names}")
+            row[state_names.index(name)] = float(weight)
+        return row, str(label)
+    spec = str(spec)
+    if spec.startswith("@"):
+        cap = spec[1:]
+        if cap not in state_names:
+            raise CircuitError(
+                f"output {spec!r}: unknown capacitor {cap!r}; states are "
+                f"{state_names}")
+        row = np.zeros(n)
+        row[state_names.index(cap)] = 1.0
+        return row, f"v({cap})"
+    # Node-voltage output: must be a pure, phase-invariant state map.
+    rows = []
+    for space in spaces:
+        tx_row, tn_row, _ts_row = space.node_row(spec)
+        scale = max(np.max(np.abs(tx_row)), 1.0)
+        if np.max(np.abs(tn_row)) > feedthrough_tol * scale:
+            raise NoiseModelError(
+                f"output node {spec!r} has direct white-noise feedthrough "
+                f"in phase {space.phase_name!r} (max |Tn| = "
+                f"{np.max(np.abs(tn_row)):.3g}); its noise bandwidth is "
+                "unbounded. Observe a capacitor voltage instead, or add "
+                "the physically-present capacitance at that node.")
+        rows.append(tx_row)
+    for other in rows[1:]:
+        if not np.allclose(rows[0], other, rtol=1e-9, atol=1e-12):
+            raise NoiseModelError(
+                f"output node {spec!r} maps to different state "
+                "combinations in different phases; the engines require a "
+                "phase-invariant output. Observe a capacitor voltage "
+                "(e.g. the hold capacitor) instead.")
+    return rows[0].copy(), f"v({spec})"

@@ -1,0 +1,128 @@
+"""Graph diagnostics for ill-posed phase topologies.
+
+A singular per-phase MNA matrix almost always means one of:
+
+* a **floating node** — in this phase no conductance, capacitor or
+  voltage branch connects the node (directly or transitively) to ground;
+* a **voltage loop** — capacitors and/or voltage sources form a cycle,
+  over-determining the branch voltages (the classic capacitor loop that
+  the charge-redistribution formulation handles instead);
+* a **current cutset** — a node whose only attachments are current
+  sources (nothing defines its voltage).
+
+These checks run on the phase's connectivity graph (networkx) and produce
+human-readable findings; :func:`diagnose_phase` is referenced by the MNA
+error message so users can self-serve.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .components import (
+    Capacitor,
+    Resistor,
+    Switch,
+    Vcvs,
+    VoltageSource,
+    WhiteNoiseVoltage,
+)
+from .netlist import GROUND
+
+
+def _conducting_edges(netlist, phase_name):
+    """(a, b, kind, name) for every element that pins voltages in phase."""
+    edges = []
+    for comp in netlist.components:
+        if isinstance(comp, Resistor):
+            edges.append((comp.node_pos, comp.node_neg, "resistor",
+                          comp.name))
+        elif isinstance(comp, Switch) and comp.is_closed(phase_name):
+            edges.append((comp.node_pos, comp.node_neg, "switch",
+                          comp.name))
+        elif isinstance(comp, Capacitor):
+            edges.append((comp.node_pos, comp.node_neg, "capacitor",
+                          comp.name))
+        elif isinstance(comp, (VoltageSource, WhiteNoiseVoltage)):
+            edges.append((comp.node_pos, comp.node_neg, "vsource",
+                          comp.name))
+        elif isinstance(comp, Vcvs):
+            # The output is pinned relative to out_neg; the controlling
+            # pair adds no edge.
+            edges.append((comp.out_pos, comp.out_neg, "vcvs", comp.name))
+    return edges
+
+
+def connectivity_graph(netlist, phase_name):
+    """Undirected multigraph of voltage-pinning elements in one phase."""
+    graph = nx.MultiGraph()
+    graph.add_node(GROUND)
+    for node in netlist.nodes():
+        graph.add_node(node)
+    for a, b, kind, name in _conducting_edges(netlist, phase_name):
+        graph.add_edge(a, b, kind=kind, name=name)
+    return graph
+
+
+def floating_nodes(netlist, phase_name):
+    """Nodes with no path of voltage-pinning elements to ground."""
+    graph = connectivity_graph(netlist, phase_name)
+    reachable = nx.node_connected_component(graph, GROUND)
+    return sorted(n for n in graph.nodes if n not in reachable)
+
+
+def voltage_loops(netlist, phase_name):
+    """Cycles consisting purely of voltage-defined branches.
+
+    Each such cycle makes the MNA matrix singular (the branch voltages
+    are over-determined). Returns a list of cycles, each a list of
+    component names.
+    """
+    graph = nx.MultiGraph()
+    graph.add_node(GROUND)
+    for a, b, kind, name in _conducting_edges(netlist, phase_name):
+        if kind in ("capacitor", "vsource", "vcvs"):
+            graph.add_edge(a, b, name=name)
+    loops = []
+    for cycle in nx.cycle_basis(nx.Graph(graph)):
+        names = []
+        cycle_edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        for a, b in cycle_edges:
+            data = graph.get_edge_data(a, b)
+            if data:
+                names.append(sorted(d["name"] for d in data.values())[0])
+        if names:
+            loops.append(names)
+    # Parallel voltage branches (2-node loops) are not caught by
+    # cycle_basis on the simple graph; detect them explicitly.
+    for a, b in {tuple(sorted((u, v))) for u, v in graph.edges()}:
+        data = graph.get_edge_data(a, b)
+        if data is not None and len(data) > 1:
+            loops.append(sorted(d["name"] for d in data.values()))
+    return loops
+
+
+def diagnose_phase(netlist, phase_name):
+    """Return a list of human-readable findings for one phase."""
+    findings = []
+    floats = floating_nodes(netlist, phase_name)
+    if floats:
+        findings.append(
+            f"phase {phase_name!r}: node(s) {floats} have no conductance, "
+            "capacitor or voltage-branch path to ground — every node "
+            "needs its voltage defined in every phase")
+    for loop in voltage_loops(netlist, phase_name):
+        findings.append(
+            f"phase {phase_name!r}: voltage loop through {loop} — "
+            "capacitor/source loops over-determine branch voltages; add "
+            "switch resistance or use the ideal-SC charge-redistribution "
+            "path (repro.baselines.toth_suyama)")
+    return findings
+
+
+def diagnose(netlist, schedule):
+    """Run :func:`diagnose_phase` for every phase of the schedule."""
+    findings = []
+    for name in schedule.phase_names:
+        findings.extend(diagnose_phase(netlist, name))
+    return findings

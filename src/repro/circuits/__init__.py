@@ -1,0 +1,39 @@
+"""Parameterised builders for the circuits evaluated in the paper.
+
+Each builder returns either a ready-to-analyse
+:class:`~repro.lptv.system.PiecewiseLTISystem` (switched RC, built from
+first principles) or a
+:class:`~repro.circuit.statespace.SwitchedCircuitModel` (netlist-based
+circuits) together with the component values quoted in the text.
+"""
+
+from .switched_rc import SwitchedRcParams, switched_rc_system
+from .sc_lowpass import ScLowpassParams, sc_lowpass_netlist, sc_lowpass_system
+from .sc_bandpass import (
+    ScBandpassParams,
+    sc_bandpass_netlist,
+    sc_bandpass_system,
+)
+from .sc_integrator import (
+    ScIntegratorParams,
+    sc_integrator_netlist,
+    sc_integrator_system,
+)
+from .sample_hold import SampleHoldParams, sample_hold_netlist, sample_hold_system
+
+__all__ = [
+    "SwitchedRcParams",
+    "switched_rc_system",
+    "ScLowpassParams",
+    "sc_lowpass_netlist",
+    "sc_lowpass_system",
+    "ScBandpassParams",
+    "sc_bandpass_netlist",
+    "sc_bandpass_system",
+    "ScIntegratorParams",
+    "sc_integrator_netlist",
+    "sc_integrator_system",
+    "SampleHoldParams",
+    "sample_hold_netlist",
+    "sample_hold_system",
+]

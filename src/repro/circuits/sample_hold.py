@@ -1,0 +1,71 @@
+"""Track-and-hold stage with source resistance.
+
+The canonical kT/C circuit: a source resistance plus switch charge a hold
+capacitor during the track phase; the capacitor floats during hold. It
+differs from :mod:`repro.circuits.switched_rc` only in separating the
+source resistance from the switch resistance (two distinct thermal
+sources), which makes it the smallest circuit on which the per-source
+cross-spectral contribution report is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..circuit.netlist import Netlist
+from ..circuit.phases import ClockSchedule
+from ..circuit.statespace import build_lptv_system
+from ..units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class SampleHoldParams:
+    """Component values for the track-and-hold stage."""
+
+    r_source: float = 1e3
+    r_switch: float = 200.0
+    c_hold: float = 10e-12
+    f_clock: float = 1e6
+    duty: float = 0.5
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self):
+        if not 0.0 < self.duty < 1.0:
+            raise ReproError(f"duty must be in (0, 1), got {self.duty}")
+
+    @property
+    def ktc_variance(self):
+        """Total sampled noise power, the classic ``kT/C``."""
+        return BOLTZMANN * self.temperature / self.c_hold
+
+    @property
+    def track_tau(self):
+        """Track-phase time constant ``(R_s + R_on) C``."""
+        return (self.r_source + self.r_switch) * self.c_hold
+
+
+def sample_hold_netlist(params=None, **kwargs):
+    """Build the netlist; returns ``(netlist, schedule)``."""
+    if params is None:
+        params = SampleHoldParams(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either params or keyword overrides, not both")
+    netlist = Netlist("sample-hold")
+    netlist.add_voltage_source("Vin", "vin", "0", 0.0)
+    netlist.add_resistor("Rs", "vin", "a", params.r_source,
+                         temperature=params.temperature)
+    netlist.add_switch("S1", "a", "out", ("track",), ron=params.r_switch,
+                       temperature=params.temperature)
+    netlist.add_capacitor("Ch", "out", "0", params.c_hold)
+    schedule = ClockSchedule(
+        phase_names=("track", "hold"),
+        durations=(params.duty / params.f_clock,
+                   (1.0 - params.duty) / params.f_clock))
+    return netlist, schedule
+
+
+def sample_hold_system(params=None, **kwargs):
+    """Build the full model; the analysed output is the hold capacitor."""
+    netlist, schedule = sample_hold_netlist(params, **kwargs)
+    return build_lptv_system(netlist, schedule, outputs=["out"])

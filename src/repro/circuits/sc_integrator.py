@@ -1,0 +1,76 @@
+"""Parasitic-insensitive switched-capacitor integrator (building block).
+
+The elementary SC circuit: an input branch toggles charge ``C_s·v_in``
+into the virtual ground of an op-amp integrator each cycle. A pure
+integrator has a Floquet multiplier at ``z = 1`` (held there only by the
+op-amp's finite DC gain), so noise analysis of the *undamped* circuit is
+near-singular; an optional damping branch (``leak`` per cycle) makes the
+steady state well-posed. Used by the examples and by the engine stress
+tests close to marginal stability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..circuit.netlist import Netlist
+from ..circuit.opamp import add_source_follower_opamp
+from ..circuit.phases import ClockSchedule
+from ..circuit.statespace import build_lptv_system
+
+
+@dataclass(frozen=True)
+class ScIntegratorParams:
+    """Component values for the SC integrator."""
+
+    c_sample: float = 1e-12
+    c_integrate: float = 10e-12
+    #: Fraction of the integrated charge leaked per cycle (0 = pure
+    #: integrator, held off singularity only by the op-amp DC gain).
+    leak: float = 0.05
+    f_clock: float = 100e3
+    ron: float = 1e3
+    opamp_wu: float = 2.0 * math.pi * 10e6
+    opamp_noise_psd: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.leak < 1.0:
+            raise ReproError(f"leak must be in [0, 1), got {self.leak}")
+
+    @property
+    def gain_per_cycle(self):
+        """Charge gain ``C_s / C_i`` per clock cycle."""
+        return self.c_sample / self.c_integrate
+
+
+def sc_integrator_netlist(params=None, **kwargs):
+    """Build the netlist; returns ``(netlist, schedule)``."""
+    if params is None:
+        params = ScIntegratorParams(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either params or keyword overrides, not both")
+    netlist = Netlist("sc-integrator")
+    netlist.add_voltage_source("Vin", "vin", "0", 0.0)
+    netlist.add_capacitor("Cs", "a", "0", params.c_sample)
+    netlist.add_switch("S1", "vin", "a", ("phi1",), ron=params.ron)
+    netlist.add_switch("S2", "a", "vsum", ("phi2",), ron=params.ron)
+    netlist.add_capacitor("Ci", "vsum", "vout", params.c_integrate)
+    if params.leak > 0.0:
+        c_leak = params.leak * params.c_integrate
+        netlist.add_capacitor("Cl", "b", "0", c_leak)
+        netlist.add_switch("S3", "b", "vout", ("phi1",), ron=params.ron)
+        netlist.add_switch("S4", "b", "vsum", ("phi2",), ron=params.ron)
+    add_source_follower_opamp(netlist, "op", "0", "vsum", "vout",
+                              unity_gain_radps=params.opamp_wu,
+                              input_noise_psd=params.opamp_noise_psd)
+    schedule = ClockSchedule.two_phase(params.f_clock, duty=0.5,
+                                       names=("phi1", "phi2"))
+    return netlist, schedule
+
+
+def sc_integrator_system(params=None, **kwargs):
+    """Build the full model; the analysed output is ``vout``."""
+    netlist, schedule = sc_integrator_netlist(params, **kwargs)
+    return build_lptv_system(netlist, schedule, outputs=["vout"])

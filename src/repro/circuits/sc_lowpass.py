@@ -1,0 +1,166 @@
+"""Switched-capacitor low-pass filter (paper Fig. 6, Tóth et al. [8]).
+
+The exact schematic of [8] is not available, so the topology is
+reconstructed from everything the text states about it:
+
+* capacitors 300 pF, 100 pF, 100 pF (C1, C2, C3);
+* switches named S4, S5, S6 with 80 Ω on-resistance, clock 4 kHz;
+* the integrating-phase charge relation ``C1 ΔV1 = C2 ΔV2 + C3 ΔV3``
+  (all three capacitors meet at the virtual ground when integrating);
+* "the sampled data nature depends strongly on the noise voltage sampled
+  by C3", sampled through S5 from the output and dumped through S6;
+* an op-amp with a white noise source at its non-inverting input and one
+  of the two macromodels of Fig. 6 (a)/(b).
+
+This is the classic **damped (lossy) SC integrator**, a first-order
+low-pass:
+
+* input branch — C1 from node ``a`` to ground; S1 connects ``a`` to the
+  input during φ1 (sampling), S4 connects ``a`` to the virtual ground
+  during φ2 (integrating);
+* damping branch — C3 from node ``c`` to ground; S5 samples the output
+  onto C3 during φ1, S6 dumps that charge into the virtual ground during
+  φ2;
+* integrator — C2 from the virtual ground to the op-amp output.
+
+During φ2, C1, C2 and C3 share the virtual-ground node: charge
+conservation there is exactly ``C1 ΔV1 = C2 ΔV2 + C3 ΔV3``. DC gain is
+``−C1/C3 = −3`` and the cut-off is ``≈ f_clk C3 / (2π C2) ≈ 0.64 kHz``
+for the quoted values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..circuit.netlist import Netlist
+from ..circuit.opamp import (
+    add_single_stage_opamp,
+    add_source_follower_opamp,
+)
+from ..circuit.phases import ClockSchedule
+from ..circuit.statespace import build_lptv_system
+
+#: The paper's quoted op-amp input noise: "a white noise source with a
+#: PSD of −61.5 dB" [V²/Hz, double-sided].
+PAPER_OPAMP_NOISE_PSD = 10.0 ** (-61.5 / 10.0)
+
+#: The paper's quoted unity-gain frequency for the source-follower model.
+PAPER_WU_SOURCE_FOLLOWER = 9.0e6 * math.pi
+
+#: ... and for the single-stage model, with its 100 pF equivalent cap.
+PAPER_WU_SINGLE_STAGE = 2.0e7 * math.pi
+PAPER_CEQ_SINGLE_STAGE = 100e-12
+
+
+@dataclass(frozen=True)
+class ScLowpassParams:
+    """Component values; defaults are the paper's quoted numbers."""
+
+    c1: float = 300e-12
+    c2: float = 100e-12
+    c3: float = 100e-12
+    #: On-resistances of the named switches (the Fig. 8 sweep).
+    r1: float = 80.0
+    r4: float = 80.0
+    r5: float = 80.0
+    r6: float = 80.0
+    f_clock: float = 4e3
+    #: Op-amp model: "source-follower" (Fig. 6a) or "single-stage"
+    #: (Fig. 6b).
+    opamp_model: str = "source-follower"
+    #: Unity-gain frequency [rad/s]; ``None`` = paper value per model,
+    #: ``float("inf")`` = ideal integrator (Fig. 9 curve (c)).
+    opamp_wu: float | None = None
+    #: Equivalent capacitance for the single-stage model.
+    opamp_ceq: float = PAPER_CEQ_SINGLE_STAGE
+    opamp_noise_psd: float = PAPER_OPAMP_NOISE_PSD
+
+    def __post_init__(self):
+        if self.opamp_model not in ("source-follower", "single-stage"):
+            raise ReproError(
+                f"unknown op-amp model {self.opamp_model!r}; use "
+                "'source-follower' or 'single-stage'")
+        for label, value in (("c1", self.c1), ("c2", self.c2),
+                             ("c3", self.c3), ("f_clock", self.f_clock)):
+            if value <= 0.0:
+                raise ReproError(f"{label} must be positive, got {value}")
+
+    @property
+    def resolved_wu(self):
+        if self.opamp_wu is not None:
+            return self.opamp_wu
+        return (PAPER_WU_SOURCE_FOLLOWER
+                if self.opamp_model == "source-follower"
+                else PAPER_WU_SINGLE_STAGE)
+
+    @property
+    def dc_gain_magnitude(self):
+        """Ideal DC gain magnitude ``C1/C3``."""
+        return self.c1 / self.c3
+
+    @property
+    def cutoff_hz(self):
+        """Approximate −3 dB frequency ``f_clk C3/(2π C2)``."""
+        return self.f_clock * self.c3 / (2.0 * math.pi * self.c2)
+
+
+def sc_lowpass_netlist(params=None, **kwargs):
+    """Build the netlist; returns ``(netlist, schedule)``."""
+    if params is None:
+        params = ScLowpassParams(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either params or keyword overrides, not both")
+    netlist = Netlist("sc-lowpass")
+    netlist.add_voltage_source("Vin", "vin", "0", 0.0)
+    # Input branch.
+    netlist.add_capacitor("C1", "a", "0", params.c1)
+    netlist.add_switch("S1", "vin", "a", ("phi1",), ron=params.r1)
+    netlist.add_switch("S4", "a", "vsum", ("phi2",), ron=params.r4)
+    # Damping branch.
+    netlist.add_capacitor("C3", "c", "0", params.c3)
+    netlist.add_switch("S5", "c", "vout", ("phi1",), ron=params.r5)
+    netlist.add_switch("S6", "c", "vsum", ("phi2",), ron=params.r6)
+    # Integrator.
+    netlist.add_capacitor("C2", "vsum", "vout", params.c2)
+    wu = params.resolved_wu
+    if params.opamp_model == "source-follower":
+        if math.isinf(wu):
+            from ..circuit.opamp import add_ideal_opamp
+            add_ideal_opamp(netlist, "op", "0", "vsum", "vout")
+            if params.opamp_noise_psd > 0.0:
+                # With an ideal op-amp the input-referred source appears
+                # directly at the non-inverting input node.
+                netlist.add_noise_voltage("VNop", "nplus", "0",
+                                          params.opamp_noise_psd)
+                # Rebuild the VCVS control to use the noisy input node.
+                raise ReproError(
+                    "ideal op-amp with input noise: use a large but "
+                    "finite opamp_wu instead (e.g. 1e12) — the infinite- "
+                    "bandwidth limit with white input noise has unbounded "
+                    "output noise power")
+        else:
+            add_source_follower_opamp(
+                netlist, "op", "0", "vsum", "vout", unity_gain_radps=wu,
+                input_noise_psd=params.opamp_noise_psd)
+    else:
+        if math.isinf(wu):
+            raise ReproError("single-stage model needs a finite wu")
+        add_single_stage_opamp(
+            netlist, "op", "0", "vsum", "vout", unity_gain_radps=wu,
+            c_equiv=params.opamp_ceq,
+            input_noise_psd=params.opamp_noise_psd)
+    schedule = ClockSchedule.two_phase(params.f_clock, duty=0.5,
+                                       names=("phi1", "phi2"))
+    return netlist, schedule
+
+
+def sc_lowpass_system(params=None, **kwargs):
+    """Build the full model; returns a ``SwitchedCircuitModel``.
+
+    The analysed output is the op-amp output voltage ``vout``.
+    """
+    netlist, schedule = sc_lowpass_netlist(params, **kwargs)
+    return build_lptv_system(netlist, schedule, outputs=["vout"])

@@ -1,0 +1,96 @@
+"""The periodically switched RC circuit (paper Fig. 2, Rice's circuit).
+
+A resistor ``R`` (the closed switch, thermally noisy) charges a grounded
+capacitor ``C`` during the *track* phase ``nT <= t <= nT + dT``; during
+the *hold* phase the switch is open and the capacitor voltage is frozen.
+The only noise source is the switch's thermal current with double-sided
+PSD ``I = 2kT/R`` (paper eq. (22)).
+
+State: the capacitor voltage. Track phase::
+
+    C dV = -(V/R) dt + sqrt(I) dW    =>   A = -1/(RC),  B = sqrt(I)/C
+
+Hold phase: ``A = 0, B = 0``.
+
+In periodic steady state the variance is the constant ``kT/C``
+independent of duty cycle — the classic result the paper re-derives and
+our test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..lptv.system import Phase, PiecewiseLTISystem
+from ..units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class SwitchedRcParams:
+    """Component values for the switched RC circuit.
+
+    The paper's Fig. 3 sweeps the *ratio* ``T / (RC)`` and the duty cycle
+    ``d``; absolute values only scale the axes.
+    """
+
+    resistance: float = 10e3
+    capacitance: float = 1e-9
+    #: Clock period [s].
+    period: float = 1e-4
+    #: Duty cycle: fraction of the period the switch is closed.
+    duty: float = 0.5
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self):
+        if self.resistance <= 0.0 or self.capacitance <= 0.0:
+            raise ReproError("R and C must be positive")
+        if not 0.0 < self.duty < 1.0:
+            raise ReproError(f"duty cycle must be in (0, 1): {self.duty}")
+        if self.period <= 0.0:
+            raise ReproError(f"period must be positive: {self.period}")
+
+    @property
+    def tau(self):
+        """RC time constant."""
+        return self.resistance * self.capacitance
+
+    @property
+    def period_over_tau(self):
+        """The ratio ``T / RC`` the paper's Fig. 3 is parameterised by."""
+        return self.period / self.tau
+
+    @property
+    def ktc_variance(self):
+        """The textbook steady-state variance ``kT/C``."""
+        return BOLTZMANN * self.temperature / self.capacitance
+
+    @property
+    def noise_intensity(self):
+        """Double-sided PSD of the switch thermal current, ``2kT/R``."""
+        return 2.0 * BOLTZMANN * self.temperature / self.resistance
+
+
+def switched_rc_system(params=None, **kwargs):
+    """Build the switched RC circuit as a two-phase LPTV system.
+
+    Accepts either a :class:`SwitchedRcParams` or keyword overrides of its
+    fields. The single output is the capacitor voltage.
+    """
+    if params is None:
+        params = SwitchedRcParams(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either params or keyword overrides, not both")
+    a_track = np.array([[-1.0 / params.tau]])
+    b_track = np.array([[np.sqrt(params.noise_intensity)
+                         / params.capacitance]])
+    track = Phase(name="track", duration=params.duty * params.period,
+                  a_matrix=a_track, b_matrix=b_track)
+    hold = Phase(name="hold",
+                 duration=(1.0 - params.duty) * params.period,
+                 a_matrix=np.zeros((1, 1)), b_matrix=np.zeros((1, 1)))
+    return PiecewiseLTISystem(
+        phases=[track, hold], output_matrix=np.array([[1.0]]),
+        state_names=["v_cap"], output_names=["v_out"])

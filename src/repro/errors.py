@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``ValueError`` raised by numpy, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed or references unknown nodes/components."""
+
+
+class TopologyError(CircuitError):
+    """The circuit topology is ill-posed for analysis.
+
+    Examples: a node with no DC path and no capacitor (floating node), a
+    loop of ideal voltage branches, or a capacitor cutset that leaves the
+    resistive MNA singular in some clock phase.
+    """
+
+
+class SingularMatrixError(ReproError):
+    """A matrix that must be invertible for the analysis is singular."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative method failed to converge.
+
+    Carries the iteration count and the final residual when available so
+    failures can be diagnosed without re-running.
+    """
+
+    def __init__(self, message, iterations=None, residual=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class StabilityError(ReproError):
+    """The periodic system is not asymptotically stable.
+
+    Periodic steady-state noise analysis requires all Floquet multipliers
+    strictly inside the unit circle (oscillators are handled by the
+    dedicated extension engines instead).
+    """
+
+
+class ScheduleError(ReproError):
+    """A clock phase schedule is inconsistent (gaps, overlaps, bad period)."""
+
+
+class UnitsError(ReproError):
+    """An engineering-notation quantity could not be parsed."""
+
+
+class NoiseModelError(ReproError):
+    """A noise source specification is inconsistent or unsupported."""

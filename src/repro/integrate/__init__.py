@@ -1,0 +1,24 @@
+"""Time-domain integration substrate.
+
+The paper integrates all of its ODE systems with the trapezoidal rule
+("which is A-stable and locally third order accurate") and controls the
+step from the estimated local truncation error obtained with divided
+differences. :mod:`repro.integrate.trapezoid` reproduces exactly that
+scheme; :mod:`repro.integrate.ltv` adds fixed-grid fast paths for the
+linear time-varying systems that dominate the switched-capacitor engines,
+and :mod:`repro.integrate.grid` builds clock-phase-aligned time grids so
+that no integration step ever straddles a switching instant.
+"""
+
+from .trapezoid import TrapezoidResult, TrapezoidalIntegrator
+from .ltv import integrate_linear_fixed_grid, trapezoid_weights
+from .grid import phase_aligned_grid, refine_grid
+
+__all__ = [
+    "TrapezoidResult",
+    "TrapezoidalIntegrator",
+    "integrate_linear_fixed_grid",
+    "trapezoid_weights",
+    "phase_aligned_grid",
+    "refine_grid",
+]

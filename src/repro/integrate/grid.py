@@ -1,0 +1,74 @@
+"""Clock-phase-aligned time grids.
+
+Switched circuits have matrices that jump at switching instants; every
+engine in this library therefore works on grids whose points include all
+phase boundaries, with a configurable number of interior points per phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScheduleError
+
+
+def phase_aligned_grid(boundaries, points_per_phase):
+    """Build a grid over one period from phase boundary times.
+
+    Parameters
+    ----------
+    boundaries : increasing sequence ``[t_0, t_1, ..., t_P]`` where
+        ``t_0`` is the period start and ``t_P`` the period end; phase ``k``
+        occupies ``[t_k, t_{k+1}]``.
+    points_per_phase : int or sequence of ints
+        Number of *intervals* per phase (so a phase contributes
+        ``points_per_phase`` segments and shares its endpoints with the
+        neighbours).
+
+    Returns
+    -------
+    grid : 1-D array containing every boundary exactly once.
+    phase_of_segment : 1-D int array, one entry per grid *interval*, giving
+        the phase index that interval belongs to (used to pick the correct
+        ``A`` matrix on intervals that touch a discontinuity).
+    """
+    boundaries = np.asarray(boundaries, dtype=float)
+    if boundaries.ndim != 1 or boundaries.size < 2:
+        raise ScheduleError("need at least two boundary times")
+    if np.any(np.diff(boundaries) <= 0.0):
+        raise ScheduleError(f"boundaries must increase: {boundaries}")
+    n_phases = boundaries.size - 1
+    if np.isscalar(points_per_phase):
+        counts = [int(points_per_phase)] * n_phases
+    else:
+        counts = [int(c) for c in points_per_phase]
+        if len(counts) != n_phases:
+            raise ScheduleError(
+                f"{len(counts)} point counts for {n_phases} phases")
+    if any(c < 1 for c in counts):
+        raise ScheduleError("points_per_phase entries must be >= 1")
+
+    pieces = []
+    phase_of_segment = []
+    for k in range(n_phases):
+        seg = np.linspace(boundaries[k], boundaries[k + 1], counts[k] + 1)
+        pieces.append(seg[:-1] if k < n_phases - 1 else seg)
+        phase_of_segment.extend([k] * counts[k])
+    grid = np.concatenate(pieces)
+    return grid, np.asarray(phase_of_segment, dtype=int)
+
+
+def refine_grid(grid, factor):
+    """Insert ``factor - 1`` equally spaced points into every interval."""
+    grid = np.asarray(grid, dtype=float)
+    factor = int(factor)
+    if factor < 1:
+        raise ScheduleError(f"refinement factor must be >= 1, got {factor}")
+    if factor == 1 or grid.size < 2:
+        return grid.copy()
+    pieces = []
+    for k in range(grid.size - 1):
+        seg = np.linspace(grid[k], grid[k + 1], factor + 1)
+        pieces.append(seg[:-1])
+    pieces.append(grid[-1:])
+    return np.concatenate(pieces)

@@ -1,0 +1,236 @@
+"""Adaptive trapezoidal integrator with divided-difference LTE control.
+
+This mirrors the numerical method described in Section IV.A of the source
+material: A-stable trapezoidal rule, local truncation error estimated from
+divided differences of the derivative history, and the step size chosen to
+keep that estimate inside the requested tolerance. It integrates general
+(possibly nonlinear) systems ``dx/dt = f(t, x)`` with a damped Newton
+corrector; linear systems converge in one Newton step.
+
+The adaptive path is used by the brute-force PSD engine (where fidelity to
+the paper's method matters) and by the nonlinear large-signal solvers. The
+steady-state MFT engines use the exact Van Loan propagators instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+
+@dataclass
+class TrapezoidResult:
+    """Dense output of one adaptive integration run."""
+
+    times: np.ndarray
+    states: np.ndarray
+    #: Number of accepted steps.
+    accepted: int = 0
+    #: Number of rejected (re-tried) steps.
+    rejected: int = 0
+    #: Total Newton iterations across all steps.
+    newton_iterations: int = 0
+
+    def __call__(self, t):
+        """Piecewise-linear interpolation of the solution at time ``t``."""
+        t = np.asarray(t, dtype=float)
+        idx = np.clip(np.searchsorted(self.times, t) - 1, 0,
+                      len(self.times) - 2)
+        t0 = self.times[idx]
+        t1 = self.times[idx + 1]
+        frac = np.where(t1 > t0, (t - t0) / np.where(t1 > t0, t1 - t0, 1.0),
+                        0.0)
+        x0 = self.states[idx]
+        x1 = self.states[idx + 1]
+        return x0 + (x1 - x0) * np.expand_dims(frac, -1)
+
+
+@dataclass
+class TrapezoidalIntegrator:
+    """Adaptive trapezoidal rule for ``dx/dt = f(t, x)``.
+
+    Parameters
+    ----------
+    rtol, atol:
+        Local-truncation-error tolerances (per step, mixed criterion).
+    max_step, min_step:
+        Hard bounds on the step size; ``min_step`` violations raise
+        :class:`~repro.errors.ConvergenceError` rather than silently
+        producing garbage.
+    newton_tol, newton_max_iter:
+        Corrector controls. Linear systems converge in a single iteration.
+    """
+
+    rtol: float = 1e-6
+    atol: float = 1e-12
+    max_step: float = np.inf
+    min_step: float = 1e-18
+    first_step: float | None = None
+    newton_tol: float = 1e-10
+    newton_max_iter: int = 25
+    safety: float = 0.85
+    grow_limit: float = 4.0
+    shrink_limit: float = 0.1
+    #: Optional list of times the integrator must land on exactly
+    #: (switching instants); steps are clipped, never interpolated across.
+    breakpoints: tuple = field(default_factory=tuple)
+
+    def integrate(self, fun, t0, x0, t1, jac=None, callback=None):
+        """Integrate from ``(t0, x0)`` to ``t1``; returns TrapezoidResult.
+
+        ``jac(t, x)`` returns the Jacobian of ``fun``; when omitted a
+        forward-difference Jacobian is used inside the Newton corrector.
+        ``callback(t, x)`` is invoked after each accepted step; returning
+        ``True`` stops the integration early (used by the PSD convergence
+        monitor).
+        """
+        x0 = np.atleast_1d(np.asarray(x0, dtype=self._dtype_of(x0)))
+        times = [t0]
+        states = [x0.copy()]
+        result = TrapezoidResult(times=None, states=None)
+
+        span = t1 - t0
+        if span <= 0.0:
+            raise ConvergenceError(f"empty integration span [{t0}, {t1}]")
+        h = self.first_step if self.first_step is not None else span / 100.0
+        h = min(h, self.max_step, span)
+        breaks = np.asarray(sorted(b for b in self.breakpoints
+                                   if t0 < b < t1), dtype=float)
+
+        t = t0
+        x = x0
+        f_prev = np.atleast_1d(np.asarray(fun(t, x)))
+        # Derivative history for the divided-difference LTE estimate.
+        history = [(t, f_prev)]
+
+        while t < t1 - 1e-15 * max(abs(t1), 1.0):
+            h = min(h, self.max_step, t1 - t)
+            h = self._clip_to_breakpoint(t, h, breaks)
+            accepted = False
+            while not accepted:
+                if h < self.min_step:
+                    raise ConvergenceError(
+                        f"step size underflow at t={t:.6g} (h={h:.3g})",
+                        iterations=result.accepted + result.rejected)
+                x_new, f_new, n_newton = self._trapezoid_step(
+                    fun, jac, t, x, f_prev, h)
+                result.newton_iterations += n_newton
+                lte = self._lte_estimate(history, t + h, f_new, h, x_new)
+                scale = self.atol + self.rtol * np.maximum(np.abs(x),
+                                                           np.abs(x_new))
+                err = float(np.max(lte / scale)) if x.size else 0.0
+                if err <= 1.0 or h <= self.min_step * 2.0:
+                    accepted = True
+                else:
+                    result.rejected += 1
+                    h = max(self.min_step,
+                            h * max(self.shrink_limit,
+                                    self.safety * err ** (-1.0 / 3.0)))
+                    h = self._clip_to_breakpoint(t, h, breaks)
+
+            t = t + h
+            x = x_new
+            f_prev = f_new
+            history.append((t, f_new))
+            if len(history) > 4:
+                history.pop(0)
+            times.append(t)
+            states.append(x.copy())
+            result.accepted += 1
+            if callback is not None and callback(t, x):
+                break
+            if err > 0.0:
+                h = h * min(self.grow_limit,
+                            max(self.shrink_limit,
+                                self.safety * err ** (-1.0 / 3.0)))
+            else:
+                h = h * self.grow_limit
+
+        result.times = np.asarray(times)
+        result.states = np.asarray(states)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _dtype_of(x0):
+        return complex if np.iscomplexobj(np.asarray(x0)) else float
+
+    @staticmethod
+    def _clip_to_breakpoint(t, h, breaks):
+        """Shrink ``h`` so the step lands exactly on the next breakpoint."""
+        if breaks.size == 0:
+            return h
+        idx = np.searchsorted(breaks, t + 1e-15 * max(abs(t), 1.0))
+        if idx < breaks.size and t + h > breaks[idx]:
+            return breaks[idx] - t
+        return h
+
+    def _trapezoid_step(self, fun, jac, t, x, f_t, h):
+        """One implicit trapezoidal step with a damped Newton corrector."""
+        t_new = t + h
+        # Forward-Euler predictor.
+        x_new = x + h * f_t
+        n = x.size
+        iterations = 0
+        for iterations in range(1, self.newton_max_iter + 1):
+            f_new = np.atleast_1d(np.asarray(fun(t_new, x_new)))
+            residual = x_new - x - 0.5 * h * (f_t + f_new)
+            res_norm = np.linalg.norm(residual, np.inf)
+            if res_norm <= self.newton_tol * (1.0 + np.linalg.norm(
+                    x_new, np.inf)):
+                return x_new, f_new, iterations
+            j = (np.atleast_2d(np.asarray(jac(t_new, x_new)))
+                 if jac is not None
+                 else self._fd_jacobian(fun, t_new, x_new, f_new))
+            system = np.eye(n, dtype=j.dtype) - 0.5 * h * j
+            try:
+                delta = np.linalg.solve(system, residual)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"Newton matrix singular at t={t_new:.6g}") from exc
+            x_new = x_new - delta
+        f_new = np.atleast_1d(np.asarray(fun(t_new, x_new)))
+        residual = x_new - x - 0.5 * h * (f_t + f_new)
+        if np.linalg.norm(residual, np.inf) > 1e3 * self.newton_tol * (
+                1.0 + np.linalg.norm(x_new, np.inf)):
+            raise ConvergenceError(
+                f"Newton corrector stalled at t={t_new:.6g}",
+                iterations=iterations,
+                residual=float(np.linalg.norm(residual, np.inf)))
+        return x_new, f_new, iterations
+
+    @staticmethod
+    def _fd_jacobian(fun, t, x, f_x):
+        eps = np.sqrt(np.finfo(float).eps)
+        n = x.size
+        j = np.zeros((n, n), dtype=np.promote_types(x.dtype, float))
+        for k in range(n):
+            dx = eps * max(abs(x[k]), 1.0)
+            xp = x.copy()
+            xp[k] += dx
+            j[:, k] = (np.atleast_1d(np.asarray(fun(t, xp))) - f_x) / dx
+        return j
+
+    @staticmethod
+    def _lte_estimate(history, t_new, f_new, h, x_new):
+        """Divided-difference estimate of the trapezoidal LTE.
+
+        The trapezoidal local error is ``-(h^3/12) x'''``; the third state
+        derivative equals the second derivative of ``f`` along the
+        trajectory, estimated from the last three derivative samples by
+        divided differences (exactly the scheme the paper describes).
+        """
+        if len(history) < 2:
+            return np.zeros_like(np.abs(x_new))
+        pts = list(history[-2:]) + [(t_new, f_new)]
+        (t0, f0), (t1, f1), (t2, f2) = pts
+        d01 = (f1 - f0) / (t1 - t0)
+        d12 = (f2 - f1) / (t2 - t1)
+        if t2 == t0:
+            return np.zeros_like(np.abs(x_new))
+        second = 2.0 * (d12 - d01) / (t2 - t0)
+        return np.abs(h ** 3 / 12.0 * second)

@@ -1,0 +1,7 @@
+"""Reporting helpers: fixed-width tables, CSV export, ASCII spectra."""
+
+from .tables import format_table
+from .csvout import write_csv
+from .asciiplot import ascii_plot
+
+__all__ = ["format_table", "write_csv", "ascii_plot"]

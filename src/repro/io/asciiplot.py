@@ -1,0 +1,52 @@
+"""Terminal spectrum plots for the examples.
+
+Matplotlib is not a dependency of this library; the examples plot their
+spectra directly in the terminal, which is also what survives in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ReproError
+
+
+def ascii_plot(x_values, y_values, width=72, height=20, label="",
+               logx=False):
+    """Render a single y(x) trace as ASCII art; returns a string."""
+    xs = [float(v) for v in x_values]
+    ys = [float(v) for v in y_values]
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ReproError("need two equal-length arrays of >= 2 points")
+    if logx:
+        if min(xs) <= 0.0:
+            raise ReproError("logx requires positive x values")
+        xs = [math.log10(v) for v in xs]
+    finite = [v for v in ys if math.isfinite(v)]
+    if not finite:
+        raise ReproError("no finite y values to plot")
+    y_lo, y_hi = min(finite), max(finite)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        if not math.isfinite(y):
+            continue
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y_hi - y) / (y_hi - y_lo) * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for r, row in enumerate(grid):
+        y_axis = y_hi - r * (y_hi - y_lo) / (height - 1)
+        lines.append(f"{y_axis:>10.3g} |" + "".join(row))
+    footer = " " * 11 + "+" + "-" * width
+    lines.append(footer)
+    x_left = 10 ** x_lo if logx else x_lo
+    x_right = 10 ** x_hi if logx else x_hi
+    lines.append(f"{'':11}{x_left:<.4g}{'':{max(1, width - 18)}}"
+                 f"{x_right:>.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Minimal CSV export for spectra and tables."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+from ..errors import ReproError
+
+
+def write_csv(path, headers, rows):
+    """Write rows to ``path`` with a header line; returns the path."""
+    path = pathlib.Path(path)
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells for "
+                f"{len(headers)} columns")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def write_psd_csv(path, psd_result, extra_columns=None):
+    """Write a :class:`~repro.noise.result.PsdResult` as CSV.
+
+    ``extra_columns`` maps names to arrays aligned with the frequency
+    grid (e.g. a baseline PSD for side-by-side comparison).
+    """
+    headers = ["frequency_hz", "psd"]
+    columns = [psd_result.frequencies, psd_result.psd]
+    if extra_columns:
+        for name, values in extra_columns.items():
+            if len(values) != len(psd_result.frequencies):
+                raise ReproError(
+                    f"extra column {name!r} has {len(values)} entries "
+                    f"for {len(psd_result.frequencies)} frequencies")
+            headers.append(str(name))
+            columns.append(values)
+    rows = list(zip(*columns))
+    return write_csv(path, headers, rows)

@@ -1,0 +1,58 @@
+"""Fixed-width text tables for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this formatter keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def _render(value):
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-2:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers, rows, title=""):
+    """Render a fixed-width table as a string.
+
+    ``headers`` is a list of column names; ``rows`` a list of sequences.
+    Numeric cells are right-aligned; text cells left-aligned.
+    """
+    headers = [str(h) for h in headers]
+    rendered = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells for "
+                f"{len(headers)} columns")
+        rendered.append([_render(cell) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    numeric = [all(isinstance(row[k], (int, float)) for row in rows)
+               for k in range(len(headers))] if rows else \
+        [False] * len(headers)
+
+    def fmt_row(cells):
+        parts = []
+        for k, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[k]) if numeric[k]
+                         else cell.ljust(widths[k]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Dense linear-algebra kernels used by the noise engines.
+
+The kernels are implemented here (rather than imported from scipy) because
+they are the numerical heart of the reproduction: per-phase matrix
+exponentials, Van Loan noise Gramians, and the Lyapunov/Sylvester
+fixed-point solves that make the mixed-frequency-time method fast. The
+test suite cross-checks every kernel against the scipy reference
+implementation.
+"""
+
+from .expm import expm, expm_action
+from .vanloan import phase_discretization, vanloan_gramian
+from .lyapunov import (
+    solve_continuous_lyapunov,
+    solve_discrete_lyapunov,
+    solve_linear_fixed_point,
+)
+from .sylvester import solve_sylvester
+from .packing import vech, unvech, duplication_index_pairs, symmetrize
+
+__all__ = [
+    "expm",
+    "expm_action",
+    "phase_discretization",
+    "vanloan_gramian",
+    "solve_continuous_lyapunov",
+    "solve_discrete_lyapunov",
+    "solve_linear_fixed_point",
+    "solve_sylvester",
+    "vech",
+    "unvech",
+    "duplication_index_pairs",
+    "symmetrize",
+]

@@ -1,0 +1,98 @@
+"""Continuous and discrete Lyapunov solvers plus the MFT fixed point.
+
+Three solves appear in the steady-state noise engines:
+
+* ``A K + K A^H + Q = 0`` — stationary covariance of an LTI circuit
+  (used by the LTI baseline and as the t→∞ limit check).
+* ``K = Phi K Phi^H + Q`` — the *periodic* steady-state covariance of a
+  switched circuit, where ``Phi`` is the one-period monodromy matrix and
+  ``Q`` the accumulated Van Loan Gramian. This is the first of the two
+  linear solves that replace the brute-force transient in the DAC 2003
+  method.
+* ``q = M q + g`` — the per-frequency cross-spectral fixed point
+  ``Q*(0) = (I − Φ_ω)^{-1} g_ω`` (complex, non-Hermitian). This is the
+  second solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, SingularMatrixError, StabilityError
+from .packing import symmetrize
+from .sylvester import solve_sylvester
+
+
+def solve_continuous_lyapunov(a_matrix, q_matrix):
+    """Solve ``A K + K A^H + Q = 0`` for the stationary covariance ``K``.
+
+    ``Q`` must be Hermitian; the result is symmetrised to remove rounding
+    skew. Raises :class:`~repro.errors.SingularMatrixError` when ``A`` has
+    eigenvalues summing to zero in pairs (marginally stable circuit).
+    """
+    a = np.asarray(a_matrix)
+    q = np.asarray(q_matrix)
+    x = solve_sylvester(a, a.conj().T, -q)
+    return symmetrize(x)
+
+
+def solve_discrete_lyapunov(phi_matrix, q_matrix, max_doublings=64,
+                            tol=1e-14):
+    """Solve ``K = Phi K Phi^H + Q`` by Smith doubling.
+
+    Smith's squaring iteration converges quadratically whenever the
+    spectral radius of ``Phi`` is strictly below one, which is exactly the
+    Floquet stability condition required for a periodic steady state to
+    exist; an unstable ``Phi`` raises
+    :class:`~repro.errors.StabilityError` with the offending radius.
+    """
+    phi = np.asarray(phi_matrix)
+    q = np.asarray(q_matrix)
+    if phi.shape != q.shape:
+        raise SingularMatrixError(
+            f"discrete Lyapunov shape mismatch: {phi.shape} vs {q.shape}")
+    radius = max(abs(np.linalg.eigvals(phi))) if phi.size else 0.0
+    if radius >= 1.0:
+        raise StabilityError(
+            f"monodromy spectral radius {radius:.6g} >= 1: the periodic "
+            "system is not asymptotically stable, no steady-state "
+            "covariance exists")
+    x = q.astype(complex if np.iscomplexobj(phi) or np.iscomplexobj(q)
+                 else float, copy=True)
+    p = phi.copy()
+    q_norm = np.linalg.norm(q, "fro")
+    if q_norm == 0.0:
+        return np.zeros_like(x)
+    for _ in range(max_doublings):
+        update = p @ x @ p.conj().T
+        x = x + update
+        # Purely relative criterion: the solution magnitude is
+        # Q/(1-radius²)-sized and can be arbitrarily small, so an
+        # absolute floor would terminate prematurely for near-unity
+        # radii with small Q (slow circuits under a fast clock).
+        if np.linalg.norm(update, "fro") <= tol * np.linalg.norm(
+                x, "fro"):
+            return symmetrize(x)
+        p = p @ p
+    raise ConvergenceError(
+        "Smith doubling did not converge; monodromy spectral radius "
+        f"{radius:.6g} is too close to one", iterations=max_doublings)
+
+
+def solve_linear_fixed_point(m_matrix, g_vector):
+    """Solve ``q = M q + g`` i.e. ``(I − M) q = g``.
+
+    Used for the per-frequency cross-spectral steady state. Raises
+    :class:`~repro.errors.SingularMatrixError` when ``I − M`` is singular
+    (a Floquet multiplier of the frequency-shifted system sits exactly at
+    one, which for a stable circuit cannot happen at any real frequency).
+    """
+    m = np.asarray(m_matrix)
+    g = np.asarray(g_vector)
+    n = m.shape[0]
+    system = np.eye(n, dtype=m.dtype) - m
+    try:
+        return np.linalg.solve(system, g)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(
+            "fixed-point system (I - M) is singular") from exc

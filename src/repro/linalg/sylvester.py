@@ -1,0 +1,51 @@
+"""Bartels–Stewart solver for the Sylvester equation ``A X + X B = C``.
+
+Implemented on top of the complex Schur decomposition: transform ``A`` and
+``B`` to upper-triangular form, solve the triangular system column by
+column, and transform back. Dimensions in this library are small (tens of
+states), so the O(n^3) dense approach is entirely adequate. The test suite
+cross-checks against ``scipy.linalg.solve_sylvester``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..errors import SingularMatrixError
+
+
+def solve_sylvester(a_matrix, b_matrix, c_matrix):
+    """Solve ``A X + X B = C`` for ``X``.
+
+    Raises :class:`~repro.errors.SingularMatrixError` when ``A`` and ``-B``
+    share an eigenvalue (the equation is then singular) — for Lyapunov use
+    this corresponds to a marginally stable circuit.
+    """
+    a = np.asarray(a_matrix)
+    b = np.asarray(b_matrix)
+    c = np.asarray(c_matrix)
+    if a.shape[0] != c.shape[0] or b.shape[0] != c.shape[1]:
+        raise SingularMatrixError(
+            f"sylvester shape mismatch: A {a.shape}, B {b.shape}, C {c.shape}")
+
+    ta, ua = scipy.linalg.schur(a, output="complex")
+    tb, ub = scipy.linalg.schur(b, output="complex")
+    f = ua.conj().T @ c @ ub
+
+    n, m = f.shape
+    y = np.zeros((n, m), dtype=complex)
+    eye = np.eye(n)
+    for j in range(m):
+        rhs = f[:, j] - y[:, :j] @ tb[:j, j]
+        shifted = ta + tb[j, j] * eye
+        diag = np.diagonal(shifted)
+        if np.min(np.abs(diag)) < 1e-300:
+            raise SingularMatrixError(
+                "Sylvester equation is singular: A and -B share an eigenvalue")
+        y[:, j] = scipy.linalg.solve_triangular(shifted, rhs)
+
+    x = ua @ y @ ub.conj().T
+    if np.isrealobj(a) and np.isrealobj(b) and np.isrealobj(c):
+        return x.real
+    return x

@@ -1,0 +1,39 @@
+"""Linear periodically time-varying (LPTV) system containers.
+
+Switched-capacitor noise analysis linearises the circuit around its
+periodic large-signal steady state, producing the LPTV stochastic system
+
+    dx = A(t) x dt + B(t) dW,   A(t+T) = A(t),  B(t+T) = B(t).
+
+Two concrete containers are provided:
+
+* :class:`~repro.lptv.system.PiecewiseLTISystem` — the matrices are
+  constant inside each clock phase (the switched-capacitor case). All
+  propagation is *exact* via Van Loan block exponentials.
+* :class:`~repro.lptv.system.SampledLPTVSystem` — the matrices are
+  arbitrary periodic functions sampled on a dense grid (translinear and
+  oscillator extensions). Propagation is second-order accurate.
+
+Both produce a :class:`~repro.lptv.discretization.PeriodDiscretization`,
+the common currency consumed by every noise engine.
+"""
+
+from .system import Phase, PiecewiseLTISystem, SampledLPTVSystem
+from .discretization import PeriodDiscretization
+from .monodromy import (
+    floquet_multipliers,
+    is_asymptotically_stable,
+    monodromy_matrix,
+)
+from .htf import harmonic_transfer_functions
+
+__all__ = [
+    "Phase",
+    "PiecewiseLTISystem",
+    "SampledLPTVSystem",
+    "PeriodDiscretization",
+    "monodromy_matrix",
+    "floquet_multipliers",
+    "is_asymptotically_stable",
+    "harmonic_transfer_functions",
+]

@@ -1,0 +1,110 @@
+"""One-period discretization: the common currency of the noise engines.
+
+A :class:`PeriodDiscretization` is a chain of segments covering exactly one
+period. Each segment carries its *exact* state propagator ``Phi`` and
+noise Gramian ``Q`` (for piecewise-LTI systems) or their second-order
+midpoint approximations (for sampled systems), plus an optional
+instantaneous jump map applied at the segment end.
+
+The frequency-sharing trick at the heart of the MFT engine lives here:
+for the frequency-shifted dynamics ``A(t) − jωI`` the segment propagator
+is simply ``e^{-jωh} Phi`` — the expensive real exponentials are computed
+once and reused for every analysis frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One integration segment inside a period."""
+
+    t_start: float
+    t_end: float
+    #: Exact propagator expm(A h) over the segment.
+    phi: np.ndarray
+    #: Exact accumulated noise covariance over the segment.
+    gramian: np.ndarray
+    #: Noise input matrix during the segment (for diagnostics).
+    b_matrix: np.ndarray
+    #: Optional instantaneous map applied at ``t_end`` (``None`` = identity).
+    jump: np.ndarray | None
+    #: State matrix during the segment — used for the exact affine steps
+    #: (φ-functions) of the cross-spectral solver.
+    a_matrix: np.ndarray | None = None
+    phase_name: str = ""
+
+    @property
+    def duration(self):
+        return self.t_end - self.t_start
+
+
+@dataclass
+class PeriodDiscretization:
+    """A chain of segments covering one period ``[0, T]``."""
+
+    segments: list
+    period: float
+    n_states: int
+    #: True when propagators/Gramians are exact (piecewise-LTI source).
+    exact: bool = True
+
+    def __post_init__(self):
+        if not self.segments:
+            raise ReproError("empty discretization")
+        t = 0.0
+        for seg in self.segments:
+            if abs(seg.t_start - t) > 1e-9 * max(self.period, 1.0):
+                raise ReproError(
+                    f"segment chain has a gap at t={seg.t_start}")
+            t = seg.t_end
+        if abs(t - self.period) > 1e-9 * max(self.period, 1.0):
+            raise ReproError(
+                f"segments cover [0, {t}], expected period {self.period}")
+
+    @property
+    def grid(self):
+        """All segment boundary times, length ``len(segments) + 1``."""
+        return np.asarray([self.segments[0].t_start]
+                          + [s.t_end for s in self.segments])
+
+    def monodromy(self):
+        """One-period state transition matrix, jumps included."""
+        phi = np.eye(self.n_states)
+        for seg in self.segments:
+            phi = seg.phi @ phi
+            if seg.jump is not None:
+                phi = seg.jump @ phi
+        return phi
+
+    def period_gramian(self):
+        """``(Phi_T, Q_T)``: one-period propagator and noise Gramian.
+
+        ``x(T) = Phi_T x(0) + w`` with ``w ~ N(0, Q_T)`` — the exact
+        one-period discrete-time model of the switched SDE.
+        """
+        phi = np.eye(self.n_states)
+        gram = np.zeros((self.n_states, self.n_states))
+        for seg in self.segments:
+            gram = seg.phi @ gram @ seg.phi.T + seg.gramian
+            phi = seg.phi @ phi
+            if seg.jump is not None:
+                gram = seg.jump @ gram @ seg.jump.T
+                phi = seg.jump @ phi
+        return phi, 0.5 * (gram + gram.T)
+
+    def shifted_propagators(self, omega):
+        """Segment propagators of the dynamics ``A(t) − jωI``.
+
+        Returns a list of complex matrices ``e^{-jω h_k} Phi_k`` — the
+        frequency-sharing identity that lets the MFT engine sweep
+        frequencies at the cost of one complex scalar per segment.
+        """
+        return [np.exp(-1j * omega * seg.duration) * seg.phi
+                for seg in self.segments]

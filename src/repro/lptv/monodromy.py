@@ -1,0 +1,59 @@
+"""Monodromy matrices and Floquet stability analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StabilityError
+
+
+def monodromy_matrix(system, segments_per_phase=1):
+    """One-period state transition matrix of a switched system.
+
+    Accepts either a system with a ``discretize`` method or an existing
+    :class:`~repro.lptv.discretization.PeriodDiscretization`.
+    """
+    disc = _as_discretization(system, segments_per_phase)
+    return disc.monodromy()
+
+
+def floquet_multipliers(system, segments_per_phase=1):
+    """Eigenvalues of the monodromy matrix, sorted by descending modulus."""
+    phi = monodromy_matrix(system, segments_per_phase)
+    mults = np.linalg.eigvals(phi)
+    return mults[np.argsort(-np.abs(mults))]
+
+
+def floquet_exponents(system, segments_per_phase=1):
+    """Principal Floquet exponents ``log(mu) / T``.
+
+    The imaginary parts are only defined modulo the clock frequency; the
+    principal branch is returned.
+    """
+    disc = _as_discretization(system, segments_per_phase)
+    mults = np.linalg.eigvals(disc.monodromy())
+    # Guard against exactly-zero multipliers (segments with nilpotent maps).
+    safe = np.where(mults == 0.0, 1e-300, mults)
+    return np.log(safe.astype(complex)) / disc.period
+
+
+def is_asymptotically_stable(system, segments_per_phase=1, margin=0.0):
+    """True when every Floquet multiplier has modulus < 1 − margin."""
+    mults = floquet_multipliers(system, segments_per_phase)
+    return bool(np.all(np.abs(mults) < 1.0 - margin))
+
+
+def require_stable(system, segments_per_phase=1):
+    """Raise :class:`~repro.errors.StabilityError` unless stable."""
+    mults = floquet_multipliers(system, segments_per_phase)
+    radius = float(np.max(np.abs(mults))) if mults.size else 0.0
+    if radius >= 1.0:
+        raise StabilityError(
+            f"periodic system is unstable: spectral radius {radius:.6g}")
+    return radius
+
+
+def _as_discretization(system, segments_per_phase):
+    if hasattr(system, "monodromy"):
+        return system
+    return system.discretize(segments_per_phase)

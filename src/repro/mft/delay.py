@@ -1,0 +1,73 @@
+"""Frequency-domain delay operators for MFT collocation.
+
+The mixed-frequency-time method samples the slowly varying envelope of a
+quasi-periodic signal at the starts of ``J`` clock cycles and enforces the
+inter-cycle relation *in the frequency domain of the slow tone*: if the
+envelope is the truncated Fourier series
+
+    v(θ) = sum_h c_h e^{j h θ},     θ = ω_s t  (slow phase)
+
+then advancing time by one clock period ``T`` multiplies coefficient ``h``
+by ``e^{j h ω_s T}``. With samples at ``J = len(harmonics)`` distinct slow
+phases the sample vector and the coefficient vector are related by an
+(invertible) generalized DFT, and the *delay matrix*
+
+    D(τ) = F^{-1} diag(e^{j h ω_s τ}) F
+
+maps envelope samples to envelope samples a time ``τ`` later. This module
+builds those operators; :mod:`repro.mft.bvp` assembles and solves the
+collocation system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def dft_matrix(phases, harmonics):
+    """Evaluation matrix E with ``E[j, h] = e^{j harmonics[h] phases[j]}``.
+
+    Maps Fourier coefficients (ordered like ``harmonics``) to samples at
+    the given slow phases. Square and invertible when the phases are
+    distinct modulo 2π and the harmonics are distinct.
+    """
+    phases = np.asarray(phases, dtype=float)
+    harmonics = np.asarray(harmonics, dtype=int)
+    if phases.size != harmonics.size:
+        raise ReproError(
+            f"need as many sample phases ({phases.size}) as harmonics "
+            f"({harmonics.size}) for a square MFT system")
+    return np.exp(1j * np.outer(phases, harmonics))
+
+
+def idft_matrix(phases, harmonics):
+    """Inverse of :func:`dft_matrix` (samples -> coefficients)."""
+    e = dft_matrix(phases, harmonics)
+    cond = np.linalg.cond(e)
+    if cond > 1e10:
+        raise ReproError(
+            f"MFT sample phases are nearly aliased (cond {cond:.3g}); "
+            "choose sample cycles whose slow phases are well separated")
+    return np.linalg.inv(e)
+
+
+def delay_matrix(phases, harmonics, omega_slow, tau):
+    """Sample-domain delay operator ``D(τ)``.
+
+    ``(D v)[j]`` is the envelope at slow phase ``phases[j] + ω_s τ`` given
+    envelope samples ``v`` at ``phases`` — the frequency-domain half of
+    the mixed-frequency-time method.
+    """
+    f_inv = idft_matrix(phases, harmonics)
+    shift = np.exp(1j * np.asarray(harmonics, dtype=float)
+                   * omega_slow * tau)
+    e = dft_matrix(phases, harmonics)
+    return e @ np.diag(shift) @ f_inv
+
+
+def choose_sample_phases(harmonics):
+    """Equispaced slow phases, the canonical well-conditioned choice."""
+    j = len(harmonics)
+    return 2.0 * np.pi * np.arange(j) / j

@@ -1,0 +1,36 @@
+"""Noise engines built on the stochastic-differential-equation core.
+
+* :mod:`repro.noise.covariance` — time-varying covariance matrix
+  (Lyapunov ODE), both transient and periodic steady state.
+* :mod:`repro.noise.brute_force` — the baseline time-domain PSD engine of
+  the companion draft: integrate the energy-spectral-density ODEs from
+  zero initial conditions until the PSD stops changing.
+* :mod:`repro.noise.result` — spectrum containers shared by all engines.
+* :mod:`repro.noise.snr` — signal-to-noise helpers.
+
+The *fast* steady-state engine (the DAC 2003 contribution) lives in
+:mod:`repro.mft`.
+"""
+
+from .covariance import (
+    PeriodicCovariance,
+    periodic_covariance,
+    stationary_covariance,
+    transient_covariance,
+)
+from .brute_force import BruteForceResult, brute_force_psd
+from .result import ConvergenceTrace, PsdResult
+from .snr import integrated_noise_power, snr_db
+
+__all__ = [
+    "PeriodicCovariance",
+    "periodic_covariance",
+    "transient_covariance",
+    "stationary_covariance",
+    "brute_force_psd",
+    "BruteForceResult",
+    "PsdResult",
+    "ConvergenceTrace",
+    "snr_db",
+    "integrated_noise_power",
+]

@@ -1,0 +1,146 @@
+"""Time-varying noise covariance of an LPTV system.
+
+The covariance ``K(t) = E{x_n x_n^T}`` obeys the Lyapunov ODE (companion
+draft eq. (16))::
+
+    dK/dt = A(t) K + K A(t)^T + B(t) B(t)^T
+
+with ``K -> M K M^T`` across instantaneous charge-redistribution jumps.
+On a period discretization the exact per-segment update is
+
+    K(t_{k+1}) = Phi_k K(t_k) Phi_k^T + Q_k
+
+so the *periodic steady state* is the discrete Lyapunov fixed point of the
+one-period map — one linear solve instead of integrating dozens of clock
+cycles. Both the transient propagation (for convergence studies and the
+brute-force baseline) and the steady state are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..linalg.lyapunov import (
+    solve_continuous_lyapunov,
+    solve_discrete_lyapunov,
+)
+from ..linalg.packing import symmetrize
+
+
+@dataclass
+class PeriodicCovariance:
+    """Steady-state covariance sampled on one period.
+
+    ``post[k]``/``pre[k]`` are the covariance at ``grid[k]`` after/before
+    any jump at that instant (identical where no jump exists). By
+    periodicity ``post[-1] == post[0]``.
+    """
+
+    grid: np.ndarray
+    pre: np.ndarray
+    post: np.ndarray
+    period: float
+
+    @property
+    def n_states(self):
+        return self.post.shape[1]
+
+    def variance(self, state_index):
+        """Variance trace of one state over the period (post-jump)."""
+        return self.post[:, state_index, state_index].real.copy()
+
+    def output_variance(self, l_row):
+        """Variance trace of the output ``y = l^T x``."""
+        l_row = np.asarray(l_row, dtype=float)
+        return np.einsum("i,kij,j->k", l_row, self.post, l_row).real
+
+    def average_output_variance(self, l_row):
+        """Period-averaged output variance (trapezoid over the grid)."""
+        trace = self.output_variance(np.asarray(l_row, dtype=float))
+        return float(np.trapezoid(trace, self.grid) / self.period)
+
+    def forcing_samples(self, l_row):
+        """``K(t) l`` at the grid points, the cross-spectral forcing.
+
+        Returns ``(post_samples, pre_samples)`` each of shape
+        ``(len(grid), n)``; these feed straight into
+        :func:`repro.lptv.periodic_solve.forcing_from_samples`.
+        """
+        l_row = np.asarray(l_row, dtype=float)
+        return self.post @ l_row, self.pre @ l_row
+
+
+def periodic_covariance(system_or_disc, segments_per_phase=64):
+    """Periodic steady-state covariance of a stable switched system."""
+    disc = _as_disc(system_or_disc, segments_per_phase)
+    phi_t, q_t = disc.period_gramian()
+    k0 = solve_discrete_lyapunov(phi_t, q_t).real
+    pre, post = _propagate_over_period(disc, k0)
+    return PeriodicCovariance(grid=disc.grid, pre=pre, post=post,
+                              period=disc.period)
+
+
+def transient_covariance(system_or_disc, n_periods, k0=None,
+                         segments_per_phase=64):
+    """Propagate the covariance from ``k0`` (default zero) over n periods.
+
+    Returns ``(times, covariances)`` where ``covariances[k]`` is the
+    (post-jump) covariance at ``times[k]``; the trace spans ``n_periods``
+    full periods including both endpoints. Used for convergence studies
+    (how fast K approaches its periodic steady state) and by tests.
+    """
+    disc = _as_disc(system_or_disc, segments_per_phase)
+    n = disc.n_states
+    if n_periods < 1:
+        raise ReproError(f"n_periods must be >= 1, got {n_periods}")
+    k = (np.zeros((n, n)) if k0 is None
+         else symmetrize(np.asarray(k0, dtype=float)).copy())
+    grid = disc.grid
+    times = [0.0]
+    trace = [k.copy()]
+    for period_index in range(n_periods):
+        t_offset = period_index * disc.period
+        for seg in disc.segments:
+            k = symmetrize(seg.phi @ k @ seg.phi.T + seg.gramian)
+            if seg.jump is not None:
+                k = symmetrize(seg.jump @ k @ seg.jump.T)
+            times.append(t_offset + seg.t_end)
+            trace.append(k.copy())
+    return np.asarray(times), np.asarray(trace)
+
+
+def stationary_covariance(a_matrix, b_matrix):
+    """Stationary covariance of an LTI circuit: solve ``AK+KA^T+BB^T=0``.
+
+    The t→∞ limit every periodic engine must reproduce when the "switched"
+    system has a single phase; used as a cross-check throughout the tests.
+    """
+    a = np.asarray(a_matrix, dtype=float)
+    b = np.asarray(b_matrix, dtype=float)
+    return solve_continuous_lyapunov(a, b @ b.T).real
+
+
+def _propagate_over_period(disc, k0):
+    n = disc.n_states
+    n_pts = len(disc.segments) + 1
+    pre = np.zeros((n_pts, n, n))
+    post = np.zeros((n_pts, n, n))
+    pre[0] = k0
+    post[0] = k0
+    k = k0
+    for idx, seg in enumerate(disc.segments):
+        k = symmetrize(seg.phi @ k @ seg.phi.T + seg.gramian)
+        pre[idx + 1] = k
+        if seg.jump is not None:
+            k = symmetrize(seg.jump @ k @ seg.jump.T)
+        post[idx + 1] = k
+    return pre, post
+
+
+def _as_disc(system_or_disc, segments_per_phase):
+    if hasattr(system_or_disc, "segments"):
+        return system_or_disc
+    return system_or_disc.discretize(segments_per_phase)

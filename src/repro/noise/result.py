@@ -1,0 +1,102 @@
+"""Spectrum and convergence containers shared by every noise engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+from ..units import db10
+
+
+@dataclass
+class PsdResult:
+    """A sampled power spectral density.
+
+    All PSDs in this library are **double-sided** in V²/Hz (or A²/Hz);
+    use :meth:`single_sided` for the 2× single-sided convention common in
+    measurement plots, and :meth:`db` for dB values.
+    """
+
+    frequencies: np.ndarray
+    psd: np.ndarray
+    #: Engine that produced the spectrum ("mft", "brute-force", ...).
+    method: str = ""
+    #: Name of the observed output.
+    output: str = ""
+    #: Free-form engine metadata (runtimes, cycle counts, grid sizes).
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.frequencies = np.asarray(self.frequencies, dtype=float)
+        self.psd = np.asarray(self.psd, dtype=float)
+        if self.frequencies.shape != self.psd.shape:
+            raise ReproError(
+                f"frequency grid {self.frequencies.shape} does not match "
+                f"PSD samples {self.psd.shape}")
+
+    def single_sided(self):
+        """Single-sided PSD values (2× double-sided)."""
+        return 2.0 * self.psd
+
+    def db(self, single_sided=False):
+        """PSD in dB (relative to 1 V²/Hz)."""
+        values = self.single_sided() if single_sided else self.psd
+        return np.asarray([db10(max(v, 0.0)) for v in values])
+
+    def at(self, frequency):
+        """Log-linear interpolation of the PSD at one frequency."""
+        f = float(frequency)
+        if not (self.frequencies.min() <= f <= self.frequencies.max()):
+            raise ReproError(
+                f"frequency {f} outside sampled range "
+                f"[{self.frequencies.min()}, {self.frequencies.max()}]")
+        return float(np.interp(f, self.frequencies, self.psd))
+
+    def integrated_power(self, f_low=None, f_high=None):
+        """Trapezoidal integral of the double-sided PSD over [f_low, f_high].
+
+        For a symmetric double-sided spectrum sampled on positive
+        frequencies this equals *half* the total power in the band; the
+        band-power helpers in :mod:`repro.noise.snr` apply the factor 2.
+        """
+        f = self.frequencies
+        p = self.psd
+        lo = f.min() if f_low is None else float(f_low)
+        hi = f.max() if f_high is None else float(f_high)
+        if hi <= lo:
+            raise ReproError(f"empty frequency band [{lo}, {hi}]")
+        mask = (f >= lo) & (f <= hi)
+        fs = f[mask]
+        ps = p[mask]
+        # Include exact band edges by interpolation.
+        if fs.size == 0 or fs[0] > lo:
+            fs = np.insert(fs, 0, lo)
+            ps = np.insert(ps, 0, np.interp(lo, f, p))
+        if fs[-1] < hi:
+            fs = np.append(fs, hi)
+            ps = np.append(ps, np.interp(hi, f, p))
+        return float(np.trapezoid(ps, fs))
+
+
+@dataclass
+class ConvergenceTrace:
+    """PSD-vs-time trace of the brute-force engine (paper Fig. 1)."""
+
+    times: np.ndarray
+    psd_estimates: np.ndarray
+    frequency: float
+    converged: bool
+    periods: int
+
+    def final(self):
+        return float(self.psd_estimates[-1])
+
+    def db_swing(self, last_n=10):
+        """Max dB change over the last ``last_n`` samples."""
+        tail = self.psd_estimates[-last_n:]
+        tail = tail[tail > 0.0]
+        if tail.size < 2:
+            return np.inf
+        return float(db10(tail.max()) - db10(tail.min()))

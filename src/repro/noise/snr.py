@@ -1,0 +1,60 @@
+"""Signal-to-noise-ratio helpers.
+
+The companion draft's Table I reports output SNR computed "from the
+average output variance" — i.e. signal power divided by the time-averaged
+noise variance. Both that convention and the band-integrated-PSD
+convention are provided; the draft itself notes the two differ by a few
+dB, which our Table I reproduction demonstrates explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..units import db10
+
+
+def signal_power_sine(amplitude):
+    """Average power of a sinusoid of the given peak amplitude."""
+    return 0.5 * float(amplitude) ** 2
+
+
+def signal_power_waveform(times, waveform):
+    """Mean-square power of a sampled periodic waveform (AC part).
+
+    The DC component is removed first: SNR quotes conventionally compare
+    the AC signal power to the noise power.
+    """
+    times = np.asarray(times, dtype=float)
+    waveform = np.asarray(waveform, dtype=float)
+    if times.shape != waveform.shape:
+        raise ReproError("times and waveform must have the same shape")
+    span = times[-1] - times[0]
+    if span <= 0.0:
+        raise ReproError("waveform must span a positive time interval")
+    mean = np.trapezoid(waveform, times) / span
+    return float(np.trapezoid((waveform - mean) ** 2, times) / span)
+
+
+def integrated_noise_power(psd_result, f_low=None, f_high=None):
+    """Total noise power in a band from a double-sided PSD.
+
+    The factor 2 accounts for the negative-frequency half of the
+    double-sided spectrum.
+    """
+    return 2.0 * psd_result.integrated_power(f_low, f_high)
+
+
+def snr_db(signal_power, noise_power):
+    """``10 log10(P_signal / P_noise)``."""
+    if noise_power <= 0.0:
+        raise ReproError(f"noise power must be positive: {noise_power}")
+    if signal_power < 0.0:
+        raise ReproError(f"signal power must be >= 0: {signal_power}")
+    return db10(signal_power) - db10(noise_power)
+
+
+def snr_from_variance(signal_power, average_variance):
+    """The draft's Table I convention: SNR from average output variance."""
+    return snr_db(signal_power, average_variance)

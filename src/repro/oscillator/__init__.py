@@ -1,0 +1,28 @@
+"""Oscillator phase noise — extension experiments.
+
+Oscillators break the periodic-steady-state assumption of the covariance
+(its envelope grows linearly, draft eq. (40)), but the ESD-per-unit-time
+definition of the PSD still converges away from the carrier. This
+package implements both oscillator studies of the companion draft:
+
+* :mod:`repro.oscillator.linear_ring` — the linear 3-stage ring model
+  (draft Fig. 16, eqs. (40)–(42)): closed-form variance growth and PSD,
+  plus the same quantities from the numerical engines.
+* :mod:`repro.oscillator.ring3` — the tanh delay-cell 3-stage ring
+  (draft Fig. 17/18, eq. (43)): autonomous shooting for the orbit, the
+  linearised LPTV noise model, the variance-slope extraction, and the
+  single-sideband phase noise compared against the Demir formula.
+"""
+
+from .linear_ring import LinearRingParams, linear_ring_system, linear_ring_variance
+from .ring3 import Ring3Params, ring3_orbit, ring3_phase_noise, ring3_system
+
+__all__ = [
+    "LinearRingParams",
+    "linear_ring_system",
+    "linear_ring_variance",
+    "Ring3Params",
+    "ring3_orbit",
+    "ring3_system",
+    "ring3_phase_noise",
+]

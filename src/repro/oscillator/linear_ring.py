@@ -1,0 +1,99 @@
+"""Linear model of a 3-stage ring oscillator (draft Fig. 16).
+
+Three identical inverting ``−G_m`` stages with RC loads in a ring::
+
+    C dV_i/dt = −V_i/R − G_m V_{i−1}
+
+oscillates when the loop gain hits one: ``G_m R = 2``,
+``ω_o = √3/(RC)``. The state matrix is constant — an *unstable* LTI
+system — so the covariance has a closed form (draft eq. (40)): equal
+variances at all three nodes growing linearly with slope
+``B = R²ω_o² I_n / 9``, and cross-correlations decreasing at half that
+rate. The PSD (eq. (41)) is in :mod:`repro.baselines.razavi`.
+
+This module provides the state-space model and the closed-form variance,
+used to validate the transient covariance engine on a non-stable system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class LinearRingParams:
+    """R, C of the loads; ``G_m = 2/R`` holds the oscillation condition."""
+
+    resistance: float = 2e3
+    capacitance: float = 1e-12
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self):
+        if self.resistance <= 0.0 or self.capacitance <= 0.0:
+            raise ReproError("R and C must be positive")
+
+    @property
+    def gm(self):
+        return 2.0 / self.resistance
+
+    @property
+    def omega_osc(self):
+        return np.sqrt(3.0) / (self.resistance * self.capacitance)
+
+    @property
+    def noise_intensity(self):
+        """Draft convention: ``I_n = 4kT/R`` per node [A²/Hz]."""
+        return 4.0 * BOLTZMANN * self.temperature / self.resistance
+
+
+def linear_ring_system(params=None, **kwargs):
+    """Return ``(A, B)`` of the 3-node linear ring with node noise."""
+    if params is None:
+        params = LinearRingParams(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either params or keyword overrides, not both")
+    tau = params.resistance * params.capacitance
+    a = np.zeros((3, 3))
+    for i in range(3):
+        a[i, i] = -1.0 / tau
+        a[i, (i - 1) % 3] = -params.gm / params.capacitance
+    # The draft quotes I_n = 4kT/R, the *single-sided* thermal PSD; the
+    # Wiener intensities in this library are double-sided, i.e. I_n/2.
+    # With this scaling the closed forms of eq. (40) hold verbatim.
+    b = (np.sqrt(params.noise_intensity / 2.0) / params.capacitance
+         * np.eye(3))
+    return a, b
+
+
+def linear_ring_variance(params, times):
+    """Closed-form node variance, draft eq. (40)::
+
+        V(t) = (R²ω_o I_n / 36√3)(1 − e^{−6t/RC}) + (R²ω_o² I_n / 9) t
+    """
+    t = np.asarray(times, dtype=float)
+    r = params.resistance
+    tau = r * params.capacitance
+    omega_o = params.omega_osc
+    i_n = params.noise_intensity
+    transient = (r ** 2 / (36.0 * np.sqrt(3.0)) * omega_o * i_n
+                 * (1.0 - np.exp(-6.0 * t / tau)))
+    secular = r ** 2 / 9.0 * omega_o ** 2 * i_n * t
+    return transient + secular
+
+
+def linear_ring_cross_correlation(params, times):
+    """Closed-form cross-correlation, draft eq. (40) second line."""
+    t = np.asarray(times, dtype=float)
+    r = params.resistance
+    tau = r * params.capacitance
+    omega_o = params.omega_osc
+    i_n = params.noise_intensity
+    transient = (r ** 2 / (36.0 * np.sqrt(3.0)) * omega_o * i_n
+                 * (1.0 - np.exp(-6.0 * t / tau)))
+    secular = r ** 2 / 18.0 * omega_o ** 2 * i_n * t
+    return transient - secular

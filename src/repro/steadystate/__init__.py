@@ -1,0 +1,24 @@
+"""Nonlinear periodic steady-state solvers (large-signal step).
+
+Step 1 of the paper's procedure: "solve the set of non-linear equations
+(3) to get the periodic large signal steady state solution". For the
+linear SC circuits this is trivial (zero), but the translinear and
+oscillator extensions need it:
+
+* :func:`~repro.steadystate.shooting.forced_steady_state` — Newton
+  shooting for circuits driven by a periodic input (known period).
+* :func:`~repro.steadystate.shooting.autonomous_steady_state` — shooting
+  with the period as an extra unknown plus a phase anchor (oscillators).
+"""
+
+from .shooting import (
+    PeriodicOrbit,
+    autonomous_steady_state,
+    forced_steady_state,
+)
+
+__all__ = [
+    "PeriodicOrbit",
+    "forced_steady_state",
+    "autonomous_steady_state",
+]

@@ -1,0 +1,41 @@
+"""Externally linear (translinear / log-domain) circuits — extension.
+
+These circuits are linear for the signal but nonlinear for noise: the
+noise intensity is modulated by the large signal (cyclostationary) and
+there is signal–noise intermodulation. The companion draft derives their
+noise SDEs with the translinear principle; this package implements
+
+* :mod:`repro.translinear.class_a` — the class-A instantaneously
+  companding integrator (draft eqs. (32)–(34), Fig. 12);
+* :mod:`repro.translinear.class_ab` — Seevinck's class-AB integrator in
+  class-B operation with an external noise generator (draft eqs.
+  (35)–(36), Fig. 13 and Table I);
+* :mod:`repro.translinear.shot` — the class-AB filter with internal
+  shot-noise sources (draft eqs. (37)–(39), Figs. 14–15).
+
+All three reduce to :class:`~repro.lptv.system.SampledLPTVSystem`
+instances consumed by the same MFT engine as the SC circuits — the
+"general nature of the algorithm" claim of the paper.
+"""
+
+from .class_a import ClassAParams, class_a_large_signal, class_a_system
+from .class_ab import (
+    ClassAbParams,
+    class_ab_large_signal,
+    class_ab_system,
+    class_ab_snr_table,
+)
+from .shot import ShotNoiseParams, shot_noise_system, shot_noise_snr
+
+__all__ = [
+    "ClassAParams",
+    "class_a_system",
+    "class_a_large_signal",
+    "ClassAbParams",
+    "class_ab_system",
+    "class_ab_large_signal",
+    "class_ab_snr_table",
+    "ShotNoiseParams",
+    "shot_noise_system",
+    "shot_noise_snr",
+]

@@ -1,0 +1,124 @@
+"""Class-A instantaneously companding integrator (draft Fig. 10/12).
+
+Signal path (externally linear, draft eq. (32))::
+
+    dy/dt = −a y + k u,    a = I/(C V_T),   k = I_o/(C V_T)
+
+For a sinusoidal input ``u(t) = u_dc + u_m sin(2π f t)`` the periodic
+large-signal output has the closed form of a driven first-order system —
+no shooting needed.
+
+Noise path (draft eq. (33)): an external noise generator of double-sided
+PSD ``I_n`` enters through the translinear multiplier, so its intensity
+is modulated by the instantaneous output::
+
+    dy_n = −a y_n dt + (y_s(t) √I_n / (C V_T)) dW
+
+i.e. ``A = −a`` constant and ``B(t)`` cyclostationary — the smallest
+circuit exhibiting the signal-noise intermodulation the draft discusses,
+and a closed-form-checkable one: eq. (34) gives the variance ODE.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..lptv.system import SampledLPTVSystem
+from ..units import THERMAL_VOLTAGE_300K
+
+
+@dataclass(frozen=True)
+class ClassAParams:
+    """Bias and drive for the class-A companding integrator."""
+
+    #: Bias current I [A] — sets the pole ``a = I/(C V_T)``.
+    i_bias: float = 1e-6
+    #: Output scaling current I_o [A].
+    i_out: float = 1e-6
+    capacitance: float = 10e-12
+    v_thermal: float = THERMAL_VOLTAGE_300K
+    #: Input drive: ``u(t) = u_dc + u_m sin(2π f_in t)`` [A].
+    u_dc: float = 1e-6
+    u_amplitude: float = 0.5e-6
+    f_input: float = 50e3
+    #: External noise generator double-sided PSD [A²/Hz].
+    noise_psd: float = 1e-22
+
+    def __post_init__(self):
+        if self.u_dc - abs(self.u_amplitude) <= 0.0:
+            raise ReproError(
+                "class-A operation requires u(t) > 0 at all times: "
+                f"u_dc={self.u_dc}, amplitude={self.u_amplitude}")
+        for label, value in (("i_bias", self.i_bias),
+                             ("i_out", self.i_out),
+                             ("capacitance", self.capacitance),
+                             ("f_input", self.f_input)):
+            if value <= 0.0:
+                raise ReproError(f"{label} must be positive, got {value}")
+
+    @property
+    def pole(self):
+        """``a = I/(C V_T)`` [rad/s]."""
+        return self.i_bias / (self.capacitance * self.v_thermal)
+
+    @property
+    def gain(self):
+        """``k = I_o/(C V_T)``."""
+        return self.i_out / (self.capacitance * self.v_thermal)
+
+    @property
+    def period(self):
+        return 1.0 / self.f_input
+
+
+def class_a_large_signal(params, times):
+    """Closed-form periodic steady state ``y_s(t)``.
+
+    Driven first-order linear system: DC gain ``k/a`` on ``u_dc`` plus a
+    scaled/phase-shifted sinusoid.
+    """
+    t = np.asarray(times, dtype=float)
+    a = params.pole
+    k = params.gain
+    omega = 2.0 * math.pi * params.f_input
+    dc = k / a * params.u_dc
+    mag = k * params.u_amplitude / math.hypot(a, omega)
+    phase = math.atan2(omega, a)
+    return dc + mag * np.sin(omega * t - phase)
+
+
+def class_a_system(params=None, **kwargs):
+    """Build the noise LPTV model (1 state, cyclostationary B)."""
+    if params is None:
+        params = ClassAParams(**kwargs)
+    elif kwargs:
+        raise ReproError("pass either params or keyword overrides, not both")
+    a = params.pole
+    cvt = params.capacitance * params.v_thermal
+    sqrt_in = math.sqrt(params.noise_psd)
+
+    def a_of_t(_t):
+        return np.array([[-a]])
+
+    def b_of_t(t):
+        y_s = float(class_a_large_signal(params, t))
+        return np.array([[y_s * sqrt_in / cvt]])
+
+    return SampledLPTVSystem(
+        a_of_t=a_of_t, b_of_t=b_of_t, period=params.period, n_states=1,
+        output_matrix=np.array([[1.0]]), state_names=["y"])
+
+
+def class_a_variance_ode_rhs(params, t, variance):
+    """Right-hand side of draft eq. (34) — used by the regression tests.
+
+    ``dK/dt = −(2I/CV_T) K + y_s(t)² I_n / (C V_T)²``
+    """
+    cvt = params.capacitance * params.v_thermal
+    y_s = float(class_a_large_signal(params, t))
+    return (-2.0 * params.i_bias / cvt * variance
+            + y_s ** 2 * params.noise_psd / cvt ** 2)

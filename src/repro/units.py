@@ -1,0 +1,171 @@
+"""Physical constants, engineering notation and decibel helpers.
+
+Circuit noise work constantly mixes quantities spanning thirty orders of
+magnitude ("80", "100p", "2k", "-61.5 dB"), so this module centralises
+
+* the physical constants used by every noise model,
+* a parser for SPICE-style engineering notation, and
+* the dB conversions used when reporting spectra.
+
+All spectral densities in this library are **double-sided** unless a
+function name says otherwise; :func:`single_sided` / :func:`double_sided`
+convert between the conventions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitsError
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default analysis temperature [K] (the 300 K used throughout the paper).
+ROOM_TEMPERATURE = 300.0
+
+#: Thermal voltage kT/q at ``ROOM_TEMPERATURE`` [V].
+THERMAL_VOLTAGE_300K = BOLTZMANN * ROOM_TEMPERATURE / ELEMENTARY_CHARGE
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<suffix>[a-zA-Z]*)\s*$""",
+    re.VERBOSE,
+)
+
+
+def thermal_voltage(temperature=ROOM_TEMPERATURE):
+    """Return the thermal voltage ``kT/q`` [V] at ``temperature`` [K]."""
+    if temperature <= 0.0:
+        raise UnitsError(f"temperature must be positive, got {temperature!r}")
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE
+
+
+def parse_value(text):
+    """Parse a SPICE-style engineering quantity into a float.
+
+    Accepts plain numbers (``"1e-12"``, ``3.3``) and numbers with a
+    case-insensitive engineering suffix (``"100p"``, ``"2k"``, ``"1MEG"``).
+    Any trailing unit letters after the suffix are ignored, as in SPICE
+    (``"100pF"`` == ``"100p"``); the special suffix ``meg`` is checked
+    before ``m`` so ``"1MEG"`` is 1e6 while ``"1m"`` is 1e-3.
+
+    Raises :class:`~repro.errors.UnitsError` for unparseable input.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    if not isinstance(text, str):
+        raise UnitsError(f"cannot parse {text!r} as an engineering value")
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise UnitsError(f"cannot parse {text!r} as an engineering value")
+    value = float(match.group("number"))
+    suffix = match.group("suffix").lower()
+    if not suffix:
+        return value
+    if suffix.startswith("meg"):
+        return value * _SUFFIXES["meg"]
+    head = suffix[0]
+    if head in _SUFFIXES:
+        return value * _SUFFIXES[head]
+    # No recognised scale factor: the letters are a bare unit ("3.3V").
+    return value
+
+
+def format_value(value, unit=""):
+    """Format ``value`` with an engineering suffix, e.g. ``1e-10 -> "100p"``.
+
+    Used by the reporting helpers; round-trips through
+    :func:`parse_value` up to floating-point rounding.
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    # "MEG" rather than "M": SPICE suffixes are case-insensitive, so a
+    # bare "M" would read back as milli.
+    for suffix, scale in (
+        ("T", 1e12), ("G", 1e9), ("MEG", 1e6), ("k", 1e3), ("", 1.0),
+        ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+    ):
+        if magnitude >= scale:
+            return f"{value / scale:.4g}{suffix}{unit}"
+    return f"{value:.4g}{unit}"
+
+
+def db10(x):
+    """Power ratio to decibels: ``10 log10(x)``.
+
+    Returns ``-inf`` for ``x == 0`` rather than raising, because spectra
+    legitimately contain exact zeros (e.g. at notch frequencies).
+    """
+    if x < 0.0:
+        raise UnitsError(f"cannot take dB of negative power {x!r}")
+    if x == 0.0:
+        return -math.inf
+    return 10.0 * math.log10(x)
+
+
+def db20(x):
+    """Amplitude ratio to decibels: ``20 log10(|x|)``."""
+    return 2.0 * db10(abs(x)) if x != 0.0 else -math.inf
+
+
+def from_db10(db):
+    """Inverse of :func:`db10`."""
+    return 10.0 ** (db / 10.0)
+
+
+def single_sided(double_sided_psd):
+    """Convert a double-sided PSD value to single-sided (×2)."""
+    return 2.0 * double_sided_psd
+
+
+def double_sided(single_sided_psd):
+    """Convert a single-sided PSD value to double-sided (÷2)."""
+    return 0.5 * single_sided_psd
+
+
+def resistor_current_noise_psd(resistance, temperature=ROOM_TEMPERATURE):
+    """Double-sided thermal noise *current* PSD of a resistor [A²/Hz].
+
+    The paper's convention (Section V.A): the switch/resistor contributes a
+    parallel current source with double-sided PSD ``2kT/R``.
+    """
+    if resistance <= 0.0:
+        raise UnitsError(f"resistance must be positive, got {resistance!r}")
+    return 2.0 * BOLTZMANN * temperature / resistance
+
+
+def resistor_voltage_noise_psd(resistance, temperature=ROOM_TEMPERATURE):
+    """Double-sided thermal noise *voltage* PSD of a resistor [V²/Hz]: 2kTR."""
+    if resistance <= 0.0:
+        raise UnitsError(f"resistance must be positive, got {resistance!r}")
+    return 2.0 * BOLTZMANN * temperature * resistance
+
+
+def shot_noise_psd(current):
+    """Double-sided shot-noise current PSD ``q·|I|`` [A²/Hz].
+
+    (Single-sided convention would be ``2qI``; this library is
+    double-sided throughout.)
+    """
+    return ELEMENTARY_CHARGE * abs(current)

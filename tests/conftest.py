@@ -1,0 +1,46 @@
+"""Shared fixtures: canonical circuits and reproducible randomness."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ScLowpassParams,
+    SwitchedRcParams,
+    sc_lowpass_system,
+    switched_rc_system,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20030603)  # DAC 2003 :-)
+
+
+@pytest.fixture
+def rc_params():
+    """Switched RC with T/τ = 5 at 50% duty: mildly sampled-data."""
+    return SwitchedRcParams(resistance=10e3, capacitance=1e-9,
+                            period=5e-5, duty=0.5)
+
+
+@pytest.fixture
+def rc_system(rc_params):
+    return switched_rc_system(rc_params)
+
+
+@pytest.fixture(scope="session")
+def lowpass_model():
+    """The paper's SC low-pass filter (source-follower op-amp)."""
+    return sc_lowpass_system()
+
+
+@pytest.fixture(scope="session")
+def lowpass_params():
+    return ScLowpassParams()
+
+
+def random_stable_matrix(rng, n, margin=0.5):
+    """A random strictly stable matrix (all eigenvalue real parts < -margin)."""
+    a = rng.standard_normal((n, n))
+    shift = max(np.real(np.linalg.eigvals(a)).max(), 0.0)
+    return a - (shift + margin) * np.eye(n)

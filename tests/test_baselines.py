@@ -1,0 +1,238 @@
+"""Comparator implementations: Rice, LTI, HTF folding, Tóth–Suyama,
+Demir/Razavi formulas."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.demir import (
+    demir_c_parameter,
+    demir_corner_frequency,
+    demir_lorentzian_ssb,
+    lorentzian_psd,
+)
+from repro.baselines.htf_noise import htf_noise_psd
+from repro.baselines.lti import lti_noise_psd, lti_output_variance
+from repro.baselines.razavi import (
+    linear_ring_psd_exact,
+    linear_ring_variance_slope,
+    razavi_linear_oscillator_psd,
+)
+from repro.baselines.rice import (
+    rice_sampled_data_limit_psd,
+    rice_switched_rc_psd,
+    rice_switched_rc_variance,
+    rice_track_only_psd,
+)
+from repro.baselines.toth_suyama import (
+    IdealScNetwork,
+    discrete_spectrum,
+    ideal_lowpass_model,
+    sampled_and_held_psd,
+)
+from repro.circuits import SwitchedRcParams
+from repro.errors import ConvergenceError, NoiseModelError, ReproError
+from repro.units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+class TestRice:
+    def test_variance_is_ktc(self, rc_params):
+        assert rice_switched_rc_variance(rc_params) == pytest.approx(
+            BOLTZMANN * ROOM_TEMPERATURE / rc_params.capacitance)
+
+    def test_duty_to_one_limit_is_lorentzian(self):
+        p = SwitchedRcParams(resistance=10e3, capacitance=1e-9,
+                             period=5e-5, duty=0.9999)
+        freqs = np.array([100.0, 3e3, 30e3])
+        assert np.allclose(rice_switched_rc_psd(p, freqs),
+                           rice_track_only_psd(p, freqs), rtol=2e-3,
+                           atol=0.0)
+
+    def test_dc_value_positive_and_finite(self, rc_params):
+        psd = rice_switched_rc_psd(rc_params, [0.0])
+        assert np.isfinite(psd[0]) and psd[0] > 0.0
+
+    def test_long_hold_becomes_sampled_data(self):
+        # Switch open for 20 time constants: the full spectrum approaches
+        # the sample-and-hold formula near its main lobe (paper Fig. 3).
+        p = SwitchedRcParams(resistance=10e3, capacitance=1e-9,
+                             period=2.5e-4, duty=0.2)
+        # hold = 0.8*T = 20 τ.
+        freqs = np.linspace(100.0, 3.5e3, 12)
+        full = rice_switched_rc_psd(p, freqs)
+        sh = rice_sampled_data_limit_psd(p, freqs)
+        assert np.allclose(full, sh, rtol=0.25)
+
+    def test_short_hold_not_sampled_data(self, rc_params):
+        # T/τ = 5, duty 0.5: hold only 2.5 τ, spectrum stays continuous-
+        # like — the direct track noise roughly doubles the held power,
+        # so the S/H formula underestimates by ~2× (paper Fig. 3: the
+        # spectrum "still resembles a continuous time spectrum").
+        freqs = np.array([10e3, 30e3])
+        full = rice_switched_rc_psd(rc_params, freqs)
+        sh = rice_sampled_data_limit_psd(rc_params, freqs)
+        assert np.all(full / sh > 1.5)
+
+    def test_rejects_negative_frequency(self, rc_params):
+        with pytest.raises(ReproError):
+            rice_switched_rc_psd(rc_params, [-1.0])
+
+
+class TestLti:
+    def test_matches_lyapunov_total_power(self, rng):
+        from conftest import random_stable_matrix
+        a = random_stable_matrix(rng, 3)
+        b = rng.standard_normal((3, 2))
+        l_row = rng.standard_normal(3)
+        freqs = np.linspace(0.0, 200.0, 20000)
+        psd = lti_noise_psd(a, b, l_row, freqs)
+        power = 2.0 * np.trapezoid(psd, freqs)
+        assert power == pytest.approx(lti_output_variance(a, b, l_row),
+                                      rel=2e-2)
+
+    def test_row_size_validated(self):
+        with pytest.raises(ReproError):
+            lti_noise_psd(-np.eye(2), np.eye(2), np.ones(3), [1.0])
+
+
+class TestHtfNoise:
+    def test_matches_rice(self, rc_system, rc_params):
+        freqs = np.array([1e3, 9e3, 31e3])
+        result = htf_noise_psd(rc_system, freqs, n_harmonics=60,
+                               segments_per_phase=32, tail_tol=0.1)
+        assert np.allclose(result.psd,
+                           rice_switched_rc_psd(rc_params, freqs),
+                           rtol=0.02, atol=0.0)
+
+    def test_tail_divergence_raises(self, rc_system):
+        with pytest.raises(ConvergenceError):
+            htf_noise_psd(rc_system, [1e3], n_harmonics=3,
+                          segments_per_phase=16, tail_tol=1e-6)
+
+    def test_metadata(self, rc_system):
+        result = htf_noise_psd(rc_system, [1e3], n_harmonics=40,
+                               segments_per_phase=16, tail_tol=0.2)
+        assert result.method == "htf"
+        assert 0.0 <= result.info["worst_tail"] <= 0.2
+
+
+class TestIdealScNetwork:
+    def test_single_cap_resample_is_ktc(self):
+        # One capacitor recharged from a source every cycle: sampled
+        # variance kT/C, samples independent.
+        net = IdealScNetwork(capacitances=[1e-12])
+        net.connect_to_source([0])
+        cov = net.sampled_covariance()
+        assert cov[0, 0] == pytest.approx(
+            BOLTZMANN * ROOM_TEMPERATURE / 1e-12, rel=1e-12)
+
+    def test_parallel_equilibration_conserves_charge(self):
+        net = IdealScNetwork(capacitances=[1e-12, 3e-12])
+        net.connect_parallel([0, 1])
+        m, _q = net.cycle_map()
+        # Charge-conserving average: rows equal (C1 v1 + C2 v2)/(C1+C2).
+        assert np.allclose(m[0], [0.25, 0.75])
+        assert np.allclose(m[1], [0.25, 0.75])
+
+    def test_parallel_noise_is_kt_over_total(self):
+        net = IdealScNetwork(capacitances=[1e-12, 3e-12])
+        net.connect_parallel([0, 1])
+        _m, q = net.cycle_map()
+        var = BOLTZMANN * ROOM_TEMPERATURE / 4e-12
+        assert np.allclose(q, var)
+
+    def test_source_with_gain_rows(self):
+        net = IdealScNetwork(capacitances=[1e-12, 1e-12])
+        net.connect_to_source([1], gain_rows={0: 0.5})
+        m, _q = net.cycle_map()
+        assert np.allclose(m[1], [0.5, 0.0])
+
+    def test_event_validation(self):
+        net = IdealScNetwork(capacitances=[1e-12])
+        with pytest.raises(ReproError):
+            net.connect_parallel([0])
+        with pytest.raises(ReproError):
+            net.custom_event(np.eye(2), np.eye(2))
+        with pytest.raises(NoiseModelError):
+            IdealScNetwork(capacitances=[1e-12]).cycle_map()
+
+    def test_discrete_spectrum_white_case(self):
+        s = discrete_spectrum(np.zeros((1, 1)), np.array([[2.0]]),
+                              np.array([1.0]),
+                              [0.0, 1.0, np.pi])
+        assert np.allclose(s, 2.0)
+
+    def test_discrete_spectrum_ar1(self):
+        # x_{n+1} = 0.5 x_n + w: S(θ) = 1/|1 - 0.5 e^{-jθ}|².
+        thetas = np.array([0.0, np.pi / 2, np.pi])
+        s = discrete_spectrum(np.array([[0.5]]), np.array([[1.0]]),
+                              np.array([1.0]), thetas)
+        expected = 1.0 / np.abs(1.0 - 0.5 * np.exp(-1j * thetas)) ** 2
+        assert np.allclose(s, expected, rtol=1e-12)
+
+    def test_sampled_and_held_notch(self):
+        # Half-period hold: sinc notch exactly at 2 f_clk — the Fig. 7
+        # discrepancy the paper highlights.
+        m, q, l_row = ideal_lowpass_model()
+        period = 1.0 / 4e3
+        freqs = np.array([7.99e3, 8e3, 8.01e3, 5e3])
+        psd = sampled_and_held_psd(m, q, l_row, period, period / 2,
+                                   freqs).psd
+        assert psd[1] < 1e-6 * psd[3]
+
+    def test_hold_time_validated(self):
+        m, q, l_row = ideal_lowpass_model()
+        with pytest.raises(ReproError):
+            sampled_and_held_psd(m, q, l_row, 1.0, 2.0, [1.0])
+
+    def test_ideal_lowpass_pole(self):
+        m, _q, _l = ideal_lowpass_model(c2=100e-12, c3=50e-12)
+        assert m[0, 0] == pytest.approx(0.5)
+
+
+class TestOscillatorFormulas:
+    def test_demir_c(self):
+        assert demir_c_parameter(2.0, 4.0) == pytest.approx(0.125)
+        with pytest.raises(ReproError):
+            demir_c_parameter(-1.0, 1.0)
+        with pytest.raises(ReproError):
+            demir_c_parameter(1.0, 0.0)
+
+    def test_demir_far_offset_slope(self):
+        # Far above the corner: L ~ f_o² c / f_m², i.e. −20 dB/decade.
+        f_osc, c = 70e6, 1e-15
+        l1, l2 = demir_lorentzian_ssb(f_osc, c, [1e5, 1e6])
+        assert l1 - l2 == pytest.approx(20.0, abs=0.01)
+
+    def test_demir_corner(self):
+        f_osc, c = 70e6, 1e-15
+        corner = demir_corner_frequency(f_osc, c)
+        at_corner = demir_lorentzian_ssb(f_osc, c, [corner])[0]
+        flat = demir_lorentzian_ssb(f_osc, c, [corner / 100.0])[0]
+        assert flat - at_corner == pytest.approx(3.0, abs=0.1)
+
+    def test_lorentzian_total_power(self):
+        # Choose c so the half-width γ = π f_o² c ≈ 9.4 kHz is well
+        # resolved by the grid; the lobe integral must equal the carrier
+        # power regardless of c (phase noise redistributes power).
+        f_osc, c = 1e6, 3e-9
+        freqs = np.linspace(0.0, 2e6, 400001)
+        psd = lorentzian_psd(f_osc, c, freqs, power=0.5)
+        total = np.trapezoid(psd, freqs)
+        assert total == pytest.approx(0.5, rel=1e-2)
+
+    def test_razavi_inverse_square(self):
+        psd = razavi_linear_oscillator_psd(4.0, [1.0, 2.0])
+        assert psd[0] / psd[1] == pytest.approx(4.0)
+        with pytest.raises(ReproError):
+            razavi_linear_oscillator_psd(1.0, [0.0])
+
+    def test_linear_ring_exact_reduces_to_razavi_near_carrier(self):
+        r, c_val, i_n = 2e3, 1e-12, 1e-22
+        omega_o = np.sqrt(3.0) / (r * c_val)
+        b_coef = linear_ring_variance_slope(r, c_val, i_n)
+        for rel_offset in (1e-4, 1e-5):
+            domega = rel_offset * omega_o
+            exact = linear_ring_psd_exact(r, c_val, i_n,
+                                          [omega_o + domega])[0]
+            razavi = razavi_linear_oscillator_psd(b_coef, [domega])[0]
+            assert exact == pytest.approx(razavi, rel=2e-2)

@@ -1,0 +1,146 @@
+"""Circuit primitives, netlist container and clock schedules."""
+
+import pytest
+
+from repro.circuit.components import (
+    Capacitor,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    WhiteNoiseCurrent,
+    WhiteNoiseVoltage,
+)
+from repro.circuit.netlist import GROUND, Netlist, canonical_node
+from repro.circuit.phases import ClockSchedule
+from repro.errors import CircuitError, ScheduleError
+
+
+class TestComponents:
+    def test_resistor_validation(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", -5.0)
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "a", 5.0)
+
+    def test_capacitor_validation(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "b", 0.0)
+
+    def test_switch_phases_normalised(self):
+        sw = Switch("S1", "a", "b", "phi1")
+        assert sw.closed_in == ("phi1",)
+        assert sw.is_closed("phi1")
+        assert not sw.is_closed("phi2")
+
+    def test_switch_never_closed_rejected(self):
+        with pytest.raises(CircuitError):
+            Switch("S1", "a", "b", ())
+
+    def test_ideal_switch_allowed_as_data(self):
+        assert Switch("S1", "a", "b", ("phi1",), ron=None).ron is None
+
+    def test_vcvs_zero_gain_rejected(self):
+        with pytest.raises(CircuitError):
+            Vcvs("E1", "o", "0", "a", "b", 0.0)
+
+    def test_vccs_zero_gm_rejected(self):
+        with pytest.raises(CircuitError):
+            Vccs("G1", "o", "0", "a", "b", 0.0)
+
+    def test_noise_sources_accept_zero_psd(self):
+        assert WhiteNoiseVoltage("V1", "a", "0", 0.0).psd == 0.0
+        with pytest.raises(CircuitError):
+            WhiteNoiseCurrent("I1", "a", "0", -1.0)
+
+
+class TestNetlist:
+    def test_ground_aliases(self):
+        for alias in ("0", "gnd", "GND", "ground"):
+            assert canonical_node(alias) == GROUND
+
+    def test_duplicate_name_rejected(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 10.0)
+        with pytest.raises(CircuitError):
+            nl.add_resistor("R1", "b", "0", 10.0)
+
+    def test_node_enumeration_excludes_ground(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "gnd", 10.0)
+        nl.add_capacitor("C1", "a", "b", 1e-12)
+        assert nl.nodes() == ["a", "b"]
+
+    def test_state_names_are_cap_names(self):
+        nl = Netlist()
+        nl.add_capacitor("Cx", "a", "0", 1e-12)
+        nl.add_capacitor("Cy", "b", "0", 2e-12)
+        assert nl.state_names() == ["Cx", "Cy"]
+
+    def test_noise_descriptors(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 10.0)
+        nl.add_resistor("R2", "a", "0", 10.0, noisy=False)
+        nl.add_switch("S1", "a", "b", ("phi1",))
+        nl.add_switch("S2", "a", "b", ("phi1",), ron=None)
+        nl.add_noise_voltage("VN", "b", "0", 1e-18)
+        nl.add_noise_current("IN", "b", "0", 1e-24)
+        kinds = [d[1] for d in nl.noise_descriptors()]
+        assert kinds == ["thermal-resistor", "thermal-switch", "voltage",
+                         "current"]
+
+    def test_phase_names_used(self):
+        nl = Netlist()
+        nl.add_switch("S1", "a", "b", ("phi1",))
+        nl.add_switch("S2", "b", "c", ("phi2", "phi1"))
+        assert nl.phase_names_used() == ["phi1", "phi2"]
+
+    def test_repr_summarises(self):
+        nl = Netlist("demo")
+        nl.add_resistor("R1", "a", "0", 10.0)
+        assert "Resistor" in repr(nl)
+        assert len(nl) == 1
+
+
+class TestClockSchedule:
+    def test_two_phase(self):
+        sch = ClockSchedule.two_phase(100e3, duty=0.25)
+        assert sch.period == pytest.approx(1e-5)
+        assert sch.durations[0] == pytest.approx(2.5e-6)
+        assert sch.frequency == pytest.approx(100e3)
+
+    def test_uniform(self):
+        sch = ClockSchedule.uniform(1e3, ["a", "b", "c", "d"])
+        assert sch.n_phases == 4
+        assert sch.duration_of("c") == pytest.approx(2.5e-4)
+
+    def test_boundaries(self):
+        sch = ClockSchedule(("x", "y"), (0.3, 0.7))
+        assert list(sch.boundaries) == [0.0, 0.3, pytest.approx(1.0)]
+
+    def test_duplicate_phase_names(self):
+        with pytest.raises(ScheduleError):
+            ClockSchedule(("a", "a"), (0.5, 0.5))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ScheduleError):
+            ClockSchedule(("a", "b"), (1.0,))
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(ScheduleError):
+            ClockSchedule(("a",), (0.0,))
+
+    def test_duty_bounds(self):
+        with pytest.raises(ScheduleError):
+            ClockSchedule.two_phase(1e3, duty=1.0)
+
+    def test_unknown_phase_lookup(self):
+        sch = ClockSchedule.two_phase(1e3)
+        with pytest.raises(ScheduleError):
+            sch.duration_of("phi9")
+
+    def test_validate_phase_names(self):
+        sch = ClockSchedule.two_phase(1e3)
+        sch.validate_phase_names(("phi1",), owner="S1")
+        with pytest.raises(ScheduleError):
+            sch.validate_phase_names(("track",), owner="S1")

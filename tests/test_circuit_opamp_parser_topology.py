@@ -1,0 +1,208 @@
+"""Op-amp macromodels, the netlist parser, and topology diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.lti import lti_noise_psd
+from repro.circuit.netlist import Netlist
+from repro.circuit.opamp import (
+    add_ideal_opamp,
+    add_single_stage_opamp,
+    add_source_follower_opamp,
+)
+from repro.circuit.parser import parse_netlist
+from repro.circuit.phases import ClockSchedule
+from repro.circuit.statespace import build_lptv_system
+from repro.circuit.topology import (
+    diagnose,
+    diagnose_phase,
+    floating_nodes,
+    voltage_loops,
+)
+from repro.errors import CircuitError
+from repro.mft.engine import MftNoiseAnalyzer
+
+
+def buffer_model(model, wu=2 * math.pi * 1e6, **opamp_kwargs):
+    nl = Netlist()
+    if model == "sf":
+        add_source_follower_opamp(nl, "op", "inp", "out", "out",
+                                  unity_gain_radps=wu,
+                                  input_noise_psd=1e-16, **opamp_kwargs)
+    else:
+        add_single_stage_opamp(nl, "op", "inp", "out", "out",
+                               unity_gain_radps=wu, c_equiv=10e-12,
+                               input_noise_psd=1e-16)
+    nl.add_resistor("Rg", "inp", "0", 1e3, noisy=False)
+    sch = ClockSchedule(("p",), (1e-5,))
+    return build_lptv_system(nl, sch, outputs=["out"])
+
+
+class TestOpampModels:
+    @pytest.mark.parametrize("model", ["sf", "1p"])
+    def test_buffer_noise_is_one_pole(self, model):
+        m = buffer_model(model)
+        freqs = np.array([1e3, 1e6, 4e6])
+        psd = MftNoiseAnalyzer(m.system, 16).psd(freqs).psd
+        expected = 1e-16 / (1.0 + (freqs / 1e6) ** 2)
+        assert np.allclose(psd, expected, rtol=1e-3, atol=0.0)
+
+    def test_source_follower_cint_immaterial(self):
+        # The paper: with the follower model only ω_u matters.
+        freqs = np.array([1e4, 1e6])
+        psd1 = MftNoiseAnalyzer(buffer_model(
+            "sf", c_internal=1e-12).system, 16).psd(freqs).psd
+        psd2 = MftNoiseAnalyzer(buffer_model(
+            "sf", c_internal=33e-12).system, 16).psd(freqs).psd
+        assert np.allclose(psd1, psd2, rtol=1e-9, atol=0.0)
+
+    def test_ideal_opamp_is_vcvs(self):
+        nl = Netlist()
+        add_ideal_opamp(nl, "op", "a", "0", "out", gain=1e6)
+        assert any(c.name == "op:avol" for c in nl.components)
+
+    def test_invalid_parameters(self):
+        nl = Netlist()
+        with pytest.raises(CircuitError):
+            add_source_follower_opamp(nl, "op", "a", "b", "c", -1.0)
+        with pytest.raises(CircuitError):
+            add_single_stage_opamp(nl, "op2", "a", "b", "c", 1.0, 0.0)
+
+    def test_noise_injection_matches_lti_reference(self):
+        m = buffer_model("sf")
+        ph = m.system.phases[0]
+        freqs = np.array([1e4, 5e5, 2e6])
+        mft = MftNoiseAnalyzer(m.system, 8).psd(freqs).psd
+        ref = lti_noise_psd(ph.a_matrix, ph.b_matrix,
+                            m.system.output_matrix[0], freqs)
+        assert np.allclose(mft, ref, rtol=1e-10, atol=0.0)
+
+
+PARSER_TEXT = """* demo switched circuit
+R1  in   a   80
+C1  a    0   100p
+S1  in   a   phi1 ron=120
+VN1 c    0   psd=4e-16
+R3  c    b   1k
+E1  out  0   a 0 1.0
+G1  b    0   a 0 1m
+CB  b    0   10p
+.clock f=4k phases=phi1,phi2 duty=0.5
+.output a
+.end
+"""
+
+
+class TestParser:
+    def test_full_parse(self):
+        parsed = parse_netlist(PARSER_TEXT)
+        assert parsed.title == "demo switched circuit"
+        names = [c.name for c in parsed.netlist.components]
+        assert names == ["R1", "C1", "S1", "VN1", "R3", "E1", "G1", "CB"]
+        assert parsed.schedule.frequency == pytest.approx(4e3)
+        assert parsed.outputs == ["a"]
+
+    def test_switch_options(self):
+        parsed = parse_netlist(PARSER_TEXT)
+        sw = next(c for c in parsed.netlist.components
+                  if c.name == "S1")
+        assert sw.ron == pytest.approx(120.0)
+        assert sw.closed_in == ("phi1",)
+
+    def test_noise_voltage_source(self):
+        parsed = parse_netlist(PARSER_TEXT)
+        vn = next(c for c in parsed.netlist.components
+                  if c.name == "VN1")
+        assert vn.psd == pytest.approx(4e-16)
+
+    def test_comments_and_blank_lines(self):
+        text = "* t\n\n; full-line comment is invalid element\nR1 a 0 1k\n"
+        parsed = parse_netlist("* t\n\nR1 a 0 1k ; trailing comment\n")
+        assert len(parsed.netlist) == 1
+        del text
+
+    def test_opamp_directives(self):
+        text = """R1 inp 0 1k noisy=0
+OPAMP_SF op1 inp out out wu=6.28meg noise=1e-16
+.clock f=100k phases=p1,p2 duty=0.5
+.output out
+"""
+        parsed = parse_netlist(text)
+        assert any(c.name == "op1:cint"
+                   for c in parsed.netlist.components)
+
+    def test_to_model_roundtrip(self):
+        model = parse_netlist(PARSER_TEXT).to_model()
+        assert model.system.n_states == 2  # C1 and CB
+
+    def test_missing_clock_rejected_at_model_build(self):
+        parsed = parse_netlist("R1 a 0 1k\nC1 a 0 1p\n.output a\n")
+        with pytest.raises(CircuitError):
+            parsed.to_model()
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_netlist("Q1 a b c model\n")
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_netlist(".clock phases=a,b\n")
+
+    def test_multiple_clocks_rejected(self):
+        text = ".clock f=1k phases=a,b duty=0.5\n" \
+               ".clock f=2k phases=a,b duty=0.5\n"
+        with pytest.raises(CircuitError):
+            parse_netlist(text)
+
+
+class TestTopologyDiagnostics:
+    def test_floating_node_detected(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1e3)
+        nl.add_resistor("R2", "x", "y", 1e3)
+        floats = floating_nodes(nl, "p")
+        assert set(floats) == {"x", "y"}
+
+    def test_switch_phase_changes_connectivity(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1e3)
+        nl.add_switch("S1", "a", "b", ("phi1",))
+        assert floating_nodes(nl, "phi2") == ["b"]
+        assert floating_nodes(nl, "phi1") == []
+
+    def test_capacitor_counts_as_voltage_pinning(self):
+        nl = Netlist()
+        nl.add_capacitor("C1", "a", "0", 1e-9)
+        assert floating_nodes(nl, "p") == []
+
+    def test_parallel_capacitor_loop_detected(self):
+        nl = Netlist()
+        nl.add_capacitor("C1", "a", "0", 1e-9)
+        nl.add_capacitor("C2", "a", "0", 1e-9)
+        loops = voltage_loops(nl, "p")
+        assert any({"C1", "C2"} == set(loop) for loop in loops)
+
+    def test_cap_source_loop_detected(self):
+        nl = Netlist()
+        nl.add_voltage_source("V1", "a", "0", 1.0)
+        nl.add_capacitor("C1", "a", "0", 1e-9)
+        assert voltage_loops(nl, "p")
+
+    def test_diagnose_produces_messages(self):
+        nl = Netlist()
+        nl.add_resistor("R2", "x", "y", 1e3)
+        nl.add_capacitor("C1", "a", "0", 1e-9)
+        nl.add_capacitor("C2", "a", "0", 1e-9)
+        findings = diagnose_phase(nl, "p")
+        assert any("no conductance" in f for f in findings)
+        assert any("voltage loop" in f for f in findings)
+
+    def test_diagnose_all_phases(self):
+        nl = Netlist()
+        nl.add_switch("S1", "a", "b", ("phi1",))
+        nl.add_resistor("R1", "a", "0", 1e3)
+        sch = ClockSchedule.two_phase(1e3)
+        findings = diagnose(nl, sch)
+        assert any("phi2" in f for f in findings)

@@ -1,0 +1,208 @@
+"""The paper's circuit builders: topology, stability, scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    SampleHoldParams,
+    ScBandpassParams,
+    ScIntegratorParams,
+    ScLowpassParams,
+    SwitchedRcParams,
+    sample_hold_system,
+    sc_bandpass_system,
+    sc_integrator_system,
+    sc_lowpass_system,
+    switched_rc_system,
+)
+from repro.errors import ReproError
+from repro.lptv.htf import harmonic_transfer_functions
+from repro.lptv.monodromy import floquet_multipliers, require_stable
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.covariance import periodic_covariance
+
+
+class TestSwitchedRcBuilder:
+    def test_param_validation(self):
+        with pytest.raises(ReproError):
+            SwitchedRcParams(duty=0.0)
+        with pytest.raises(ReproError):
+            SwitchedRcParams(resistance=-1.0)
+        with pytest.raises(ReproError):
+            SwitchedRcParams(period=0.0)
+
+    def test_derived_quantities(self, rc_params):
+        assert rc_params.tau == pytest.approx(1e-5)
+        assert rc_params.period_over_tau == pytest.approx(5.0)
+
+    def test_two_phases(self, rc_system):
+        assert [p.name for p in rc_system.phases] == ["track", "hold"]
+        assert rc_system.phases[1].a_matrix[0, 0] == 0.0
+
+    def test_rejects_params_plus_kwargs(self, rc_params):
+        with pytest.raises(ReproError):
+            switched_rc_system(rc_params, duty=0.3)
+
+
+class TestScLowpass:
+    def test_states(self, lowpass_model):
+        names = lowpass_model.system.state_names
+        assert names[:3] == ["C1", "C3", "C2"]
+        assert any("op" in n for n in names)
+
+    def test_stable(self, lowpass_model):
+        require_stable(lowpass_model.system)
+
+    def test_dc_gain_is_c1_over_c3(self, lowpass_model):
+        htf = harmonic_transfer_functions(
+            lowpass_model.signal_system(), 2.0 * np.pi * 5.0,
+            n_harmonics=0, segments_per_phase=24)
+        assert abs(htf[(0, 0)]) == pytest.approx(3.0, rel=1e-2)
+
+    def test_charge_relation_c1_c2_c3(self):
+        # Doubling C3 halves the DC gain (gain = C1/C3).
+        model = sc_lowpass_system(c3=200e-12)
+        htf = harmonic_transfer_functions(
+            model.signal_system(), 2.0 * np.pi * 5.0, n_harmonics=0,
+            segments_per_phase=24)
+        assert abs(htf[(0, 0)]) == pytest.approx(1.5, rel=2e-2)
+
+    def test_single_stage_model_builds(self):
+        model = sc_lowpass_system(opamp_model="single-stage")
+        require_stable(model.system)
+
+    def test_single_stage_depends_on_ceq(self):
+        # Paper: "the output additionally depends on the value of the
+        # capacitance used in the equivalent circuit of the opamp".
+        freqs = np.array([2e3, 7.5e3])
+        p1 = MftNoiseAnalyzer(sc_lowpass_system(
+            opamp_model="single-stage", opamp_ceq=100e-12).system,
+            24).psd(freqs).psd
+        p2 = MftNoiseAnalyzer(sc_lowpass_system(
+            opamp_model="single-stage", opamp_ceq=20e-12).system,
+            24).psd(freqs).psd
+        assert not np.allclose(p1, p2, rtol=0.05)
+
+    def test_source_follower_cint_does_not_matter(self):
+        # ... whereas for the follower model only ω_u matters (the
+        # builder hardwires cint, so verify via the opamp module test
+        # path: two wu values must differ, same wu must agree).
+        freqs = np.array([2e3, 7.5e3])
+        base = MftNoiseAnalyzer(sc_lowpass_system().system, 24).psd(
+            freqs).psd
+        same = MftNoiseAnalyzer(sc_lowpass_system().system, 24).psd(
+            freqs).psd
+        faster = MftNoiseAnalyzer(sc_lowpass_system(
+            opamp_wu=10.0 * 9e6 * np.pi).system, 24).psd(freqs).psd
+        assert np.allclose(base, same, rtol=1e-12)
+        assert not np.allclose(base, faster, rtol=0.05)
+
+    def test_opamp_bandwidth_increases_noise(self):
+        # Paper Fig. 9: higher ω_u -> more sampled charge -> higher PSD.
+        freqs = np.array([7.5e3])
+        psd = [MftNoiseAnalyzer(sc_lowpass_system(opamp_wu=wu).system,
+                                32).psd(freqs).psd[0]
+               for wu in (9e6 * np.pi, 9e7 * np.pi)]
+        assert psd[1] > psd[0]
+
+    def test_invalid_opamp_model(self):
+        with pytest.raises(ReproError):
+            ScLowpassParams(opamp_model="two-stage")
+
+    def test_cutoff_estimate(self, lowpass_params):
+        assert lowpass_params.cutoff_hz == pytest.approx(
+            4e3 * 1.0 / (2 * np.pi), rel=1e-12)
+
+
+class TestScBandpass:
+    def test_stable_resonator(self):
+        model = sc_bandpass_system()
+        mults = floquet_multipliers(model.system)
+        assert np.max(np.abs(mults)) < 1.0
+        # Dominant pair is complex (a resonance, not a real pole).
+        assert abs(np.angle(mults[0])) > 0.1
+
+    def test_resonance_near_design_frequency(self):
+        params = ScBandpassParams()
+        model = sc_bandpass_system(params)
+        mults = floquet_multipliers(model.system)
+        f_res = abs(np.angle(mults[0])) / (2 * np.pi) * params.f_clock
+        assert f_res == pytest.approx(params.f_center, rel=0.05)
+
+    def test_noise_peaks_at_resonance(self):
+        params = ScBandpassParams()
+        an = MftNoiseAnalyzer(sc_bandpass_system(params).system, 16)
+        psd_centre = an.psd_at(params.f_center)
+        assert psd_centre > 5.0 * an.psd_at(params.f_center / 5.0)
+        assert psd_centre > 5.0 * an.psd_at(3.0 * params.f_center)
+
+    def test_centre_frequency_validation(self):
+        with pytest.raises(ReproError):
+            ScBandpassParams(f_center=70e3, f_clock=128e3)
+        with pytest.raises(ReproError):
+            ScBandpassParams(q_factor=0.2)
+
+
+class TestScIntegrator:
+    def test_leak_controls_pole(self):
+        leaky = sc_integrator_system(leak=0.2)
+        mults = np.abs(floquet_multipliers(leaky.system))
+        assert mults[0] == pytest.approx(0.8, rel=0.05)
+
+    def test_pure_integrator_nearly_marginal(self):
+        pure = sc_integrator_system(leak=0.0)
+        mults = np.abs(floquet_multipliers(pure.system))
+        assert 0.999 < mults[0] < 1.0
+
+    def test_leak_validation(self):
+        with pytest.raises(ReproError):
+            ScIntegratorParams(leak=1.0)
+
+
+class TestSampleHold:
+    def test_total_variance_is_ktc(self):
+        params = SampleHoldParams()
+        model = sample_hold_system(params)
+        cov = periodic_covariance(model.system, 32)
+        l_row = model.system.output_matrix[0]
+        assert cov.output_variance(l_row)[0] == pytest.approx(
+            params.ktc_variance, rel=1e-6)
+
+    def test_two_thermal_sources(self):
+        model = sample_hold_system()
+        labels = model.noise_labels
+        assert "Rs:thermal" in labels and "S1:thermal" in labels
+
+    def test_contribution_split_by_resistance(self):
+        # Noise power divides in proportion to resistance: the source
+        # resistor (1 kΩ) contributes 5× the 200 Ω switch.
+        model = sample_hold_system()
+        an = MftNoiseAnalyzer(model.system, 32)
+        contributions = []
+        for column in range(2):
+            sys_single = _single_source_system(model.system, column)
+            cov = periodic_covariance(sys_single, 32)
+            contributions.append(
+                cov.average_output_variance(
+                    model.system.output_matrix[0]))
+        assert contributions[0] / contributions[1] == pytest.approx(
+            5.0, rel=1e-6)
+
+    def test_duty_validation(self):
+        with pytest.raises(ReproError):
+            SampleHoldParams(duty=1.5)
+
+
+def _single_source_system(system, column):
+    """Clone a switched system keeping only one noise column."""
+    from repro.lptv.system import Phase, PiecewiseLTISystem
+    phases = []
+    for p in system.phases:
+        b = np.zeros_like(p.b_matrix)
+        b[:, column] = p.b_matrix[:, column]
+        phases.append(Phase(p.name, p.duration, p.a_matrix, b,
+                            end_jump=p.end_jump))
+    return PiecewiseLTISystem(phases=phases,
+                              output_matrix=system.output_matrix,
+                              state_names=list(system.state_names),
+                              output_names=list(system.output_names))

@@ -1,0 +1,166 @@
+"""Cross-engine integration tests: the reproduction's core claims.
+
+Every test here pits at least two *independent* computations of the same
+physical quantity against each other — the validation style of the
+paper's Results section.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.htf_noise import htf_noise_psd
+from repro.baselines.lti import lti_noise_psd
+from repro.baselines.rice import rice_switched_rc_psd
+from repro.baselines.toth_suyama import (
+    ideal_lowpass_model,
+    sampled_and_held_psd,
+)
+from repro.circuits import (
+    ScLowpassParams,
+    SwitchedRcParams,
+    sc_lowpass_system,
+    switched_rc_system,
+)
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.brute_force import brute_force_psd
+
+
+class TestThreeWayAgreementSwitchedRc:
+    """MFT == brute force == Rice == HTF on the switched RC circuit."""
+
+    FREQS = np.array([1e3, 7.5e3, 31e3])
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = SwitchedRcParams(resistance=10e3, capacitance=1e-9,
+                                  period=5e-5, duty=0.5)
+        system = switched_rc_system(params)
+        return params, system
+
+    def test_mft_vs_rice(self, setup):
+        params, system = setup
+        mft = MftNoiseAnalyzer(system, 64).psd(self.FREQS).psd
+        assert np.allclose(mft, rice_switched_rc_psd(params, self.FREQS),
+                           rtol=1e-3, atol=0.0)
+
+    def test_brute_force_vs_mft(self, setup):
+        _params, system = setup
+        mft = MftNoiseAnalyzer(system, 48)
+        bf = brute_force_psd(system, self.FREQS, segments_per_phase=48,
+                             tol_db=0.02, window_periods=8,
+                             max_periods=50000)
+        for f, value in zip(self.FREQS, bf.psd):
+            assert value == pytest.approx(mft.psd_at(f), rel=0.03)
+
+    def test_htf_vs_rice(self, setup):
+        params, system = setup
+        htf = htf_noise_psd(system, self.FREQS, n_harmonics=60,
+                            segments_per_phase=32, tail_tol=0.1)
+        assert np.allclose(htf.psd,
+                           rice_switched_rc_psd(params, self.FREQS),
+                           rtol=0.02, atol=0.0)
+
+
+class TestLowpassCrossChecks:
+    def test_mft_vs_htf_on_slow_opamp_lowpass(self):
+        # The full-bandwidth op-amp folds O(1000) images, which is
+        # impractical for harmonic folding (the paper's motivation for a
+        # time-domain engine); a 40 kHz op-amp keeps the image count
+        # manageable and the two independent methods must then agree.
+        model = sc_lowpass_system(opamp_wu=2 * np.pi * 40e3)
+        freqs = np.array([500.0, 2e3, 7.5e3])
+        mft = MftNoiseAnalyzer(model.system, 64).psd(freqs).psd
+        htf = htf_noise_psd(model.system, freqs,
+                            n_harmonics=80, segments_per_phase=64,
+                            tail_tol=0.2).psd
+        assert np.allclose(mft, htf, rtol=0.1, atol=0.0)
+
+    def test_brute_force_converges_to_mft_at_7500(self, lowpass_model):
+        # The paper's Fig. 1 frequency.
+        freq = 7.5e3
+        mft = MftNoiseAnalyzer(lowpass_model.system, 32).psd_at(freq)
+        bf = brute_force_psd(lowpass_model.system, [freq],
+                             segments_per_phase=32, tol_db=0.01,
+                             window_periods=20, max_periods=20000)
+        # The transient engine approaches the steady state like 1/t;
+        # near the 2 f_clk notch that tail is slow, hence the wide
+        # tolerance at this (still finite) stopping criterion — the
+        # tight agreement checks live on the switched RC above.
+        assert bf.psd[0] == pytest.approx(mft, rel=0.3)
+
+    def test_sampled_and_held_theory_has_notch_engine_does_not(self):
+        # The Fig. 7 discrepancy: the S/H-only (Tóth-style) theory digs
+        # a deep notch at 2 f_clk; the full continuous-time engine
+        # keeps the direct noise and does not.
+        params = ScLowpassParams()
+        model = sc_lowpass_system(params)
+        f_notch = 2.0 * params.f_clock
+        f_ref = 0.55 * params.f_clock  # away from any sinc null
+
+        m, q, l_row = ideal_lowpass_model(
+            params.c1, params.c2, params.c3,
+            extra_sampled_psd=params.opamp_noise_psd,
+            f_clock=params.f_clock)
+        period = 1.0 / params.f_clock
+        theory = sampled_and_held_psd(
+            m, q, l_row, period, period / 2.0,
+            np.array([f_ref, f_notch]))
+        assert theory.psd[1] < 1e-4 * theory.psd[0]
+
+        an = MftNoiseAnalyzer(model.system, 48)
+        engine_ratio = an.psd_at(f_notch) / an.psd_at(f_ref)
+        assert engine_ratio > 1e-3  # no deep notch
+
+    def test_fig1_convergence_shape(self, lowpass_model):
+        # PSD(t) rises from zero and settles: the Fig. 1 curve.
+        bf = brute_force_psd(lowpass_model.system, [7.5e3],
+                             segments_per_phase=24, tol_db=0.1,
+                             window_periods=5, max_periods=5000)
+        trace = bf.info["details"][0].trace
+        assert trace.psd_estimates[0] < trace.final()
+        assert trace.converged
+        # Settling takes multiple clock periods (the cost MFT removes).
+        assert trace.periods >= 8
+
+
+class TestSpeedupClaim:
+    def test_mft_is_faster_per_frequency(self, rc_system):
+        # The DAC paper's headline: steady-state solves beat transient
+        # integration. Compare work proxies: MFT touches one period per
+        # frequency; brute force needs `periods` of them.
+        bf = brute_force_psd(rc_system, [5e3], segments_per_phase=32,
+                             tol_db=0.05, window_periods=5)
+        periods_needed = bf.info["details"][0].periods
+        assert periods_needed > 3  # brute force integrates many periods
+
+    def test_engines_share_discretization_cost(self, rc_system):
+        # Frequency sweeps reuse the real propagators: 40 extra
+        # frequencies must cost far less than 40× one frequency.
+        import time
+        an = MftNoiseAnalyzer(rc_system, 64)
+        an.psd_at(1e3)  # warm the covariance cache
+        t0 = time.perf_counter()
+        an.psd_at(2e3)
+        one = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        an.psd(np.linspace(1e3, 40e3, 40))
+        forty = time.perf_counter() - t0
+        assert forty < 40.0 * one * 3.0
+
+
+class TestLtiDegeneration:
+    def test_every_engine_agrees_on_lti(self, rng):
+        from conftest import random_stable_matrix
+        from repro.lptv.system import lti_phase_system
+        a = random_stable_matrix(rng, 3)
+        b = rng.standard_normal((3, 2))
+        l_row = np.array([1.0, 0.0, 0.0])
+        sys = lti_phase_system(a, b, period=0.5,
+                               output_matrix=l_row[None, :])
+        freqs = np.array([0.1, 1.0, 5.0])
+        ref = lti_noise_psd(a, b, l_row, freqs)
+        mft = MftNoiseAnalyzer(sys, 16).psd(freqs).psd
+        htf = htf_noise_psd(sys, freqs, n_harmonics=2,
+                            segments_per_phase=16).psd
+        assert np.allclose(mft, ref, rtol=1e-9, atol=0.0)
+        assert np.allclose(htf, ref, rtol=1e-8, atol=0.0)

@@ -1,0 +1,160 @@
+"""Trapezoidal integrator, fixed-grid LTV propagation and grids."""
+
+import numpy as np
+import pytest
+import scipy.integrate
+
+from repro.errors import ConvergenceError, ScheduleError
+from repro.integrate.grid import phase_aligned_grid, refine_grid
+from repro.integrate.ltv import (
+    integrate_linear_fixed_grid,
+    trapezoid_weights,
+)
+from repro.integrate.trapezoid import TrapezoidalIntegrator
+
+
+class TestTrapezoidalIntegrator:
+    def test_scalar_decay(self):
+        integ = TrapezoidalIntegrator(rtol=1e-8, atol=1e-14)
+        res = integ.integrate(lambda _t, x: -2.0 * x, 0.0, [1.0], 3.0)
+        assert res.states[-1, 0] == pytest.approx(np.exp(-6.0), rel=1e-4)
+        assert res.accepted > 0
+
+    def test_linear_system_with_jacobian(self):
+        a = np.array([[-1.0, 2.0], [-2.0, -1.0]])
+        integ = TrapezoidalIntegrator(rtol=1e-9, atol=1e-14)
+        res = integ.integrate(lambda _t, x: a @ x, 0.0, [1.0, 0.0], 2.0,
+                              jac=lambda _t, _x: a)
+        import scipy.linalg as sl
+        expected = sl.expm(2.0 * a) @ np.array([1.0, 0.0])
+        assert np.allclose(res.states[-1], expected, rtol=1e-4)
+
+    def test_nonlinear_newton(self):
+        # Logistic growth has a closed form.
+        integ = TrapezoidalIntegrator(rtol=1e-9, atol=1e-14)
+        res = integ.integrate(lambda _t, x: x * (1.0 - x), 0.0, [0.1],
+                              4.0)
+        exact = 0.1 * np.exp(4.0) / (1.0 + 0.1 * (np.exp(4.0) - 1.0))
+        assert res.states[-1, 0] == pytest.approx(exact, rel=1e-6)
+
+    def test_forced_oscillation_accuracy(self):
+        integ = TrapezoidalIntegrator(rtol=1e-10, atol=1e-15)
+        res = integ.integrate(
+            lambda t, x: -x + np.sin(3.0 * t), 0.0, [0.0], 5.0)
+        ref = scipy.integrate.solve_ivp(
+            lambda t, x: -x + np.sin(3.0 * t), (0.0, 5.0), [0.0],
+            rtol=1e-12, atol=1e-14).y[0, -1]
+        assert res.states[-1, 0] == pytest.approx(ref, abs=1e-5)
+
+    def test_breakpoints_are_hit_exactly(self):
+        integ = TrapezoidalIntegrator(breakpoints=(0.3, 0.7),
+                                      rtol=1e-6, atol=1e-12)
+        res = integ.integrate(lambda _t, x: -x, 0.0, [1.0], 1.0)
+        for b in (0.3, 0.7):
+            assert np.min(np.abs(res.times - b)) < 1e-12
+
+    def test_callback_early_stop(self):
+        integ = TrapezoidalIntegrator(rtol=1e-6, atol=1e-12)
+        res = integ.integrate(lambda _t, x: -x, 0.0, [1.0], 100.0,
+                              callback=lambda t, _x: t > 1.0)
+        assert res.times[-1] < 5.0
+
+    def test_dense_interpolation(self):
+        integ = TrapezoidalIntegrator(rtol=1e-9, atol=1e-14)
+        res = integ.integrate(lambda _t, x: -x, 0.0, [1.0], 2.0)
+        assert res(np.array([0.5]))[0, 0] == pytest.approx(np.exp(-0.5),
+                                                           rel=1e-4)
+
+    def test_a_stability_on_stiff_decay(self):
+        # Explicit methods at this step size would explode; trapezoid
+        # must stay bounded and accurate.
+        integ = TrapezoidalIntegrator(rtol=1e-6, atol=1e-10,
+                                      first_step=0.1)
+        res = integ.integrate(lambda _t, x: -1e4 * x, 0.0, [1.0], 1.0)
+        assert abs(res.states[-1, 0]) < 1e-6
+
+    def test_empty_span_raises(self):
+        integ = TrapezoidalIntegrator()
+        with pytest.raises(ConvergenceError):
+            integ.integrate(lambda _t, x: -x, 1.0, [1.0], 1.0)
+
+    def test_complex_states(self):
+        integ = TrapezoidalIntegrator(rtol=1e-9, atol=1e-14)
+        res = integ.integrate(lambda _t, x: 1j * x, 0.0,
+                              np.array([1.0 + 0j]), np.pi)
+        assert res.states[-1, 0] == pytest.approx(-1.0 + 0j, abs=1e-4)
+
+
+class TestFixedGridLtv:
+    def test_matches_solve_ivp(self):
+        grid = np.linspace(0.0, 2.0, 2001)
+        a_of_t = lambda t: np.array([[-1.0 - 0.5 * np.sin(t)]])
+        f_of_t = lambda t: np.array([np.cos(2.0 * t)])
+        out = integrate_linear_fixed_grid(a_of_t, f_of_t, grid, [0.3])
+        ref = scipy.integrate.solve_ivp(
+            lambda t, x: a_of_t(t) @ x + f_of_t(t), (0.0, 2.0), [0.3],
+            rtol=1e-11, atol=1e-13).y[:, -1]
+        assert np.allclose(out[-1], ref, atol=1e-6)
+
+    def test_second_order_convergence(self):
+        a_of_t = lambda _t: np.array([[-2.0]])
+        f_of_t = lambda t: np.array([np.sin(t)])
+        errors = []
+        ref = scipy.integrate.solve_ivp(
+            lambda t, x: -2.0 * x + np.sin(t), (0.0, 1.0), [1.0],
+            rtol=1e-12, atol=1e-14).y[0, -1]
+        for n in (50, 100, 200):
+            grid = np.linspace(0.0, 1.0, n + 1)
+            out = integrate_linear_fixed_grid(a_of_t, f_of_t, grid, [1.0])
+            errors.append(abs(out[-1, 0] - ref))
+        assert errors[0] / errors[1] == pytest.approx(4.0, rel=0.2)
+        assert errors[1] / errors[2] == pytest.approx(4.0, rel=0.2)
+
+    def test_complex_forcing(self):
+        grid = np.linspace(0.0, 1.0, 501)
+        out = integrate_linear_fixed_grid(
+            lambda _t: np.array([[-1.0]]),
+            lambda t: np.array([np.exp(1j * t)]), grid, [0.0])
+        assert out.dtype == complex
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ConvergenceError):
+            integrate_linear_fixed_grid(
+                lambda _t: np.eye(1), lambda _t: np.zeros(1),
+                np.array([0.0, 0.0, 1.0]), [1.0])
+
+    def test_weights_sum_to_span(self):
+        grid = np.array([0.0, 0.1, 0.4, 1.0])
+        assert trapezoid_weights(grid).sum() == pytest.approx(1.0)
+
+
+class TestGrids:
+    def test_phase_aligned_grid_contains_boundaries(self):
+        grid, phases = phase_aligned_grid([0.0, 0.3, 1.0], 4)
+        for b in (0.0, 0.3, 1.0):
+            assert np.min(np.abs(grid - b)) < 1e-15
+        assert len(phases) == len(grid) - 1
+        assert set(phases) == {0, 1}
+
+    def test_per_phase_counts(self):
+        grid, phases = phase_aligned_grid([0.0, 0.5, 1.0], [2, 6])
+        assert np.sum(phases == 0) == 2
+        assert np.sum(phases == 1) == 6
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ScheduleError):
+            phase_aligned_grid([0.0, 1.0, 0.5], 2)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ScheduleError):
+            phase_aligned_grid([0.0, 1.0], 0)
+
+    def test_refine_grid(self):
+        grid = np.array([0.0, 1.0, 3.0])
+        fine = refine_grid(grid, 2)
+        assert np.allclose(fine, [0.0, 0.5, 1.0, 2.0, 3.0])
+        assert np.allclose(refine_grid(grid, 1), grid)
+
+    def test_refine_rejects_zero(self):
+        with pytest.raises(ScheduleError):
+            refine_grid(np.array([0.0, 1.0]), 0)

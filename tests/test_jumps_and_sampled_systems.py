@@ -1,0 +1,157 @@
+"""Charge-redistribution jumps and sampled (callable-matrix) systems.
+
+The jump path (``Phase.end_jump``) implements the ideal-switch
+charge-redistribution events of the companion draft's eqs. (19)–(21);
+these tests drive it through every engine. The sampled-system path backs
+the translinear/oscillator extensions and must agree with the
+piecewise-LTI path on circuits expressible both ways.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.lti import lti_noise_psd
+from repro.errors import (
+    CircuitError,
+    ConvergenceError,
+    NoiseModelError,
+    ReproError,
+    ScheduleError,
+    SingularMatrixError,
+    StabilityError,
+    TopologyError,
+    UnitsError,
+)
+from repro.lptv.system import Phase, PiecewiseLTISystem, SampledLPTVSystem
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.brute_force import brute_force_psd
+from repro.noise.covariance import periodic_covariance
+from repro.units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+def ideal_sample_hold(c_ratio=0.5, period=1e-5, tau_factor=0.02):
+    """Track-and-hold whose hold phase ends in an ideal charge share.
+
+    One state: an OU track phase (reaches kT/C), then a hold phase
+    ending in an instantaneous gain ``c_ratio`` — the scalar version of
+    the draft's charge-redistribution map (e.g. a cap dumping onto a
+    larger cap: V -> C1/(C1+C2) V).
+    """
+    tau = tau_factor * period
+    ktc = BOLTZMANN * ROOM_TEMPERATURE / 1e-12
+    sigma = np.sqrt(2.0 * ktc / tau)
+    track = Phase("track", 0.5 * period, np.array([[-1.0 / tau]]),
+                  np.array([[sigma]]))
+    hold = Phase("hold", 0.5 * period, np.zeros((1, 1)),
+                 np.zeros((1, 1)), end_jump=np.array([[c_ratio]]))
+    return PiecewiseLTISystem(phases=[track, hold],
+                              output_matrix=np.array([[1.0]]))
+
+
+class TestJumpPath:
+    def test_covariance_jump_applied(self):
+        sys = ideal_sample_hold(c_ratio=0.5)
+        cov = periodic_covariance(sys, 16)
+        # Pre-jump at period end: the deep-settled track variance.
+        ktc = BOLTZMANN * ROOM_TEMPERATURE / 1e-12
+        assert cov.pre[-1, 0, 0] == pytest.approx(ktc, rel=1e-6)
+        # Post-jump: scaled by the square of the jump gain.
+        assert cov.post[-1, 0, 0] == pytest.approx(0.25 * ktc, rel=1e-6)
+
+    def test_jump_gain_sweep_scales_endpoint(self):
+        ktc = BOLTZMANN * ROOM_TEMPERATURE / 1e-12
+        for ratio in (0.25, 0.75, 1.0):
+            cov = periodic_covariance(ideal_sample_hold(ratio), 8)
+            assert cov.post[-1, 0, 0] == pytest.approx(
+                ratio ** 2 * ktc, rel=1e-6)
+
+    def test_mft_and_brute_force_agree_with_jumps(self):
+        sys = ideal_sample_hold(c_ratio=0.6)
+        freq = 3e4
+        mft = MftNoiseAnalyzer(sys, 32).psd_at(freq)
+        bf = brute_force_psd(sys, [freq], segments_per_phase=32,
+                             tol_db=0.02, window_periods=10,
+                             max_periods=50000).psd[0]
+        assert bf == pytest.approx(mft, rel=0.05)
+
+    def test_unit_jump_is_identity(self):
+        # c_ratio = 1 must reproduce the jump-free system exactly.
+        sys_jump = ideal_sample_hold(c_ratio=1.0)
+        phases = [sys_jump.phases[0],
+                  Phase("hold", sys_jump.phases[1].duration,
+                        np.zeros((1, 1)), np.zeros((1, 1)))]
+        sys_plain = PiecewiseLTISystem(phases=phases,
+                                       output_matrix=np.array([[1.0]]))
+        f = 1.7e4
+        assert MftNoiseAnalyzer(sys_jump, 16).psd_at(f) == \
+            pytest.approx(MftNoiseAnalyzer(sys_plain, 16).psd_at(f),
+                          rel=1e-12)
+
+    def test_zero_jump_resets_state(self):
+        # A jump to zero discards all noise each period: the PSD is the
+        # pure one-period ESD (finite), and the variance restarts.
+        sys = ideal_sample_hold(c_ratio=0.0)
+        cov = periodic_covariance(sys, 8)
+        assert cov.post[-1, 0, 0] == pytest.approx(0.0, abs=1e-30)
+        assert np.isfinite(MftNoiseAnalyzer(sys, 16).psd_at(1e4))
+
+
+class TestSampledSystems:
+    def test_sampled_matches_piecewise_on_lti(self, rng):
+        from conftest import random_stable_matrix
+        a = random_stable_matrix(rng, 2)
+        b = rng.standard_normal((2, 1))
+        sampled = SampledLPTVSystem(
+            a_of_t=lambda _t: a, b_of_t=lambda _t: b, period=0.5,
+            n_states=2, output_matrix=np.array([[1.0, 0.0]]))
+        freqs = np.array([0.3, 2.0, 11.0])
+        psd = MftNoiseAnalyzer(sampled, 64).psd(freqs).psd
+        ref = lti_noise_psd(a, b, np.array([1.0, 0.0]), freqs)
+        assert np.allclose(psd, ref, rtol=1e-6, atol=0.0)
+
+    def test_sampled_periodic_modulation_variance(self):
+        # dX = -a X dt + sigma(t) dW with sigma² = s0(1 + cos Ωt)/1:
+        # for a >> Ω the variance tracks sigma²(t)/(2a).
+        a_rate = 20000.0
+        omega0 = 2.0 * np.pi * 10.0
+        sampled = SampledLPTVSystem(
+            a_of_t=lambda _t: np.array([[-a_rate]]),
+            b_of_t=lambda t: np.array(
+                [[np.sqrt(1.0 + 0.8 * np.cos(omega0 * t))]]),
+            period=2.0 * np.pi / omega0, n_states=1)
+        cov = periodic_covariance(sampled, 512)
+        expected = (1.0 + 0.8 * np.cos(omega0 * cov.grid)) / (2 * a_rate)
+        assert np.allclose(cov.post[:, 0, 0], expected, rtol=2e-2)
+
+    def test_sampled_system_discretization_metadata(self):
+        sampled = SampledLPTVSystem(
+            a_of_t=lambda _t: -np.eye(1), b_of_t=lambda _t: np.eye(1),
+            period=1.0, n_states=1)
+        disc = sampled.discretize(32)
+        assert not disc.exact
+        assert len(disc.segments) == 32
+        assert disc.segments[0].a_matrix is not None
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        CircuitError, TopologyError, SingularMatrixError,
+        ConvergenceError, StabilityError, ScheduleError, UnitsError,
+        NoiseModelError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_topology_is_circuit_error(self):
+        assert issubclass(TopologyError, CircuitError)
+
+    def test_convergence_error_payload(self):
+        err = ConvergenceError("nope", iterations=7, residual=0.5)
+        assert err.iterations == 7
+        assert err.residual == 0.5
+
+    def test_public_api_surface(self):
+        # The names advertised in __all__ must actually resolve.
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,84 @@
+"""Matrix exponential kernels against scipy and analytic cases."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import ReproError
+from repro.linalg.expm import expm, expm_action
+from conftest import random_stable_matrix
+
+
+class TestExpm:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_matches_scipy_real(self, rng, n):
+        a = rng.standard_normal((n, n))
+        assert np.allclose(expm(a), scipy.linalg.expm(a),
+                           rtol=1e-11, atol=1e-13)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_matches_scipy_complex(self, rng, n):
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        assert np.allclose(expm(a), scipy.linalg.expm(a),
+                           rtol=1e-11, atol=1e-13)
+
+    def test_zero_matrix(self):
+        assert np.allclose(expm(np.zeros((4, 4))), np.eye(4))
+
+    def test_empty_matrix(self):
+        assert expm(np.zeros((0, 0))).shape == (0, 0)
+
+    def test_diagonal_matrix_is_exact(self):
+        d = np.diag([-1.0, -2.5, 0.5])
+        assert np.allclose(expm(d), np.diag(np.exp(np.diag(d))),
+                           rtol=1e-14)
+
+    def test_nilpotent_matrix(self):
+        n = np.array([[0.0, 1.0], [0.0, 0.0]])
+        assert np.allclose(expm(n), np.eye(2) + n)
+
+    def test_large_norm_scaling_squaring(self, rng):
+        a = random_stable_matrix(rng, 4) * 50.0
+        assert np.allclose(expm(a), scipy.linalg.expm(a),
+                           rtol=1e-9, atol=1e-12)
+
+    def test_semigroup_property(self, rng):
+        a = random_stable_matrix(rng, 3)
+        assert np.allclose(expm(a) @ expm(a), expm(2.0 * a),
+                           rtol=1e-10, atol=1e-13)
+
+    def test_rotation_generator(self):
+        theta = 0.7
+        j = np.array([[0.0, -theta], [theta, 0.0]])
+        expected = np.array([[np.cos(theta), -np.sin(theta)],
+                             [np.sin(theta), np.cos(theta)]])
+        assert np.allclose(expm(j), expected, rtol=1e-13)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ReproError):
+            expm(np.zeros((2, 3)))
+
+    def test_rejects_non_finite(self):
+        a = np.array([[np.inf, 0.0], [0.0, 1.0]])
+        with pytest.raises(ReproError):
+            expm(a)
+
+
+class TestExpmAction:
+    def test_matches_dense(self, rng):
+        a = random_stable_matrix(rng, 5)
+        b = rng.standard_normal((5, 2))
+        assert np.allclose(expm_action(a, b, dt=0.3),
+                           scipy.linalg.expm(0.3 * a) @ b,
+                           rtol=1e-9, atol=1e-12)
+
+    def test_stiff_needs_substeps(self, rng):
+        a = random_stable_matrix(rng, 3) * 30.0
+        b = rng.standard_normal(3)
+        assert np.allclose(expm_action(a, b, dt=1.0),
+                           scipy.linalg.expm(a) @ b,
+                           rtol=1e-7, atol=1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            expm_action(np.eye(2), np.zeros(3))

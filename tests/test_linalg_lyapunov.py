@@ -1,0 +1,115 @@
+"""Lyapunov / Sylvester solvers against scipy and residual checks."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import SingularMatrixError, StabilityError
+from repro.linalg.lyapunov import (
+    solve_continuous_lyapunov,
+    solve_discrete_lyapunov,
+    solve_linear_fixed_point,
+)
+from repro.linalg.sylvester import solve_sylvester
+from conftest import random_stable_matrix
+
+
+class TestSylvester:
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 3), (4, 2), (2, 5)])
+    def test_residual_and_scipy(self, rng, n, m):
+        a = random_stable_matrix(rng, n)
+        b = random_stable_matrix(rng, m)
+        c = rng.standard_normal((n, m))
+        x = solve_sylvester(a, b, c)
+        assert np.allclose(a @ x + x @ b, c, rtol=1e-9, atol=1e-11)
+        assert np.allclose(x, scipy.linalg.solve_sylvester(a, b, c),
+                           rtol=1e-8, atol=1e-11)
+
+    def test_complex_inputs(self, rng):
+        a = random_stable_matrix(rng, 3) + 1j * rng.standard_normal((3, 3))
+        b = random_stable_matrix(rng, 3)
+        c = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        x = solve_sylvester(a, b, c)
+        assert np.allclose(a @ x + x @ b, c, rtol=1e-9, atol=1e-11)
+
+    def test_singular_pair_raises(self):
+        # A and -B share eigenvalue 1.
+        a = np.diag([1.0, 2.0])
+        b = np.diag([-1.0, -3.0])
+        with pytest.raises(SingularMatrixError):
+            solve_sylvester(a, b, np.ones((2, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SingularMatrixError):
+            solve_sylvester(np.eye(2), np.eye(2), np.ones((3, 2)))
+
+
+class TestContinuousLyapunov:
+    def test_residual(self, rng):
+        a = random_stable_matrix(rng, 5)
+        q = rng.standard_normal((5, 3))
+        q = q @ q.T
+        k = solve_continuous_lyapunov(a, q)
+        assert np.allclose(a @ k + k @ a.T + q, 0.0, atol=1e-9)
+        assert np.allclose(k, k.T)
+
+    def test_scalar_case(self):
+        # a k + k a + q = 0 -> k = q / (2|a|).
+        k = solve_continuous_lyapunov(np.array([[-2.0]]),
+                                      np.array([[8.0]]))
+        assert k[0, 0] == pytest.approx(2.0)
+
+    def test_marginal_system_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_continuous_lyapunov(np.zeros((2, 2)), np.eye(2))
+
+
+class TestDiscreteLyapunov:
+    def test_residual_and_scipy(self, rng):
+        phi = 0.6 * rng.standard_normal((4, 4))
+        phi /= max(1.0, 1.2 * np.max(np.abs(np.linalg.eigvals(phi))))
+        q = rng.standard_normal((4, 2))
+        q = q @ q.T
+        k = solve_discrete_lyapunov(phi, q)
+        assert np.allclose(phi @ k @ phi.T + q, k, rtol=1e-10, atol=1e-12)
+        assert np.allclose(k, scipy.linalg.solve_discrete_lyapunov(phi, q),
+                           rtol=1e-8, atol=1e-10)
+
+    def test_scalar_geometric_series(self):
+        k = solve_discrete_lyapunov(np.array([[0.5]]), np.array([[1.0]]))
+        assert k[0, 0] == pytest.approx(1.0 / (1.0 - 0.25))
+
+    def test_zero_map(self):
+        q = np.array([[2.0]])
+        assert solve_discrete_lyapunov(np.zeros((1, 1)), q)[0, 0] == 2.0
+
+    def test_near_marginal_converges(self):
+        phi = np.array([[0.9999]])
+        k = solve_discrete_lyapunov(phi, np.array([[1.0]]))
+        assert k[0, 0] == pytest.approx(1.0 / (1.0 - 0.9999 ** 2),
+                                        rel=1e-8)
+
+    def test_unstable_raises_stability_error(self):
+        with pytest.raises(StabilityError):
+            solve_discrete_lyapunov(np.array([[1.01]]), np.eye(1))
+
+    def test_unit_circle_raises(self):
+        with pytest.raises(StabilityError):
+            solve_discrete_lyapunov(np.eye(2), np.eye(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SingularMatrixError):
+            solve_discrete_lyapunov(np.eye(2), np.eye(3))
+
+
+class TestFixedPoint:
+    def test_solves_affine_fixed_point(self, rng):
+        m = 0.5 * rng.standard_normal((3, 3))
+        g = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+        m = m.astype(complex)
+        q = solve_linear_fixed_point(m, g)
+        assert np.allclose(m @ q + g, q, rtol=1e-12)
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_linear_fixed_point(np.eye(2), np.ones(2))

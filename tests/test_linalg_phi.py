@@ -1,0 +1,93 @@
+"""φ-function affine-step integrals against quadrature."""
+
+import numpy as np
+import pytest
+import scipy.integrate
+import scipy.linalg
+
+from repro.errors import ReproError
+from repro.linalg.phi import affine_step_integrals
+from conftest import random_stable_matrix
+
+
+def reference_integrals(a, h):
+    def i1_int(s):
+        return scipy.linalg.expm(a * s).ravel()
+
+    def i2_int(s):
+        return (scipy.linalg.expm(a * (h - s)) * s).ravel()
+
+    i1 = scipy.integrate.quad_vec(i1_int, 0.0, h, epsabs=1e-14)[0]
+    i2 = scipy.integrate.quad_vec(i2_int, 0.0, h, epsabs=1e-14)[0]
+    return i1.reshape(a.shape), i2.reshape(a.shape)
+
+
+class TestAffineStepIntegrals:
+    @pytest.mark.parametrize("scale", [1e-4, 0.03, 1.0, 8.0])
+    def test_matches_quadrature(self, rng, scale):
+        a = random_stable_matrix(rng, 3) * scale
+        phi, i1, i2 = affine_step_integrals(a, 1.0)
+        ref1, ref2 = reference_integrals(a, 1.0)
+        assert np.allclose(phi, scipy.linalg.expm(a), rtol=1e-10)
+        assert np.allclose(i1, ref1, rtol=1e-8, atol=1e-13)
+        assert np.allclose(i2, ref2, rtol=1e-8, atol=1e-13)
+
+    def test_complex_shifted_matrix(self, rng):
+        a = random_stable_matrix(rng, 2) - 2.5j * np.eye(2)
+        phi, i1, i2 = affine_step_integrals(a, 0.7)
+        ref1, ref2 = reference_integrals(a, 0.7)
+        assert np.allclose(i1, ref1, rtol=1e-8, atol=1e-13)
+        assert np.allclose(i2, ref2, rtol=1e-8, atol=1e-13)
+
+    def test_zero_matrix_series_path(self):
+        # A = 0: I1 = h·I, I2 = h²/2·I exactly (hold phase at ω = 0).
+        h = 0.37
+        _phi, i1, i2 = affine_step_integrals(np.zeros((2, 2)), h)
+        assert np.allclose(i1, h * np.eye(2), rtol=1e-14)
+        assert np.allclose(i2, h * h / 2.0 * np.eye(2), rtol=1e-12)
+
+    def test_singular_stiff_substep_path(self):
+        # Singular A with large ‖Ah‖ forces the substep-series fallback.
+        a = np.array([[-50.0, 0.0], [0.0, 0.0]])
+        phi, i1, i2 = affine_step_integrals(a, 1.0)
+        ref1, ref2 = reference_integrals(a, 1.0)
+        assert np.allclose(i1, ref1, rtol=1e-7, atol=1e-12)
+        assert np.allclose(i2, ref2, rtol=1e-7, atol=1e-12)
+
+    def test_exact_constant_forcing_step(self, rng):
+        # v' = A v + f0 with v(0)=v0: v(h) = Φv0 + I1 f0 (exact).
+        a = random_stable_matrix(rng, 3)
+        v0 = rng.standard_normal(3)
+        f0 = rng.standard_normal(3)
+        phi, i1, _i2 = affine_step_integrals(a, 0.9)
+        sol = scipy.integrate.solve_ivp(
+            lambda _t, v: a @ v + f0, (0.0, 0.9), v0, rtol=1e-12,
+            atol=1e-14)
+        assert np.allclose(phi @ v0 + i1 @ f0, sol.y[:, -1], rtol=1e-8)
+
+    def test_exact_linear_forcing_step(self, rng):
+        # v' = A v + f0 + (f1-f0) t/h: exact with I2.
+        a = random_stable_matrix(rng, 2)
+        v0 = rng.standard_normal(2)
+        f0 = rng.standard_normal(2)
+        f1 = rng.standard_normal(2)
+        h = 0.6
+        phi, i1, i2 = affine_step_integrals(a, h)
+        slope = (f1 - f0) / h
+        sol = scipy.integrate.solve_ivp(
+            lambda t, v: a @ v + f0 + slope * t, (0.0, h), v0,
+            rtol=1e-12, atol=1e-14)
+        v_exact = phi @ v0 + i1 @ f0 + i2 @ slope
+        assert np.allclose(v_exact, sol.y[:, -1], rtol=1e-8)
+
+    def test_accepts_precomputed_phi(self, rng):
+        a = random_stable_matrix(rng, 2)
+        phi_in = scipy.linalg.expm(a * 0.5)
+        phi, _i1, _i2 = affine_step_integrals(a, 0.5, phi=phi_in)
+        assert phi is not None and np.allclose(phi, phi_in)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            affine_step_integrals(np.zeros((2, 3)), 1.0)
+        with pytest.raises(ReproError):
+            affine_step_integrals(np.zeros((2, 2)), 0.0)

@@ -1,0 +1,107 @@
+"""Floquet analysis and harmonic transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StabilityError
+from repro.lptv.htf import (
+    fourier_coefficients,
+    harmonic_transfer_functions,
+    periodic_envelope,
+)
+from repro.lptv.monodromy import (
+    floquet_exponents,
+    floquet_multipliers,
+    is_asymptotically_stable,
+    monodromy_matrix,
+    require_stable,
+)
+from repro.lptv.system import Phase, PiecewiseLTISystem, lti_phase_system
+
+
+def decaying_system(rate=2.0, period=1.0):
+    return lti_phase_system(np.array([[-rate]]), np.array([[1.0]]),
+                            period=period)
+
+
+class TestFloquet:
+    def test_monodromy_of_lti(self):
+        sys = decaying_system(2.0, 1.0)
+        assert monodromy_matrix(sys, 4)[0, 0] == pytest.approx(
+            np.exp(-2.0), rel=1e-12)
+
+    def test_multipliers_sorted_by_modulus(self):
+        phases = [Phase("p", 1.0, np.diag([-1.0, -3.0]),
+                        np.zeros((2, 1)))]
+        sys = PiecewiseLTISystem(phases=phases)
+        mults = floquet_multipliers(sys)
+        assert abs(mults[0]) >= abs(mults[1])
+        assert mults[0] == pytest.approx(np.exp(-1.0), rel=1e-10)
+
+    def test_exponents_recover_rates(self):
+        sys = decaying_system(2.0, 0.7)
+        exps = floquet_exponents(sys)
+        assert exps[0].real == pytest.approx(-2.0, rel=1e-10)
+
+    def test_stability_predicates(self):
+        assert is_asymptotically_stable(decaying_system())
+        unstable = lti_phase_system(np.array([[0.5]]),
+                                    np.array([[1.0]]))
+        assert not is_asymptotically_stable(unstable)
+        with pytest.raises(StabilityError):
+            require_stable(unstable)
+
+    def test_require_stable_returns_radius(self):
+        radius = require_stable(decaying_system(2.0, 1.0))
+        assert radius == pytest.approx(np.exp(-2.0), rel=1e-10)
+
+    def test_accepts_prebuilt_discretization(self):
+        disc = decaying_system().discretize(4)
+        assert monodromy_matrix(disc)[0, 0] == pytest.approx(
+            np.exp(-2.0), rel=1e-12)
+
+
+class TestHtf:
+    def test_lti_system_has_only_h0(self):
+        # An LTI "one-phase" system must have H_0 = transfer function
+        # and all other harmonics zero.
+        sys = decaying_system(rate=3.0, period=0.25)
+        omega = 7.0
+        htf = harmonic_transfer_functions(sys, omega, n_harmonics=3,
+                                          segments_per_phase=32)
+        expected = 1.0 / (3.0 + 1j * omega)
+        assert htf[(0, 0)] == pytest.approx(expected, rel=1e-10)
+        for k in (-3, -2, -1, 1, 2, 3):
+            assert abs(htf[(0, k)]) < 1e-12 * abs(expected) + 1e-15
+
+    def test_switched_system_produces_harmonics(self, rc_system):
+        omega = 2.0 * np.pi * 3e3
+        htf = harmonic_transfer_functions(rc_system, omega,
+                                          n_harmonics=2,
+                                          segments_per_phase=32)
+        # A genuinely time-varying system must translate frequencies.
+        assert abs(htf[(0, 1)]) > 1e-3 * abs(htf[(0, 0)])
+
+    def test_envelope_is_periodic(self, rc_system):
+        disc = rc_system.discretize(16)
+        env = periodic_envelope(disc, 2.0 * np.pi * 1e3, 0)
+        assert np.allclose(env.post[-1], env.post[0], rtol=1e-9)
+
+    def test_fourier_coefficients_of_constant(self):
+        sys = decaying_system(rate=1.0, period=1.0)
+        disc = sys.discretize(64)
+        env = periodic_envelope(disc, 0.0, 0)
+        coeffs = fourier_coefficients(env, disc.period, [0, 1, 2])
+        assert coeffs[0][0] == pytest.approx(env.post[0, 0], rel=1e-10)
+        assert abs(coeffs[1][0]) < 1e-12
+        assert abs(coeffs[2][0]) < 1e-12
+
+    def test_parseval_consistency(self, rc_system):
+        # Power in harmonics bounded by the envelope mean square.
+        disc = rc_system.discretize(64)
+        env = periodic_envelope(disc, 2.0 * np.pi * 500.0, 0)
+        coeffs = fourier_coefficients(env, disc.period,
+                                      range(-8, 9))
+        harmonic_power = sum(abs(v[0]) ** 2 for v in coeffs.values())
+        mean_square = np.mean(np.abs(env.post[:, 0]) ** 2)
+        assert harmonic_power <= mean_square * 1.05

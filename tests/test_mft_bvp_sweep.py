@@ -1,0 +1,190 @@
+"""General MFT collocation machinery and frequency-grid helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SingularMatrixError
+from repro.lptv.periodic_solve import (
+    forcing_from_samples,
+    periodic_steady_state,
+)
+from repro.mft.bvp import (
+    MftCollocationProblem,
+    cycle_forcing_coefficient,
+    mft_envelope_via_collocation,
+    solve_mft_collocation,
+)
+from repro.mft.delay import (
+    choose_sample_phases,
+    delay_matrix,
+    dft_matrix,
+    idft_matrix,
+)
+from repro.mft.sweep import (
+    adaptive_frequency_grid,
+    clock_harmonic_grid,
+    decade_grid,
+    linear_grid,
+)
+
+
+class TestDelayOperators:
+    def test_dft_inverse_round_trip(self):
+        harmonics = (-2, -1, 0, 1, 2)
+        phases = choose_sample_phases(harmonics)
+        e = dft_matrix(phases, harmonics)
+        e_inv = idft_matrix(phases, harmonics)
+        assert np.allclose(e @ e_inv, np.eye(len(harmonics)),
+                           atol=1e-12)
+
+    def test_delay_shifts_single_tone(self):
+        harmonics = (-1, 0, 1)
+        phases = choose_sample_phases(harmonics)
+        omega, tau = 3.0, 0.4
+        d = delay_matrix(phases, harmonics, omega, tau)
+        # Envelope = pure h=1 tone: delay multiplies by e^{jωτ}.
+        samples = np.exp(1j * phases)
+        assert np.allclose(d @ samples,
+                           np.exp(1j * omega * tau) * samples,
+                           rtol=1e-12)
+
+    def test_delay_is_identity_at_zero(self):
+        harmonics = (-1, 0, 1)
+        phases = choose_sample_phases(harmonics)
+        d = delay_matrix(phases, harmonics, 5.0, 0.0)
+        assert np.allclose(d, np.eye(3), atol=1e-13)
+
+    def test_aliased_phases_rejected(self):
+        with pytest.raises(ReproError):
+            idft_matrix([0.0, 0.0, 1.0], (-1, 0, 1))
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            dft_matrix([0.0, 1.0], (-1, 0, 1))
+
+
+class TestCollocation:
+    def test_single_tone_reduces_to_fixed_point(self):
+        # Scalar: v_{m+1} = φ v_m + e^{jθ_m} g  with envelope c_1 e^{jθ}:
+        # c_1 = g / (e^{jω_sT} − φ).
+        phi = 0.6
+        g = 1.3 - 0.7j
+        omega_s, period = 2.0, 0.5
+        problem = MftCollocationProblem(
+            cycle_map=np.array([[phi]]),
+            forcing_coefficients={1: np.array([g])},
+            omega_slow=omega_s, period=period, harmonics=(-1, 0, 1))
+        sol = solve_mft_collocation(problem)
+        expected = g / (np.exp(1j * omega_s * period) - phi)
+        assert sol.coefficients[1][0] == pytest.approx(expected,
+                                                       rel=1e-12)
+        assert abs(sol.coefficients[0][0]) < 1e-12
+        assert abs(sol.coefficients[-1][0]) < 1e-12
+
+    def test_multi_harmonic_forcing(self):
+        phi = np.array([[0.3]])
+        problem = MftCollocationProblem(
+            cycle_map=phi,
+            forcing_coefficients={1: np.array([1.0]),
+                                  -1: np.array([0.5])},
+            omega_slow=1.0, period=1.0, harmonics=(-1, 0, 1))
+        sol = solve_mft_collocation(problem)
+        for h, g in ((1, 1.0), (-1, 0.5)):
+            expected = g / (np.exp(1j * h * 1.0) - 0.3)
+            assert sol.coefficients[h][0] == pytest.approx(expected,
+                                                           rel=1e-12)
+
+    def test_envelope_evaluation(self):
+        problem = MftCollocationProblem(
+            cycle_map=np.array([[0.5]]),
+            forcing_coefficients={1: np.array([1.0])},
+            omega_slow=1.0, period=1.0)
+        sol = solve_mft_collocation(problem)
+        v = sol.envelope(0.7)
+        expected = sol.coefficients[1] * np.exp(0.7j) \
+            + sol.coefficients[0] + sol.coefficients[-1] * np.exp(-0.7j)
+        assert np.allclose(v, expected)
+
+    def test_forcing_harmonic_must_be_included(self):
+        with pytest.raises(ReproError):
+            MftCollocationProblem(
+                cycle_map=np.eye(1) * 0.5,
+                forcing_coefficients={3: np.array([1.0])},
+                omega_slow=1.0, period=1.0, harmonics=(-1, 0, 1))
+
+    def test_resonant_singularity_detected(self):
+        # φ = e^{jω_sT}: the h=1 equation is singular.
+        omega_s, period = 2.0, 0.5
+        phi = np.exp(1j * omega_s * period)
+        problem = MftCollocationProblem(
+            cycle_map=np.array([[phi]]),
+            forcing_coefficients={1: np.array([1.0])},
+            omega_slow=omega_s, period=period)
+        with pytest.raises(SingularMatrixError):
+            solve_mft_collocation(problem)
+
+    def test_collocation_matches_engine_on_switched_rc(self, rc_system):
+        # The general MFT machinery must reproduce the specialised
+        # two-tone fixed point exactly.
+        disc = rc_system.discretize(32)
+        from repro.noise.covariance import periodic_covariance
+        cov = periodic_covariance(disc)
+        post, pre = cov.forcing_samples(np.array([1.0]))
+        forcing = forcing_from_samples(disc, post, pre)
+        omega = 2.0 * np.pi * 7.5e3
+        engine_q0 = periodic_steady_state(disc, omega, forcing).post[0]
+        sol = mft_envelope_via_collocation(disc, omega, forcing,
+                                           extra_harmonics=2)
+        assert np.allclose(sol.coefficients[1], engine_q0, rtol=1e-6)
+        for h in (-2, -1, 0, 2):
+            assert np.max(np.abs(sol.coefficients[h])) < 1e-8 * max(
+                np.max(np.abs(engine_q0)), 1e-300)
+
+    def test_cycle_forcing_coefficient_shape_check(self, rc_system):
+        disc = rc_system.discretize(4)
+        with pytest.raises(ReproError):
+            cycle_forcing_coefficient(disc, 1.0, np.zeros((2, 2, 1)))
+
+
+class TestSweepGrids:
+    def test_linear_grid(self):
+        g = linear_grid(1.0, 10.0, 10)
+        assert g[0] == 1.0 and g[-1] == 10.0 and len(g) == 10
+
+    def test_linear_grid_validation(self):
+        with pytest.raises(ReproError):
+            linear_grid(5.0, 1.0, 10)
+        with pytest.raises(ReproError):
+            linear_grid(1.0, 2.0, 1)
+
+    def test_decade_grid(self):
+        g = decade_grid(1.0, 1000.0, points_per_decade=10)
+        assert g[0] == pytest.approx(1.0)
+        assert g[-1] == pytest.approx(1000.0)
+        assert len(g) == 31
+
+    def test_decade_grid_validation(self):
+        with pytest.raises(ReproError):
+            decade_grid(0.0, 10.0)
+
+    def test_clock_harmonic_grid(self):
+        g = clock_harmonic_grid(4e3, 3, points_per_interval=8)
+        assert g[-1] == pytest.approx(12e3)
+        # Refinement points hug each harmonic.
+        for k in (1, 2, 3):
+            near = g[np.abs(g - k * 4e3) < 100.0]
+            assert near.size >= 3
+
+    def test_adaptive_grid_refines_peak(self):
+        # A sharp Lorentzian: the adaptive grid must cluster around it.
+        def psd(f):
+            return 1.0 / (1.0 + ((f - 100.0) / 2.0) ** 2) + 1e-6
+
+        freqs, values = adaptive_frequency_grid(psd, 10.0, 1000.0,
+                                                max_points=60,
+                                                tol_db=0.5)
+        assert len(freqs) <= 60
+        near_peak = np.sum((freqs > 80.0) & (freqs < 125.0))
+        assert near_peak >= 8
+        assert np.all(np.diff(freqs) > 0.0)
+        assert np.allclose(values, [psd(f) for f in freqs], rtol=1e-12)

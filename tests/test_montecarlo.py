@@ -1,0 +1,79 @@
+"""Monte-Carlo ensemble engine: statistics and agreement with theory."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.montecarlo import (
+    monte_carlo_psd,
+    simulate_trajectories,
+)
+from repro.circuits import SwitchedRcParams, switched_rc_system
+from repro.errors import ReproError
+from repro.lptv.system import lti_phase_system
+from repro.mft.engine import MftNoiseAnalyzer
+
+
+class TestTrajectories:
+    def test_stationary_variance_switched_rc(self, rc_system, rc_params):
+        _times, outputs = simulate_trajectories(
+            rc_system, n_trajectories=48, n_periods=32,
+            samples_per_period=16, rng=7)
+        variance = outputs.var()
+        assert variance == pytest.approx(rc_params.ktc_variance,
+                                         rel=0.10)
+
+    def test_reproducible_with_seed(self, rc_system):
+        t1, o1 = simulate_trajectories(rc_system, 2, 4, 16, rng=42)
+        t2, o2 = simulate_trajectories(rc_system, 2, 4, 16, rng=42)
+        assert np.array_equal(o1, o2)
+        assert np.array_equal(t1, t2)
+
+    def test_uniform_grid(self, rc_system):
+        times, _ = simulate_trajectories(rc_system, 1, 4, 16, rng=0)
+        dt = np.diff(times)
+        assert np.allclose(dt, dt[0], rtol=1e-9)
+
+    def test_incommensurate_duty_rejected(self):
+        p = SwitchedRcParams(resistance=10e3, capacitance=1e-9,
+                             period=5e-5, duty=1.0 / 3.0)
+        sys = switched_rc_system(p)
+        with pytest.raises(ReproError):
+            simulate_trajectories(sys, 1, 2, samples_per_period=7,
+                                  rng=0)
+
+    def test_unstable_rejected(self):
+        sys = lti_phase_system(np.array([[0.5]]), np.array([[1.0]]))
+        with pytest.raises(ReproError):
+            simulate_trajectories(sys, 1, 2, 16, rng=0)
+
+
+class TestMonteCarloPsd:
+    def test_matches_mft_within_error_bars(self, rc_system):
+        mc = monte_carlo_psd(rc_system, n_trajectories=32,
+                             n_periods=128, samples_per_period=32,
+                             segment_periods=16, rng=3)
+        an = MftNoiseAnalyzer(rc_system, 32)
+        # Compare away from DC (window bias) and from Nyquist (the
+        # sampled Lorentzian tail aliases ~10 % there).
+        freqs = mc.psd.frequencies
+        sel = (freqs > freqs.max() * 0.05) & (freqs < freqs.max() * 0.35)
+        picked = np.flatnonzero(sel)[::7]
+        for idx in picked:
+            ref = an.psd_at(freqs[idx])
+            err = max(4.0 * mc.standard_error[idx], 0.2 * ref)
+            assert abs(mc.psd.psd[idx] - ref) < err, freqs[idx]
+
+    def test_record_length_validation(self, rc_system):
+        with pytest.raises(ReproError):
+            monte_carlo_psd(rc_system, n_trajectories=2, n_periods=8,
+                            samples_per_period=16, segment_periods=64,
+                            rng=0)
+
+    def test_metadata(self, rc_system):
+        mc = monte_carlo_psd(rc_system, n_trajectories=4, n_periods=32,
+                             samples_per_period=16, segment_periods=8,
+                             rng=0)
+        assert mc.psd.method == "monte-carlo"
+        assert mc.n_trajectories == 4
+        assert mc.standard_error.shape == mc.psd.psd.shape
+        assert mc.runtime_seconds > 0.0

@@ -1,0 +1,77 @@
+"""Brute-force transient PSD engine (the paper's baseline method)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rice import rice_switched_rc_psd
+from repro.errors import ConvergenceError, ReproError
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.brute_force import brute_force_psd
+
+
+class TestBruteForce:
+    def test_converges_to_rice(self, rc_system, rc_params):
+        freq = 5e3
+        result = brute_force_psd(rc_system, [freq],
+                                 segments_per_phase=48, tol_db=0.02,
+                                 window_periods=8, max_periods=20000)
+        ref = rice_switched_rc_psd(rc_params, [freq])[0]
+        assert result.psd[0] == pytest.approx(ref, rel=0.03)
+
+    def test_agrees_with_mft_engine(self, rc_system):
+        # The headline claim: transient ESD/t converges to the MFT
+        # steady-state value.
+        freq = 12e3
+        bf = brute_force_psd(rc_system, [freq], segments_per_phase=48,
+                             tol_db=0.01, window_periods=10,
+                             max_periods=50000)
+        mft = MftNoiseAnalyzer(rc_system, 48).psd_at(freq)
+        assert bf.psd[0] == pytest.approx(mft, rel=0.02)
+
+    def test_needs_many_periods(self, rc_system):
+        # The reason the MFT method exists: the transient engine takes
+        # dozens-to-hundreds of clock periods per frequency point.
+        result = brute_force_psd(rc_system, [5e3],
+                                 segments_per_phase=32, tol_db=0.05,
+                                 window_periods=5)
+        assert result.info["total_periods"] >= 10
+
+    def test_convergence_trace_shape(self, rc_system):
+        result = brute_force_psd(rc_system, [3e3],
+                                 segments_per_phase=32, tol_db=0.1)
+        trace = result.info["details"][0].trace
+        assert trace.converged
+        assert trace.times.shape == trace.psd_estimates.shape
+        assert trace.final() == result.psd[0]
+        assert trace.db_swing(5) < 0.1
+
+    def test_trapezoid_mode_close_to_exact_mode(self, rc_system):
+        freq = 5e3
+        exact = brute_force_psd(rc_system, [freq],
+                                segments_per_phase=64, tol_db=0.05,
+                                step_mode="exact")
+        trap = brute_force_psd(rc_system, [freq],
+                               segments_per_phase=64, tol_db=0.05,
+                               step_mode="trapezoid")
+        assert trap.psd[0] == pytest.approx(exact.psd[0], rel=0.05)
+
+    def test_unknown_step_mode(self, rc_system):
+        with pytest.raises(ReproError):
+            brute_force_psd(rc_system, [1e3], step_mode="rk4")
+
+    def test_max_periods_exceeded_raises(self, rc_system):
+        with pytest.raises(ConvergenceError):
+            brute_force_psd(rc_system, [1e3], segments_per_phase=16,
+                            tol_db=1e-9, max_periods=12,
+                            window_periods=3, min_periods=2)
+
+    def test_multiple_frequencies(self, rc_system):
+        result = brute_force_psd(rc_system, [1e3, 8e3],
+                                 segments_per_phase=32, tol_db=0.1)
+        assert result.psd.shape == (2,)
+        assert len(result.info["details"]) == 2
+
+    def test_method_label(self, rc_system):
+        result = brute_force_psd(rc_system, [1e3],
+                                 segments_per_phase=16, tol_db=0.2)
+        assert result.method == "brute-force/exact"

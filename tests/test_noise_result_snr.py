@@ -1,0 +1,111 @@
+"""PsdResult containers and SNR helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.noise.result import ConvergenceTrace, PsdResult
+from repro.noise.snr import (
+    integrated_noise_power,
+    signal_power_sine,
+    signal_power_waveform,
+    snr_db,
+    snr_from_variance,
+)
+
+
+def flat_result(level=2.0):
+    freqs = np.linspace(0.0, 10.0, 101)
+    return PsdResult(frequencies=freqs,
+                     psd=np.full_like(freqs, level), method="test")
+
+
+class TestPsdResult:
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            PsdResult(frequencies=np.arange(3.0), psd=np.arange(4.0))
+
+    def test_single_sided_doubles(self):
+        r = flat_result(1.5)
+        assert np.allclose(r.single_sided(), 3.0)
+
+    def test_db(self):
+        r = flat_result(10.0)
+        assert np.allclose(r.db(), 10.0)
+        assert np.allclose(r.db(single_sided=True),
+                           10.0 * np.log10(20.0))
+
+    def test_db_handles_zero(self):
+        r = PsdResult(frequencies=np.array([1.0]), psd=np.array([0.0]))
+        assert r.db()[0] == -np.inf
+
+    def test_at_interpolates(self):
+        freqs = np.array([1.0, 2.0])
+        r = PsdResult(frequencies=freqs, psd=np.array([1.0, 3.0]))
+        assert r.at(1.5) == pytest.approx(2.0)
+
+    def test_at_out_of_range(self):
+        r = flat_result()
+        with pytest.raises(ReproError):
+            r.at(11.0)
+
+    def test_integrated_power_flat(self):
+        r = flat_result(2.0)
+        assert r.integrated_power() == pytest.approx(20.0)
+        assert r.integrated_power(2.0, 7.0) == pytest.approx(10.0)
+
+    def test_integrated_power_band_edges_interpolated(self):
+        r = flat_result(2.0)
+        assert r.integrated_power(0.55, 0.95) == pytest.approx(0.8)
+
+    def test_integrated_power_empty_band(self):
+        with pytest.raises(ReproError):
+            flat_result().integrated_power(5.0, 5.0)
+
+
+class TestConvergenceTrace:
+    def test_final_and_swing(self):
+        trace = ConvergenceTrace(
+            times=np.arange(5.0),
+            psd_estimates=np.array([1.0, 1.5, 1.2, 1.21, 1.2]),
+            frequency=1e3, converged=True, periods=5)
+        assert trace.final() == pytest.approx(1.2)
+        assert trace.db_swing(3) == pytest.approx(
+            10 * np.log10(1.21 / 1.2))
+
+    def test_swing_with_nonpositive(self):
+        trace = ConvergenceTrace(
+            times=np.arange(2.0), psd_estimates=np.array([0.0, 0.0]),
+            frequency=1.0, converged=False, periods=2)
+        assert trace.db_swing() == np.inf
+
+
+class TestSnr:
+    def test_signal_power_sine(self):
+        assert signal_power_sine(2.0) == pytest.approx(2.0)
+
+    def test_signal_power_waveform_removes_dc(self):
+        t = np.linspace(0.0, 1.0, 20001)
+        w = 3.0 + 2.0 * np.sin(2 * np.pi * 5 * t)
+        assert signal_power_waveform(t, w) == pytest.approx(2.0,
+                                                            rel=1e-3)
+
+    def test_signal_power_waveform_validation(self):
+        with pytest.raises(ReproError):
+            signal_power_waveform(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ReproError):
+            signal_power_waveform(np.zeros(3), np.zeros(3))
+
+    def test_integrated_noise_power_doubles(self):
+        assert integrated_noise_power(flat_result(1.0)) == \
+            pytest.approx(20.0)
+
+    def test_snr_db(self):
+        assert snr_db(100.0, 1.0) == pytest.approx(20.0)
+        with pytest.raises(ReproError):
+            snr_db(1.0, 0.0)
+        with pytest.raises(ReproError):
+            snr_db(-1.0, 1.0)
+
+    def test_snr_from_variance(self):
+        assert snr_from_variance(10.0, 0.1) == pytest.approx(20.0)

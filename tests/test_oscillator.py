@@ -1,0 +1,113 @@
+"""Oscillator extension: linear ring closed forms and the tanh ring."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.razavi import linear_ring_variance_slope
+from repro.oscillator.linear_ring import (
+    LinearRingParams,
+    linear_ring_cross_correlation,
+    linear_ring_system,
+    linear_ring_variance,
+)
+from repro.oscillator.ring3 import (
+    Ring3Params,
+    ring3_orbit,
+    ring3_system,
+    variance_slope,
+)
+
+
+class TestLinearRing:
+    def test_oscillation_condition(self):
+        params = LinearRingParams()
+        a, _b = linear_ring_system(params)
+        eigs = np.linalg.eigvals(a)
+        # Two eigenvalues on the imaginary axis at ±ω_o, one at −3/RC.
+        tau = params.resistance * params.capacitance
+        imag_pair = sorted(eigs, key=lambda z: z.real)[1:]
+        assert np.allclose([z.real for z in imag_pair], 0.0,
+                           atol=1e-5 / tau)
+        assert abs(imag_pair[0].imag) == pytest.approx(
+            params.omega_osc, rel=1e-9)
+        real_eig = min(eigs, key=lambda z: z.real)
+        assert real_eig.real == pytest.approx(-3.0 / tau, rel=1e-9)
+
+    def test_variance_slope_closed_form(self):
+        params = LinearRingParams()
+        slope = linear_ring_variance_slope(params.resistance,
+                                           params.capacitance,
+                                           params.noise_intensity)
+        # Numerical slope from the closed form at large t.
+        t1, t2 = 50.0 / params.omega_osc, 100.0 / params.omega_osc
+        v1 = linear_ring_variance(params, t1)
+        v2 = linear_ring_variance(params, t2)
+        assert (v2 - v1) / (t2 - t1) == pytest.approx(slope, rel=1e-9)
+
+    def test_cross_correlation_decreases_at_half_rate(self):
+        params = LinearRingParams()
+        t1, t2 = 50.0 / params.omega_osc, 100.0 / params.omega_osc
+        dv = (linear_ring_variance(params, t2)
+              - linear_ring_variance(params, t1))
+        dk = (linear_ring_cross_correlation(params, t2)
+              - linear_ring_cross_correlation(params, t1))
+        assert dk == pytest.approx(-dv / 2.0, rel=1e-9)
+
+
+@pytest.fixture(scope="module")
+def tanh_ring():
+    return ring3_orbit()
+
+
+class TestRing3:
+    def test_frequency_near_paper_value(self, tanh_ring):
+        _params, orbit = tanh_ring
+        f_osc = 1.0 / orbit.period
+        # Paper: 70.4 MHz; our macromodel reproduces it within ~5 %.
+        assert f_osc == pytest.approx(70.4e6, rel=0.06)
+
+    def test_orbit_amplitude_saturates(self, tanh_ring):
+        params, orbit = tanh_ring
+        amp = orbit.states[:, 0].max()
+        assert amp == pytest.approx(params.amplitude_estimate, rel=0.25)
+
+    def test_three_phase_symmetry(self, tanh_ring):
+        # Ring V1 <- V3 <- V2 <- V1 with inverting stages: the waveform
+        # advances one node per T/3 in the order 1, 2, 3, so
+        # V2(t) = V1(t + T/3) and V3(t) = V1(t + 2T/3).
+        _params, orbit = tanh_ring
+        t = np.linspace(0.0, orbit.period, 200, endpoint=False)
+        scale = np.max(np.abs(orbit(t)[:, 0]))
+        v1_here = orbit(t)[:, 1]
+        v0_ahead = orbit(t + orbit.period / 3.0)[:, 0]
+        assert np.allclose(v1_here, v0_ahead, atol=0.02 * scale)
+        v2_here = orbit(t)[:, 2]
+        v0_ahead2 = orbit(t + 2.0 * orbit.period / 3.0)[:, 0]
+        assert np.allclose(v2_here, v0_ahead2, atol=0.02 * scale)
+
+    def test_variance_envelope_grows_linearly(self, tanh_ring):
+        params, orbit = tanh_ring
+        system = ring3_system(params, orbit)
+        slope = variance_slope(system, n_periods=30, n_segments=96)
+        assert slope > 0.0
+        # Doubling the observation window must give the same slope
+        # (linear growth, not quadratic or saturating).
+        slope2 = variance_slope(system, n_periods=60, n_segments=96)
+        assert slope2 == pytest.approx(slope, rel=0.15)
+
+    def test_all_nodes_same_variance_slope(self, tanh_ring):
+        params, orbit = tanh_ring
+        system = ring3_system(params, orbit)
+        slopes = [variance_slope(system, n_periods=30, n_segments=96,
+                                 state_index=k) for k in range(3)]
+        assert max(slopes) / min(slopes) == pytest.approx(1.0, rel=0.05)
+
+    def test_phase_noise_minus_20db_per_decade(self, tanh_ring):
+        from repro.oscillator.ring3 import ring3_phase_noise
+        params, _orbit = tanh_ring
+        res = ring3_phase_noise(params=params,
+                                offsets=np.array([1e5, 1e6]),
+                                n_periods=30, n_segments=96)
+        l1, l2 = res["ssb_demir_dbc"]
+        assert l1 - l2 == pytest.approx(20.0, abs=0.1)
+        assert res["c"] > 0.0

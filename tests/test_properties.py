@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.rice import (
+    rice_switched_rc_psd,
+    rice_switched_rc_variance,
+)
+from repro.circuits.switched_rc import SwitchedRcParams, switched_rc_system
+from repro.linalg.expm import expm
+from repro.linalg.lyapunov import solve_discrete_lyapunov
+from repro.linalg.vanloan import vanloan_gramian
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.noise.covariance import periodic_covariance
+from repro.units import parse_value, format_value
+
+
+def stable_matrix(draw_values, n):
+    a = np.asarray(draw_values, dtype=float).reshape(n, n)
+    shift = max(np.real(np.linalg.eigvals(a)).max(), 0.0)
+    return a - (shift + 0.5) * np.eye(n)
+
+
+matrix_entries = st.lists(
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    min_size=9, max_size=9)
+
+
+class TestLinalgProperties:
+    @given(matrix_entries)
+    @settings(max_examples=30, deadline=None)
+    def test_expm_semigroup(self, entries):
+        a = stable_matrix(entries, 3)
+        assert np.allclose(expm(a) @ expm(a), expm(2 * a),
+                           rtol=1e-8, atol=1e-10)
+
+    @given(matrix_entries, st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_gramian_psd_and_additive(self, entries, dt):
+        a = stable_matrix(entries, 3)
+        bbt = np.eye(3)
+        phi, q = vanloan_gramian(a, bbt, dt)
+        eigs = np.linalg.eigvalsh(q)
+        assert eigs.min() >= -1e-12 * max(eigs.max(), 1e-300)
+        phi_h, q_h = vanloan_gramian(a, bbt, dt / 2.0)
+        assert np.allclose(phi, phi_h @ phi_h, rtol=1e-8, atol=1e-10)
+        assert np.allclose(q, phi_h @ q_h @ phi_h.T + q_h,
+                           rtol=1e-7, atol=1e-10)
+
+    @given(matrix_entries)
+    @settings(max_examples=30, deadline=None)
+    def test_discrete_lyapunov_fixed_point(self, entries):
+        phi = np.asarray(entries).reshape(3, 3)
+        radius = np.max(np.abs(np.linalg.eigvals(phi)))
+        phi = phi / (2.0 * max(radius, 0.5))
+        q = np.eye(3)
+        k = solve_discrete_lyapunov(phi, q)
+        assert np.allclose(phi @ k @ phi.T + q, k, rtol=1e-9,
+                           atol=1e-11)
+        assert np.linalg.eigvalsh(k).min() > 0.0
+
+
+class TestUnitsProperties:
+    @given(st.floats(min_value=1e-15, max_value=1e12))
+    @settings(max_examples=100, deadline=None)
+    def test_format_parse_round_trip(self, value):
+        assert parse_value(format_value(value)) == pytest.approx(
+            value, rel=1e-3)
+
+
+switched_rc_strategy = st.builds(
+    SwitchedRcParams,
+    resistance=st.floats(min_value=1e2, max_value=1e5),
+    capacitance=st.floats(min_value=1e-12, max_value=1e-8),
+    period=st.floats(min_value=1e-6, max_value=1e-3),
+    duty=st.floats(min_value=0.05, max_value=0.95),
+)
+
+
+class TestCircuitProperties:
+    @given(switched_rc_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_variance_always_ktc(self, params):
+        sys = switched_rc_system(params)
+        cov = periodic_covariance(sys, 16)
+        assert np.allclose(cov.variance(0), params.ktc_variance,
+                           rtol=1e-6)
+
+    @given(switched_rc_strategy,
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_mft_matches_rice_everywhere(self, params, f_rel):
+        freq = f_rel * 3.0 / params.period  # up to 3 clock harmonics
+        sys = switched_rc_system(params)
+        psd = MftNoiseAnalyzer(sys, 48).psd_at(freq)
+        ref = rice_switched_rc_psd(params, [freq])[0]
+        assert psd == pytest.approx(ref, rel=5e-3, abs=1e-30)
+
+    @given(switched_rc_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_psd_nonnegative_and_bounded(self, params):
+        sys = switched_rc_system(params)
+        an = MftNoiseAnalyzer(sys, 32)
+        # Tight envelope: the Rice closed form is the exact spectrum,
+        # so the engine may never exceed it by more than rounding, and
+        # PSDs are non-negative.
+        for f_rel in (0.0, 0.3, 1.7):
+            freq = f_rel / params.period
+            psd = an.psd_at(freq)
+            rice = rice_switched_rc_psd(params, [freq])[0]
+            assert psd >= -1e-25
+            assert psd <= 1.05 * rice + 1e-30

@@ -1,0 +1,119 @@
+"""Nonlinear periodic steady-state solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.steadystate.shooting import (
+    autonomous_steady_state,
+    forced_steady_state,
+)
+
+
+class TestForcedShooting:
+    def test_linear_forced_system(self):
+        # dx/dt = -2x + cos(2πt): closed-form periodic amplitude.
+        omega = 2.0 * np.pi
+
+        def rhs(t, x):
+            return np.array([-2.0 * x[0] + np.cos(omega * t)])
+
+        orbit = forced_steady_state(rhs, 1.0, [0.0])
+        amp = 1.0 / np.hypot(2.0, omega)
+        measured = 0.5 * (orbit.states[:, 0].max()
+                          - orbit.states[:, 0].min())
+        assert measured == pytest.approx(amp, rel=1e-4)
+        assert orbit.residual < 1e-8
+
+    def test_duffing_like_system_converges(self):
+        def rhs(t, x):
+            return np.array([x[1],
+                             -x[0] - 0.2 * x[1] - x[0] ** 3
+                             + np.cos(1.3 * t)])
+
+        period = 2.0 * np.pi / 1.3
+        orbit = forced_steady_state(rhs, period, [0.0, 0.0])
+        # Periodicity of the converged orbit.
+        assert np.allclose(orbit.states[-1], orbit.states[0], atol=1e-7)
+
+    def test_orbit_interpolation_wraps(self):
+        def rhs(t, x):
+            return np.array([-x[0] + np.sin(2 * np.pi * t)])
+
+        orbit = forced_steady_state(rhs, 1.0, [0.0])
+        assert np.allclose(orbit(0.25), orbit(1.25), atol=1e-9)
+
+    def test_divergence_raises(self):
+        def rhs(_t, x):
+            return np.array([x[0] ** 2 + 1.0])  # no periodic solution
+
+        with pytest.raises(ConvergenceError):
+            forced_steady_state(rhs, 1.0, [0.0], max_iter=4)
+
+
+class TestAutonomousShooting:
+    def test_van_der_pol_period(self):
+        # μ = 0.5 Van der Pol: known period ≈ 6.38 (weakly nonlinear).
+        mu = 0.5
+
+        def rhs(_t, x):
+            return np.array([x[1],
+                             mu * (1.0 - x[0] ** 2) * x[1] - x[0]])
+
+        orbit = autonomous_steady_state(rhs, [2.0, 0.0], 6.3,
+                                        anchor_index=0)
+        assert orbit.period == pytest.approx(6.38, rel=0.01)
+        assert orbit.residual < 1e-7
+
+    def test_harmonic_limit(self):
+        # μ → 0: period → 2π and amplitude → 2 for Van der Pol.
+        mu = 0.05
+
+        def rhs(_t, x):
+            return np.array([x[1],
+                             mu * (1.0 - x[0] ** 2) * x[1] - x[0]])
+
+        orbit = autonomous_steady_state(rhs, [2.0, 0.0], 6.2,
+                                        anchor_index=0)
+        assert orbit.period == pytest.approx(2.0 * np.pi, rel=5e-3)
+        assert orbit.states[:, 0].max() == pytest.approx(2.0, rel=2e-2)
+
+    def test_fundamental_amplitude(self):
+        mu = 0.05
+
+        def rhs(_t, x):
+            return np.array([x[1],
+                             mu * (1.0 - x[0] ** 2) * x[1] - x[0]])
+
+        orbit = autonomous_steady_state(rhs, [2.0, 0.0], 6.2,
+                                        anchor_index=0)
+        assert orbit.fundamental_amplitude(0) == pytest.approx(2.0,
+                                                               rel=3e-2)
+
+    def test_zero_crossing_slew(self):
+        mu = 0.05
+
+        def rhs(_t, x):
+            return np.array([x[1],
+                             mu * (1.0 - x[0] ** 2) * x[1] - x[0]])
+
+        orbit = autonomous_steady_state(rhs, [2.0, 0.0], 6.2,
+                                        anchor_index=0)
+        # Near-sinusoid: slew at zero crossing = amplitude * ω ≈ 2.
+        assert orbit.zero_crossing_slew(0) == pytest.approx(2.0,
+                                                            rel=5e-2)
+
+    def test_derivative_matches_rhs(self):
+        mu = 0.3
+
+        def rhs(_t, x):
+            return np.array([x[1],
+                             mu * (1.0 - x[0] ** 2) * x[1] - x[0]])
+
+        orbit = autonomous_steady_state(rhs, [2.0, 0.0], 6.3,
+                                        anchor_index=0)
+        t_probe = 0.37 * orbit.period
+        # Centred differences on the linear-interpolated orbit: O(1e-3)
+        # accuracy at 2049 samples per period.
+        assert np.allclose(orbit.derivative(t_probe),
+                           rhs(t_probe, orbit(t_probe)), atol=1e-2)

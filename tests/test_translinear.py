@@ -1,0 +1,153 @@
+"""Externally linear (translinear) extension circuits."""
+
+import numpy as np
+import pytest
+import scipy.integrate
+
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.errors import ReproError
+from repro.translinear.class_a import (
+    ClassAParams,
+    class_a_large_signal,
+    class_a_system,
+    class_a_variance_ode_rhs,
+)
+from repro.translinear.class_ab import (
+    ClassAbParams,
+    class_ab_large_signal,
+    class_ab_snr_table,
+    class_ab_system,
+)
+from repro.translinear.shot import (
+    ShotNoiseParams,
+    shot_large_signal,
+    shot_noise_snr,
+    shot_noise_system,
+    splitter_inputs,
+)
+
+
+class TestClassA:
+    def test_param_validation(self):
+        with pytest.raises(ReproError):
+            ClassAParams(u_dc=1e-6, u_amplitude=2e-6)  # u(t) < 0
+
+    def test_large_signal_is_periodic_solution(self):
+        params = ClassAParams()
+        # Verify the closed form against direct integration.
+        t_grid = np.linspace(0.0, 2.0 * params.period, 257)
+        y_closed = class_a_large_signal(params, t_grid)
+        a, k = params.pole, params.gain
+
+        def u(t):
+            return params.u_dc + params.u_amplitude * np.sin(
+                2 * np.pi * params.f_input * t)
+
+        sol = scipy.integrate.solve_ivp(
+            lambda t, y: -a * y + k * u(t), (0.0, t_grid[-1]),
+            [y_closed[0]], t_eval=t_grid, rtol=1e-11, atol=1e-14)
+        assert np.allclose(sol.y[0], y_closed, rtol=1e-7)
+
+    def test_variance_matches_draft_eq34(self):
+        # Engine's periodic covariance must satisfy eq. (34) integrated
+        # over a period.
+        params = ClassAParams()
+        system = class_a_system(params)
+        an = MftNoiseAnalyzer(system, 512)
+        cov_engine = an.covariance.variance(0)
+
+        # Integrate eq. (34) to steady state, then average over exactly
+        # one period (the engine quantity is the period average).
+        sol = scipy.integrate.solve_ivp(
+            lambda t, k: [class_a_variance_ode_rhs(params, t, k[0])],
+            (0.0, 30.0 * params.period), [0.0], rtol=1e-10, atol=1e-30,
+            t_eval=np.linspace(29.0 * params.period,
+                               30.0 * params.period, 401))
+        eq34_avg = float(np.trapezoid(sol.y[0], sol.t) / params.period)
+        engine_avg = float(np.trapezoid(cov_engine,
+                                        an.covariance.grid)
+                           / params.period)
+        assert engine_avg == pytest.approx(eq34_avg, rel=0.02)
+
+    def test_noise_modulated_by_signal(self):
+        # Larger drive -> larger y_s(t) -> more noise (companding).
+        small = ClassAParams(u_amplitude=0.1e-6)
+        large = ClassAParams(u_amplitude=0.9e-6)
+        var_small = MftNoiseAnalyzer(class_a_system(small),
+                                     256).average_output_variance()
+        var_large = MftNoiseAnalyzer(class_a_system(large),
+                                     256).average_output_variance()
+        assert var_large > var_small
+
+    def test_psd_is_lowpass(self):
+        params = ClassAParams()
+        an = MftNoiseAnalyzer(class_a_system(params), 256)
+        f_pole = params.pole / (2 * np.pi)
+        assert an.psd_at(f_pole / 20.0) > 5.0 * an.psd_at(10.0 * f_pole)
+
+
+class TestClassAb:
+    def test_large_signal_class_b_halves(self):
+        params = ClassAbParams(u_peak=10e-6)
+        orbit = class_ab_large_signal(params)
+        y_a = orbit.states[:, 0]
+        y_b = orbit.states[:, 1]
+        # Class B: each side conducts on alternate half cycles; both
+        # stay (essentially) non-negative and peak near u_peak.
+        assert y_a.max() == pytest.approx(params.u_peak, rel=0.1)
+        assert y_b.max() == pytest.approx(params.u_peak, rel=0.1)
+        assert y_a.min() > -1e-9
+        # Half-period symmetry: y_b(t) = y_a(t + T/2).
+        half = orbit(orbit.times + 0.5 * params.period)
+        assert np.allclose(half[:, 0], y_b, atol=1e-6 * y_a.max())
+
+    def test_snr_flat_versus_drive(self):
+        # Draft Table I: SNR varies by < 0.3 dB from 5 µA to 200 µA.
+        rows = class_ab_snr_table([5e-6, 50e-6, 200e-6],
+                                  n_segments=256)
+        snrs = [r["snr_db"] for r in rows]
+        assert max(snrs) - min(snrs) < 1.0
+        # ... and increases slightly with drive, as in the draft.
+        assert snrs[-1] >= snrs[0]
+
+    def test_snr_table_fields(self):
+        rows = class_ab_snr_table([10e-6], n_segments=128)
+        assert set(rows[0]) == {"u_peak", "signal_power",
+                                "noise_variance", "snr_db"}
+
+    def test_system_output_is_differential(self):
+        params = ClassAbParams()
+        system = class_ab_system(params)
+        assert np.allclose(system.output_matrix, [[1.0, -1.0]])
+
+
+class TestShotNoise:
+    def test_splitter_identity(self):
+        # u_a - u_b = u_in and u_a u_b = u_dc² at every instant.
+        params = ShotNoiseParams(m_index=10.0)
+        t = np.linspace(0.0, params.period, 64)
+        u_a, u_b = splitter_inputs(params, t)
+        u_in = params.m_index * params.i_out * np.sin(
+            2 * np.pi * params.f_input * t)
+        assert np.allclose(u_a - u_b, u_in, rtol=1e-12)
+        assert np.allclose(u_a * u_b, params.u_dc ** 2, rtol=1e-9)
+
+    def test_large_signal_positive(self):
+        params = ShotNoiseParams(m_index=5.0)
+        orbit = shot_large_signal(params, dense_points=2049)
+        assert orbit.states.min() > 0.0
+
+    def test_snr_grows_with_m(self):
+        # Draft Fig. 14: SNR rises with modulation index.
+        rows = shot_noise_snr([1.0, 10.0], n_segments=256)
+        assert rows[1]["snr_db"] > rows[0]["snr_db"]
+
+    def test_ten_shot_sources(self):
+        params = ShotNoiseParams()
+        orbit = shot_large_signal(params, dense_points=1025)
+        system = shot_noise_system(params, orbit=orbit)
+        b = system.b_of_t(0.1 * params.period)
+        assert b.shape == (2, 10)
+        # Channel a drives only the first five columns and vice versa.
+        assert np.allclose(b[0, 5:], 0.0)
+        assert np.allclose(b[1, :5], 0.0)

@@ -1,0 +1,112 @@
+"""Units, constants and engineering notation."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitsError
+from repro import units
+
+
+class TestParseValue:
+    def test_plain_numbers(self):
+        assert units.parse_value("3.3") == 3.3
+        assert units.parse_value("1e-12") == 1e-12
+        assert units.parse_value("-2.5e3") == -2500.0
+
+    def test_passthrough_numeric(self):
+        assert units.parse_value(4.7) == 4.7
+        assert units.parse_value(3) == 3.0
+
+    @pytest.mark.parametrize("text,expected", [
+        ("100p", 100e-12), ("1n", 1e-9), ("2.2u", 2.2e-6),
+        ("10m", 10e-3), ("2k", 2e3), ("1MEG", 1e6), ("1meg", 1e6),
+        ("3G", 3e9), ("1T", 1e12), ("5f", 5e-15), ("7a", 7e-18),
+        ("1x", 1e6),
+    ])
+    def test_suffixes(self, text, expected):
+        assert units.parse_value(text) == pytest.approx(expected)
+
+    def test_trailing_unit_letters_ignored(self):
+        assert units.parse_value("100pF") == pytest.approx(100e-12)
+        assert units.parse_value("2kOhm") == pytest.approx(2e3)
+
+    def test_bare_unit_letters_are_not_scales(self):
+        assert units.parse_value("3.3V") == pytest.approx(3.3)
+
+    def test_meg_beats_m(self):
+        assert units.parse_value("1m") == 1e-3
+        assert units.parse_value("1MEG") == 1e6
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", None, [1]])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitsError):
+            units.parse_value(bad)
+
+
+class TestFormatValue:
+    def test_round_trip_magnitudes(self):
+        for value in (1e-10, 4.7e-6, 80.0, 2e3, 1.28e5):
+            text = units.format_value(value)
+            assert units.parse_value(text) == pytest.approx(value,
+                                                            rel=1e-3)
+
+    def test_zero(self):
+        assert units.format_value(0.0) == "0"
+
+    def test_unit_suffix_appended(self):
+        assert units.format_value(100e-12, "F").endswith("F")
+
+
+class TestDecibels:
+    def test_db10_basic(self):
+        assert units.db10(10.0) == pytest.approx(10.0)
+        assert units.db10(1.0) == 0.0
+
+    def test_db10_zero_is_neg_inf(self):
+        assert units.db10(0.0) == -math.inf
+
+    def test_db10_negative_raises(self):
+        with pytest.raises(UnitsError):
+            units.db10(-1.0)
+
+    def test_db20_amplitude(self):
+        assert units.db20(10.0) == pytest.approx(20.0)
+        assert units.db20(-10.0) == pytest.approx(20.0)
+
+    def test_from_db10_round_trip(self):
+        assert units.from_db10(units.db10(3.7)) == pytest.approx(3.7)
+
+    def test_sided_conversions(self):
+        assert units.single_sided(1.0) == 2.0
+        assert units.double_sided(units.single_sided(0.3)) == \
+            pytest.approx(0.3)
+
+
+class TestPhysics:
+    def test_thermal_voltage_room_temp(self):
+        assert units.thermal_voltage() == pytest.approx(25.85e-3, rel=1e-3)
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(UnitsError):
+            units.thermal_voltage(0.0)
+
+    def test_resistor_current_noise(self):
+        # 2kT/R at 300 K for 1 kΩ.
+        expected = 2 * 1.380649e-23 * 300 / 1e3
+        assert units.resistor_current_noise_psd(1e3) == \
+            pytest.approx(expected)
+
+    def test_resistor_voltage_noise(self):
+        r = 50.0
+        assert units.resistor_voltage_noise_psd(r) == pytest.approx(
+            units.resistor_current_noise_psd(r) * r * r)
+
+    def test_resistor_noise_rejects_nonpositive(self):
+        with pytest.raises(UnitsError):
+            units.resistor_current_noise_psd(0.0)
+
+    def test_shot_noise_magnitude_and_sign(self):
+        assert units.shot_noise_psd(1e-3) == pytest.approx(
+            1.602176634e-19 * 1e-3)
+        assert units.shot_noise_psd(-1e-3) == units.shot_noise_psd(1e-3)
