@@ -25,6 +25,7 @@ Package layout:
 """
 
 from .errors import (
+    BudgetExceededError,
     CircuitError,
     ConvergenceError,
     NoiseModelError,
@@ -34,6 +35,14 @@ from .errors import (
     StabilityError,
     TopologyError,
     UnitsError,
+)
+from .logconfig import configure_logging
+from .diagnostics import (
+    DiagnosticsReport,
+    FallbackPolicy,
+    Severity,
+    SweepBudget,
+    preflight_report,
 )
 from .analysis import NoiseAnalysis, SpectrumComparison, compare_spectra
 from .circuit import ClockSchedule, Netlist, build_lptv_system, parse_netlist
@@ -60,7 +69,10 @@ __all__ = [
     # errors
     "ReproError", "CircuitError", "TopologyError", "SingularMatrixError",
     "ConvergenceError", "StabilityError", "ScheduleError", "UnitsError",
-    "NoiseModelError",
+    "NoiseModelError", "BudgetExceededError",
+    # diagnostics & guardrails
+    "configure_logging", "DiagnosticsReport", "Severity", "SweepBudget",
+    "FallbackPolicy", "preflight_report",
     # façade
     "NoiseAnalysis", "compare_spectra", "SpectrumComparison",
     # circuit substrate

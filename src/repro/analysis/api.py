@@ -14,14 +14,19 @@ Typical use (this is the quickstart example)::
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
+from ..diagnostics.preflight import preflight_report
 from ..errors import ReproError
 from ..io.tables import format_table
 from ..mft.engine import MftNoiseAnalyzer
 from ..noise.brute_force import brute_force_psd
 from ..noise.snr import integrated_noise_power, snr_db
 from .spectrum import SpectrumComparison
+
+logger = logging.getLogger(__name__)
 
 
 def _system_of(model_or_system):
@@ -42,18 +47,47 @@ class NoiseAnalysis:
     """
 
     def __init__(self, model_or_system, segments_per_phase=64,
-                 output_row=0):
+                 output_row=0, preflight=True, fallback=True,
+                 budget=None):
         self.system, self.model = _system_of(model_or_system)
         self.segments_per_phase = segments_per_phase
         self.output_row = output_row
         self.engine = MftNoiseAnalyzer(self.system, segments_per_phase,
-                                       output_row)
+                                       output_row, preflight=preflight,
+                                       fallback=fallback, budget=budget)
+        if self.engine.preflight.has_warnings:
+            logger.warning("preflight: %s",
+                           self.engine.preflight.summary())
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def preflight(self):
+        """Preflight findings gathered at construction."""
+        return self.engine.preflight
+
+    def check(self, stability_margin=1e-3, condition_limit=1e12):
+        """Re-run preflight validation; returns the DiagnosticsReport.
+
+        Unlike the construction-time preflight this never raises, so it
+        can be used to inspect a system known to be marginal.
+        """
+        return preflight_report(self.engine._disc,
+                                stability_margin=stability_margin,
+                                condition_limit=condition_limit)
 
     # -- spectra -------------------------------------------------------------
 
-    def psd(self, frequencies):
-        """Averaged double-sided PSD via the MFT steady-state engine."""
-        return self.engine.psd(frequencies)
+    def psd(self, frequencies, on_failure="record", budget=None):
+        """Averaged double-sided PSD via the MFT steady-state engine.
+
+        Per-frequency failures yield NaN plus records in
+        ``result.info["failures"]`` (``on_failure="record"``, default)
+        instead of aborting the sweep; the fallback chain and preflight
+        findings are in ``result.info["diagnostics"]``.
+        """
+        return self.engine.psd(frequencies, on_failure=on_failure,
+                               budget=budget)
 
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
                         **kwargs):

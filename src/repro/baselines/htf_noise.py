@@ -15,11 +15,15 @@ two meaningful.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..errors import ConvergenceError
 from ..lptv.htf import fourier_coefficients, periodic_envelope
 from ..noise.result import PsdResult
+
+logger = logging.getLogger(__name__)
 
 
 def htf_noise_psd(system, frequencies, n_harmonics=20,
@@ -68,6 +72,8 @@ def htf_noise_psd(system, frequencies, n_harmonics=20,
                      if total > 0.0 else 0.0)
     worst_tail = float(tail.max()) if tail.size else 0.0
     if worst_tail > tail_tol:
+        logger.warning("HTF tail not converged: %.3g > %.3g with %d "
+                       "harmonics", worst_tail, tail_tol, n_harmonics)
         raise ConvergenceError(
             "harmonic folding not converged: the estimated un-summed "
             f"image power is {worst_tail:.3g} of the total "

@@ -14,13 +14,18 @@ double-sided convention used throughout this library.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ReproError
+from ..diagnostics.budget import as_budget
+from ..diagnostics.report import DiagnosticsReport
+from ..errors import BudgetExceededError, ReproError, StabilityError
 from ..noise.result import PsdResult
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -64,25 +69,35 @@ def _uniform_discretization(system, samples_per_period):
 
 
 def simulate_trajectories(system, n_trajectories, n_periods,
-                          samples_per_period=64, rng=None, burn_in=None):
+                          samples_per_period=64, rng=None, burn_in=None,
+                          budget=None):
     """Draw exact sample paths of the switched SDE.
 
     Returns ``(times, outputs)`` with ``outputs`` of shape
-    ``(n_trajectories, n_periods * samples_per_period)`` — one row per
+    ``(n_completed, n_periods * samples_per_period)`` — one row per
     trajectory of the first system output, sampled uniformly, after a
     burn-in of ``burn_in`` periods (default: enough for the slowest
-    Floquet mode to decay to 1e-6).
+    Floquet mode to decay to 1e-6). ``n_completed`` equals
+    ``n_trajectories`` unless a ``budget`` runs out mid-ensemble, in
+    which case the completed subset is returned (raising
+    :class:`~repro.errors.BudgetExceededError` if not even one
+    trajectory finished).
     """
     rng = np.random.default_rng(rng)
+    budget = as_budget(budget)
+    budget.start()
     disc, n_seg = _uniform_discretization(system, samples_per_period)
     l_row = np.asarray(system.output_matrix)[0]
     n = disc.n_states
     phi_t = disc.monodromy()
-    radius = max(np.abs(np.linalg.eigvals(phi_t)))
+    multipliers = np.linalg.eigvals(phi_t)
+    multipliers = multipliers[np.argsort(-np.abs(multipliers))]
+    radius = float(np.max(np.abs(multipliers)))
     if radius >= 1.0:
-        raise ReproError(
+        raise StabilityError(
             f"system unstable (Floquet radius {radius:.4g}); Monte-Carlo "
-            "stationary PSD estimation is undefined")
+            "stationary PSD estimation is undefined",
+            multipliers=multipliers, spectral_radius=radius)
     if burn_in is None:
         burn_in = (int(np.ceil(np.log(1e-6) / np.log(max(radius, 1e-12))))
                    if radius > 0.0 else 1)
@@ -98,7 +113,21 @@ def simulate_trajectories(system, n_trajectories, n_periods,
     n_keep = n_periods * n_seg
     outputs = np.empty((n_trajectories, n_keep))
     dt = disc.period / n_seg
+    completed = 0
     for traj in range(n_trajectories):
+        reason = budget.exceeded()
+        if reason is not None:
+            if completed < 1:
+                raise BudgetExceededError(
+                    f"Monte-Carlo budget spent before the first "
+                    f"trajectory finished: {reason}",
+                    elapsed_seconds=budget.elapsed_seconds,
+                    spent_periods=budget.spent_periods)
+            logger.warning(
+                "Monte-Carlo budget spent after %d of %d trajectories "
+                "(%s); returning the completed subset", completed,
+                n_trajectories, reason)
+            break
         x = np.zeros(n)
         col = 0
         for period in range(burn_in + n_periods):
@@ -110,13 +139,15 @@ def simulate_trajectories(system, n_trajectories, n_periods,
                 if keep:
                     outputs[traj, col] = l_row @ x
                     col += 1
+        budget.charge_periods(burn_in + n_periods)
+        completed += 1
     times = dt * np.arange(n_keep)
-    return times, outputs
+    return times, outputs[:completed]
 
 
 def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
                     samples_per_period=64, segment_periods=64,
-                    rng=None, output_row=0):
+                    rng=None, output_row=0, budget=None):
     """Welch-estimated double-sided output PSD of the switched system.
 
     Parameters
@@ -124,6 +155,11 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
     segment_periods:
         Welch block length in clock periods; frequency resolution is
         ``f_clk / segment_periods``.
+    budget:
+        Optional :class:`~repro.diagnostics.budget.SweepBudget` (or
+        wall-clock seconds). When spent mid-ensemble the estimate is
+        built from the completed trajectories and a WARNING finding is
+        recorded in ``result.psd.info["diagnostics"]``.
 
     Returns
     -------
@@ -131,8 +167,22 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
     """
     del output_row  # only the first output is simulated
     t0 = time.perf_counter()
+    report = DiagnosticsReport(context="monte-carlo")
     times, outputs = simulate_trajectories(
-        system, n_trajectories, n_periods, samples_per_period, rng)
+        system, n_trajectories, n_periods, samples_per_period, rng,
+        budget=budget)
+    if outputs.shape[0] < n_trajectories:
+        report.warning(
+            "partial-ensemble",
+            f"budget spent after {outputs.shape[0]} of {n_trajectories} "
+            "trajectories; statistical error bars are wider than "
+            "requested",
+            completed=int(outputs.shape[0]), requested=int(n_trajectories))
+    if outputs.shape[0] < 2:
+        raise BudgetExceededError(
+            "Monte-Carlo needs at least 2 completed trajectories for "
+            f"error bars, got {outputs.shape[0]}"
+        ).attach_diagnostics(report)
     dt = times[1] - times[0]
     block = segment_periods * samples_per_period
     if block > outputs.shape[1]:
@@ -166,6 +216,17 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
         for p in system.phases)
     nyquist_radps = np.pi / dt
     aliasing = fastest > nyquist_radps
+    if aliasing:
+        report.warning(
+            "aliasing",
+            f"fastest circuit pole ({fastest:.3g} rad/s) exceeds the "
+            f"sampling Nyquist rate ({nyquist_radps:.3g} rad/s); power "
+            "above Nyquist folds into the band — raise "
+            "samples_per_period before trusting fine spectral features",
+            fastest_pole_radps=fastest,
+            nyquist_radps=float(nyquist_radps))
+        logger.warning("Monte-Carlo aliasing: fastest pole %.3g rad/s > "
+                       "Nyquist %.3g rad/s", fastest, nyquist_radps)
     result = PsdResult(
         frequencies=freqs, psd=mean, method="monte-carlo",
         info={"n_trajectories": outputs.shape[0],
@@ -173,7 +234,8 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
               "runtime_seconds": runtime,
               "aliasing_warning": bool(aliasing),
               "fastest_pole_radps": fastest,
-              "nyquist_radps": float(nyquist_radps)})
+              "nyquist_radps": float(nyquist_radps),
+              "diagnostics": report})
     return MonteCarloResult(psd=result, standard_error=stderr,
                             n_trajectories=outputs.shape[0],
                             n_periods=n_periods,

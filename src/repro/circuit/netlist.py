@@ -9,7 +9,6 @@ it with a :class:`~repro.circuit.phases.ClockSchedule` and call
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..errors import CircuitError
 from ..units import BOLTZMANN

@@ -1,0 +1,214 @@
+"""Preflight validation of a period discretization.
+
+Run *before* any PSD computation, these checks catch the conditions under
+which the MFT fixed point ``v(0) = (I − M)^{-1} g`` is fragile or
+meaningless: a Floquet multiplier on/near the unit circle, an
+ill-conditioned ``(I − M)``, an inconsistent clock schedule, or NaN/Inf
+contamination in the discretized propagators. Findings are
+severity-tagged so the engines can distinguish "abort" (ERROR) from
+"proceed but watch the fallback chain" (WARNING).
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from ..errors import ScheduleError, StabilityError
+from .report import DiagnosticsReport, Severity
+
+logger = logging.getLogger(__name__)
+
+#: Spectral radius closer to 1 than this margin is flagged as marginal.
+DEFAULT_STABILITY_MARGIN = 1e-3
+#: cond(I − M) above this is flagged as ill-conditioned.
+DEFAULT_CONDITION_LIMIT = 1e12
+#: At most this many per-segment NaN/Inf findings are itemised.
+_MAX_SEGMENT_FINDINGS = 8
+
+
+def preflight_report(disc, stability_margin=DEFAULT_STABILITY_MARGIN,
+                     condition_limit=DEFAULT_CONDITION_LIMIT):
+    """Validate a :class:`~repro.lptv.discretization.PeriodDiscretization`.
+
+    Returns a :class:`~repro.diagnostics.report.DiagnosticsReport`; never
+    raises. Checks, in order:
+
+    1. clock-schedule consistency (positive durations, no gaps, coverage
+       of exactly one period);
+    2. NaN/Inf in the per-segment propagators, Gramians and jump maps;
+    3. Floquet stability: monodromy spectral radius vs 1 (ERROR when
+       unstable, WARNING when within ``stability_margin`` of the unit
+       circle);
+    4. conditioning of the zero-frequency fixed-point matrix ``(I − M)``.
+
+    Checks 3–4 are skipped when 2 finds non-finite propagators — the
+    monodromy would be meaningless.
+    """
+    report = DiagnosticsReport(context="preflight")
+    _check_schedule(disc, report)
+    finite = _check_finite(disc, report)
+    if finite:
+        radius, multipliers = _check_stability(disc, report,
+                                               stability_margin)
+        if radius is not None and radius < 1.0:
+            _check_conditioning(disc, report, condition_limit)
+    else:
+        report.warning(
+            "stability-skipped",
+            "stability and conditioning checks skipped: discretization "
+            "contains non-finite propagators")
+    if report.has_errors:
+        logger.warning("preflight found errors: %s", report.summary())
+    elif report.has_warnings:
+        logger.info("preflight found warnings: %s", report.summary())
+    else:
+        logger.debug("preflight clean (%d segments, period %.3g s)",
+                     len(disc.segments), disc.period)
+    return report
+
+
+def require_preflight(disc, stability_margin=DEFAULT_STABILITY_MARGIN,
+                      condition_limit=DEFAULT_CONDITION_LIMIT):
+    """Run :func:`preflight_report`; raise on ERROR-level findings.
+
+    Unstable systems raise :class:`~repro.errors.StabilityError` (with
+    the multipliers attached), schedule problems raise
+    :class:`~repro.errors.ScheduleError`; both carry the full report on
+    ``err.diagnostics``. Returns the report otherwise.
+    """
+    report = preflight_report(disc, stability_margin, condition_limit)
+    if not report.has_errors:
+        return report
+    unstable = report.by_code("floquet-unstable")
+    if unstable:
+        data = unstable[0].data
+        raise StabilityError(
+            unstable[0].message,
+            multipliers=data.get("multipliers"),
+            spectral_radius=data.get("spectral_radius"),
+        ).attach_diagnostics(report)
+    schedule = [f for f in report.at_least(Severity.ERROR)
+                if f.code.startswith("schedule")]
+    if schedule:
+        raise ScheduleError(schedule[0].message).attach_diagnostics(report)
+    first = report.at_least(Severity.ERROR)[0]
+    raise ScheduleError(
+        f"preflight failed: {first}").attach_diagnostics(report)
+
+
+def _check_schedule(disc, report):
+    period = float(disc.period)
+    if period <= 0.0:
+        report.error("schedule-period",
+                     f"period must be positive, got {period}",
+                     period=period)
+        return
+    tol = 1e-9 * max(period, 1.0)
+    t = 0.0
+    for k, seg in enumerate(disc.segments):
+        if seg.duration <= 0.0:
+            report.error(
+                "schedule-duration",
+                f"segment {k} ({seg.phase_name!r}) has non-positive "
+                f"duration {seg.duration:.6g}",
+                segment=k, duration=float(seg.duration))
+        if abs(seg.t_start - t) > tol:
+            report.error(
+                "schedule-gap",
+                f"segment chain has a gap/overlap at t={seg.t_start:.6g} "
+                f"(expected {t:.6g})",
+                segment=k, t_start=float(seg.t_start), expected=float(t))
+        t = seg.t_end
+    if abs(t - period) > tol:
+        report.error(
+            "schedule-coverage",
+            f"segments cover [0, {t:.6g}] but the period is {period:.6g}",
+            covered=float(t), period=period)
+
+
+def _check_finite(disc, report):
+    """Flag NaN/Inf in propagators/Gramians/jumps; True when all finite."""
+    bad = []
+    for k, seg in enumerate(disc.segments):
+        parts = {"propagator": seg.phi, "gramian": seg.gramian}
+        if seg.jump is not None:
+            parts["jump"] = seg.jump
+        if seg.a_matrix is not None:
+            parts["a-matrix"] = seg.a_matrix
+        for name, mat in parts.items():
+            if not np.all(np.isfinite(mat)):
+                bad.append((k, name))
+    for k, name in bad[:_MAX_SEGMENT_FINDINGS]:
+        seg = disc.segments[k]
+        report.error(
+            "non-finite-propagator",
+            f"segment {k} ({seg.phase_name!r}) has non-finite entries in "
+            f"its {name}",
+            segment=k, part=name)
+    if len(bad) > _MAX_SEGMENT_FINDINGS:
+        report.error(
+            "non-finite-propagator",
+            f"... and {len(bad) - _MAX_SEGMENT_FINDINGS} further "
+            "segments with non-finite entries",
+            suppressed=len(bad) - _MAX_SEGMENT_FINDINGS)
+    return not bad
+
+
+def _check_stability(disc, report, stability_margin):
+    phi_t = disc.monodromy()
+    multipliers = np.linalg.eigvals(phi_t)
+    multipliers = multipliers[np.argsort(-np.abs(multipliers))]
+    radius = float(np.max(np.abs(multipliers))) if multipliers.size else 0.0
+    mult_list = [complex(m) for m in multipliers]
+    if radius >= 1.0:
+        report.error(
+            "floquet-unstable",
+            f"periodic system is unstable: monodromy spectral radius "
+            f"{radius:.6g} >= 1",
+            spectral_radius=radius, multipliers=mult_list)
+    elif radius >= 1.0 - stability_margin:
+        report.warning(
+            "floquet-margin",
+            f"Floquet multiplier within {stability_margin:.3g} of the "
+            f"unit circle (spectral radius {radius:.8g}): the periodic "
+            "solve is fragile; expect fallback activity",
+            spectral_radius=radius, multipliers=mult_list,
+            margin=float(1.0 - radius))
+    else:
+        report.info(
+            "floquet-stable",
+            f"monodromy spectral radius {radius:.6g} "
+            f"(margin {1.0 - radius:.3g})",
+            spectral_radius=radius, multipliers=mult_list)
+    return radius, multipliers
+
+
+def _check_conditioning(disc, report, condition_limit):
+    phi_t = disc.monodromy()
+    n = phi_t.shape[0]
+    system = np.eye(n) - phi_t
+    try:
+        cond = float(np.linalg.cond(system))
+    except np.linalg.LinAlgError:  # pragma: no cover - cond rarely fails
+        cond = np.inf
+    if not np.isfinite(cond):
+        report.error(
+            "fixed-point-singular",
+            "(I - M) is numerically singular at omega = 0: a Floquet "
+            "multiplier sits at exactly 1",
+            condition=cond)
+    elif cond > condition_limit:
+        report.warning(
+            "fixed-point-conditioning",
+            f"cond(I - M) = {cond:.3g} exceeds {condition_limit:.3g} at "
+            "omega = 0; the periodic fixed point loses "
+            f"~{np.log10(cond):.0f} digits",
+            condition=cond, limit=float(condition_limit))
+    else:
+        report.info(
+            "fixed-point-conditioning",
+            f"cond(I - M) = {cond:.3g} at omega = 0",
+            condition=cond)
+    return cond

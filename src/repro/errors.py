@@ -3,13 +3,38 @@
 Every error raised by this library derives from :class:`ReproError` so that
 callers can catch library failures without also swallowing programming
 errors (``TypeError``, ``ValueError`` raised by numpy, ...).
+
+Errors can carry a :class:`~repro.diagnostics.report.DiagnosticsReport`
+(attached via :meth:`ReproError.attach_diagnostics`) so callers can
+introspect *why* an analysis failed — preflight findings, fallback
+attempts, condition numbers — without re-running it.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    Attributes
+    ----------
+    diagnostics:
+        Optional :class:`~repro.diagnostics.report.DiagnosticsReport`
+        describing the numerical context of the failure. ``None`` unless
+        the raising engine attached one.
+    """
+
+    #: Attached diagnostics report (None unless the raiser attached one).
+    diagnostics = None
+
+    def attach_diagnostics(self, report):
+        """Attach a diagnostics report to this error; returns ``self``.
+
+        Designed for the ``raise err.attach_diagnostics(report)`` idiom so
+        engines can enrich an exception without changing its type.
+        """
+        self.diagnostics = report
+        return self
 
 
 class CircuitError(ReproError):
@@ -32,14 +57,17 @@ class SingularMatrixError(ReproError):
 class ConvergenceError(ReproError):
     """An iterative method failed to converge.
 
-    Carries the iteration count and the final residual when available so
-    failures can be diagnosed without re-running.
+    Carries the iteration count, the final residual, and (for
+    per-frequency PSD computations) the analysis frequency when
+    available so failures can be diagnosed without re-running.
     """
 
-    def __init__(self, message, iterations=None, residual=None):
+    def __init__(self, message, iterations=None, residual=None,
+                 frequency=None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.frequency = frequency
 
 
 class StabilityError(ReproError):
@@ -47,12 +75,33 @@ class StabilityError(ReproError):
 
     Periodic steady-state noise analysis requires all Floquet multipliers
     strictly inside the unit circle (oscillators are handled by the
-    dedicated extension engines instead).
+    dedicated extension engines instead). When available the offending
+    ``multipliers`` (sorted by descending modulus) and the
+    ``spectral_radius`` are carried on the exception.
     """
+
+    def __init__(self, message, multipliers=None, spectral_radius=None):
+        super().__init__(message)
+        self.multipliers = multipliers
+        self.spectral_radius = spectral_radius
 
 
 class ScheduleError(ReproError):
     """A clock phase schedule is inconsistent (gaps, overlaps, bad period)."""
+
+
+class BudgetExceededError(ReproError):
+    """A sweep/solve exceeded its wall-clock or work budget.
+
+    Raised (or recorded as a per-frequency failure, depending on the
+    engine's ``on_failure`` mode) when a :class:`~repro.diagnostics.budget.
+    SweepBudget` runs out before the computation finishes.
+    """
+
+    def __init__(self, message, elapsed_seconds=None, spent_periods=None):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.spent_periods = spent_periods
 
 
 class UnitsError(ReproError):

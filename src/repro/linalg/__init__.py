@@ -11,9 +11,11 @@ implementation.
 from .expm import expm, expm_action
 from .vanloan import phase_discretization, vanloan_gramian
 from .lyapunov import (
+    fixed_point_condition,
     solve_continuous_lyapunov,
     solve_discrete_lyapunov,
     solve_linear_fixed_point,
+    solve_regularized_fixed_point,
 )
 from .sylvester import solve_sylvester
 from .packing import vech, unvech, duplication_index_pairs, symmetrize
@@ -26,6 +28,8 @@ __all__ = [
     "solve_continuous_lyapunov",
     "solve_discrete_lyapunov",
     "solve_linear_fixed_point",
+    "solve_regularized_fixed_point",
+    "fixed_point_condition",
     "solve_sylvester",
     "vech",
     "unvech",

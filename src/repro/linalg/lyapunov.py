@@ -96,3 +96,46 @@ def solve_linear_fixed_point(m_matrix, g_vector):
     except np.linalg.LinAlgError as exc:
         raise SingularMatrixError(
             "fixed-point system (I - M) is singular") from exc
+
+
+def fixed_point_condition(m_matrix):
+    """2-norm condition number of the fixed-point system ``I − M``.
+
+    The loss of accuracy of ``(I − M)^{-1} g`` is ~``log10(cond)``
+    digits; the fallback chain uses this to reject a direct solve that
+    "succeeded" numerically but is dominated by rounding error. Returns
+    ``inf`` for an exactly singular system instead of raising.
+    """
+    m = np.asarray(m_matrix)
+    n = m.shape[0]
+    system = np.eye(n, dtype=m.dtype) - m
+    try:
+        return float(np.linalg.cond(system))
+    except np.linalg.LinAlgError:  # pragma: no cover - SVD rarely fails
+        return float("inf")
+
+
+def solve_regularized_fixed_point(m_matrix, g_vector, ridge=1e-10):
+    """Tikhonov-regularized least-squares solve of ``(I − M) q = g``.
+
+    Minimises ``‖(I − M) q − g‖² + λ²‖q‖²`` with ``λ = ridge · ‖I − M‖``
+    via the augmented least-squares system — well-defined even when
+    ``I − M`` is exactly singular, where it returns the minimum-norm
+    solution of the consistent part. This is the safety net between the
+    direct solve and the brute-force transient in the fallback chain.
+    """
+    m = np.asarray(m_matrix)
+    g = np.asarray(g_vector)
+    n = m.shape[0]
+    dtype = np.promote_types(m.dtype, g.dtype)
+    system = np.eye(n, dtype=dtype) - m
+    lam = float(ridge) * max(np.linalg.norm(system, 2), 1e-300)
+    augmented = np.vstack([system, lam * np.eye(n, dtype=dtype)])
+    rhs = np.concatenate([g.astype(dtype), np.zeros(n, dtype=dtype)])
+    solution, _residuals, rank, _sv = np.linalg.lstsq(augmented, rhs,
+                                                      rcond=None)
+    if rank < n:  # pragma: no cover - augmented system has full rank
+        raise SingularMatrixError(
+            f"regularized fixed-point system is rank deficient "
+            f"({rank} < {n})")
+    return solution

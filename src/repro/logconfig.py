@@ -1,0 +1,52 @@
+"""Logging setup for the ``repro`` package.
+
+Every module obtains its logger with ``logging.getLogger(__name__)`` and
+never prints; by library convention the package root logger carries a
+:class:`logging.NullHandler` so that importing ``repro`` emits nothing
+unless the host application configures logging. For scripts and
+notebooks, :func:`configure_logging` wires a sensible stderr handler in
+one call::
+
+    import repro
+    repro.configure_logging("DEBUG")
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_LOGGER_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(_ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def configure_logging(level=logging.INFO, stream=None, fmt=_FORMAT):
+    """Attach a stream handler to the ``repro`` logger hierarchy.
+
+    Parameters
+    ----------
+    level:
+        Threshold as a :mod:`logging` constant or name ("DEBUG", ...).
+    stream:
+        Destination stream (default ``sys.stderr``).
+    fmt:
+        Log-record format string.
+
+    Returns the configured package logger. Calling it again replaces the
+    previously installed handler instead of stacking duplicates.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    logger = logging.getLogger(_ROOT_LOGGER_NAME)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    handler.set_name("repro-configure-logging")
+    for existing in list(logger.handlers):
+        if existing.get_name() == handler.get_name():
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

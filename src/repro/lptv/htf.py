@@ -20,10 +20,14 @@ and compare against it in the benchmarks (noise folding formula in
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..errors import ReproError
 from .periodic_solve import periodic_steady_state
+
+logger = logging.getLogger(__name__)
 
 
 def _segment_forcing_for_column(disc, column):
@@ -88,6 +92,8 @@ def harmonic_transfer_functions(system, omega, n_harmonics=8,
     l_row = np.asarray(system.output_matrix)[output_row]
     n_sources = max(seg.b_matrix.shape[1] for seg in disc.segments)
     if n_sources == 0:
+        logger.warning("HTF requested for a system with no noise "
+                       "inputs")
         raise ReproError("system has no noise inputs")
     harmonics = range(-n_harmonics, n_harmonics + 1)
     result = {}

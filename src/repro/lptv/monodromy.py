@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..errors import StabilityError
+
+logger = logging.getLogger(__name__)
 
 
 def monodromy_matrix(system, segments_per_phase=1):
@@ -43,13 +47,35 @@ def is_asymptotically_stable(system, segments_per_phase=1, margin=0.0):
     return bool(np.all(np.abs(mults) < 1.0 - margin))
 
 
+def stability_margin(system, segments_per_phase=1):
+    """``(margin, multipliers)`` with ``margin = 1 − spectral radius``.
+
+    A positive margin means asymptotically stable; a margin near zero
+    flags the near-unit Floquet multipliers for which the MFT fixed
+    point ``(I − M)^{-1} g`` becomes ill-conditioned. The multipliers
+    are sorted by descending modulus.
+    """
+    mults = floquet_multipliers(system, segments_per_phase)
+    radius = float(np.max(np.abs(mults))) if mults.size else 0.0
+    return 1.0 - radius, mults
+
+
 def require_stable(system, segments_per_phase=1):
-    """Raise :class:`~repro.errors.StabilityError` unless stable."""
+    """Raise :class:`~repro.errors.StabilityError` unless stable.
+
+    The raised error carries the Floquet ``multipliers`` and
+    ``spectral_radius`` so callers can see *which* mode is unstable
+    without re-running the eigendecomposition.
+    """
     mults = floquet_multipliers(system, segments_per_phase)
     radius = float(np.max(np.abs(mults))) if mults.size else 0.0
     if radius >= 1.0:
+        logger.warning("stability check failed: spectral radius %.6g "
+                       "(multipliers %s)", radius, mults)
         raise StabilityError(
-            f"periodic system is unstable: spectral radius {radius:.6g}")
+            f"periodic system is unstable: spectral radius {radius:.6g} "
+            f"(largest multipliers {np.round(mults[:3], 6)})",
+            multipliers=mults, spectral_radius=radius)
     return radius
 
 

@@ -21,13 +21,20 @@ are resolved far beyond the naive O(h²) of plain trapezoids.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ReproError
-from ..linalg.lyapunov import solve_linear_fixed_point
+from ..errors import ReproError, SingularMatrixError
+from ..linalg.lyapunov import (
+    fixed_point_condition,
+    solve_linear_fixed_point,
+    solve_regularized_fixed_point,
+)
 from ..linalg.phi import affine_step_integrals
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -49,6 +56,11 @@ class PeriodicSolution:
     dpre: np.ndarray
     dpost: np.ndarray
     integral: np.ndarray | None = None
+    #: 2-norm condition number of the fixed-point system ``I − M``
+    #: (``None`` when the solver did not estimate it).
+    condition: float | None = None
+    #: Solver that produced ``v(0)`` ("direct" or "lstsq").
+    solver: str = "direct"
 
     def integrate_dot(self):
         """Integral of the trace over one period.
@@ -120,7 +132,8 @@ def forcing_from_samples(disc, samples_post, samples_pre=None):
     return out
 
 
-def periodic_steady_state(disc, omega, segment_forcing):
+def periodic_steady_state(disc, omega, segment_forcing, solver="direct",
+                          ridge=1e-10, condition_limit=None):
     """Solve the periodic steady state of ``dv/dt = (A−jω)v + f``.
 
     Parameters
@@ -132,10 +145,24 @@ def periodic_steady_state(disc, omega, segment_forcing):
         ``segment_forcing[k, 0]`` is ``f`` at the start of segment ``k``,
         ``segment_forcing[k, 1]`` at its end (pre-jump side); ``f`` is
         treated as linear in time inside each segment.
+    solver : {"direct", "lstsq"}
+        ``"direct"`` solves ``(I − M) v0 = g`` exactly; ``"lstsq"`` uses
+        the Tikhonov-regularized least squares of
+        :func:`~repro.linalg.lyapunov.solve_regularized_fixed_point` —
+        the graceful-degradation path for near-singular fixed points.
+    ridge : float
+        Relative regularization of the ``"lstsq"`` solver.
+    condition_limit : float, optional
+        When given, a *direct* solve whose ``cond(I − M)`` exceeds the
+        limit raises :class:`~repro.errors.SingularMatrixError` instead
+        of returning a rounding-dominated answer — this is the
+        ill-conditioning trigger of the fallback chain.
 
     Returns
     -------
     PeriodicSolution
+        With ``condition`` and ``solver`` recording the fixed point's
+        numerical health.
     """
     n = disc.n_states
     forcing = np.asarray(segment_forcing)
@@ -162,7 +189,23 @@ def periodic_steady_state(disc, omega, segment_forcing):
             m_acc = jump @ m_acc
             g_acc = jump @ g_acc
 
-    v0 = solve_linear_fixed_point(m_acc, g_acc)
+    condition = fixed_point_condition(m_acc)
+    if solver == "direct":
+        if condition_limit is not None and condition > condition_limit:
+            logger.info(
+                "direct periodic solve rejected at omega=%.6g: "
+                "cond(I - M) = %.3g > %.3g", omega, condition,
+                condition_limit)
+            raise SingularMatrixError(
+                f"fixed-point system (I - M) is ill-conditioned: "
+                f"cond = {condition:.3g} exceeds limit "
+                f"{condition_limit:.3g} at omega = {omega:.6g} rad/s")
+        v0 = solve_linear_fixed_point(m_acc, g_acc)
+    elif solver == "lstsq":
+        v0 = solve_regularized_fixed_point(m_acc, g_acc, ridge=ridge)
+    else:
+        raise ReproError(f"unknown periodic solver {solver!r}; "
+                         "expected 'direct' or 'lstsq'")
 
     # Propagate once through the period to record the full trace and
     # accumulate the exact period integral of v. Per segment,
@@ -208,7 +251,8 @@ def periodic_steady_state(disc, omega, segment_forcing):
         post[k + 1] = v
     dpost[-1] = dpost[0]
     return PeriodicSolution(grid=grid, pre=pre, post=post,
-                            dpre=dpre, dpost=dpost, integral=integral)
+                            dpre=dpre, dpost=dpost, integral=integral,
+                            condition=condition, solver=solver)
 
 
 def _corrected_trapezoid(h, v_left, v_right, dv_left, dv_right):

@@ -23,12 +23,15 @@ tones at once).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ReproError, SingularMatrixError
 from .delay import choose_sample_phases, delay_matrix, idft_matrix
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -120,6 +123,8 @@ def solve_mft_collocation(problem):
     big = np.kron(delay, np.eye(n)) - np.kron(np.eye(j), problem.cycle_map)
     cond = np.linalg.cond(big)
     if not np.isfinite(cond) or cond > 1e12:
+        logger.warning("MFT collocation system singular: cond = %.3g",
+                       cond)
         raise SingularMatrixError(
             "MFT collocation system is singular — a slow-tone harmonic "
             "coincides with a Floquet multiplier of the cycle map "

@@ -19,19 +19,38 @@ This module wires those three steps to the shared machinery:
 :func:`repro.lptv.periodic_solve.periodic_steady_state` for ``q``, and a
 trapezoidal quadrature for the average. Runtime bookkeeping is kept so the
 speedup benchmarks can compare against the brute-force engine.
+
+Robustness: the analyzer preflight-validates the discretization at
+construction (Floquet margin, ``cond(I − M)``, schedule, NaN/Inf) and
+:meth:`MftNoiseAnalyzer.psd` runs each frequency through the bounded
+graceful-degradation chain of :mod:`repro.diagnostics.fallback` — direct
+solve, refined grid, regularized least squares, brute-force transient —
+recording every attempt in ``PsdResult.info["diagnostics"]``. A failed
+frequency yields NaN plus a failure record instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..diagnostics.budget import as_budget
+from ..diagnostics.fallback import (
+    FallbackExhausted,
+    FallbackPolicy,
+    run_fallback_chain,
+)
+from ..diagnostics.preflight import preflight_report, require_preflight
+from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
 from ..errors import ReproError
 from ..lptv.periodic_solve import forcing_from_samples, periodic_steady_state
 from ..noise.covariance import periodic_covariance
 from ..noise.result import PsdResult
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -61,9 +80,23 @@ class MftNoiseAnalyzer:
         exact). For sampled systems it also controls propagator accuracy.
     output_row:
         Row of the system's output matrix to analyse.
+    preflight:
+        Validate the discretization at construction. ERROR-level findings
+        raise immediately (:class:`~repro.errors.StabilityError` for an
+        unstable system, with the multipliers attached); warnings are
+        kept on :attr:`preflight` and attached to every sweep result.
+    fallback:
+        ``True``/``None`` enables the graceful-degradation chain with
+        default :class:`~repro.diagnostics.fallback.FallbackPolicy`
+        settings, ``False`` disables it, and a ``FallbackPolicy``
+        instance tunes it.
+    budget:
+        Default :class:`~repro.diagnostics.budget.SweepBudget` (or
+        wall-clock seconds) applied to every :meth:`psd` sweep.
     """
 
-    def __init__(self, system, segments_per_phase=64, output_row=0):
+    def __init__(self, system, segments_per_phase=64, output_row=0,
+                 preflight=True, fallback=True, budget=None):
         if not hasattr(system, "discretize") or not hasattr(
                 system, "output_matrix"):
             raise ReproError(
@@ -77,6 +110,18 @@ class MftNoiseAnalyzer:
         self._disc = system.discretize(segments_per_phase)
         self._covariance = None
         self._forcing = None
+        self._refined = {}
+        if fallback is True or fallback is None:
+            self.fallback = FallbackPolicy()
+        elif fallback is False:
+            self.fallback = None
+        else:
+            self.fallback = fallback
+        self.budget = budget
+        if preflight:
+            self.preflight = require_preflight(self._disc)
+        else:
+            self.preflight = DiagnosticsReport(context="preflight skipped")
 
     # -- covariance ---------------------------------------------------------
 
@@ -99,30 +144,161 @@ class MftNoiseAnalyzer:
             self._forcing = forcing_from_samples(self._disc, post, pre)
         return self._forcing
 
-    def psd_at(self, frequency):
-        """Averaged double-sided PSD at one frequency [Hz]."""
+    def _psd_at(self, frequency, solver="direct", ridge=1e-10,
+                condition_limit=None):
+        """Single-frequency solve with explicit solver controls."""
         omega = 2.0 * np.pi * float(frequency)
-        solution = periodic_steady_state(self._disc, omega,
-                                         self._forcing_pairs())
+        solution = periodic_steady_state(
+            self._disc, omega, self._forcing_pairs(), solver=solver,
+            ridge=ridge, condition_limit=condition_limit)
         integral = solution.integrate_dot()
         return float(2.0 * np.real(self._l_row @ integral)
                      / self._disc.period)
 
-    def psd(self, frequencies):
-        """Averaged PSD over a frequency grid; returns a PsdResult."""
+    def psd_at(self, frequency):
+        """Averaged double-sided PSD at one frequency [Hz].
+
+        This is the raw direct solve — it raises on failure. Sweeps that
+        should survive per-frequency failures go through :meth:`psd`.
+        """
+        return self._psd_at(frequency)
+
+    def psd(self, frequencies, on_failure="record", budget=None):
+        """Averaged PSD over a frequency grid; returns a PsdResult.
+
+        Each frequency runs through the graceful-degradation chain (when
+        :attr:`fallback` is enabled). With ``on_failure="record"`` (the
+        default) a frequency whose every strategy fails contributes NaN
+        and a :class:`~repro.diagnostics.report.FrequencyFailure` in
+        ``info["failures"]`` — the sweep itself always completes;
+        ``on_failure="raise"`` aborts on the first exhausted chain. A
+        ``budget`` (or the analyzer default) bounds the sweep wall
+        clock: once spent, remaining frequencies are recorded as
+        ``budget``-stage failures.
+        """
+        if on_failure not in ("record", "raise"):
+            raise ReproError(
+                f"on_failure must be 'record' or 'raise', "
+                f"got {on_failure!r}")
         freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+        budget = as_budget(budget if budget is not None else self.budget)
+        budget.start()
+        report = DiagnosticsReport(context="mft sweep")
+        report.merge(self.preflight)
+        failures = []
+        attempts_log = []
+        values = np.full(freqs.shape, np.nan)
         t0 = time.perf_counter()
-        values = np.asarray([self.psd_at(f) for f in freqs])
+        for idx, f in enumerate(freqs):
+            reason = budget.exceeded()
+            if reason is not None:
+                _record_budget_failures(freqs, idx, reason, failures,
+                                        report)
+                break
+            if not np.isfinite(f):
+                exc = ReproError(
+                    f"analysis frequency must be finite, got {f!r}")
+                if on_failure == "raise":
+                    raise exc.attach_diagnostics(report)
+                failures.append(FrequencyFailure(
+                    frequency=float(f), index=idx, stage="input",
+                    error=type(exc).__name__, message=str(exc)))
+                report.error("non-finite-frequency", str(exc),
+                             index=idx)
+                logger.warning("recording NaN at index %d: %s", idx, exc)
+                continue
+            try:
+                value, attempts = run_fallback_chain(
+                    self._strategies(f, budget), f, report)
+                attempts_log.extend(attempts)
+                values[idx] = value
+            except FallbackExhausted as exc:
+                attempts_log.extend(exc.attempts)
+                failures.append(FrequencyFailure(
+                    frequency=float(f), index=idx, stage="solve",
+                    error=type(exc).__name__, message=str(exc)))
+                if on_failure == "raise":
+                    raise exc.attach_diagnostics(report)
+                logger.warning("recording NaN at %.6g Hz: %s", f, exc)
         runtime = time.perf_counter() - t0
-        clipped = np.maximum(values, 0.0)
+        clipped = _clip_negative(freqs, values, report)
+        n_fallback = sum(1 for a in attempts_log
+                         if a.success and a.trigger != "primary")
+        if n_fallback:
+            logger.info("mft sweep finished: %d/%d frequencies needed "
+                        "fallbacks, %d failed", n_fallback, freqs.size,
+                        len(failures))
         return PsdResult(
             frequencies=freqs, psd=clipped, method="mft",
             output=self._output_name(),
             info={
                 "runtime_seconds": runtime,
                 "segments": len(self._disc.segments),
-                "negative_clipped": int(np.sum(values < 0.0)),
+                "negative_clipped": int(np.sum(
+                    np.isfinite(values) & (values < 0.0))),
+                "worst_negative_psd": _worst_negative(values),
+                "diagnostics": report,
+                "failures": failures,
+                "fallback_attempts": attempts_log,
             })
+
+    # -- fallback machinery -------------------------------------------------
+
+    def _strategies(self, frequency, budget):
+        """Ordered (name, thunk) solve strategies for one frequency."""
+        policy = self.fallback
+        if policy is None:
+            return [("mft-direct", lambda: self._psd_at(frequency))]
+        strategies = [("mft-direct", lambda: self._psd_at(
+            frequency, condition_limit=policy.condition_limit))]
+        if policy.enable_refinement and np.isscalar(
+                self.segments_per_phase):
+            previous = int(self.segments_per_phase)
+            for k in range(1, policy.max_refinements + 1):
+                refined = min(int(self.segments_per_phase) * 2 ** k,
+                              policy.segments_cap)
+                if refined <= previous:
+                    break
+                previous = refined
+                strategies.append((
+                    f"mft-refine-{refined}",
+                    lambda r=refined: self._refined_analyzer(r)._psd_at(
+                        frequency,
+                        condition_limit=policy.condition_limit)))
+        if policy.enable_regularized:
+            strategies.append(("mft-regularized", lambda: self._psd_at(
+                frequency, solver="lstsq",
+                ridge=policy.regularization)))
+        if policy.enable_brute_force:
+            strategies.append(("brute-force", lambda: self._brute_force_at(
+                frequency, policy, budget)))
+        return strategies
+
+    def _refined_analyzer(self, segments):
+        """A sibling analyzer on a denser grid (built once, cached)."""
+        analyzer = self._refined.get(segments)
+        if analyzer is None:
+            logger.info("building refined discretization: %d segments "
+                        "per phase", segments)
+            analyzer = MftNoiseAnalyzer(
+                self.system, segments, self.output_row,
+                preflight=False, fallback=False)
+            self._refined[segments] = analyzer
+        return analyzer
+
+    def _brute_force_at(self, frequency, policy, budget):
+        """Terminal fallback: the transient engine at one frequency."""
+        from ..noise.brute_force import brute_force_psd
+        kwargs = dict(policy.brute_force_kwargs)
+        kwargs.setdefault("segments_per_phase",
+                          self.segments_per_phase
+                          if np.isscalar(self.segments_per_phase) else 64)
+        result = brute_force_psd(self.system, [frequency],
+                                 output_row=self.output_row,
+                                 budget=budget, **kwargs)
+        return float(result.psd[0])
+
+    # -- other observables --------------------------------------------------
 
     def instantaneous_psd(self, frequency):
         """``S(t, f)`` over one steady-state period at one frequency."""
@@ -154,7 +330,69 @@ class MftNoiseAnalyzer:
         return f"row{self.output_row}"
 
 
-def mft_psd(system, frequencies, segments_per_phase=64, output_row=0):
-    """One-call convenience wrapper around :class:`MftNoiseAnalyzer`."""
-    analyzer = MftNoiseAnalyzer(system, segments_per_phase, output_row)
+def _clip_negative(freqs, values, report):
+    """Clip negative PSD samples to zero, diagnosing the worst one.
+
+    A negative averaged PSD is pure discretization error (the true
+    quantity is nonnegative); its magnitude measures how coarse the
+    cross-spectral quadrature grid is.
+    """
+    finite = np.isfinite(values)
+    negative = finite & (values < 0.0)
+    if np.any(negative):
+        worst_idx = int(np.argmin(np.where(negative, values, 0.0)))
+        worst = float(values[worst_idx])
+        report.warning(
+            "negative-psd-clipped",
+            f"{int(np.sum(negative))} of {values.size} PSD samples were "
+            f"negative and were clipped to zero (worst {worst:.3g} "
+            f"V^2/Hz at {freqs[worst_idx]:.6g} Hz); the discretization "
+            "is likely too coarse — increase segments_per_phase",
+            count=int(np.sum(negative)), worst_value=worst,
+            worst_frequency=float(freqs[worst_idx]))
+        logger.warning("clipped %d negative PSD samples (worst %.3g at "
+                       "%.6g Hz)", int(np.sum(negative)), worst,
+                       freqs[worst_idx])
+    clipped = values.copy()
+    clipped[negative] = 0.0
+    return clipped
+
+
+def _worst_negative(values):
+    finite = np.isfinite(values)
+    negative = finite & (values < 0.0)
+    if not np.any(negative):
+        return 0.0
+    return float(values[negative].min())
+
+
+def _record_budget_failures(freqs, start_idx, reason, failures, report):
+    """Mark every frequency from ``start_idx`` on as budget-failed."""
+    for k in range(start_idx, freqs.size):
+        failures.append(FrequencyFailure(
+            frequency=float(freqs[k]), index=k, stage="budget",
+            error="BudgetExceededError", message=reason))
+    report.error(
+        "budget-exhausted",
+        f"sweep budget spent before {freqs.size - start_idx} of "
+        f"{freqs.size} frequencies: {reason}",
+        skipped=freqs.size - start_idx, reason=reason)
+    logger.warning("sweep budget spent: skipping %d frequencies (%s)",
+                   freqs.size - start_idx, reason)
+
+
+def mft_psd(system, frequencies, segments_per_phase=64, output_row=0,
+            **kwargs):
+    """One-call convenience wrapper around :class:`MftNoiseAnalyzer`.
+
+    Keyword arguments (``preflight``, ``fallback``, ``budget``) are
+    forwarded to the analyzer constructor.
+    """
+    analyzer = MftNoiseAnalyzer(system, segments_per_phase, output_row,
+                                **kwargs)
     return analyzer.psd(frequencies)
+
+
+# re-exported for backwards compatibility with earlier imports
+__all__ = ["InstantaneousPsd", "MftNoiseAnalyzer", "mft_psd",
+           "preflight_report"]

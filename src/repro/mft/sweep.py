@@ -7,9 +7,14 @@ those features without wasting points elsewhere.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
+from ..diagnostics.budget import as_budget
 from ..errors import ReproError
+
+logger = logging.getLogger(__name__)
 
 
 def linear_grid(f_start, f_stop, n_points):
@@ -56,7 +61,7 @@ def clock_harmonic_grid(f_clock, n_harmonics, points_per_interval=32,
 
 
 def adaptive_frequency_grid(psd_fn, f_start, f_stop, n_initial=16,
-                            max_points=256, tol_db=0.5):
+                            max_points=256, tol_db=0.5, budget=None):
     """Adaptively refine a grid until log-PSD is bisection-converged.
 
     ``psd_fn(f)`` returns the PSD at one frequency. Starting from a
@@ -64,7 +69,15 @@ def adaptive_frequency_grid(psd_fn, f_start, f_stop, n_initial=16,
     (in dB) from the log-log interpolation of its endpoints is bisected,
     until every deviation is below ``tol_db`` or ``max_points`` is
     reached. Returns ``(frequencies, psd_values)``.
+
+    Non-finite samples (a failed frequency in a partial-failure sweep)
+    are kept in the output but excluded from the refinement criterion, so
+    one bad frequency cannot drive endless bisection around itself. An
+    optional ``budget`` (:class:`~repro.diagnostics.budget.SweepBudget`
+    or seconds) stops refinement — never mid-``psd_fn`` — when spent.
     """
+    budget = as_budget(budget)
+    budget.start()
     freqs = list(decade_grid(f_start, f_stop,
                              points_per_decade=max(
                                  2, n_initial // max(1, int(np.log10(
@@ -75,8 +88,17 @@ def adaptive_frequency_grid(psd_fn, f_start, f_stop, n_initial=16,
 
     def probe(k):
         """Midpoint deviation (dB) of interval k; caches the midpoint."""
+        if not (np.isfinite(values[k]) and np.isfinite(values[k + 1])):
+            # An endpoint failed: no meaningful interpolation to check,
+            # and bisecting toward a failing frequency only multiplies
+            # failures. Mark the interval converged.
+            return 0.0, np.sqrt(freqs[k] * freqs[k + 1]), np.nan
         f_mid = np.sqrt(freqs[k] * freqs[k + 1])
         v_mid = float(psd_fn(f_mid))
+        if not np.isfinite(v_mid):
+            logger.warning("adaptive grid: psd_fn failed at midpoint "
+                           "%.6g Hz; freezing the interval", f_mid)
+            return 0.0, f_mid, v_mid
         interp = np.sqrt(max(values[k], 1e-300)
                          * max(values[k + 1], 1e-300))
         dev = abs(10.0 * np.log10(max(v_mid, 1e-300) / interp))
@@ -86,6 +108,10 @@ def adaptive_frequency_grid(psd_fn, f_start, f_stop, n_initial=16,
     # changed, so each psd_fn evaluation is used at most twice.
     probes = [probe(k) for k in range(len(freqs) - 1)]
     while len(freqs) < max_points:
+        if budget.exceeded() is not None:
+            logger.warning("adaptive grid refinement stopped at %d "
+                           "points: %s", len(freqs), budget.exceeded())
+            break
         k = int(np.argmax([p[0] for p in probes]))
         dev, f_mid, v_mid = probes[k]
         if dev < tol_db:

@@ -32,15 +32,20 @@ eliminates. Two step modes:
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConvergenceError, ReproError
+from ..diagnostics.budget import as_budget
+from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
+from ..errors import BudgetExceededError, ConvergenceError, ReproError
 from ..linalg.packing import symmetrize
 from ..linalg.phi import affine_step_integrals
 from .result import ConvergenceTrace, PsdResult
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -56,29 +61,99 @@ class BruteForceResult:
 
 def brute_force_psd(system, frequencies, output_row=0,
                     segments_per_phase=64, tol_db=0.1, window_periods=5,
-                    max_periods=20000, min_periods=8, step_mode="exact"):
+                    max_periods=20000, min_periods=8, step_mode="exact",
+                    on_failure="raise", budget=None):
     """Compute the average output PSD at the given frequencies [Hz].
 
     Returns a :class:`~repro.noise.result.PsdResult`; per-frequency
     convergence traces are stored in ``result.info["details"]``.
 
-    Raises :class:`~repro.errors.ConvergenceError` if any frequency fails
-    to settle within ``max_periods`` clock periods.
+    With ``on_failure="raise"`` (the default, the historical behaviour) a
+    frequency that fails to settle within ``max_periods`` clock periods
+    raises :class:`~repro.errors.ConvergenceError` (carrying the
+    offending ``frequency``). With ``on_failure="record"`` the failed
+    frequency contributes NaN plus a failure record in
+    ``info["failures"]`` and the sweep continues. A ``budget``
+    (:class:`~repro.diagnostics.budget.SweepBudget` or wall-clock
+    seconds) bounds the whole sweep; the deadline is also checked
+    *inside* the per-period loop so one pathological frequency cannot
+    hang the sweep.
     """
+    if on_failure not in ("raise", "record"):
+        raise ReproError(
+            f"on_failure must be 'raise' or 'record', got {on_failure!r}")
     freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    budget = as_budget(budget)
+    budget.start()
     disc = system.discretize(segments_per_phase)
     l_row = np.asarray(system.output_matrix)[output_row].astype(float)
+    report = DiagnosticsReport(context="brute-force sweep")
     details = []
-    psd_values = []
+    failures = []
+    psd_values = np.full(freqs.shape, np.nan)
     t_start = time.perf_counter()
-    for f in freqs:
-        detail = _single_frequency(disc, l_row, f, tol_db, window_periods,
-                                   max_periods, min_periods, step_mode)
+    for idx, f in enumerate(freqs):
+        reason = budget.exceeded()
+        if reason is not None:
+            for k in range(idx, freqs.size):
+                failures.append(FrequencyFailure(
+                    frequency=float(freqs[k]), index=k, stage="budget",
+                    error="BudgetExceededError", message=reason))
+            report.error("budget-exhausted",
+                         f"sweep budget spent before "
+                         f"{freqs.size - idx} of {freqs.size} "
+                         f"frequencies: {reason}",
+                         skipped=freqs.size - idx, reason=reason)
+            if on_failure == "raise":
+                raise BudgetExceededError(
+                    reason, elapsed_seconds=budget.elapsed_seconds,
+                    spent_periods=budget.spent_periods,
+                ).attach_diagnostics(report)
+            logger.warning("brute-force sweep budget spent; skipping "
+                           "%d frequencies", freqs.size - idx)
+            details.extend([None] * (freqs.size - idx))
+            break
+        if not np.isfinite(f):
+            exc = ReproError(
+                f"analysis frequency must be finite, got {f!r}")
+            report.error("non-finite-frequency", str(exc), index=idx)
+            if on_failure == "raise":
+                raise exc.attach_diagnostics(report)
+            logger.warning("recording NaN at index %d: %s", idx, exc)
+            failures.append(FrequencyFailure(
+                frequency=float(f), index=idx, stage="input",
+                error=type(exc).__name__, message=str(exc)))
+            details.append(None)
+            continue
+        try:
+            detail = _single_frequency(disc, l_row, f, tol_db,
+                                       window_periods, max_periods,
+                                       min_periods, step_mode, budget)
+        except (ConvergenceError, BudgetExceededError) as exc:
+            periods = getattr(exc, "iterations", None) or 0
+            budget.charge_periods(periods)
+            report.error(
+                "brute-force-failure",
+                f"brute-force PSD failed at {f:.6g} Hz: {exc}",
+                frequency=float(f), error=type(exc).__name__,
+                periods=periods)
+            if on_failure == "raise":
+                raise exc.attach_diagnostics(report)
+            logger.warning("recording NaN at %.6g Hz: %s", f, exc)
+            failures.append(FrequencyFailure(
+                frequency=float(f), index=idx, stage="transient",
+                error=type(exc).__name__, message=str(exc)))
+            details.append(None)
+            continue
+        budget.charge_periods(detail.periods)
         details.append(detail)
-        psd_values.append(detail.psd)
+        psd_values[idx] = detail.psd
     runtime = time.perf_counter() - t_start
+    ok_periods = int(sum(d.periods for d in details if d is not None))
+    logger.debug("brute-force sweep: %d frequencies, %d periods, %.3g s",
+                 freqs.size, ok_periods, runtime)
     return PsdResult(
-        frequencies=freqs, psd=np.asarray(psd_values),
+        frequencies=freqs, psd=psd_values,
         method=f"brute-force/{step_mode}",
         output=system.output_names[output_row]
         if hasattr(system, "output_names") else "",
@@ -87,7 +162,9 @@ def brute_force_psd(system, frequencies, output_row=0,
             "tol_db": tol_db,
             "window_periods": window_periods,
             "runtime_seconds": runtime,
-            "total_periods": int(sum(d.periods for d in details)),
+            "total_periods": ok_periods,
+            "diagnostics": report,
+            "failures": failures,
         })
 
 
@@ -109,9 +186,10 @@ def _shifted_step_integrals(disc, omega):
 
 
 def _single_frequency(disc, l_row, frequency, tol_db, window_periods,
-                      max_periods, min_periods, step_mode):
+                      max_periods, min_periods, step_mode, budget=None):
     if step_mode not in ("exact", "trapezoid"):
         raise ReproError(f"unknown step_mode {step_mode!r}")
+    deadline = budget.deadline() if budget is not None else None
     omega = 2.0 * np.pi * frequency
     n = disc.n_states
     k_mat = np.zeros((n, n))
@@ -163,13 +241,20 @@ def _single_frequency(disc, l_row, frequency, tol_db, window_periods,
             if _window_converged(history_psd, window_periods, tol_db):
                 converged = True
                 break
+        if deadline is not None and time.perf_counter() > deadline:
+            raise ConvergenceError(
+                f"brute-force PSD at {frequency:.6g} Hz hit the sweep "
+                f"wall-clock budget after {period_index} periods (last "
+                f"estimate {history_psd[-1]:.6g})",
+                iterations=period_index, frequency=float(frequency))
     runtime = time.perf_counter() - t0
 
     if not converged:
         raise ConvergenceError(
             f"brute-force PSD at {frequency:.6g} Hz did not settle within "
             f"{max_periods} periods (last estimate "
-            f"{history_psd[-1]:.6g})", iterations=period_index)
+            f"{history_psd[-1]:.6g})", iterations=period_index,
+            frequency=float(frequency))
     trace = ConvergenceTrace(
         times=np.asarray(history_t), psd_estimates=np.asarray(history_psd),
         frequency=frequency, converged=converged, periods=period_index)

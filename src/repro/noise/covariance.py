@@ -18,16 +18,20 @@ brute-force baseline) and the steady state are provided.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ReproError
+from ..diagnostics.report import DiagnosticsReport
+from ..errors import ReproError, StabilityError
 from ..linalg.lyapunov import (
     solve_continuous_lyapunov,
     solve_discrete_lyapunov,
 )
 from ..linalg.packing import symmetrize
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -74,11 +78,31 @@ class PeriodicCovariance:
 
 
 def periodic_covariance(system_or_disc, segments_per_phase=64):
-    """Periodic steady-state covariance of a stable switched system."""
+    """Periodic steady-state covariance of a stable switched system.
+
+    Raises :class:`~repro.errors.StabilityError` for an unstable system;
+    the error carries the Floquet ``multipliers`` and a diagnostics
+    report so the failing mode is identifiable without re-running.
+    """
     disc = _as_disc(system_or_disc, segments_per_phase)
     phi_t, q_t = disc.period_gramian()
-    k0 = solve_discrete_lyapunov(phi_t, q_t).real
+    try:
+        k0 = solve_discrete_lyapunov(phi_t, q_t).real
+    except StabilityError as exc:
+        multipliers = np.linalg.eigvals(phi_t)
+        multipliers = multipliers[np.argsort(-np.abs(multipliers))]
+        radius = float(np.max(np.abs(multipliers)))
+        exc.multipliers = multipliers
+        exc.spectral_radius = radius
+        report = DiagnosticsReport(context="periodic covariance")
+        report.error("floquet-unstable", str(exc),
+                     spectral_radius=radius,
+                     multipliers=[complex(m) for m in multipliers])
+        logger.warning("periodic covariance failed: %s", exc)
+        raise exc.attach_diagnostics(report)
     pre, post = _propagate_over_period(disc, k0)
+    logger.debug("periodic covariance solved: %d grid points, "
+                 "period %.3g s", len(disc.grid), disc.period)
     return PeriodicCovariance(grid=disc.grid, pre=pre, post=post,
                               period=disc.period)
 

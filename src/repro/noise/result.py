@@ -36,6 +36,35 @@ class PsdResult:
                 f"frequency grid {self.frequencies.shape} does not match "
                 f"PSD samples {self.psd.shape}")
 
+    # -- diagnostics / partial-failure accessors ---------------------------
+
+    @property
+    def diagnostics(self):
+        """The engine's :class:`~repro.diagnostics.report.DiagnosticsReport`.
+
+        ``None`` for results built without one (hand-made arrays).
+        """
+        return self.info.get("diagnostics")
+
+    @property
+    def failures(self):
+        """Per-frequency failure records (empty list when clean)."""
+        return self.info.get("failures", [])
+
+    def ok_mask(self):
+        """Boolean mask of frequencies that produced a finite PSD."""
+        return np.isfinite(self.psd)
+
+    @property
+    def n_failed(self):
+        """Number of swept frequencies that produced no PSD value."""
+        return int(np.sum(~self.ok_mask()))
+
+    def successful(self):
+        """``(frequencies, psd)`` restricted to the finite samples."""
+        mask = self.ok_mask()
+        return self.frequencies[mask], self.psd[mask]
+
     def single_sided(self):
         """Single-sided PSD values (2× double-sided)."""
         return 2.0 * self.psd

@@ -10,12 +10,16 @@ dense solution usable as the linearisation trajectory.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.integrate
 
+from ..diagnostics.report import DiagnosticsReport
 from ..errors import ConvergenceError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -118,23 +122,38 @@ def forced_steady_state(fun, period, x0_guess, max_iter=30, tol=1e-10,
             rtol=min(1e-6, rtol * 1e3), atol=np.sqrt(atol))
         if sol.success and np.all(np.isfinite(sol.y[:, -1])):
             x0 = sol.y[:, -1]
+        else:
+            logger.warning("forced shooting: relaxation transient failed "
+                           "(%s); starting Newton from the raw guess",
+                           getattr(sol, "message", "non-finite state"))
+    residual_history = []
     for iteration in range(max_iter):
         times, states = _integrate(fun, x0, (0.0, period), dense_points,
                                    rtol, atol)
         x_end = states[-1]
         residual = x_end - x0
         res_norm = float(np.linalg.norm(residual, np.inf))
+        residual_history.append(res_norm)
         scale = 1.0 + float(np.linalg.norm(x0, np.inf))
         if res_norm <= tol * scale:
+            logger.debug("forced shooting converged in %d iterations "
+                         "(residual %.3g)", iteration + 1, res_norm)
             return PeriodicOrbit(period=period, times=times,
                                  states=states, residual=res_norm)
         monodromy = _fd_monodromy(fun, x0, period, x_end, rtol, atol)
         delta = np.linalg.solve(monodromy - np.eye(n), -residual)
         x0 = x0 + _cap_newton_step(delta, x0)
+    report = DiagnosticsReport(context="forced shooting")
+    report.error("shooting-stalled",
+                 f"Newton residual stalled at {res_norm:.3g} after "
+                 f"{max_iter} iterations",
+                 residual_history=residual_history)
+    logger.warning("forced shooting failed: residuals %s",
+                   residual_history[-3:])
     raise ConvergenceError(
         f"forced shooting did not converge in {max_iter} iterations "
         f"(residual {res_norm:.3g})", iterations=max_iter,
-        residual=res_norm)
+        residual=res_norm).attach_diagnostics(report)
 
 
 def autonomous_steady_state(fun, x0_guess, period_guess, anchor_index=0,
@@ -192,10 +211,18 @@ def autonomous_steady_state(fun, x0_guess, period_guess, anchor_index=0,
             step *= 0.5
         x0 = x0 + step * delta[:n]
         period = period + step * delta[n]
+    report = DiagnosticsReport(context="autonomous shooting")
+    report.error("shooting-stalled",
+                 f"Newton residual stalled at {res_norm:.3g} after "
+                 f"{max_iter} iterations (period estimate "
+                 f"{period:.6g} s)",
+                 residual=res_norm, period=float(period))
+    logger.warning("autonomous shooting failed: residual %.3g, period "
+                   "%.6g", res_norm, period)
     raise ConvergenceError(
         f"autonomous shooting did not converge in {max_iter} iterations "
         f"(residual {res_norm:.3g})", iterations=max_iter,
-        residual=res_norm)
+        residual=res_norm).attach_diagnostics(report)
 
 
 def _fd_monodromy(fun, x0, period, x_end, rtol, atol):

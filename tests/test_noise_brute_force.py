@@ -1,6 +1,5 @@
 """Brute-force transient PSD engine (the paper's baseline method)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.rice import rice_switched_rc_psd

@@ -11,7 +11,6 @@ from repro.oscillator.linear_ring import (
     linear_ring_variance,
 )
 from repro.oscillator.ring3 import (
-    Ring3Params,
     ring3_orbit,
     ring3_system,
     variance_slope,

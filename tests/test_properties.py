@@ -2,12 +2,10 @@
 
 import numpy as np
 import pytest
-import scipy.linalg
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.rice import (
     rice_switched_rc_psd,
-    rice_switched_rc_variance,
 )
 from repro.circuits.switched_rc import SwitchedRcParams, switched_rc_system
 from repro.linalg.expm import expm
