@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..linalg.checked import checked_solve
 from ..linalg.lyapunov import solve_continuous_lyapunov
 
 
@@ -34,7 +35,8 @@ def lti_noise_psd(a_matrix, b_matrix, l_row, frequencies):
     psd = np.empty_like(freqs)
     for idx, f in enumerate(freqs):
         omega = 2.0 * np.pi * f
-        transfer = np.linalg.solve(1j * omega * eye - a, b)
+        transfer = checked_solve(1j * omega * eye - a, b,
+                                 context="LTI transfer function")
         gain = l_row @ transfer
         psd[idx] = float(np.real(gain @ gain.conj()))
     return psd

@@ -23,6 +23,11 @@ import numpy as np
 from ..diagnostics.budget import as_budget
 from ..diagnostics.report import DiagnosticsReport
 from ..errors import BudgetExceededError, ReproError, StabilityError
+from ..linalg.checked import (
+    eigensystem_hermitian,
+    eigenvalues,
+    spectral_radius,
+)
 from ..noise.result import PsdResult
 
 logger = logging.getLogger(__name__)
@@ -90,7 +95,7 @@ def simulate_trajectories(system, n_trajectories, n_periods,
     l_row = np.asarray(system.output_matrix)[0]
     n = disc.n_states
     phi_t = disc.monodromy()
-    multipliers = np.linalg.eigvals(phi_t)
+    multipliers = eigenvalues(phi_t, context="Monte-Carlo monodromy")
     multipliers = multipliers[np.argsort(-np.abs(multipliers))]
     radius = float(np.max(np.abs(multipliers)))
     if radius >= 1.0:
@@ -106,7 +111,8 @@ def simulate_trajectories(system, n_trajectories, n_periods,
     # Pre-factor the segment noise covariances.
     factors = []
     for seg in disc.segments:
-        w, v = np.linalg.eigh(seg.gramian)
+        w, v = eigensystem_hermitian(seg.gramian,
+                                     context="segment Gramian factor")
         w = np.clip(w, 0.0, None)
         factors.append(v * np.sqrt(w))
 
@@ -212,7 +218,7 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
     # constants): raise samples_per_period until the warning clears
     # before trusting fine spectral features.
     fastest = max(
-        float(np.max(np.abs(np.linalg.eigvals(p.a_matrix))))
+        spectral_radius(p.a_matrix, context="aliasing check")
         for p in system.phases)
     nyquist_radps = np.pi / dt
     aliasing = fastest > nyquist_radps

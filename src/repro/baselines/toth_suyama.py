@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import NoiseModelError, ReproError
+from ..linalg.checked import checked_solve
 from ..linalg.lyapunov import solve_discrete_lyapunov
 from ..noise.result import PsdResult
 from ..units import BOLTZMANN, ROOM_TEMPERATURE
@@ -152,9 +153,11 @@ def discrete_spectrum(m_matrix, q_matrix, l_row, thetas):
     eye = np.eye(n)
     out = np.empty(len(thetas))
     for idx, theta in enumerate(np.asarray(thetas, dtype=float)):
-        h = np.linalg.solve(np.exp(1j * theta) * eye - m,
-                            q.astype(complex))
-        h = np.linalg.solve(np.exp(-1j * theta) * eye - m, h.T).T
+        h = checked_solve(np.exp(1j * theta) * eye - m,
+                          q.astype(complex),
+                          context="discrete spectrum resolvent")
+        h = checked_solve(np.exp(-1j * theta) * eye - m, h.T,
+                          context="discrete spectrum resolvent").T
         # h is now (e^{jθ}−M)^{-1} Q (e^{-jθ}−Mᵀ)^{-T}... assemble output.
         out[idx] = float(np.real(l_row @ h @ l_row))
     return out

@@ -25,7 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import CircuitError, TopologyError
+from ..errors import CircuitError, SingularMatrixError, TopologyError
+from ..linalg.checked import checked_inv, condition_number
+from ..tolerances import MNA_COND_LIMIT
 from .components import (
     Resistor,
     Switch,
@@ -64,8 +66,9 @@ class PhaseMna:
     def solve_maps(self):
         """Return ``(M⁻¹P, M⁻¹N, M⁻¹S)`` with a topology-aware error."""
         try:
-            lu = np.linalg.inv(self.m_matrix)
-        except np.linalg.LinAlgError as exc:
+            lu = checked_inv(self.m_matrix, context="MNA matrix",
+                             cond_limit=None)
+        except SingularMatrixError as exc:
             raise TopologyError(
                 f"phase {self.phase_name!r}: singular MNA matrix — "
                 "look for a floating node (no conductance, capacitor or "
@@ -73,8 +76,8 @@ class PhaseMna:
                 "capacitors/voltage sources; run "
                 "repro.circuit.topology.diagnose_phase for details"
             ) from exc
-        cond = np.linalg.cond(self.m_matrix)
-        if not np.isfinite(cond) or cond > 1e13:
+        cond = condition_number(self.m_matrix)
+        if not np.isfinite(cond) or cond > MNA_COND_LIMIT:
             raise TopologyError(
                 f"phase {self.phase_name!r}: MNA matrix is numerically "
                 f"singular (condition number {cond:.3g}); the phase "

@@ -27,7 +27,7 @@ explicit ``durations=...`` for more phases.
 
 from __future__ import annotations
 
-from ..errors import CircuitError
+from ..errors import CircuitError, UnitsError
 from ..units import parse_value
 from .netlist import Netlist
 from .opamp import (
@@ -79,7 +79,11 @@ def parse_netlist(text):
                 break
         except CircuitError:
             raise
-        except Exception as exc:
+        except (UnitsError, KeyError, IndexError, ValueError) as exc:
+            # UnitsError: malformed engineering notation; KeyError: a
+            # required name=value option is missing; Index/ValueError:
+            # too few tokens or a non-numeric field.  Anything else is a
+            # programming error and must propagate unchanged.
             raise CircuitError(
                 f"line {line_no}: cannot parse {line!r}: {exc}") from exc
     return ParsedCircuit(netlist, schedule, outputs, title)

@@ -16,14 +16,20 @@ import logging
 import numpy as np
 
 from ..errors import ScheduleError, StabilityError
+from ..linalg.checked import condition_number, eigenvalues
+from ..tolerances import (
+    DIRECT_SOLVE_COND_LIMIT,
+    FLOQUET_MARGIN,
+    SCHEDULE_TILE_RTOL,
+)
 from .report import DiagnosticsReport, Severity
 
 logger = logging.getLogger(__name__)
 
 #: Spectral radius closer to 1 than this margin is flagged as marginal.
-DEFAULT_STABILITY_MARGIN = 1e-3
+DEFAULT_STABILITY_MARGIN = FLOQUET_MARGIN
 #: cond(I − M) above this is flagged as ill-conditioned.
-DEFAULT_CONDITION_LIMIT = 1e12
+DEFAULT_CONDITION_LIMIT = DIRECT_SOLVE_COND_LIMIT
 #: At most this many per-segment NaN/Inf findings are itemised.
 _MAX_SEGMENT_FINDINGS = 8
 
@@ -105,7 +111,7 @@ def _check_schedule(disc, report):
                      f"period must be positive, got {period}",
                      period=period)
         return
-    tol = 1e-9 * max(period, 1.0)
+    tol = SCHEDULE_TILE_RTOL * max(period, 1.0)
     t = 0.0
     for k, seg in enumerate(disc.segments):
         if seg.duration <= 0.0:
@@ -158,7 +164,7 @@ def _check_finite(disc, report):
 
 def _check_stability(disc, report, stability_margin):
     phi_t = disc.monodromy()
-    multipliers = np.linalg.eigvals(phi_t)
+    multipliers = eigenvalues(phi_t, context="preflight stability check")
     multipliers = multipliers[np.argsort(-np.abs(multipliers))]
     radius = float(np.max(np.abs(multipliers))) if multipliers.size else 0.0
     mult_list = [complex(m) for m in multipliers]
@@ -189,10 +195,7 @@ def _check_conditioning(disc, report, condition_limit):
     phi_t = disc.monodromy()
     n = phi_t.shape[0]
     system = np.eye(n) - phi_t
-    try:
-        cond = float(np.linalg.cond(system))
-    except np.linalg.LinAlgError:  # pragma: no cover - cond rarely fails
-        cond = np.inf
+    cond = condition_number(system)
     if not np.isfinite(cond):
         report.error(
             "fixed-point-singular",

@@ -12,6 +12,11 @@ attempts, condition numbers — without re-running it.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from .diagnostics.report import DiagnosticsReport
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package.
@@ -25,9 +30,9 @@ class ReproError(Exception):
     """
 
     #: Attached diagnostics report (None unless the raiser attached one).
-    diagnostics = None
+    diagnostics: "DiagnosticsReport | None" = None
 
-    def attach_diagnostics(self, report):
+    def attach_diagnostics(self, report: "DiagnosticsReport") -> "ReproError":
         """Attach a diagnostics report to this error; returns ``self``.
 
         Designed for the ``raise err.attach_diagnostics(report)`` idiom so
@@ -62,8 +67,9 @@ class ConvergenceError(ReproError):
     available so failures can be diagnosed without re-running.
     """
 
-    def __init__(self, message, iterations=None, residual=None,
-                 frequency=None):
+    def __init__(self, message: str, iterations: "int | None" = None,
+                 residual: "float | None" = None,
+                 frequency: "float | None" = None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
@@ -80,7 +86,9 @@ class StabilityError(ReproError):
     ``spectral_radius`` are carried on the exception.
     """
 
-    def __init__(self, message, multipliers=None, spectral_radius=None):
+    def __init__(self, message: str,
+                 multipliers: "Sequence[complex] | None" = None,
+                 spectral_radius: "float | None" = None) -> None:
         super().__init__(message)
         self.multipliers = multipliers
         self.spectral_radius = spectral_radius
@@ -98,7 +106,9 @@ class BudgetExceededError(ReproError):
     SweepBudget` runs out before the computation finishes.
     """
 
-    def __init__(self, message, elapsed_seconds=None, spent_periods=None):
+    def __init__(self, message: str,
+                 elapsed_seconds: "float | None" = None,
+                 spent_periods: "int | None" = None) -> None:
         super().__init__(message)
         self.elapsed_seconds = elapsed_seconds
         self.spent_periods = spent_periods

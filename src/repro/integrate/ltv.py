@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..linalg.checked import checked_solve
 
 
 def integrate_linear_fixed_grid(a_of_t, f_of_t, t_grid, x0):
@@ -54,7 +55,8 @@ def integrate_linear_fixed_grid(a_of_t, f_of_t, t_grid, x0):
         f_next = np.atleast_1d(np.asarray(f_of_t(t_grid[k + 1]))).astype(
             dtype)
         rhs = (eye + 0.5 * h * a_here) @ out[k] + 0.5 * h * (f_here + f_next)
-        out[k + 1] = np.linalg.solve(eye - 0.5 * h * a_next, rhs)
+        out[k + 1] = checked_solve(eye - 0.5 * h * a_next, rhs,
+                                   context="LTV trapezoid step")
     return out
 
 

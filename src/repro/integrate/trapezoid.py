@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, SingularMatrixError
+from ..linalg.checked import checked_solve
 
 
 @dataclass
@@ -188,8 +189,9 @@ class TrapezoidalIntegrator:
                  else self._fd_jacobian(fun, t_new, x_new, f_new))
             system = np.eye(n, dtype=j.dtype) - 0.5 * h * j
             try:
-                delta = np.linalg.solve(system, residual)
-            except np.linalg.LinAlgError as exc:
+                delta = checked_solve(system, residual,
+                                      context="trapezoid Newton step")
+            except SingularMatrixError as exc:
                 raise ConvergenceError(
                     f"Newton matrix singular at t={t_new:.6g}") from exc
             x_new = x_new - delta

@@ -8,6 +8,16 @@ test suite cross-checks every kernel against the scipy reference
 implementation.
 """
 
+from .checked import (
+    checked_inv,
+    checked_lstsq,
+    checked_solve,
+    condition_number,
+    eigensystem_hermitian,
+    eigenvalues,
+    eigenvalues_hermitian,
+    spectral_radius,
+)
 from .expm import expm, expm_action
 from .vanloan import phase_discretization, vanloan_gramian
 from .lyapunov import (
@@ -21,6 +31,14 @@ from .sylvester import solve_sylvester
 from .packing import vech, unvech, duplication_index_pairs, symmetrize
 
 __all__ = [
+    "checked_solve",
+    "checked_inv",
+    "checked_lstsq",
+    "condition_number",
+    "eigenvalues",
+    "eigenvalues_hermitian",
+    "eigensystem_hermitian",
+    "spectral_radius",
     "expm",
     "expm_action",
     "phase_discretization",

@@ -1,0 +1,188 @@
+"""Diagnostics-aware wrappers around the raw ``np.linalg`` kernels.
+
+Library code outside :mod:`repro.linalg` is forbidden (lint rule SCN001)
+from calling ``np.linalg.solve/inv/lstsq/eig*`` directly.  The wrappers
+here are the sanctioned route: they translate ``LinAlgError`` into the
+package's :class:`~repro.errors.SingularMatrixError` with a caller
+-supplied *context* string, optionally enforce a condition-number limit,
+and always verify the result is finite — a solve that "succeeds" but
+returns Inf/NaN (singular-to-working-precision triangular factors) is
+the single most common silent failure mode of the noise engines.
+
+Condition checking costs an extra SVD and is therefore **opt-in** via
+``cond_limit``; per-step solves inside integrators leave it off, while
+one-shot structural solves (MNA inversion, MFT collocation) turn it on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SingularMatrixError
+from ..tolerances import DIRECT_SOLVE_COND_LIMIT, LSTSQ_RCOND
+from ..typing import ArrayLike, ComplexArray, FloatArray
+
+__all__ = [
+    "checked_solve",
+    "checked_inv",
+    "checked_lstsq",
+    "eigenvalues",
+    "eigenvalues_hermitian",
+    "eigensystem_hermitian",
+    "spectral_radius",
+    "condition_number",
+]
+
+
+def _require_finite(result: "FloatArray | ComplexArray",
+                    context: str) -> None:
+    if not np.all(np.isfinite(result)):
+        raise SingularMatrixError(
+            f"{context or 'linear solve'}: result contains non-finite "
+            "entries (matrix singular to working precision)")
+
+
+def condition_number(a: ArrayLike) -> float:
+    """2-norm condition number of ``a``; ``inf`` instead of raising.
+
+    Shape ``(n, n)`` in, scalar out.  The SVD occasionally fails to
+    converge on matrices with Inf/NaN entries; those are by definition
+    maximally ill-conditioned, so this returns ``inf`` rather than
+    propagating the ``LinAlgError``.
+    """
+    matrix = np.asarray(a)
+    if not np.all(np.isfinite(matrix)):
+        return float("inf")
+    try:
+        return float(np.linalg.cond(matrix))
+    except np.linalg.LinAlgError:  # pragma: no cover - no-converge is rare
+        return float("inf")
+
+
+def checked_solve(a: ArrayLike, b: ArrayLike, *, context: str = "",
+                  cond_limit: float | None = None
+                  ) -> "FloatArray | ComplexArray":
+    """Solve ``a x = b`` with singularity translation and finite check.
+
+    ``a`` has shape ``(n, n)``; ``b`` is ``(n,)`` or ``(n, k)`` and the
+    result matches ``b``'s shape and the promoted dtype.  When
+    ``cond_limit`` is given the solve is *rejected* (not merely warned
+    about) if ``cond(a)`` exceeds it — use
+    :data:`~repro.tolerances.DIRECT_SOLVE_COND_LIMIT` unless the call
+    site has a documented reason for another threshold.
+    """
+    matrix = np.asarray(a)
+    if cond_limit is not None:
+        cond = condition_number(matrix)
+        if not cond <= cond_limit:
+            raise SingularMatrixError(
+                f"{context or 'linear solve'}: condition number "
+                f"{cond:.3g} exceeds limit {cond_limit:.3g}")
+    try:
+        result = np.linalg.solve(matrix, np.asarray(b))
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(
+            f"{context or 'linear solve'}: matrix is singular") from exc
+    _require_finite(result, context)
+    return result
+
+
+def checked_inv(a: ArrayLike, *, context: str = "",
+                cond_limit: float | None = DIRECT_SOLVE_COND_LIMIT
+                ) -> "FloatArray | ComplexArray":
+    """Explicit inverse of a square matrix, condition-checked by default.
+
+    Unlike :func:`checked_solve`, inversion defaults ``cond_limit`` to
+    :data:`~repro.tolerances.DIRECT_SOLVE_COND_LIMIT`: an explicit
+    inverse is only ever formed for operators that are reused many times
+    (MNA conductance, MFT evaluation matrices), where a near-singular
+    inverse poisons every downstream product.  Pass ``cond_limit=None``
+    to skip the extra SVD.
+    """
+    matrix = np.asarray(a)
+    if cond_limit is not None:
+        cond = condition_number(matrix)
+        if not cond <= cond_limit:
+            raise SingularMatrixError(
+                f"{context or 'matrix inverse'}: condition number "
+                f"{cond:.3g} exceeds limit {cond_limit:.3g}")
+    try:
+        result = np.linalg.inv(matrix)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(
+            f"{context or 'matrix inverse'}: matrix is singular") from exc
+    _require_finite(result, context)
+    return result
+
+
+def checked_lstsq(a: ArrayLike, b: ArrayLike, *,
+                  rcond: float | None = LSTSQ_RCOND, context: str = ""
+                  ) -> "tuple[FloatArray | ComplexArray, int]":
+    """Least-squares solve returning ``(solution, rank)``.
+
+    Thin wrapper over ``np.linalg.lstsq`` that pins the ``rcond``
+    default to the named :data:`~repro.tolerances.LSTSQ_RCOND` policy
+    and drops the residuals/singular values that no call site in this
+    package consumes.
+    """
+    try:
+        solution, _residuals, rank, _sv = np.linalg.lstsq(
+            np.asarray(a), np.asarray(b), rcond=rcond)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise SingularMatrixError(
+            f"{context or 'least-squares solve'}: SVD did not converge"
+        ) from exc
+    _require_finite(solution, context)
+    return solution, int(rank)
+
+
+def eigenvalues(a: ArrayLike, *, context: str = "") -> ComplexArray:
+    """Eigenvalues of a general square matrix, shape ``(n,)`` complex.
+
+    Used for Floquet-multiplier and pole checks; failures (QR iteration
+    not converging) become :class:`SingularMatrixError` so callers in
+    the fallback chain can treat them as a diagnosable analysis failure
+    rather than a crash.
+    """
+    try:
+        return np.linalg.eigvals(np.asarray(a))
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise SingularMatrixError(
+            f"{context or 'eigenvalue computation'}: QR iteration did "
+            "not converge") from exc
+
+
+def eigenvalues_hermitian(a: ArrayLike, *, context: str = "") -> FloatArray:
+    """Eigenvalues of a Hermitian matrix, ascending, shape ``(n,)`` real."""
+    try:
+        return np.linalg.eigvalsh(np.asarray(a))
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise SingularMatrixError(
+            f"{context or 'hermitian eigenvalues'}: eigensolver did not "
+            "converge") from exc
+
+
+def eigensystem_hermitian(a: ArrayLike, *, context: str = ""
+                          ) -> "tuple[FloatArray, FloatArray | ComplexArray]":
+    """Eigendecomposition of a Hermitian matrix: ``(values, vectors)``.
+
+    ``values`` is ``(n,)`` real ascending; ``vectors`` is ``(n, n)``
+    with eigenvectors in columns.  The Monte-Carlo engine uses this to
+    factor per-segment Gramians, where a tiny negative rounding
+    eigenvalue is expected and handled by the caller.
+    """
+    try:
+        values, vectors = np.linalg.eigh(np.asarray(a))
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise SingularMatrixError(
+            f"{context or 'hermitian eigensystem'}: eigensolver did not "
+            "converge") from exc
+    return values, vectors
+
+
+def spectral_radius(a: ArrayLike, *, context: str = "") -> float:
+    """Largest eigenvalue modulus of ``a``; ``0.0`` for an empty matrix."""
+    matrix = np.asarray(a)
+    if matrix.size == 0:
+        return 0.0
+    return float(np.max(np.abs(eigenvalues(matrix, context=context))))

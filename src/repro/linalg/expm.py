@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..tolerances import EXPM_SERIES_RTOL
+from ..typing import ArrayLike, ComplexArray, FloatArray
 
 # Theta values from Higham 2005, "The scaling and squaring method for the
 # matrix exponential revisited": largest 1-norm for which the [m/m] Padé
@@ -55,7 +57,7 @@ def _pade(matrix, order):
     return matrix @ u_poly, v_poly
 
 
-def expm(matrix):
+def expm(matrix: ArrayLike) -> "FloatArray | ComplexArray":
     """Matrix exponential of a square array.
 
     Parameters
@@ -64,7 +66,7 @@ def expm(matrix):
 
     Returns
     -------
-    (n, n) ndarray with ``exp(matrix)``.
+    (n, n) ndarray with ``exp(matrix)``, same dtype kind as the input.
     """
     a = np.asarray(matrix)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
@@ -123,7 +125,8 @@ def expm_action(matrix, vectors, dt=1.0, substeps=None):
         for k in range(1, 60):
             term = (h / k) * (a @ term)
             acc = acc + term
-            if np.linalg.norm(term, np.inf) <= 1e-18 * np.linalg.norm(acc, np.inf):
+            if (np.linalg.norm(term, np.inf)
+                    <= EXPM_SERIES_RTOL * np.linalg.norm(acc, np.inf)):
                 break
         out = acc
     return out

@@ -19,6 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConvergenceError, SingularMatrixError, StabilityError
+from ..typing import ArrayLike, ComplexArray, FloatArray
+from ..tolerances import (
+    FIXED_POINT_RIDGE,
+    LSTSQ_RCOND,
+    SMITH_DOUBLING_RTOL,
+    TINY_FLOOR,
+)
 from .packing import symmetrize
 from .sylvester import solve_sylvester
 
@@ -36,8 +43,10 @@ def solve_continuous_lyapunov(a_matrix, q_matrix):
     return symmetrize(x)
 
 
-def solve_discrete_lyapunov(phi_matrix, q_matrix, max_doublings=64,
-                            tol=1e-14):
+def solve_discrete_lyapunov(phi_matrix: ArrayLike, q_matrix: ArrayLike,
+                            max_doublings: int = 64,
+                            tol: float = SMITH_DOUBLING_RTOL
+                            ) -> "FloatArray | ComplexArray":
     """Solve ``K = Phi K Phi^H + Q`` by Smith doubling.
 
     Smith's squaring iteration converges quadratically whenever the
@@ -79,7 +88,8 @@ def solve_discrete_lyapunov(phi_matrix, q_matrix, max_doublings=64,
         f"{radius:.6g} is too close to one", iterations=max_doublings)
 
 
-def solve_linear_fixed_point(m_matrix, g_vector):
+def solve_linear_fixed_point(m_matrix: ArrayLike, g_vector: ArrayLike
+                             ) -> "FloatArray | ComplexArray":
     """Solve ``q = M q + g`` i.e. ``(I − M) q = g``.
 
     Used for the per-frequency cross-spectral steady state. Raises
@@ -115,7 +125,8 @@ def fixed_point_condition(m_matrix):
         return float("inf")
 
 
-def solve_regularized_fixed_point(m_matrix, g_vector, ridge=1e-10):
+def solve_regularized_fixed_point(m_matrix, g_vector,
+                                  ridge=FIXED_POINT_RIDGE):
     """Tikhonov-regularized least-squares solve of ``(I − M) q = g``.
 
     Minimises ``‖(I − M) q − g‖² + λ²‖q‖²`` with ``λ = ridge · ‖I − M‖``
@@ -129,11 +140,11 @@ def solve_regularized_fixed_point(m_matrix, g_vector, ridge=1e-10):
     n = m.shape[0]
     dtype = np.promote_types(m.dtype, g.dtype)
     system = np.eye(n, dtype=dtype) - m
-    lam = float(ridge) * max(np.linalg.norm(system, 2), 1e-300)
+    lam = float(ridge) * max(np.linalg.norm(system, 2), TINY_FLOOR)
     augmented = np.vstack([system, lam * np.eye(n, dtype=dtype)])
     rhs = np.concatenate([g.astype(dtype), np.zeros(n, dtype=dtype)])
     solution, _residuals, rank, _sv = np.linalg.lstsq(augmented, rhs,
-                                                      rcond=None)
+                                                      rcond=LSTSQ_RCOND)
     if rank < n:  # pragma: no cover - augmented system has full rank
         raise SingularMatrixError(
             f"regularized fixed-point system is rank deficient "

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..typing import ArrayLike, ComplexArray, FloatArray, IntArray
 from ..errors import ReproError
 
 
-def duplication_index_pairs(n):
+def duplication_index_pairs(n: int) -> "tuple[IntArray, IntArray]":
     """Return the (row, col) index arrays of the packed lower triangle.
 
     Ordering is column-major lower triangle: (0,0), (1,0), ..., (n-1,0),
@@ -29,7 +30,7 @@ def duplication_index_pairs(n):
     return np.asarray(rows), np.asarray(cols)
 
 
-def vech(matrix):
+def vech(matrix: ArrayLike) -> "FloatArray | ComplexArray":
     """Pack the lower triangle (including diagonal) of a symmetric matrix."""
     m = np.asarray(matrix)
     if m.ndim != 2 or m.shape[0] != m.shape[1]:
@@ -38,7 +39,8 @@ def vech(matrix):
     return m[rows, cols]
 
 
-def unvech(packed, n=None):
+def unvech(packed: ArrayLike,
+           n: "int | None" = None) -> "FloatArray | ComplexArray":
     """Inverse of :func:`vech`: rebuild the full symmetric matrix."""
     v = np.asarray(packed)
     if v.ndim != 1:
@@ -56,7 +58,7 @@ def unvech(packed, n=None):
     return out
 
 
-def symmetrize(matrix):
+def symmetrize(matrix: ArrayLike) -> "FloatArray | ComplexArray":
     """Return ``(M + M.T.conj()) / 2`` — cheap Hermitian clean-up."""
     m = np.asarray(matrix)
     return 0.5 * (m + m.conj().T)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..typing import ArrayLike, ComplexArray, FloatArray
 
 #: Below this value of ``‖Ah‖`` the Taylor series is used (12 terms give
 #: full double precision for arguments this small).
@@ -33,7 +34,9 @@ SERIES_THRESHOLD = 0.03125
 _SERIES_TERMS = 12
 
 
-def affine_step_integrals(a_matrix, h, phi=None):
+def affine_step_integrals(a_matrix: ArrayLike, h: float,
+                          phi: "FloatArray | ComplexArray | None" = None
+                          ) -> "tuple[FloatArray | ComplexArray, ...]":
     """Return ``(Φ, I1, I2)`` for one segment.
 
     ``phi`` may pass in a precomputed ``e^{Ah}`` (the engines already

@@ -13,9 +13,12 @@ import numpy as np
 import scipy.linalg
 
 from ..errors import SingularMatrixError
+from ..tolerances import SYLVESTER_DIAG_FLOOR
+from ..typing import ArrayLike, ComplexArray, FloatArray
 
 
-def solve_sylvester(a_matrix, b_matrix, c_matrix):
+def solve_sylvester(a_matrix: ArrayLike, b_matrix: ArrayLike,
+                    c_matrix: ArrayLike) -> "FloatArray | ComplexArray":
     """Solve ``A X + X B = C`` for ``X``.
 
     Raises :class:`~repro.errors.SingularMatrixError` when ``A`` and ``-B``
@@ -40,7 +43,7 @@ def solve_sylvester(a_matrix, b_matrix, c_matrix):
         rhs = f[:, j] - y[:, :j] @ tb[:j, j]
         shifted = ta + tb[j, j] * eye
         diag = np.diagonal(shifted)
-        if np.min(np.abs(diag)) < 1e-300:
+        if np.min(np.abs(diag)) < SYLVESTER_DIAG_FLOOR:
             raise SingularMatrixError(
                 "Sylvester equation is singular: A and -B share an eigenvalue")
         y[:, j] = scipy.linalg.solve_triangular(shifted, rhs)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..typing import ArrayLike, FloatArray
 from ..errors import ReproError
 from .expm import expm
 from .packing import symmetrize
@@ -41,7 +42,8 @@ from .packing import symmetrize
 _BLOCK_NORM_LIMIT = 16.0
 
 
-def vanloan_gramian(a_matrix, noise_bbt, dt):
+def vanloan_gramian(a_matrix: ArrayLike, noise_bbt: ArrayLike,
+                    dt: float) -> "tuple[FloatArray, FloatArray]":
     """Return ``(Phi, Q_h)`` for one LTI segment.
 
     Parameters
@@ -96,7 +98,9 @@ def vanloan_gramian(a_matrix, noise_bbt, dt):
     return phi, gramian
 
 
-def phase_discretization(a_matrix, b_matrix, dt, substeps=1):
+def phase_discretization(a_matrix: ArrayLike, b_matrix: ArrayLike,
+                         dt: float, substeps: int = 1
+                         ) -> "tuple[FloatArray, FloatArray]":
     """Discretize one clock phase into ``substeps`` equal LTI segments.
 
     Returns a list of ``(Phi, Q)`` pairs, one per segment, each produced by

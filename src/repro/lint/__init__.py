@@ -1,0 +1,37 @@
+"""Numerics-aware static analysis for the ``repro`` codebase.
+
+``python -m repro.lint`` runs a small AST-based rule engine whose rules
+encode *domain* invariants of the noise engines — things a generic
+linter cannot know:
+
+========  ==============================================================
+SCN001    no raw ``np.linalg.solve/inv/lstsq/eig*`` outside
+          :mod:`repro.linalg` — use the condition-checked wrappers in
+          :mod:`repro.linalg.checked`
+SCN002    no broad ``except Exception`` / bare ``except`` in library
+          code — catch the specific :mod:`repro.errors` types
+SCN003    no magic float tolerances — thresholds live, named and
+          documented, in :mod:`repro.tolerances`
+SCN004    no ``print`` in library code — use module loggers
+SCN005    public array-returning APIs declare their dtype contract via
+          a :mod:`repro.typing` alias (shape goes in the docstring)
+========  ==============================================================
+
+Findings can be suppressed inline with ``# scn: ignore[SCN003]`` (or a
+bare ``# scn: ignore`` for every rule) and grandfathered through a
+committed baseline file (:mod:`repro.lint.baseline`) so the CI gate
+lands before the last violation is burned down.
+"""
+
+from .baseline import Baseline
+from .engine import Finding, lint_paths, lint_source
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,79 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the lint gate land *before* the last violation is
+fixed: known findings are recorded (keyed by ``path::rule::snippet``,
+deliberately line-number-free so they survive unrelated edits) and only
+*new* findings fail the build.  ``--check`` additionally fails on
+*stale* entries — findings that were fixed but not removed from the
+baseline — so the debt can only ratchet downward.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from .engine import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding keys."""
+
+    entries: "Counter[str]" = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {file_path} (expected {_VERSION})")
+        entries = Counter({str(key): int(count)
+                           for key, count in payload["entries"].items()
+                           if int(count) > 0})
+        return cls(entries=entries)
+
+    def save(self, path: "str | Path") -> None:
+        """Write the baseline as deterministic (sorted) JSON."""
+        payload = {
+            "version": _VERSION,
+            "entries": {key: self.entries[key]
+                        for key in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n",
+                              encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: "Iterable[Finding]") -> "Baseline":
+        return cls(entries=Counter(f.key() for f in findings))
+
+    def partition(self, findings: "Iterable[Finding]"
+                  ) -> "tuple[list[Finding], Counter[str]]":
+        """Split findings into (new, stale-entry counts).
+
+        Each baseline entry absorbs at most its recorded multiplicity of
+        matching findings; the remainder of the baseline — entries whose
+        violations no longer exist — comes back as the *stale* counter.
+        """
+        remaining = Counter(self.entries)
+        new: "list[Finding]" = []
+        for finding in findings:
+            key = finding.key()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+            else:
+                new.append(finding)
+        stale = Counter({key: count for key, count in remaining.items()
+                         if count > 0})
+        return new, stale

@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro.lint [paths ...]``.
+
+Exit status: 0 when the tree is clean against the baseline, 1 when
+there are new findings (or, under ``--check``, stale baseline entries),
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import Iterable
+
+from .baseline import Baseline
+from .engine import Finding, lint_paths
+from .rules import ALL_RULES
+
+DEFAULT_PATHS = ("src",)
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _emit(text: str = "") -> None:
+    sys.stdout.write(text + "\n")
+
+
+def _rule_table() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code}  [{rule.severity:7s}] {rule.title}")
+        lines.append(f"        hint: {rule.hint}")
+    return "\n".join(lines)
+
+
+def _summarize(findings: "Iterable[Finding]") -> str:
+    counts: "Counter[str]" = Counter(f.rule for f in findings)
+    return ", ".join(f"{code}: {counts[code]}"
+                     for code in sorted(counts)) or "none"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Numerics-aware static analysis for the repro "
+                    "codebase (rules SCN001-SCN005).")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to match the current "
+                             "findings and exit 0")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: additionally fail when the "
+                             "baseline contains stale entries")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe the rule set and exit")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _emit(_rule_table())
+        return 0
+
+    findings = lint_paths(args.paths)
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        _emit(f"baseline {args.baseline} updated with "
+              f"{len(findings)} findings ({_summarize(findings)})")
+        return 0
+
+    baseline = (Baseline() if args.no_baseline
+                else Baseline.load(args.baseline))
+    new, stale = baseline.partition(findings)
+
+    for finding in new:
+        _emit(finding.render())
+    if new:
+        _emit()
+        _emit(f"{len(new)} new finding(s): {_summarize(new)}")
+    if stale:
+        total = sum(stale.values())
+        _emit(f"{total} stale baseline entr{'y' if total == 1 else 'ies'} "
+              "(violations fixed but still listed) — run "
+              "--update-baseline to ratchet down:")
+        for key in sorted(stale):
+            _emit(f"    {key} (x{stale[key]})")
+    if not new and not stale:
+        baselined = len(findings)
+        _emit(f"clean: 0 new findings ({baselined} baselined)")
+
+    if new:
+        return 1
+    if stale and args.check:
+        return 1
+    return 0

@@ -1,0 +1,150 @@
+"""Finding model, suppression handling, and the file-walking engine."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from .rules import Rule
+
+#: ``# scn: ignore`` or ``# scn: ignore[SCN001, SCN003]`` on the line of
+#: the finding suppresses it (bracket-less form suppresses every rule).
+_SUPPRESS_RE = re.compile(
+    r"#\s*scn:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``snippet`` is the stripped source line; together with ``path`` and
+    ``rule`` it forms the :meth:`key` used for baseline matching, which
+    deliberately excludes the line *number* so findings survive
+    unrelated edits above them.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    hint: str
+    snippet: str
+
+    def key(self) -> str:
+        return f"{self.path}::{self.rule}::{self.snippet}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}\n"
+                f"    {self.snippet}\n"
+                f"    hint: {self.hint}")
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    path: str
+    source: str
+    lines: "tuple[str, ...]"
+    tree: ast.Module
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of ``node`` (single-line nodes only; else '')."""
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None or lineno != end:
+            return ""
+        line = self.lines[lineno - 1]
+        return line[node.col_offset:node.end_col_offset]
+
+    def finding(self, node: ast.AST, rule: "Rule", message: str) -> Finding:
+        lineno = int(getattr(node, "lineno", 1))
+        snippet = (self.lines[lineno - 1].strip()
+                   if lineno <= len(self.lines) else "")
+        return Finding(path=self.path, line=lineno,
+                       col=int(getattr(node, "col_offset", 0)) + 1,
+                       rule=rule.code, severity=rule.severity,
+                       message=message, hint=rule.hint, snippet=snippet)
+
+
+def _suppressed(line: str, rule_code: str) -> bool:
+    for match in _SUPPRESS_RE.finditer(line):
+        listed = match.group("rules")
+        if listed is None:
+            return True
+        if rule_code in {r.strip().upper() for r in listed.split(",")}:
+            return True
+    return False
+
+
+def lint_source(source: str, path: str,
+                rules: "Iterable[Rule] | None" = None) -> "list[Finding]":
+    """Lint one module given as text; ``path`` scopes path-based rules.
+
+    Returns the findings *after* inline-suppression filtering, sorted by
+    line.  A module with a syntax error yields a single SCN000 finding
+    rather than raising, so one broken file cannot hide the rest of a
+    CI run.
+    """
+    from .rules import ALL_RULES, SYNTAX_ERROR_RULE
+
+    active = list(ALL_RULES if rules is None else rules)
+    norm_path = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=norm_path)
+    except SyntaxError as exc:
+        return [Finding(path=norm_path, line=int(exc.lineno or 1),
+                        col=int(exc.offset or 0) + 1,
+                        rule=SYNTAX_ERROR_RULE.code,
+                        severity=SYNTAX_ERROR_RULE.severity,
+                        message=f"file does not parse: {exc.msg}",
+                        hint=SYNTAX_ERROR_RULE.hint, snippet="")]
+    ctx = ModuleContext(path=norm_path, source=source,
+                        lines=tuple(source.splitlines()), tree=tree)
+    findings: "list[Finding]" = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            line_text = (ctx.lines[finding.line - 1]
+                         if finding.line <= len(ctx.lines) else "")
+            if not _suppressed(line_text, finding.rule):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: "Iterable[str | Path]") -> "Iterator[Path]":
+    """Yield ``.py`` files under each path (files pass through), sorted."""
+    seen: "set[Path]" = set()
+    for raw in paths:
+        base = Path(raw)
+        candidates = ([base] if base.is_file()
+                      else sorted(base.rglob("*.py")))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and candidate.suffix == ".py":
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(paths: "Iterable[str | Path]",
+               rules: "Iterable[Rule] | None" = None) -> "list[Finding]":
+    """Lint every Python file under ``paths``; see :func:`lint_source`.
+
+    Paths in findings are kept as given (relative stays relative), so
+    baseline keys are stable as long as the linter runs from the repo
+    root — which is what both CI and ``python -m repro.lint`` do.
+    """
+    findings: "list[Finding]" = []
+    rule_list = None if rules is None else list(rules)
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file_path),
+                                    rules=rule_list))
+    return findings

@@ -1,0 +1,309 @@
+"""The SCN rule set: domain-specific invariants checked on the AST.
+
+Each rule is a small class with a ``check(ctx)`` generator.  Rules are
+deliberately syntactic — they inspect one module at a time with no type
+inference — so they stay fast, deterministic, and explainable: every
+finding points at a single line and carries a fix hint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, ModuleContext
+
+#: ``np.linalg`` members that must go through ``repro.linalg.checked``.
+BANNED_LINALG = frozenset({
+    "solve", "inv", "lstsq", "pinv",
+    "eig", "eigh", "eigvals", "eigvalsh",
+})
+
+#: Below this magnitude a bare float literal is assumed to be a
+#: tolerance/guard threshold rather than a physical coefficient.
+SMALL_LITERAL_CUTOFF = 1e-3  # scn: ignore[SCN003] - the rule's own cutoff
+#: At or above this magnitude a literal written in scientific notation
+#: (``1e12``) is assumed to be a condition/iteration limit.
+LARGE_LITERAL_CUTOFF = 1e6  # scn: ignore[SCN003] - the rule's own cutoff
+
+
+def _is_linalg_internal(path: str) -> bool:
+    return "repro/linalg/" in path
+
+
+def _is_tolerances_module(path: str) -> bool:
+    return path.endswith("repro/tolerances.py")
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    code = "SCN000"
+    title = "internal"
+    severity = "error"
+    hint = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class SyntaxErrorRule(Rule):
+    """Pseudo-rule used by the engine for unparseable files."""
+
+    code = "SCN000"
+    title = "file must parse"
+    severity = "error"
+    hint = "fix the syntax error; unparseable files cannot be analysed"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+
+def _numpy_linalg_aliases(tree: ast.Module) -> "set[str]":
+    """Names bound to the ``numpy.linalg`` module in this file."""
+    aliases: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy.linalg" and item.asname:
+                    aliases.add(item.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for item in node.names:
+                    if item.name == "linalg":
+                        aliases.add(item.asname or item.name)
+    return aliases
+
+
+class RawLinalgRule(Rule):
+    """SCN001: raw dense solves bypass the condition-checked wrappers.
+
+    ``np.linalg.solve`` raising ``LinAlgError`` (or worse, silently
+    returning Inf/NaN for a matrix singular to working precision) is the
+    dominant failure mode of the ``(I − M) q = g`` fixed-point solves.
+    :mod:`repro.linalg.checked` translates failures into diagnosable
+    :class:`~repro.errors.SingularMatrixError` and verifies finiteness;
+    everything outside :mod:`repro.linalg` must use it.
+    """
+
+    code = "SCN001"
+    title = "no raw np.linalg solves outside repro.linalg"
+    severity = "error"
+    hint = ("use the condition-checked wrappers in repro.linalg.checked "
+            "(checked_solve/checked_inv/checked_lstsq/eigenvalues/...)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_linalg_internal(ctx.path):
+            return
+        aliases = _numpy_linalg_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in BANNED_LINALG:
+                value = node.value
+                is_np_linalg = (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "linalg"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in ("np", "numpy"))
+                is_alias = (isinstance(value, ast.Name)
+                            and value.id in aliases)
+                if is_np_linalg or is_alias:
+                    yield ctx.finding(
+                        node, self,
+                        f"raw np.linalg.{node.attr} call in library code")
+            elif (isinstance(node, ast.ImportFrom)
+                  and node.module == "numpy.linalg"):
+                banned = sorted(item.name for item in node.names
+                                if item.name in BANNED_LINALG)
+                if banned:
+                    yield ctx.finding(
+                        node, self,
+                        "direct import of np.linalg "
+                        f"{', '.join(banned)}")
+
+
+class BroadExceptRule(Rule):
+    """SCN002: broad exception handlers swallow numerical bugs.
+
+    ``except Exception`` around a solve hides ``TypeError``/``ValueError``
+    programming errors *and* defeats the fallback chain's error
+    accounting.  Library code catches the specific :mod:`repro.errors`
+    types (or numpy's ``LinAlgError`` at the wrapper layer) and chains
+    with ``raise ... from exc``.
+    """
+
+    code = "SCN002"
+    title = "no broad or bare except in library code"
+    severity = "error"
+    hint = ("catch the specific exception types (repro.errors.*, "
+            "np.linalg.LinAlgError) and chain with 'raise ... from exc'")
+
+    _BROAD = ("Exception", "BaseException")
+
+    def _is_broad(self, expr: "ast.expr | None") -> bool:
+        if expr is None:
+            return True
+        if isinstance(expr, ast.Name) and expr.id in self._BROAD:
+            return True
+        if isinstance(expr, ast.Tuple):
+            return any(self._is_broad(item) for item in expr.elts)
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and self._is_broad(
+                    node.type):
+                label = ("bare 'except:'" if node.type is None
+                         else "broad 'except Exception'")
+                yield ctx.finding(node, self,
+                                  f"{label} in library code")
+
+
+class MagicToleranceRule(Rule):
+    """SCN003: numerical thresholds must be named in repro.tolerances.
+
+    A bare ``1e-9`` carries no unit, no rationale, and no link to the
+    other copies of "the same" tolerance.  Small floats (``|x| ≤ 1e-3``)
+    and scientific-notation limits (``|x| ≥ 1e6``, e.g. condition
+    caps) must come from :mod:`repro.tolerances`; physical coefficients
+    written in plain decimal notation are untouched.
+    """
+
+    code = "SCN003"
+    title = "no magic float tolerances"
+    severity = "warning"
+    hint = ("name the threshold in repro.tolerances with a rationale "
+            "comment and import it (see FLOQUET_MARGIN et al.)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_tolerances_module(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if not isinstance(value, float):
+                continue
+            magnitude = abs(value)
+            small = 0.0 < magnitude <= SMALL_LITERAL_CUTOFF
+            text = ctx.segment(node)
+            large = (magnitude >= LARGE_LITERAL_CUTOFF
+                     and "e" in text.lower())
+            if small or large:
+                yield ctx.finding(
+                    node, self,
+                    f"magic float tolerance {text or value!r}")
+
+
+class PrintInLibraryRule(Rule):
+    """SCN004: library code reports through ``logging``, never stdout.
+
+    Engines run inside sweeps, servers, and test harnesses; a stray
+    ``print`` corrupts machine-readable output (CSV writers share the
+    stream) and cannot be filtered by severity.
+    """
+
+    code = "SCN004"
+    title = "no print() in library code"
+    severity = "error"
+    hint = ("use 'logger = logging.getLogger(__name__)' and an "
+            "appropriate severity, or an explicit io writer")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield ctx.finding(node, self, "print() in library code")
+
+
+def _returns_numpy_call(func: ast.AST) -> bool:
+    """True when the function body directly returns an ``np.*(...)`` call."""
+    for node in _walk_own_body(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            call = node.value
+            if isinstance(call, ast.Call):
+                root = call.func
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and root.id in ("np",
+                                                              "numpy"):
+                    return True
+    return False
+
+
+def _walk_own_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's statements without entering nested functions."""
+    stack = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ArrayContractRule(Rule):
+    """SCN005: public array-returning APIs state their dtype contract.
+
+    The MFT pipeline mixes real covariances with complex cross-spectral
+    vectors; a bare ``np.ndarray`` annotation (or none at all) hides
+    which one a function promises.  Public functions returning arrays
+    annotate with a :mod:`repro.typing` alias — ``FloatArray``,
+    ``ComplexArray``, ... — and document the shape in the docstring.
+    """
+
+    code = "SCN005"
+    title = "public array APIs declare shape/dtype contracts"
+    severity = "warning"
+    hint = ("annotate the return with a repro.typing alias (FloatArray/"
+            "ComplexArray/...) and state the shape in the docstring")
+
+    _BARE = ("ndarray", "np.ndarray", "numpy.ndarray")
+
+    @staticmethod
+    def _public_api(tree: ast.Module) -> "Iterator[ast.FunctionDef]":
+        """Module-level functions and methods of module-level classes.
+
+        Nested helpers are implementation detail, not API, whatever
+        their name says.
+        """
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        yield item
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in self._public_api(ctx.tree):
+            if node.name.startswith("_"):
+                continue
+            returns = node.returns
+            if returns is not None:
+                text = ctx.segment(returns).strip("\"' ")
+                if text in self._BARE:
+                    yield ctx.finding(
+                        returns, self,
+                        f"public function '{node.name}' annotates a bare "
+                        f"'{text}' return")
+            elif _returns_numpy_call(node):
+                yield ctx.finding(
+                    node, self,
+                    f"public function '{node.name}' returns arrays but "
+                    "declares no return contract")
+
+
+SYNTAX_ERROR_RULE = SyntaxErrorRule()
+
+#: The active rule set, in code order.
+ALL_RULES: "tuple[Rule, ...]" = (
+    RawLinalgRule(),
+    BroadExceptRule(),
+    MagicToleranceRule(),
+    PrintInLibraryRule(),
+    ArrayContractRule(),
+)

@@ -7,6 +7,8 @@ import logging
 import numpy as np
 
 from ..errors import StabilityError
+from ..linalg.checked import eigenvalues
+from ..tolerances import TINY_FLOOR
 
 logger = logging.getLogger(__name__)
 
@@ -24,7 +26,7 @@ def monodromy_matrix(system, segments_per_phase=1):
 def floquet_multipliers(system, segments_per_phase=1):
     """Eigenvalues of the monodromy matrix, sorted by descending modulus."""
     phi = monodromy_matrix(system, segments_per_phase)
-    mults = np.linalg.eigvals(phi)
+    mults = eigenvalues(phi, context="Floquet multipliers")
     return mults[np.argsort(-np.abs(mults))]
 
 
@@ -35,9 +37,9 @@ def floquet_exponents(system, segments_per_phase=1):
     principal branch is returned.
     """
     disc = _as_discretization(system, segments_per_phase)
-    mults = np.linalg.eigvals(disc.monodromy())
+    mults = eigenvalues(disc.monodromy(), context="Floquet exponents")
     # Guard against exactly-zero multipliers (segments with nilpotent maps).
-    safe = np.where(mults == 0.0, 1e-300, mults)
+    safe = np.where(mults == 0.0, TINY_FLOOR, mults)
     return np.log(safe.astype(complex)) / disc.period
 
 

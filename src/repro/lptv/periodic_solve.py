@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError, SingularMatrixError
+from ..linalg.checked import checked_solve
 from ..linalg.lyapunov import (
     fixed_point_condition,
     solve_linear_fixed_point,
@@ -238,9 +239,10 @@ def periodic_steady_state(disc, omega, segment_forcing, solver="direct",
         f_int = 0.5 * h * (forcing[k, 0] + forcing[k, 1])
         if np.linalg.norm(a_shifted, 1) * h > 0.5:
             try:
-                integral = integral + np.linalg.solve(
-                    a_shifted, v - v_start - f_int)
-            except np.linalg.LinAlgError:
+                integral = integral + checked_solve(
+                    a_shifted, v - v_start - f_int,
+                    context="segment integral resolvent")
+            except SingularMatrixError:
                 integral = integral + _corrected_trapezoid(
                     h, v_start, v, dpost[k], dpre[k + 1])
         else:

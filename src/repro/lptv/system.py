@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ReproError, ScheduleError
+from ..linalg.checked import eigenvalues
 from ..linalg.vanloan import vanloan_gramian
 from ..linalg.expm import expm
 from .discretization import PeriodDiscretization, Segment
@@ -270,7 +271,7 @@ def _phase_edges(phase, count, boundary_layer):
     duration = phase.duration
     if not boundary_layer or count < 8:
         return np.linspace(0.0, duration, count + 1)
-    eigs = np.linalg.eigvals(phase.a_matrix)
+    eigs = eigenvalues(phase.a_matrix, context="phase-edge grading")
     rate = float(np.max(-eigs.real)) if eigs.size else 0.0
     if rate <= 0.0:
         return np.linspace(0.0, duration, count + 1)

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ReproError, SingularMatrixError
+from ..linalg.checked import checked_solve, condition_number
+from ..tolerances import MFT_COLLOCATION_COND_LIMIT
 from .delay import choose_sample_phases, delay_matrix, idft_matrix
 
 logger = logging.getLogger(__name__)
@@ -121,8 +123,8 @@ def solve_mft_collocation(problem):
     # ω_s T while letting `phases` stay dimensionless slow phases.
 
     big = np.kron(delay, np.eye(n)) - np.kron(np.eye(j), problem.cycle_map)
-    cond = np.linalg.cond(big)
-    if not np.isfinite(cond) or cond > 1e12:
+    cond = condition_number(big)
+    if not np.isfinite(cond) or cond > MFT_COLLOCATION_COND_LIMIT:
         logger.warning("MFT collocation system singular: cond = %.3g",
                        cond)
         raise SingularMatrixError(
@@ -136,12 +138,10 @@ def solve_mft_collocation(problem):
             g = g + np.asarray(coeff, dtype=complex) * np.exp(
                 1j * int(h) * theta)
         rhs[idx * n:(idx + 1) * n] = g
-    try:
-        solution = np.linalg.solve(big, rhs)
-    except np.linalg.LinAlgError as exc:
-        raise SingularMatrixError(
-            "MFT collocation system is singular — a slow-tone harmonic "
-            "coincides with a Floquet multiplier of the cycle map") from exc
+    solution = checked_solve(
+        big, rhs,
+        context="MFT collocation system (a slow-tone harmonic coincides "
+                "with a Floquet multiplier of the cycle map)")
     samples = solution.reshape(j, n)
     f_inv = idft_matrix(phases, problem.harmonics)
     coeff_mat = f_inv @ samples

@@ -24,9 +24,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..linalg.checked import checked_inv, condition_number
+from ..tolerances import MFT_ALIASING_COND_LIMIT
+from ..typing import ArrayLike, ComplexArray, FloatArray, IntArray
 
 
-def dft_matrix(phases, harmonics):
+def dft_matrix(phases: ArrayLike, harmonics: ArrayLike) -> ComplexArray:
     """Evaluation matrix E with ``E[j, h] = e^{j harmonics[h] phases[j]}``.
 
     Maps Fourier coefficients (ordered like ``harmonics``) to samples at
@@ -42,18 +45,19 @@ def dft_matrix(phases, harmonics):
     return np.exp(1j * np.outer(phases, harmonics))
 
 
-def idft_matrix(phases, harmonics):
+def idft_matrix(phases: ArrayLike, harmonics: ArrayLike) -> ComplexArray:
     """Inverse of :func:`dft_matrix` (samples -> coefficients)."""
     e = dft_matrix(phases, harmonics)
-    cond = np.linalg.cond(e)
-    if cond > 1e10:
+    cond = condition_number(e)
+    if cond > MFT_ALIASING_COND_LIMIT:
         raise ReproError(
             f"MFT sample phases are nearly aliased (cond {cond:.3g}); "
             "choose sample cycles whose slow phases are well separated")
-    return np.linalg.inv(e)
+    return checked_inv(e, context="MFT generalized DFT", cond_limit=None)
 
 
-def delay_matrix(phases, harmonics, omega_slow, tau):
+def delay_matrix(phases: ArrayLike, harmonics: ArrayLike,
+                 omega_slow: float, tau: float) -> ComplexArray:
     """Sample-domain delay operator ``D(τ)``.
 
     ``(D v)[j]`` is the envelope at slow phase ``phases[j] + ω_s τ`` given
@@ -67,7 +71,7 @@ def delay_matrix(phases, harmonics, omega_slow, tau):
     return e @ np.diag(shift) @ f_inv
 
 
-def choose_sample_phases(harmonics):
+def choose_sample_phases(harmonics: "IntArray | list[int]") -> FloatArray:
     """Equispaced slow phases, the canonical well-conditioned choice."""
     j = len(harmonics)
     return 2.0 * np.pi * np.arange(j) / j

@@ -49,6 +49,7 @@ from ..errors import ReproError
 from ..lptv.periodic_solve import forcing_from_samples, periodic_steady_state
 from ..noise.covariance import periodic_covariance
 from ..noise.result import PsdResult
+from ..tolerances import FIXED_POINT_RIDGE
 
 logger = logging.getLogger(__name__)
 
@@ -144,8 +145,8 @@ class MftNoiseAnalyzer:
             self._forcing = forcing_from_samples(self._disc, post, pre)
         return self._forcing
 
-    def _psd_at(self, frequency, solver="direct", ridge=1e-10,
-                condition_limit=None):
+    def _psd_at(self, frequency, solver="direct",
+                ridge=FIXED_POINT_RIDGE, condition_limit=None):
         """Single-frequency solve with explicit solver controls."""
         omega = 2.0 * np.pi * float(frequency)
         solution = periodic_steady_state(

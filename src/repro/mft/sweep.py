@@ -13,12 +13,15 @@ import numpy as np
 
 from ..diagnostics.budget import as_budget
 from ..errors import ReproError
+from ..tolerances import PSD_FLOOR
+from ..typing import FloatArray
 
 logger = logging.getLogger(__name__)
 
 
-def linear_grid(f_start, f_stop, n_points):
-    """Inclusive linear frequency grid."""
+def linear_grid(f_start: float, f_stop: float,
+                n_points: int) -> FloatArray:
+    """Inclusive linear frequency grid, shape ``(n_points,)`` [Hz]."""
     if f_stop <= f_start:
         raise ReproError(f"empty frequency range [{f_start}, {f_stop}]")
     if n_points < 2:
@@ -26,8 +29,9 @@ def linear_grid(f_start, f_stop, n_points):
     return np.linspace(float(f_start), float(f_stop), int(n_points))
 
 
-def decade_grid(f_start, f_stop, points_per_decade=20):
-    """Logarithmic grid with a fixed density per decade."""
+def decade_grid(f_start: float, f_stop: float,
+                points_per_decade: int = 20) -> FloatArray:
+    """Logarithmic frequency grid with a fixed density per decade [Hz]."""
     if f_start <= 0.0 or f_stop <= f_start:
         raise ReproError(f"bad log range [{f_start}, {f_stop}]")
     decades = np.log10(f_stop / f_start)
@@ -99,9 +103,9 @@ def adaptive_frequency_grid(psd_fn, f_start, f_stop, n_initial=16,
             logger.warning("adaptive grid: psd_fn failed at midpoint "
                            "%.6g Hz; freezing the interval", f_mid)
             return 0.0, f_mid, v_mid
-        interp = np.sqrt(max(values[k], 1e-300)
-                         * max(values[k + 1], 1e-300))
-        dev = abs(10.0 * np.log10(max(v_mid, 1e-300) / interp))
+        interp = np.sqrt(max(values[k], PSD_FLOOR)
+                         * max(values[k + 1], PSD_FLOOR))
+        dev = abs(10.0 * np.log10(max(v_mid, PSD_FLOOR) / interp))
         return dev, f_mid, v_mid
 
     # One midpoint probe per interval, refreshed only where the grid

@@ -29,6 +29,7 @@ from ..linalg.lyapunov import (
     solve_continuous_lyapunov,
     solve_discrete_lyapunov,
 )
+from ..linalg.checked import eigenvalues
 from ..linalg.packing import symmetrize
 
 logger = logging.getLogger(__name__)
@@ -89,7 +90,7 @@ def periodic_covariance(system_or_disc, segments_per_phase=64):
     try:
         k0 = solve_discrete_lyapunov(phi_t, q_t).real
     except StabilityError as exc:
-        multipliers = np.linalg.eigvals(phi_t)
+        multipliers = eigenvalues(phi_t, context="periodic covariance")
         multipliers = multipliers[np.argsort(-np.abs(multipliers))]
         radius = float(np.max(np.abs(multipliers)))
         exc.multipliers = multipliers

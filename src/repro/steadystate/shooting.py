@@ -17,7 +17,8 @@ import numpy as np
 import scipy.integrate
 
 from ..diagnostics.report import DiagnosticsReport
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, SingularMatrixError
+from ..linalg.checked import checked_solve
 
 logger = logging.getLogger(__name__)
 
@@ -141,7 +142,8 @@ def forced_steady_state(fun, period, x0_guess, max_iter=30, tol=1e-10,
             return PeriodicOrbit(period=period, times=times,
                                  states=states, residual=res_norm)
         monodromy = _fd_monodromy(fun, x0, period, x_end, rtol, atol)
-        delta = np.linalg.solve(monodromy - np.eye(n), -residual)
+        delta = checked_solve(monodromy - np.eye(n), -residual,
+                              context="forced shooting Newton step")
         x0 = x0 + _cap_newton_step(delta, x0)
     report = DiagnosticsReport(context="forced shooting")
     report.error("shooting-stalled",
@@ -198,8 +200,9 @@ def autonomous_steady_state(fun, x0_guess, period_guess, anchor_index=0,
                 fun(0.0, xp)))[anchor_index] - anchor) / dx
         jac[n, n] = anchor / period
         try:
-            delta = np.linalg.solve(jac, -residual)
-        except np.linalg.LinAlgError as exc:
+            delta = checked_solve(jac, -residual,
+                                  context="autonomous shooting Newton step")
+        except SingularMatrixError as exc:
             raise ConvergenceError(
                 "autonomous shooting Jacobian is singular — the anchor "
                 "component may be constant on the orbit; try another "

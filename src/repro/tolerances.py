@@ -1,0 +1,138 @@
+"""Central registry of numerical tolerances and guard thresholds.
+
+Every tolerance in the engine lives here with a name and a rationale.
+The lint rule SCN003 (see :mod:`repro.lint`) rejects magic float
+thresholds scattered through library code: a bare ``1e-9`` tells a
+reviewer nothing about whether it is an absolute floor, a relative
+slack, or a condition limit — and silently diverging copies of the
+"same" tolerance are a classic source of irreproducible noise figures.
+
+Constants are grouped by the subsystem that consumes them.  They are
+plain module-level floats (not configurable state): the DAC 2003
+accuracy claims were made for *specific* guard levels, so changing one
+is a reviewed code change, not a runtime knob.
+
+All doubles below are expressed relative to IEEE-754 double precision,
+whose unit roundoff is ``u ≈ 1.1e-16`` (:data:`MACHINE_EPS`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: IEEE-754 double-precision machine epsilon (``np.finfo(float).eps``).
+#: Base unit for every relative tolerance below.
+MACHINE_EPS: float = float(np.finfo(float).eps)
+
+#: Smallest positive normal double.  Used as a floor before logarithms
+#: and divisions so a zero PSD bin degrades to ``-inf dB`` gracefully
+#: instead of raising or producing NaN.
+TINY_FLOOR: float = float(np.finfo(float).tiny)
+
+# ---------------------------------------------------------------------------
+# Linear-solve guardrails (repro.linalg)
+# ---------------------------------------------------------------------------
+
+#: cond(A) above which a direct ``(I − M) q = g`` solve is considered
+#: numerically meaningless: with ``cond ≈ 1e12`` only ~4 of the 16
+#: double-precision digits survive, which is the worst loss the kT/C
+#: validation targets (0.1 dB) can absorb.
+DIRECT_SOLVE_COND_LIMIT: float = 1e12
+
+#: cond of a per-phase MNA conductance matrix above which the phase
+#: topology is rejected as ill-posed.  One decade looser than
+#: :data:`DIRECT_SOLVE_COND_LIMIT` because MNA matrices mix Ω and S
+#: entries whose scale disparity inflates the condition number without
+#: destroying the solve.
+MNA_COND_LIMIT: float = 1e13
+
+#: Spectral radius closer to 1 than this is flagged as marginally
+#: stable in preflight: Floquet multipliers within 1e-3 of the unit
+#: circle make the steady-state covariance ~1e3/Q-sized and the Smith
+#: doubling iteration count blow up.
+FLOQUET_MARGIN: float = 1e-3
+
+#: Relative termination criterion for Smith doubling in the discrete
+#: Lyapunov solve ``K = Φ K Φ^H + Q``.  ~100·eps: tighter buys nothing
+#: (the update is already rounding-noise) and looser loses visible
+#: accuracy at spectral radii near one.
+SMITH_DOUBLING_RTOL: float = 1e-14
+
+#: Tikhonov ridge (relative to ``‖I − M‖₂``) for the regularized
+#: least-squares fallback solve.  ``1e-10 ≈ sqrt(eps)·1e-2`` biases the
+#: PSD by O(ridge²) — negligible against the 0.1 dB validation target —
+#: while bounding the effective condition number by ~1/ridge.
+FIXED_POINT_RIDGE: float = 1e-10
+
+#: ``rcond`` cutoff for least-squares solves.  ``None`` selects numpy's
+#: machine-precision default (``max(M, N) · eps``); it is named here so
+#: every ``lstsq`` call site states the choice deliberately.
+LSTSQ_RCOND: float | None = None
+
+#: Diagonal entries of the Bartels–Stewart triangular solve smaller than
+#: this (in modulus) mean the Sylvester pencil is singular: λ_i(A) +
+#: λ_j(B) ≈ 0, i.e. a marginally stable circuit.
+SYLVESTER_DIAG_FLOOR: float = 1e-300
+
+#: Relative truncation threshold for the scaled Taylor/Padé series in
+#: the in-house ``expm``: terms below ``1e-18·‖acc‖`` are under one ulp
+#: of the accumulated sum and cannot change the rounded result.
+EXPM_SERIES_RTOL: float = 1e-18
+
+# ---------------------------------------------------------------------------
+# MFT engine (repro.mft)
+# ---------------------------------------------------------------------------
+
+#: cond(E) of the slow-phase evaluation matrix above which the MFT
+#: sample phases are considered aliased (two sample cycles land on
+#: nearly the same slow phase) and the collocation solve is refused.
+MFT_ALIASING_COND_LIMIT: float = 1e10
+
+#: cond of the assembled MFT collocation operator above which the solve
+#: is rejected as singular (slow-tone harmonic collides with a Floquet
+#: multiplier of the cycle map).
+MFT_COLLOCATION_COND_LIMIT: float = 1e12
+
+#: Positive floor applied to PSD values before ``log10``/ratio
+#: operations in sweep refinement and dB conversion.  Subnormal floor:
+#: preserves ordering of every representable positive PSD.
+PSD_FLOOR: float = 1e-300
+
+#: Absolute clip tolerance for PSD non-negativity: eigenvalue rounding
+#: can push a zero mode of the output covariance to O(-eps·‖K‖); values
+#: above ``-PSD_CLIP_ATOL·‖K‖`` are clipped to zero, values below it
+#: indicate a real Hermitian-symmetry bug and must raise.
+PSD_CLIP_ATOL: float = 1e-12
+
+#: dB deviation between a computed PSD point and its log-log
+#: interpolant above which the adaptive sweep subdivides the interval.
+SWEEP_REFINE_DB: float = 0.5
+
+# ---------------------------------------------------------------------------
+# Schedules and time grids
+# ---------------------------------------------------------------------------
+
+#: Relative slack when checking that clock-phase durations tile the
+#: period: accumulated summation error over ~dozens of phases is
+#: O(n·eps·T); 1e-9·T leaves six orders of headroom without masking a
+#: genuinely inconsistent schedule.
+SCHEDULE_TILE_RTOL: float = 1e-9
+
+__all__ = [
+    "MACHINE_EPS",
+    "TINY_FLOOR",
+    "DIRECT_SOLVE_COND_LIMIT",
+    "MNA_COND_LIMIT",
+    "FLOQUET_MARGIN",
+    "SMITH_DOUBLING_RTOL",
+    "FIXED_POINT_RIDGE",
+    "LSTSQ_RCOND",
+    "SYLVESTER_DIAG_FLOOR",
+    "EXPM_SERIES_RTOL",
+    "MFT_ALIASING_COND_LIMIT",
+    "MFT_COLLOCATION_COND_LIMIT",
+    "PSD_FLOOR",
+    "PSD_CLIP_ATOL",
+    "SWEEP_REFINE_DB",
+    "SCHEDULE_TILE_RTOL",
+]

@@ -18,6 +18,7 @@ import math
 import re
 
 from .errors import UnitsError
+from .typing import ScalarOrArray
 
 #: Boltzmann constant [J/K].
 BOLTZMANN = 1.380649e-23
@@ -53,14 +54,14 @@ _NUMBER_RE = re.compile(
 )
 
 
-def thermal_voltage(temperature=ROOM_TEMPERATURE):
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
     """Return the thermal voltage ``kT/q`` [V] at ``temperature`` [K]."""
     if temperature <= 0.0:
         raise UnitsError(f"temperature must be positive, got {temperature!r}")
     return BOLTZMANN * temperature / ELEMENTARY_CHARGE
 
 
-def parse_value(text):
+def parse_value(text: "str | int | float") -> float:
     """Parse a SPICE-style engineering quantity into a float.
 
     Accepts plain numbers (``"1e-12"``, ``3.3``) and numbers with a
@@ -91,7 +92,7 @@ def parse_value(text):
     return value
 
 
-def format_value(value, unit=""):
+def format_value(value: float, unit: str = "") -> str:
     """Format ``value`` with an engineering suffix, e.g. ``1e-10 -> "100p"``.
 
     Used by the reporting helpers; round-trips through
@@ -111,7 +112,7 @@ def format_value(value, unit=""):
     return f"{value:.4g}{unit}"
 
 
-def db10(x):
+def db10(x: ScalarOrArray) -> ScalarOrArray:
     """Power ratio to decibels: ``10 log10(x)``.
 
     Returns ``-inf`` for ``x == 0`` rather than raising, because spectra
@@ -124,27 +125,29 @@ def db10(x):
     return 10.0 * math.log10(x)
 
 
-def db20(x):
+def db20(x: ScalarOrArray) -> ScalarOrArray:
     """Amplitude ratio to decibels: ``20 log10(|x|)``."""
     return 2.0 * db10(abs(x)) if x != 0.0 else -math.inf
 
 
-def from_db10(db):
+def from_db10(db: ScalarOrArray) -> ScalarOrArray:
     """Inverse of :func:`db10`."""
     return 10.0 ** (db / 10.0)
 
 
-def single_sided(double_sided_psd):
+def single_sided(double_sided_psd: ScalarOrArray) -> ScalarOrArray:
     """Convert a double-sided PSD value to single-sided (×2)."""
     return 2.0 * double_sided_psd
 
 
-def double_sided(single_sided_psd):
+def double_sided(single_sided_psd: ScalarOrArray) -> ScalarOrArray:
     """Convert a single-sided PSD value to double-sided (÷2)."""
     return 0.5 * single_sided_psd
 
 
-def resistor_current_noise_psd(resistance, temperature=ROOM_TEMPERATURE):
+def resistor_current_noise_psd(resistance: float,
+                               temperature: float = ROOM_TEMPERATURE
+                               ) -> float:
     """Double-sided thermal noise *current* PSD of a resistor [A²/Hz].
 
     The paper's convention (Section V.A): the switch/resistor contributes a
@@ -155,14 +158,16 @@ def resistor_current_noise_psd(resistance, temperature=ROOM_TEMPERATURE):
     return 2.0 * BOLTZMANN * temperature / resistance
 
 
-def resistor_voltage_noise_psd(resistance, temperature=ROOM_TEMPERATURE):
+def resistor_voltage_noise_psd(resistance: float,
+                               temperature: float = ROOM_TEMPERATURE
+                               ) -> float:
     """Double-sided thermal noise *voltage* PSD of a resistor [V²/Hz]: 2kTR."""
     if resistance <= 0.0:
         raise UnitsError(f"resistance must be positive, got {resistance!r}")
     return 2.0 * BOLTZMANN * temperature * resistance
 
 
-def shot_noise_psd(current):
+def shot_noise_psd(current: float) -> float:
     """Double-sided shot-noise current PSD ``q·|I|`` [A²/Hz].
 
     (Single-sided convention would be ``2qI``; this library is

@@ -21,7 +21,7 @@ from repro.circuit.topology import (
     floating_nodes,
     voltage_loops,
 )
-from repro.errors import CircuitError
+from repro.errors import CircuitError, UnitsError
 from repro.mft.engine import MftNoiseAnalyzer
 
 
@@ -155,6 +155,32 @@ OPAMP_SF op1 inp out out wu=6.28meg noise=1e-16
                ".clock f=2k phases=a,b duty=0.5\n"
         with pytest.raises(CircuitError):
             parse_netlist(text)
+
+    def test_bad_value_error_names_line_and_chains_cause(self):
+        # Regression for the former broad `except Exception` at the
+        # parse loop: specific parse errors must surface as CircuitError
+        # with the line number, chained from the underlying cause.
+        with pytest.raises(CircuitError, match="line 2") as excinfo:
+            parse_netlist("R1 a 0 1k\nC1 a 0 pf3\n")
+        assert isinstance(excinfo.value.__cause__, UnitsError)
+
+    def test_missing_required_option_is_a_parse_error(self):
+        # OPAMP_SF without wu= triggers KeyError internally; it must be
+        # translated, not swallowed and not propagated raw.
+        with pytest.raises(CircuitError, match="line 1"):
+            parse_netlist("OPAMP_SF op1 a b out noise=1e-16\n")
+
+    def test_programming_errors_propagate_unchanged(self, monkeypatch):
+        # Non-parse errors raised mid-parse must not be converted into
+        # CircuitError by the (now specific) handler.
+        from repro.circuit import parser as parser_module
+
+        def broken(line, netlist, outputs):
+            raise TypeError("programming error")
+
+        monkeypatch.setattr(parser_module, "_parse_line", broken)
+        with pytest.raises(TypeError, match="programming error"):
+            parse_netlist("R1 a 0 1k\n")
 
 
 class TestTopologyDiagnostics:

@@ -1,0 +1,115 @@
+"""Tests for the condition-checked np.linalg wrappers and tolerances."""
+
+import numpy as np
+import pytest
+
+import repro.tolerances as tolerances
+from repro.errors import SingularMatrixError
+from repro.linalg import (
+    checked_inv,
+    checked_lstsq,
+    checked_solve,
+    condition_number,
+    eigensystem_hermitian,
+    eigenvalues,
+    eigenvalues_hermitian,
+    spectral_radius,
+)
+
+
+class TestCheckedSolve:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((5, 5)) + 5.0 * np.eye(5)
+        b = rng.standard_normal(5)
+        assert np.allclose(checked_solve(a, b), np.linalg.solve(a, b))
+
+    def test_singular_raises_domain_error_with_context(self):
+        singular = np.zeros((2, 2))
+        with pytest.raises(SingularMatrixError, match="fixture solve"):
+            checked_solve(singular, np.ones(2), context="fixture solve")
+
+    def test_cond_limit_rejects_ill_conditioned(self):
+        nearly = np.diag([1.0, 1e-14])
+        with pytest.raises(SingularMatrixError, match="condition number"):
+            checked_solve(nearly, np.ones(2), cond_limit=1e12)
+        # Without the limit the solve succeeds (it is merely inaccurate).
+        assert np.all(np.isfinite(checked_solve(nearly, np.ones(2))))
+
+    def test_complex_systems(self, rng):
+        a = (rng.standard_normal((4, 4))
+             + 1j * rng.standard_normal((4, 4)) + 4.0 * np.eye(4))
+        b = rng.standard_normal((4, 2))
+        assert np.allclose(a @ checked_solve(a, b), b)
+
+
+class TestCheckedInv:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((4, 4)) + 4.0 * np.eye(4)
+        assert np.allclose(checked_inv(a), np.linalg.inv(a))
+
+    def test_default_cond_limit_active(self):
+        with pytest.raises(SingularMatrixError):
+            checked_inv(np.diag([1.0, 1e-300]))
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            checked_inv(np.zeros((3, 3)), cond_limit=None)
+
+
+class TestCheckedLstsq:
+    def test_overdetermined(self, rng):
+        a = rng.standard_normal((6, 3))
+        x_true = rng.standard_normal(3)
+        solution, rank = checked_lstsq(a, a @ x_true)
+        assert rank == 3
+        assert np.allclose(solution, x_true)
+
+
+class TestEigenWrappers:
+    def test_eigenvalues_match_numpy(self, rng):
+        a = rng.standard_normal((5, 5))
+        assert np.allclose(sorted(eigenvalues(a)),
+                           sorted(np.linalg.eigvals(a)))
+
+    def test_hermitian_values_are_real_ascending(self, rng):
+        m = rng.standard_normal((4, 4))
+        h = m + m.T
+        values = eigenvalues_hermitian(h)
+        assert values.dtype.kind == "f"
+        assert np.all(np.diff(values) >= 0.0)
+
+    def test_eigensystem_reconstructs(self, rng):
+        m = rng.standard_normal((4, 4))
+        h = m + m.T
+        values, vectors = eigensystem_hermitian(h)
+        assert np.allclose(vectors @ np.diag(values) @ vectors.T, h)
+
+    def test_spectral_radius(self):
+        assert spectral_radius(np.diag([0.5, -0.9])) == pytest.approx(0.9)
+        assert spectral_radius(np.zeros((0, 0))) == 0.0
+
+
+class TestConditionNumber:
+    def test_identity(self):
+        assert condition_number(np.eye(3)) == pytest.approx(1.0)
+
+    def test_singular_is_inf_not_raise(self):
+        assert condition_number(np.zeros((2, 2))) == np.inf
+
+    def test_non_finite_is_inf(self):
+        assert condition_number(np.array([[np.nan, 0.0],
+                                          [0.0, 1.0]])) == np.inf
+
+
+class TestTolerancesModule:
+    def test_constants_are_positive_and_ordered(self):
+        assert 0.0 < tolerances.MACHINE_EPS < 1e-15
+        assert 0.0 < tolerances.TINY_FLOOR < 1e-300
+        assert tolerances.SMITH_DOUBLING_RTOL < tolerances.FLOQUET_MARGIN
+        assert (tolerances.DIRECT_SOLVE_COND_LIMIT
+                < tolerances.MNA_COND_LIMIT)
+
+    def test_everything_in_all_exists_and_is_documented(self):
+        for name in tolerances.__all__:
+            value = getattr(tolerances, name)
+            assert value is None or isinstance(value, float), name

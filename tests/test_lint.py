@@ -1,0 +1,291 @@
+"""Tests for the repro.lint static-analysis suite.
+
+Covers each SCN rule with a good and a bad fixture snippet, the inline
+suppression syntax, baseline add/remove round-trips, and the CLI exit
+codes — plus a live run over ``src`` asserting the repo's own invariant:
+SCN001/SCN002/SCN004 findings are extinct, and linalg/mft carry no
+magic tolerances.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, Baseline, lint_paths, lint_source
+from repro.lint.cli import main
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+REPO_ROOT = SRC_ROOT.parent
+
+
+def codes(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lint_snippet(source, path="src/repro/somepkg/mod.py"):
+    return lint_source(source, path)
+
+
+class TestScn001RawLinalg:
+    def test_flags_np_linalg_solve(self):
+        findings = lint_snippet(
+            "import numpy as np\nx = np.linalg.solve(a, b)\n")
+        assert codes(findings) == ["SCN001"]
+        assert findings[0].line == 2
+        assert "solve" in findings[0].message
+
+    def test_flags_direct_import(self):
+        findings = lint_snippet("from numpy.linalg import inv, eigvals\n")
+        assert codes(findings) == ["SCN001"]
+
+    def test_flags_module_alias(self):
+        findings = lint_snippet(
+            "import numpy.linalg as nla\ny = nla.eig(m)\n")
+        assert codes(findings) == ["SCN001"]
+
+    def test_allows_norm_and_cond(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "n = np.linalg.norm(a)\nc = np.linalg.cond(a)\n")
+        assert findings == []
+
+    def test_exempts_linalg_package(self):
+        findings = lint_snippet(
+            "import numpy as np\nx = np.linalg.solve(a, b)\n",
+            path="src/repro/linalg/lyapunov.py")
+        assert findings == []
+
+
+class TestScn002BroadExcept:
+    def test_flags_except_exception(self):
+        findings = lint_snippet(
+            "try:\n    f()\nexcept Exception:\n    pass\n")
+        assert codes(findings) == ["SCN002"]
+
+    def test_flags_bare_except_and_tuple(self):
+        bare = lint_snippet("try:\n    f()\nexcept:\n    pass\n")
+        tup = lint_snippet(
+            "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n")
+        assert codes(bare) == ["SCN002"]
+        assert codes(tup) == ["SCN002"]
+
+    def test_allows_specific_exceptions(self):
+        findings = lint_snippet(
+            "try:\n    f()\nexcept (ValueError, KeyError) as exc:\n"
+            "    raise RuntimeError('x') from exc\n")
+        assert findings == []
+
+
+class TestScn003MagicTolerance:
+    def test_flags_small_float(self):
+        findings = lint_snippet("TOL = 1e-9\n")
+        assert codes(findings) == ["SCN003"]
+
+    def test_flags_scientific_large_limit(self):
+        findings = lint_snippet("if cond > 1e12:\n    pass\n")
+        assert codes(findings) == ["SCN003"]
+
+    def test_allows_plain_coefficients(self):
+        findings = lint_snippet(
+            "HALF = 0.5\nGAIN = 120.0\nBIG = 64764752532480000.0\n")
+        assert findings == []
+
+    def test_exempts_tolerances_module(self):
+        findings = lint_snippet("FLOQUET_MARGIN = 1e-3\n",
+                                path="src/repro/tolerances.py")
+        assert findings == []
+
+
+class TestScn004Print:
+    def test_flags_print(self):
+        findings = lint_snippet("print('hello')\n")
+        assert codes(findings) == ["SCN004"]
+
+    def test_allows_logging_and_writers(self):
+        findings = lint_snippet(
+            "import logging, sys\n"
+            "logging.getLogger(__name__).info('x')\n"
+            "sys.stdout.write('x')\n")
+        assert findings == []
+
+
+class TestScn005ArrayContract:
+    def test_flags_bare_ndarray_annotation(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "def psd(f) -> np.ndarray:\n    return compute(f)\n")
+        assert codes(findings) == ["SCN005"]
+
+    def test_flags_unannotated_numpy_return(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "def grid(n):\n    return np.linspace(0.0, 1.0, n)\n")
+        assert codes(findings) == ["SCN005"]
+
+    def test_allows_typed_alias_and_private(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "from repro.typing import FloatArray\n"
+            "def grid(n) -> FloatArray:\n"
+            "    return np.linspace(0.0, 1.0, n)\n"
+            "def _helper(n):\n    return np.zeros(n)\n")
+        assert findings == []
+
+    def test_ignores_nested_functions(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "def outer(n) -> float:\n"
+            "    def inner():\n        return np.zeros(n)\n"
+            "    return 0.0\n")
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_rule_specific_suppression(self):
+        findings = lint_snippet("TOL = 1e-9  # scn: ignore[SCN003]\n")
+        assert findings == []
+
+    def test_suppression_is_rule_scoped(self):
+        findings = lint_snippet("TOL = 1e-9  # scn: ignore[SCN004]\n")
+        assert codes(findings) == ["SCN003"]
+
+    def test_blanket_suppression(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "x = np.linalg.inv(m)  # scn: ignore\n")
+        assert findings == []
+
+    def test_multi_rule_suppression(self):
+        findings = lint_snippet(
+            "import numpy as np\n"
+            "x = np.linalg.solve(m, 1e-9)"
+            "  # scn: ignore[SCN001, SCN003]\n")
+        assert findings == []
+
+
+class TestSyntaxError:
+    def test_unparseable_file_yields_scn000(self):
+        findings = lint_snippet("def broken(:\n")
+        assert codes(findings) == ["SCN000"]
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint_snippet("A = 1e-9\nB = 1e-10\nA2 = 1e-9\n")
+        assert len(findings) == 3
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        new, stale = loaded.partition(findings)
+        assert new == [] and not stale
+
+    def test_new_finding_not_absorbed(self, tmp_path):
+        old = lint_snippet("A = 1e-9\n")
+        baseline = Baseline.from_findings(old)
+        current = lint_snippet("A = 1e-9\nB = 1e-10\n")
+        new, stale = baseline.partition(current)
+        assert [f.snippet for f in new] == ["B = 1e-10"]
+        assert not stale
+
+    def test_fixed_finding_becomes_stale(self):
+        old = lint_snippet("A = 1e-9\nB = 1e-10\n")
+        baseline = Baseline.from_findings(old)
+        new, stale = baseline.partition(lint_snippet("A = 1e-9\n"))
+        assert new == [] and sum(stale.values()) == 1
+
+    def test_multiplicity_is_respected(self):
+        baseline = Baseline.from_findings(lint_snippet("A = 1e-9\n"))
+        twice = lint_snippet("A = 1e-9\n" * 2)
+        new, _stale = baseline.partition(twice)
+        assert len(new) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_line_moves_do_not_invalidate(self):
+        baseline = Baseline.from_findings(lint_snippet("A = 1e-9\n"))
+        moved = lint_snippet("# a new comment above\n\nA = 1e-9\n")
+        new, stale = baseline.partition(moved)
+        assert new == [] and not stale
+
+
+class TestCli:
+    def _write_pkg(self, tmp_path, body):
+        mod = tmp_path / "mod.py"
+        mod.write_text(body)
+        return mod
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        mod = self._write_pkg(tmp_path, "X = 1.0\n")
+        rc = main([str(mod), "--baseline",
+                   str(tmp_path / "baseline.json")])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_new_finding_exits_one(self, tmp_path, capsys):
+        mod = self._write_pkg(tmp_path, "X = 1e-9\n")
+        rc = main([str(mod), "--baseline",
+                   str(tmp_path / "baseline.json")])
+        assert rc == 1
+        assert "SCN003" in capsys.readouterr().out
+
+    def test_update_then_check_round_trip(self, tmp_path, capsys):
+        mod = self._write_pkg(tmp_path, "X = 1e-9\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert main([str(mod), "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        assert main([str(mod), "--baseline", baseline, "--check"]) == 0
+        # Fix the violation: --check now fails on the stale entry...
+        mod.write_text("X = 1.0\n")
+        assert main([str(mod), "--baseline", baseline, "--check"]) == 1
+        # ...but a plain run only warns,
+        assert main([str(mod), "--baseline", baseline]) == 0
+        # and ratcheting the baseline down restores a clean --check.
+        assert main([str(mod), "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        assert main([str(mod), "--baseline", baseline, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "stale" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in out
+
+
+class TestRepositoryInvariants:
+    """The gate the CI job enforces, run against the live tree."""
+
+    def test_src_is_clean_against_baseline(self):
+        findings = lint_paths([SRC_ROOT])
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        remapped = Baseline(entries=type(baseline.entries)(
+            {self._repo_relative(key): count
+             for key, count in baseline.entries.items()}))
+        new, _stale = remapped.partition(findings)
+        assert new == [], "\n".join(f.render() for f in new)
+
+    @staticmethod
+    def _repo_relative(key):
+        path, rest = key.split("::", 1)
+        return f"{(REPO_ROOT / path).as_posix()}::{rest}"
+
+    def test_no_banned_rules_anywhere(self):
+        findings = lint_paths([SRC_ROOT])
+        extinct = {"SCN001", "SCN002", "SCN004"}
+        offenders = [f for f in findings if f.rule in extinct]
+        assert offenders == [], "\n".join(f.render() for f in offenders)
+
+    def test_linalg_and_mft_fully_clean(self):
+        findings = lint_paths([SRC_ROOT / "repro" / "linalg",
+                               SRC_ROOT / "repro" / "mft"])
+        assert findings == [], "\n".join(f.render() for f in findings)
