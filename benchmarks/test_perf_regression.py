@@ -1,0 +1,122 @@
+"""Benchmark-regression gate: the fast sweep paths must stay fast.
+
+Runs the :mod:`repro.perf` workload suite, re-emits ``BENCH_sweep.json``
+at the repository root, and asserts the acceptance criteria of the
+performance layer:
+
+* the artifact carries >= 3 workloads and passes its own schema check;
+* on the 64-point SC low-pass sweep, the cached+parallel configuration
+  is >= 2x faster than the serial-uncached seed path;
+* every configuration matches the serial-uncached reference to
+  <= 1e-12 relative on all finite points.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py``
+(the benchmarks tree is intentionally outside the tier-1 ``testpaths``).
+Pass ``--tiny`` semantics by setting ``REPRO_BENCH_TINY=1`` — used by
+the CI ``bench-smoke`` job, which checks the machinery and the schema
+but skips the speedup assertion (tiny grids are dispatch-dominated).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    BENCH_FILENAME,
+    run_suite,
+    validate_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+HEADLINE_WORKLOAD = "sc-lowpass-sweep-64"
+HEADLINE_SPEEDUP = 2.0
+EQUIVALENCE_REL_TOL = 1e-12
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def bench_data():
+    """Run the suite once and write the artifact all tests inspect."""
+    data = run_suite(tiny=TINY)
+    path = REPO_ROOT / BENCH_FILENAME
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def _variant(entry, name):
+    for variant in entry["variants"]:
+        if variant["variant"] == name:
+            return variant
+    raise AssertionError(
+        f"{entry['workload']} records no {name!r} variant: "
+        f"{[v['variant'] for v in entry['variants']]}")
+
+
+def _workload(data, name):
+    for entry in data["workloads"]:
+        if entry["workload"] == name:
+            return entry
+    raise AssertionError(
+        f"suite records no workload {name!r}: "
+        f"{[e['workload'] for e in data['workloads']]}")
+
+
+class TestBenchArtifact:
+    def test_schema_valid(self, bench_data):
+        validate_bench(bench_data)
+
+    def test_at_least_three_workloads(self, bench_data):
+        assert len(bench_data["workloads"]) >= 3
+
+    def test_artifact_written_at_repo_root(self, bench_data):
+        path = REPO_ROOT / BENCH_FILENAME
+        assert path.exists()
+        validate_bench(json.loads(path.read_text()))
+
+    def test_every_variant_records_cache_hit_counts(self, bench_data):
+        for entry in bench_data["workloads"]:
+            for variant in entry["variants"]:
+                if variant["cache"]:
+                    stats = variant["cache_stats"]
+                    assert stats is not None, variant["variant"]
+                    assert stats["total_hits"] > 0, variant["variant"]
+
+
+class TestNumericalEquivalence:
+    def test_all_variants_match_reference(self, bench_data):
+        # The harness computes the worst relative deviation of each
+        # configuration against the serial-uncached run of the same
+        # workload; none may exceed the equivalence tolerance.
+        for entry in bench_data["workloads"]:
+            for variant in entry["variants"]:
+                rel = variant["max_rel_diff_vs_serial_uncached"]
+                assert rel <= EQUIVALENCE_REL_TOL, (
+                    f"{entry['workload']}/{variant['variant']}: "
+                    f"max rel diff {rel:.3e}")
+
+
+class TestSpeedupRegression:
+    @pytest.mark.skipif(
+        TINY, reason="tiny grids are dispatch-dominated; speedup is "
+                     "asserted on the full workloads")
+    def test_cached_parallel_beats_seed_serial_on_headline(
+            self, bench_data):
+        entry = _workload(bench_data, HEADLINE_WORKLOAD)
+        variant = _variant(entry, "parallel-cached")
+        assert variant["speedup_vs_serial_uncached"] >= HEADLINE_SPEEDUP, (
+            f"cached+parallel only {variant['speedup_vs_serial_uncached']:.2f}x "
+            f"vs serial-uncached (need >= {HEADLINE_SPEEDUP}x)")
+
+    @pytest.mark.skipif(
+        TINY, reason="tiny grids are dispatch-dominated; speedup is "
+                     "asserted on the full workloads")
+    def test_cached_serial_also_beats_seed(self, bench_data):
+        # The cache alone must carry the win: parallel dispatch cannot
+        # be the only thing standing between us and a regression on
+        # single-core machines.
+        entry = _workload(bench_data, HEADLINE_WORKLOAD)
+        variant = _variant(entry, "serial-cached")
+        assert variant["speedup_vs_serial_uncached"] >= HEADLINE_SPEEDUP

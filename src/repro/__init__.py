@@ -59,7 +59,13 @@ from .circuits import (
     switched_rc_system,
 )
 from .lptv import Phase, PiecewiseLTISystem, SampledLPTVSystem
-from .mft import MftNoiseAnalyzer, mft_psd
+from .mft import (
+    MftNoiseAnalyzer,
+    SweepContext,
+    SweepExecutor,
+    mft_psd,
+    sweep_context_for,
+)
 from .noise import PsdResult, brute_force_psd, periodic_covariance
 
 __version__ = "1.0.0"
@@ -86,5 +92,6 @@ __all__ = [
     # systems and engines
     "Phase", "PiecewiseLTISystem", "SampledLPTVSystem",
     "MftNoiseAnalyzer", "mft_psd",
+    "SweepContext", "SweepExecutor", "sweep_context_for",
     "PsdResult", "brute_force_psd", "periodic_covariance",
 ]

@@ -48,13 +48,14 @@ class NoiseAnalysis:
 
     def __init__(self, model_or_system, segments_per_phase=64,
                  output_row=0, preflight=True, fallback=True,
-                 budget=None):
+                 budget=None, cache=True, context=None):
         self.system, self.model = _system_of(model_or_system)
         self.segments_per_phase = segments_per_phase
         self.output_row = output_row
         self.engine = MftNoiseAnalyzer(self.system, segments_per_phase,
                                        output_row, preflight=preflight,
-                                       fallback=fallback, budget=budget)
+                                       fallback=fallback, budget=budget,
+                                       cache=cache, context=context)
         if self.engine.preflight.has_warnings:
             logger.warning("preflight: %s",
                            self.engine.preflight.summary())
@@ -89,9 +90,29 @@ class NoiseAnalysis:
         return self.engine.psd(frequencies, on_failure=on_failure,
                                budget=budget)
 
+    def psd_sweep(self, frequencies, parallel=None, max_workers=None,
+                  chunk_size=None, budget=None, on_failure="record"):
+        """Same as :meth:`psd` but through a parallel sweep executor.
+
+        ``parallel="thread"`` or ``"process"`` runs independent
+        frequency chunks concurrently (``max_workers`` workers) with the
+        same values, failure semantics, and diagnostics as :meth:`psd`.
+        """
+        return self.engine.psd_sweep(frequencies, parallel=parallel,
+                                     max_workers=max_workers,
+                                     chunk_size=chunk_size, budget=budget,
+                                     on_failure=on_failure)
+
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
                         **kwargs):
-        """Same quantity via the baseline transient engine (slow)."""
+        """Same quantity via the baseline transient engine (slow).
+
+        Shares the engine's cached discretization (propagators, Van Loan
+        Gramians) through its :class:`~repro.mft.context.SweepContext`
+        when one is active.
+        """
+        if self.engine.context is not None:
+            kwargs.setdefault("context", self.engine.context)
         return brute_force_psd(self.system, frequencies,
                                output_row=self.output_row,
                                segments_per_phase=self.segments_per_phase,

@@ -29,6 +29,7 @@ from ..linalg.checked import (
     spectral_radius,
 )
 from ..noise.result import PsdResult
+from ..tolerances import SCHEDULE_TILE_RTOL
 
 logger = logging.getLogger(__name__)
 
@@ -45,13 +46,26 @@ class MonteCarloResult:
     runtime_seconds: float
 
 
-def _uniform_discretization(system, samples_per_period):
+def _uniform_discretization(system, samples_per_period, context=None):
     """Discretize so the one-period grid is uniform.
 
     Segment counts are allocated to phases proportionally to duration so
     that every segment has the same length — required for FFT-based
-    spectral estimation.
+    spectral estimation. A prebuilt
+    :class:`~repro.mft.context.SweepContext` may supply the
+    discretization instead (propagators and Gramians shared with the
+    deterministic engines), provided its grid is uniform.
     """
+    if context is not None:
+        disc = context.disc
+        dt = np.diff(disc.grid)
+        if not np.allclose(dt, dt[0], rtol=SCHEDULE_TILE_RTOL):
+            raise ReproError(
+                "sweep context discretization grid is not uniform; "
+                "Monte-Carlo spectral estimation needs equal segment "
+                "lengths — build the context with per-phase segment "
+                "counts proportional to phase durations")
+        return disc, len(disc.segments)
     durations = np.asarray([p.duration for p in system.phases])
     period = durations.sum()
     dt = period / samples_per_period
@@ -75,7 +89,7 @@ def _uniform_discretization(system, samples_per_period):
 
 def simulate_trajectories(system, n_trajectories, n_periods,
                           samples_per_period=64, rng=None, burn_in=None,
-                          budget=None):
+                          budget=None, context=None):
     """Draw exact sample paths of the switched SDE.
 
     Returns ``(times, outputs)`` with ``outputs`` of shape
@@ -91,10 +105,11 @@ def simulate_trajectories(system, n_trajectories, n_periods,
     rng = np.random.default_rng(rng)
     budget = as_budget(budget)
     budget.start()
-    disc, n_seg = _uniform_discretization(system, samples_per_period)
+    disc, n_seg = _uniform_discretization(system, samples_per_period,
+                                          context=context)
     l_row = np.asarray(system.output_matrix)[0]
     n = disc.n_states
-    phi_t = disc.monodromy()
+    phi_t = context.monodromy if context is not None else disc.monodromy()
     multipliers = eigenvalues(phi_t, context="Monte-Carlo monodromy")
     multipliers = multipliers[np.argsort(-np.abs(multipliers))]
     radius = float(np.max(np.abs(multipliers)))
@@ -153,7 +168,7 @@ def simulate_trajectories(system, n_trajectories, n_periods,
 
 def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
                     samples_per_period=64, segment_periods=64,
-                    rng=None, output_row=0, budget=None):
+                    rng=None, output_row=0, budget=None, context=None):
     """Welch-estimated double-sided output PSD of the switched system.
 
     Parameters
@@ -176,7 +191,7 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
     report = DiagnosticsReport(context="monte-carlo")
     times, outputs = simulate_trajectories(
         system, n_trajectories, n_periods, samples_per_period, rng,
-        budget=budget)
+        budget=budget, context=context)
     if outputs.shape[0] < n_trajectories:
         report.warning(
             "partial-ensemble",

@@ -22,7 +22,20 @@ against it in the tests.
 """
 
 from .engine import InstantaneousPsd, MftNoiseAnalyzer, mft_psd
-from .sweep import adaptive_frequency_grid, decade_grid, linear_grid
+from .context import (
+    CacheStats,
+    SweepContext,
+    clear_sweep_contexts,
+    discretization_fingerprint,
+    sweep_context_for,
+)
+from .executor import SweepExecutor
+from .sweep import (
+    adaptive_frequency_grid,
+    clock_harmonic_grid,
+    decade_grid,
+    linear_grid,
+)
 from .bvp import MftCollocationProblem, solve_mft_collocation
 from .delay import delay_matrix, dft_matrix, idft_matrix
 
@@ -30,8 +43,15 @@ __all__ = [
     "MftNoiseAnalyzer",
     "mft_psd",
     "InstantaneousPsd",
+    "CacheStats",
+    "SweepContext",
+    "SweepExecutor",
+    "sweep_context_for",
+    "clear_sweep_contexts",
+    "discretization_fingerprint",
     "decade_grid",
     "linear_grid",
+    "clock_harmonic_grid",
     "adaptive_frequency_grid",
     "MftCollocationProblem",
     "solve_mft_collocation",

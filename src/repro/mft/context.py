@@ -1,0 +1,506 @@
+"""Shared per-discretization cache: compute frequency-independent work once.
+
+A PSD sweep evaluates the same circuit at 100+ frequencies, yet everything
+except the final complex fixed point is *frequency independent*: the
+per-segment propagators and Van Loan noise Gramians, the periodic
+covariance ``K(t)``, the cross-spectral forcing ``K(t) l``, the monodromy
+matrix, and — the insight this module adds — the *suffix products* of the
+per-segment maps that assemble the one-period forcing vector. A
+:class:`SweepContext` computes each of these once, keyed by the
+discretization, and every engine (MFT, brute force, Monte Carlo) draws
+from it instead of rebuilding.
+
+The context also carries :meth:`SweepContext.solve_shifted`, a fast
+re-formulation of :func:`repro.lptv.periodic_solve.periodic_steady_state`
+built on two identities of the frequency-shifted dynamics
+``A(t) − jωI``:
+
+* the shifted one-period map is a *scalar* multiple of the cached real
+  monodromy, ``M_ω = e^{-jωT} M_0`` (segment phase factors commute with
+  the jumps), so the per-frequency ``O(S n³)`` propagator composition
+  collapses to one complex scale;
+* the forcing accumulation ``g_ω = Σ_k R_k g_k(ω)`` uses the cached real
+  suffix products ``R_k`` with per-segment scalar phases, so it becomes
+  one batched matrix-vector product instead of a Python loop.
+
+The per-segment forcing integrals ``(I1, I2)`` are grouped by the unique
+``(A, h)`` pairs of the discretization (a piecewise-LTI circuit with
+uniform segments has one per phase, not one per segment), and the
+period-integral resolvent solves are likewise grouped — one linear solve
+per unique segment matrix instead of one per segment.
+
+Both paths compute the same quantities; the fast path reorders linear
+algebra (sums before solves, scalar scaling before products), so results
+agree with the reference to rounding — the equivalence suite pins this
+at ``≤ 1e-12`` relative.
+
+Contexts are either built directly (``SweepContext(system, 64)``) or
+drawn from the module registry (:func:`sweep_context_for`), which
+fingerprints the system content — phase durations, state/noise/jump
+matrices, segment counts — so that *mutating* a system or requesting a
+different density misses the cache instead of returning stale numerics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError, SingularMatrixError
+from ..linalg.checked import checked_solve
+from ..linalg.lyapunov import (
+    fixed_point_condition,
+    solve_linear_fixed_point,
+    solve_regularized_fixed_point,
+)
+from ..linalg.phi import affine_step_integrals
+from ..lptv.periodic_solve import PeriodicSolution, forcing_from_samples
+from ..noise.covariance import periodic_covariance
+from ..tolerances import FIXED_POINT_RIDGE
+
+logger = logging.getLogger(__name__)
+
+#: ``‖A_ω‖₁ h`` above which the period integral uses the resolvent solve
+#: (mirrors the threshold in :mod:`repro.lptv.periodic_solve`).
+_RESOLVENT_NORM_THRESHOLD = 0.5
+
+#: Frequencies whose shifted step integrals are kept per context; a sweep
+#: revisits frequencies only through the fallback chain, so this stays
+#: small.
+_OMEGA_CACHE_LIMIT = 512
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for every cached quantity of a sweep context."""
+
+    hits: dict = field(default_factory=dict)
+    misses: dict = field(default_factory=dict)
+
+    def hit(self, category):
+        self.hits[category] = self.hits.get(category, 0) + 1
+
+    def miss(self, category):
+        self.misses[category] = self.misses.get(category, 0) + 1
+
+    def total_hits(self):
+        return int(sum(self.hits.values()))
+
+    def total_misses(self):
+        return int(sum(self.misses.values()))
+
+    def to_dict(self):
+        """JSON-friendly counters (used by the perf harness)."""
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "total_hits": self.total_hits(),
+            "total_misses": self.total_misses(),
+        }
+
+    def __str__(self):
+        return (f"CacheStats(hits={self.total_hits()}, "
+                f"misses={self.total_misses()})")
+
+
+@dataclass
+class _SegmentGroup:
+    """Segments sharing one ``(A, h)`` pair (usually: one clock phase)."""
+
+    a_matrix: np.ndarray
+    duration: float
+    #: Indices into ``disc.segments`` of the member segments.
+    indices: np.ndarray
+    #: Representative real propagator ``e^{Ah}`` of the group.
+    phi: np.ndarray
+
+
+@dataclass
+class _SweepStructure:
+    """Frequency-independent arrays derived from one discretization."""
+
+    #: Per-segment durations, end times, and real propagators, stacked.
+    durations: np.ndarray
+    t_end: np.ndarray
+    phi_stack: np.ndarray
+    #: Per-segment jump (identity where absent) and a has-jump mask.
+    has_jump: np.ndarray
+    jumps: list
+    #: Real suffix products ``R_k = E_{S-1}···E_{k+1} J_k`` with
+    #: ``E_j = J_j Φ_j``: the map from segment k's forcing contribution
+    #: to the end of the period, jumps folded in.
+    suffix: np.ndarray
+    #: Segment groups by unique ``(A, h)``.
+    groups: list
+    #: For each segment, the index of its group.
+    group_of: np.ndarray
+
+
+def build_structure(disc):
+    """Precompute the frequency-independent arrays of a discretization."""
+    segments = disc.segments
+    n = disc.n_states
+    n_seg = len(segments)
+    durations = np.asarray([seg.duration for seg in segments])
+    t_end = np.asarray([seg.t_end for seg in segments])
+    phi_stack = np.stack([seg.phi for seg in segments])
+    has_jump = np.asarray([seg.jump is not None for seg in segments])
+    jumps = [seg.jump for seg in segments]
+
+    suffix = np.empty((n_seg, n, n))
+    acc = np.eye(n)
+    for k in range(n_seg - 1, -1, -1):
+        jump = jumps[k]
+        suffix[k] = acc @ jump if jump is not None else acc
+        acc = suffix[k] @ phi_stack[k]
+
+    group_index = {}
+    groups = []
+    group_of = np.empty(n_seg, dtype=int)
+    for k, seg in enumerate(segments):
+        if seg.a_matrix is None:
+            raise ReproError(
+                "segment is missing its A matrix; rebuild the "
+                "discretization with a current version of the library")
+        key = (id(seg.a_matrix), seg.duration)
+        idx = group_index.get(key)
+        if idx is None:
+            idx = len(groups)
+            group_index[key] = idx
+            groups.append(_SegmentGroup(
+                a_matrix=seg.a_matrix, duration=seg.duration,
+                indices=np.empty(0, dtype=int), phi=seg.phi))
+        group_of[k] = idx
+    for idx, group in enumerate(groups):
+        group.indices = np.nonzero(group_of == idx)[0]
+    return _SweepStructure(
+        durations=durations, t_end=t_end, phi_stack=phi_stack,
+        has_jump=has_jump, jumps=jumps, suffix=suffix, groups=groups,
+        group_of=group_of)
+
+
+class SweepContext:
+    """Frequency-independent work of one discretization, computed once.
+
+    Parameters
+    ----------
+    system:
+        An LPTV system (``discretize()`` + ``output_matrix``).
+    segments_per_phase:
+        Discretization density forwarded to ``system.discretize``.
+
+    Everything is lazy: building a context is free, each cached quantity
+    is computed on first use and recorded in :attr:`stats`. Contexts are
+    picklable (they carry only arrays), so a process-backend sweep ships
+    the precomputed work to its workers instead of recomputing it there.
+    """
+
+    def __init__(self, system, segments_per_phase=64):
+        if not hasattr(system, "discretize"):
+            raise ReproError(
+                "system must provide discretize(), got "
+                f"{type(system).__name__}")
+        self.system = system
+        self.segments_per_phase = segments_per_phase
+        self.stats = CacheStats()
+        self._disc = None
+        self._structure = None
+        self._covariance = None
+        self._monodromy = None
+        self._forcing = {}
+        self._omega_cache = {}
+
+    # -- cached frequency-independent quantities ----------------------------
+
+    @property
+    def disc(self):
+        """The period discretization (propagators + Van Loan Gramians)."""
+        if self._disc is None:
+            self.stats.miss("disc")
+            self._disc = self.system.discretize(self.segments_per_phase)
+        else:
+            self.stats.hit("disc")
+        return self._disc
+
+    @property
+    def structure(self):
+        """Stacked segment arrays and suffix products (see module doc)."""
+        if self._structure is None:
+            self.stats.miss("structure")
+            self._structure = build_structure(self.disc)
+        else:
+            self.stats.hit("structure")
+        return self._structure
+
+    @property
+    def covariance(self):
+        """Periodic steady-state covariance ``K(t)``, solved once."""
+        if self._covariance is None:
+            self.stats.miss("covariance")
+            self._covariance = periodic_covariance(self.disc)
+        else:
+            self.stats.hit("covariance")
+        return self._covariance
+
+    @property
+    def monodromy(self):
+        """One-period real monodromy matrix ``M_0`` (jumps included)."""
+        if self._monodromy is None:
+            self.stats.miss("monodromy")
+            self._monodromy = self.disc.monodromy()
+        else:
+            self.stats.hit("monodromy")
+        return self._monodromy
+
+    def forcing_pairs(self, l_row):
+        """Cross-spectral forcing ``K(t) l`` as per-segment endpoint pairs.
+
+        Cached per output row ``l`` — the expensive parts (``K(t)`` and
+        the pair assembly) are shared by every frequency of a sweep.
+        """
+        l_row = np.asarray(l_row, dtype=float)
+        key = l_row.tobytes()
+        cached = self._forcing.get(key)
+        if cached is not None:
+            self.stats.hit("forcing")
+            return cached
+        self.stats.miss("forcing")
+        post, pre = self.covariance.forcing_samples(l_row)
+        pairs = forcing_from_samples(self.disc, post, pre)
+        self._forcing[key] = pairs
+        return pairs
+
+    def shifted_integrals(self, omega):
+        """Per-group ``(Φ_ω, I1, I2, A_ω, ‖A_ω‖₁h)`` at one frequency.
+
+        One entry per unique ``(A, h)`` group — the only genuinely
+        per-frequency matrix work of a solve. Cached per ω so the
+        fallback chain and the instantaneous/contribution observables
+        revisit a frequency for free. The shifted norm decides the
+        resolvent-vs-trapezoid period integration exactly as the
+        reference solver does — it must include the ``−jω`` shift, else
+        a quiescent phase (``A ≈ 0``) would take the trapezoid branch
+        the reference avoids.
+        """
+        key = float(omega)
+        cached = self._omega_cache.get(key)
+        if cached is not None:
+            self.stats.hit("shifted-integrals")
+            return cached
+        self.stats.miss("shifted-integrals")
+        n = self.disc.n_states
+        eye = np.eye(n)
+        entries = []
+        for group in self.structure.groups:
+            a_shifted = group.a_matrix.astype(complex) - 1j * omega * eye
+            phi_shifted = np.exp(-1j * omega * group.duration) * group.phi
+            phi, i1, i2 = affine_step_integrals(
+                a_shifted, group.duration, phi=phi_shifted)
+            norm_h = float(np.linalg.norm(a_shifted, 1) * group.duration)
+            entries.append((phi, i1, i2, a_shifted, norm_h))
+        if len(self._omega_cache) >= _OMEGA_CACHE_LIMIT:
+            self._omega_cache.pop(next(iter(self._omega_cache)))
+        self._omega_cache[key] = entries
+        return entries
+
+    # -- the fast periodic solve --------------------------------------------
+
+    def solve_shifted(self, omega, segment_forcing, solver="direct",
+                      ridge=FIXED_POINT_RIDGE, condition_limit=None):
+        """Fast periodic steady state of ``dv/dt = (A−jω)v + f``.
+
+        Drop-in equivalent of
+        :func:`repro.lptv.periodic_solve.periodic_steady_state` (same
+        arguments, same :class:`PeriodicSolution`, same condition-limit
+        and solver semantics) that reuses every frequency-independent
+        cached quantity; see the module docstring for the identities.
+        """
+        disc = self.disc
+        struct = self.structure
+        n = disc.n_states
+        forcing = np.asarray(segment_forcing)
+        n_seg = len(disc.segments)
+        if forcing.shape != (n_seg, 2, n):
+            raise ReproError(
+                f"segment forcing must have shape "
+                f"({n_seg}, 2, {n}), got {forcing.shape}")
+        omega = float(omega)
+        entries = self.shifted_integrals(omega)
+
+        # Per-segment forcing integrals, batched per group:
+        #   g_k = I1 f0_k + I2 (f1_k − f0_k)/h.
+        g_seg = np.empty((n_seg, n), dtype=complex)
+        for group, (_phi, i1, i2, _a, _nh) in zip(struct.groups, entries):
+            idx = group.indices
+            f0 = forcing[idx, 0]
+            slope = (forcing[idx, 1] - f0) / group.duration
+            g_seg[idx] = f0 @ i1.T + slope @ i2.T
+
+        # One-period affine map: M_ω = e^{-jωT} M_0 (scalar identity) and
+        # g_ω = Σ_k e^{-jω(T − t_end_k)} R_k g_k (batched suffix products).
+        phase_total = np.exp(-1j * omega * disc.period)
+        m_acc = phase_total * self.monodromy.astype(complex)
+        tail_phase = np.exp(-1j * omega * (disc.period - struct.t_end))
+        g_acc = np.einsum("kij,kj->i", struct.suffix,
+                          tail_phase[:, None] * g_seg)
+
+        condition = fixed_point_condition(m_acc)
+        if solver == "direct":
+            if condition_limit is not None and condition > condition_limit:
+                logger.info(
+                    "cached periodic solve rejected at omega=%.6g: "
+                    "cond(I - M) = %.3g > %.3g", omega, condition,
+                    condition_limit)
+                raise SingularMatrixError(
+                    f"fixed-point system (I - M) is ill-conditioned: "
+                    f"cond = {condition:.3g} exceeds limit "
+                    f"{condition_limit:.3g} at omega = {omega:.6g} rad/s")
+            v0 = solve_linear_fixed_point(m_acc, g_acc)
+        elif solver == "lstsq":
+            v0 = solve_regularized_fixed_point(m_acc, g_acc, ridge=ridge)
+        else:
+            raise ReproError(f"unknown periodic solver {solver!r}; "
+                             "expected 'direct' or 'lstsq'")
+
+        # One lean sequential pass for the trace (the recursion is
+        # inherently ordered); everything derivable from the trace —
+        # derivatives, period integral — is batched per group below.
+        seg_phase = np.exp(-1j * omega * struct.durations)
+        phi_stack = struct.phi_stack
+        has_jump = struct.has_jump
+        jumps = struct.jumps
+        pre = np.empty((n_seg + 1, n), dtype=complex)
+        post = np.empty((n_seg + 1, n), dtype=complex)
+        pre[0] = v0
+        post[0] = v0
+        v = v0
+        for k in range(n_seg):
+            v = seg_phase[k] * (phi_stack[k] @ v) + g_seg[k]
+            pre[k + 1] = v
+            if has_jump[k]:
+                v = jumps[k] @ v
+            post[k + 1] = v
+
+        dpre = np.empty((n_seg + 1, n), dtype=complex)
+        dpost = np.empty((n_seg + 1, n), dtype=complex)
+        integral = np.zeros(n, dtype=complex)
+        for group, (_phi, _i1, _i2, a_shifted, norm_h) in zip(
+                struct.groups, entries):
+            idx = group.indices
+            h = group.duration
+            # One-sided derivatives at the segment ends, batched.
+            dpost[idx] = post[idx] @ a_shifted.T + forcing[idx, 0]
+            dpre[idx + 1] = pre[idx + 1] @ a_shifted.T + forcing[idx, 1]
+            # Period integral of v: per segment,
+            #   A_ω ∫v dt = v(end) − v(start) − ∫f dt,
+            # summed over the group *before* the single resolvent solve
+            # (linearity); the derivative-corrected trapezoid covers the
+            # near-singular regime, exactly as the reference path does.
+            f_int = 0.5 * h * (forcing[idx, 0] + forcing[idx, 1])
+            trapezoid = np.sum(
+                0.5 * h * (post[idx] + pre[idx + 1])
+                + h * h / 12.0 * (dpost[idx] - dpre[idx + 1]), axis=0)
+            if norm_h > _RESOLVENT_NORM_THRESHOLD:
+                rhs = np.sum(pre[idx + 1] - post[idx] - f_int, axis=0)
+                try:
+                    integral = integral + checked_solve(
+                        a_shifted, rhs,
+                        context="segment integral resolvent")
+                except SingularMatrixError:
+                    integral = integral + trapezoid
+            else:
+                integral = integral + trapezoid
+        dpost[-1] = dpost[0]
+        return PeriodicSolution(grid=disc.grid, pre=pre, post=post,
+                                dpre=dpre, dpost=dpost, integral=integral,
+                                condition=condition, solver=solver)
+
+    # -- misc ---------------------------------------------------------------
+
+    def warm_up(self, l_row=None):
+        """Force every frequency-independent quantity to exist.
+
+        Called before parallel dispatch so thread workers never race on
+        lazy initialisation and process workers inherit the cached work
+        through the fork/pickle instead of recomputing it.
+        """
+        _ = self.structure, self.covariance, self.monodromy
+        if l_row is not None:
+            self.forcing_pairs(l_row)
+        return self
+
+    def __repr__(self):
+        built = sum(x is not None for x in
+                    (self._disc, self._covariance, self._monodromy))
+        return (f"SweepContext(segments_per_phase="
+                f"{self.segments_per_phase!r}, built={built}/3, "
+                f"{self.stats})")
+
+
+# -- registry ---------------------------------------------------------------
+
+#: Bounded module registry of contexts, keyed by system fingerprint.
+_REGISTRY = {}
+_REGISTRY_LIMIT = 32
+#: Registry-level counters (the per-context stats live on the context).
+registry_stats = CacheStats()
+
+
+def discretization_fingerprint(system, segments_per_phase):
+    """Content hash of everything that determines a discretization.
+
+    Hashes the phase durations, state/noise/jump matrices, the output
+    matrix, and the requested density — so two structurally identical
+    systems share a context while *any* mutation (a different duty
+    cycle, segment count, or component value) changes the key. Systems
+    defined by callables (:class:`~repro.lptv.system.SampledLPTVSystem`)
+    cannot be content-hashed and fall back to object identity.
+    """
+    digest = hashlib.sha256()
+    digest.update(type(system).__name__.encode())
+    digest.update(repr(segments_per_phase).encode())
+    phases = getattr(system, "phases", None)
+    if phases is None:
+        digest.update(str(id(system)).encode())
+        digest.update(repr(float(system.period)).encode())
+        return digest.hexdigest()
+    for phase in phases:
+        digest.update(phase.name.encode())
+        digest.update(np.float64(phase.duration).tobytes())
+        digest.update(np.ascontiguousarray(phase.a_matrix).tobytes())
+        digest.update(np.ascontiguousarray(phase.b_matrix).tobytes())
+        if phase.end_jump is not None:
+            digest.update(np.ascontiguousarray(phase.end_jump).tobytes())
+        digest.update(b"|")
+    output = getattr(system, "output_matrix", None)
+    if output is not None:
+        digest.update(np.ascontiguousarray(output).tobytes())
+    return digest.hexdigest()
+
+
+def sweep_context_for(system, segments_per_phase=64):
+    """Context for ``(system, density)`` from the module registry.
+
+    Returns the cached context when the fingerprint matches a previous
+    call (counted as a registry hit) and builds + registers a fresh one
+    otherwise. The registry is bounded; the oldest entry is evicted.
+    """
+    key = discretization_fingerprint(system, segments_per_phase)
+    context = _REGISTRY.get(key)
+    if context is not None:
+        registry_stats.hit("context")
+        return context
+    registry_stats.miss("context")
+    context = SweepContext(system, segments_per_phase)
+    if len(_REGISTRY) >= _REGISTRY_LIMIT:
+        _REGISTRY.pop(next(iter(_REGISTRY)))
+    _REGISTRY[key] = context
+    return context
+
+
+def clear_sweep_contexts():
+    """Empty the registry (tests; long-lived processes reclaiming memory)."""
+    _REGISTRY.clear()

@@ -20,6 +20,15 @@ This module wires those three steps to the shared machinery:
 trapezoidal quadrature for the average. Runtime bookkeeping is kept so the
 speedup benchmarks can compare against the brute-force engine.
 
+Performance: by default the analyzer draws every frequency-independent
+quantity — discretization, periodic covariance, forcing, monodromy,
+suffix products — from a shared :class:`~repro.mft.context.SweepContext`
+and solves each frequency through its batched fast path (``cache=False``
+restores the uncached reference path; the two agree to rounding, see
+``tests/test_sweep_equivalence.py``). :meth:`MftNoiseAnalyzer.psd_sweep`
+additionally runs independent frequencies through a
+:class:`~repro.mft.executor.SweepExecutor` (thread or process backends).
+
 Robustness: the analyzer preflight-validates the discretization at
 construction (Floquet margin, ``cond(I − M)``, schedule, NaN/Inf) and
 :meth:`MftNoiseAnalyzer.psd` runs each frequency through the bounded
@@ -48,8 +57,9 @@ from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
 from ..errors import ReproError
 from ..lptv.periodic_solve import forcing_from_samples, periodic_steady_state
 from ..noise.covariance import periodic_covariance
-from ..noise.result import PsdResult
+from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
 from ..tolerances import FIXED_POINT_RIDGE
+from .context import SweepContext, sweep_context_for
 
 logger = logging.getLogger(__name__)
 
@@ -94,21 +104,46 @@ class MftNoiseAnalyzer:
     budget:
         Default :class:`~repro.diagnostics.budget.SweepBudget` (or
         wall-clock seconds) applied to every :meth:`psd` sweep.
+    cache:
+        ``True`` (default) draws the frequency-independent work from the
+        shared :class:`~repro.mft.context.SweepContext` registry and
+        solves through its fast path; ``False`` recomputes everything
+        locally through the reference solver (the pre-cache behaviour).
+    context:
+        An explicit :class:`~repro.mft.context.SweepContext` to draw
+        from (its ``segments_per_phase`` takes precedence). Lets several
+        engines — MFT, brute force, Monte Carlo — share one set of
+        propagators and one covariance solve.
     """
 
     def __init__(self, system, segments_per_phase=64, output_row=0,
-                 preflight=True, fallback=True, budget=None):
+                 preflight=True, fallback=True, budget=None, cache=True,
+                 context=None):
         if not hasattr(system, "discretize") or not hasattr(
                 system, "output_matrix"):
             raise ReproError(
                 "system must be an LPTV system (discretize() and "
                 f"output_matrix), got {type(system).__name__}")
         self.system = system
-        self.segments_per_phase = segments_per_phase
         self.output_row = output_row
         self._l_row = np.asarray(system.output_matrix)[output_row].astype(
             float)
-        self._disc = system.discretize(segments_per_phase)
+        if context is not None:
+            if not isinstance(context, SweepContext):
+                raise ReproError(
+                    "context must be a SweepContext, got "
+                    f"{type(context).__name__}")
+            self._context = context
+        elif cache:
+            self._context = sweep_context_for(system, segments_per_phase)
+        else:
+            self._context = None
+        if self._context is not None:
+            self.segments_per_phase = self._context.segments_per_phase
+            self._disc = self._context.disc
+        else:
+            self.segments_per_phase = segments_per_phase
+            self._disc = system.discretize(segments_per_phase)
         self._covariance = None
         self._forcing = None
         self._refined = {}
@@ -124,11 +159,39 @@ class MftNoiseAnalyzer:
         else:
             self.preflight = DiagnosticsReport(context="preflight skipped")
 
+    # -- cache plumbing ------------------------------------------------------
+
+    @property
+    def context(self):
+        """The shared :class:`SweepContext`, or ``None`` when uncached."""
+        return self._context
+
+    @property
+    def cache_stats(self):
+        """Hit/miss counters of the shared context (``None`` uncached)."""
+        if self._context is None:
+            return None
+        return self._context.stats
+
+    def warm_up(self):
+        """Materialise every frequency-independent cached quantity.
+
+        Called by the sweep executor before parallel dispatch so thread
+        workers never race on lazy initialisation and forked process
+        workers inherit the precomputed work instead of redoing it.
+        """
+        self._forcing_pairs()
+        if self._context is not None:
+            self._context.warm_up(self._l_row)
+        return self
+
     # -- covariance ---------------------------------------------------------
 
     @property
     def covariance(self):
         """Periodic steady-state covariance (computed once, cached)."""
+        if self._context is not None:
+            return self._context.covariance
         if self._covariance is None:
             self._covariance = periodic_covariance(self._disc)
         return self._covariance
@@ -140,18 +203,30 @@ class MftNoiseAnalyzer:
     # -- PSD ----------------------------------------------------------------
 
     def _forcing_pairs(self):
+        if self._context is not None:
+            return self._context.forcing_pairs(self._l_row)
         if self._forcing is None:
             post, pre = self.covariance.forcing_samples(self._l_row)
             self._forcing = forcing_from_samples(self._disc, post, pre)
         return self._forcing
 
+    def _solve(self, omega, solver="direct", ridge=FIXED_POINT_RIDGE,
+               condition_limit=None):
+        """Periodic steady state of the shifted dynamics at one ω."""
+        if self._context is not None:
+            return self._context.solve_shifted(
+                omega, self._forcing_pairs(), solver=solver, ridge=ridge,
+                condition_limit=condition_limit)
+        return periodic_steady_state(
+            self._disc, omega, self._forcing_pairs(), solver=solver,
+            ridge=ridge, condition_limit=condition_limit)
+
     def _psd_at(self, frequency, solver="direct",
                 ridge=FIXED_POINT_RIDGE, condition_limit=None):
         """Single-frequency solve with explicit solver controls."""
         omega = 2.0 * np.pi * float(frequency)
-        solution = periodic_steady_state(
-            self._disc, omega, self._forcing_pairs(), solver=solver,
-            ridge=ridge, condition_limit=condition_limit)
+        solution = self._solve(omega, solver=solver, ridge=ridge,
+                               condition_limit=condition_limit)
         integral = solution.integrate_dot()
         return float(2.0 * np.real(self._l_row @ integral)
                      / self._disc.period)
@@ -164,32 +239,17 @@ class MftNoiseAnalyzer:
         """
         return self._psd_at(frequency)
 
-    def psd(self, frequencies, on_failure="record", budget=None):
-        """Averaged PSD over a frequency grid; returns a PsdResult.
+    def _sweep_raw(self, freqs, on_failure, budget, report):
+        """Inner sweep loop shared by :meth:`psd` and the executor.
 
-        Each frequency runs through the graceful-degradation chain (when
-        :attr:`fallback` is enabled). With ``on_failure="record"`` (the
-        default) a frequency whose every strategy fails contributes NaN
-        and a :class:`~repro.diagnostics.report.FrequencyFailure` in
-        ``info["failures"]`` — the sweep itself always completes;
-        ``on_failure="raise"`` aborts on the first exhausted chain. A
-        ``budget`` (or the analyzer default) bounds the sweep wall
-        clock: once spent, remaining frequencies are recorded as
-        ``budget``-stage failures.
+        Mutates ``report`` with per-frequency findings and returns
+        ``(values, failures, attempts)`` with *unclipped* values, so the
+        caller decides where negative-PSD clipping is diagnosed (once
+        per sweep, not once per chunk).
         """
-        if on_failure not in ("record", "raise"):
-            raise ReproError(
-                f"on_failure must be 'record' or 'raise', "
-                f"got {on_failure!r}")
-        freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
-        budget = as_budget(budget if budget is not None else self.budget)
-        budget.start()
-        report = DiagnosticsReport(context="mft sweep")
-        report.merge(self.preflight)
         failures = []
         attempts_log = []
         values = np.full(freqs.shape, np.nan)
-        t0 = time.perf_counter()
         for idx, f in enumerate(freqs):
             reason = budget.exceeded()
             if reason is not None:
@@ -221,8 +281,35 @@ class MftNoiseAnalyzer:
                 if on_failure == "raise":
                     raise exc.attach_diagnostics(report)
                 logger.warning("recording NaN at %.6g Hz: %s", f, exc)
+        return values, failures, attempts_log
+
+    def psd(self, frequencies, on_failure="record", budget=None):
+        """Averaged PSD over a frequency grid; returns a PsdResult.
+
+        Each frequency runs through the graceful-degradation chain (when
+        :attr:`fallback` is enabled). With ``on_failure="record"`` (the
+        default) a frequency whose every strategy fails contributes NaN
+        and a :class:`~repro.diagnostics.report.FrequencyFailure` in
+        ``info["failures"]`` — the sweep itself always completes;
+        ``on_failure="raise"`` aborts on the first exhausted chain. A
+        ``budget`` (or the analyzer default) bounds the sweep wall
+        clock: once spent, remaining frequencies are recorded as
+        ``budget``-stage failures.
+        """
+        if on_failure not in ("record", "raise"):
+            raise ReproError(
+                f"on_failure must be 'record' or 'raise', "
+                f"got {on_failure!r}")
+        freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+        budget = as_budget(budget if budget is not None else self.budget)
+        budget.start()
+        report = DiagnosticsReport(context="mft sweep")
+        report.merge(self.preflight)
+        t0 = time.perf_counter()
+        values, failures, attempts_log = self._sweep_raw(
+            freqs, on_failure, budget, report)
         runtime = time.perf_counter() - t0
-        clipped = _clip_negative(freqs, values, report)
+        clipped = clip_negative_psd(freqs, values, report, logger=logger)
         n_fallback = sum(1 for a in attempts_log
                          if a.success and a.trigger != "primary")
         if n_fallback:
@@ -237,11 +324,31 @@ class MftNoiseAnalyzer:
                 "segments": len(self._disc.segments),
                 "negative_clipped": int(np.sum(
                     np.isfinite(values) & (values < 0.0))),
-                "worst_negative_psd": _worst_negative(values),
+                "worst_negative_psd": worst_negative_psd(values),
                 "diagnostics": report,
                 "failures": failures,
                 "fallback_attempts": attempts_log,
+                "cache_stats": (self.cache_stats.to_dict()
+                                if self.cache_stats is not None else None),
             })
+
+    def psd_sweep(self, frequencies, parallel=None, max_workers=None,
+                  chunk_size=None, budget=None, on_failure="record"):
+        """Averaged PSD over a grid through a :class:`SweepExecutor`.
+
+        ``parallel`` is ``None``/``"serial"`` for in-process execution,
+        ``"thread"`` or ``"process"`` for concurrent chunks of
+        independent frequencies. Per-frequency values, NaN semantics,
+        failure records, and diagnostics match :meth:`psd`; the sweep
+        ``budget`` gates the *dispatch* of new chunks (in-flight work is
+        never killed). See :mod:`repro.mft.executor`.
+        """
+        from .executor import SweepExecutor
+        executor = SweepExecutor(backend=parallel or "serial",
+                                 max_workers=max_workers,
+                                 chunk_size=chunk_size)
+        return executor.run(self, frequencies, budget=budget,
+                            on_failure=on_failure)
 
     # -- fallback machinery -------------------------------------------------
 
@@ -283,7 +390,8 @@ class MftNoiseAnalyzer:
                         "per phase", segments)
             analyzer = MftNoiseAnalyzer(
                 self.system, segments, self.output_row,
-                preflight=False, fallback=False)
+                preflight=False, fallback=False,
+                cache=self._context is not None)
             self._refined[segments] = analyzer
         return analyzer
 
@@ -294,6 +402,10 @@ class MftNoiseAnalyzer:
         kwargs.setdefault("segments_per_phase",
                           self.segments_per_phase
                           if np.isscalar(self.segments_per_phase) else 64)
+        if (self._context is not None and "context" not in kwargs
+                and kwargs["segments_per_phase"]
+                == self._context.segments_per_phase):
+            kwargs["context"] = self._context
         result = brute_force_psd(self.system, [frequency],
                                  output_row=self.output_row,
                                  budget=budget, **kwargs)
@@ -304,8 +416,7 @@ class MftNoiseAnalyzer:
     def instantaneous_psd(self, frequency):
         """``S(t, f)`` over one steady-state period at one frequency."""
         omega = 2.0 * np.pi * float(frequency)
-        solution = periodic_steady_state(self._disc, omega,
-                                         self._forcing_pairs())
+        solution = self._solve(omega)
         values = 2.0 * np.real(solution.post @ self._l_row)
         return InstantaneousPsd(times=solution.grid.copy(), values=values,
                                 frequency=float(frequency))
@@ -319,8 +430,7 @@ class MftNoiseAnalyzer:
         The entries weighted by ``l`` sum to the output PSD.
         """
         omega = 2.0 * np.pi * float(frequency)
-        solution = periodic_steady_state(self._disc, omega,
-                                         self._forcing_pairs())
+        solution = self._solve(omega)
         integral = solution.integrate_dot()
         return 2.0 * np.real(integral) / self._disc.period
 
@@ -329,42 +439,6 @@ class MftNoiseAnalyzer:
         if names:
             return names[self.output_row]
         return f"row{self.output_row}"
-
-
-def _clip_negative(freqs, values, report):
-    """Clip negative PSD samples to zero, diagnosing the worst one.
-
-    A negative averaged PSD is pure discretization error (the true
-    quantity is nonnegative); its magnitude measures how coarse the
-    cross-spectral quadrature grid is.
-    """
-    finite = np.isfinite(values)
-    negative = finite & (values < 0.0)
-    if np.any(negative):
-        worst_idx = int(np.argmin(np.where(negative, values, 0.0)))
-        worst = float(values[worst_idx])
-        report.warning(
-            "negative-psd-clipped",
-            f"{int(np.sum(negative))} of {values.size} PSD samples were "
-            f"negative and were clipped to zero (worst {worst:.3g} "
-            f"V^2/Hz at {freqs[worst_idx]:.6g} Hz); the discretization "
-            "is likely too coarse — increase segments_per_phase",
-            count=int(np.sum(negative)), worst_value=worst,
-            worst_frequency=float(freqs[worst_idx]))
-        logger.warning("clipped %d negative PSD samples (worst %.3g at "
-                       "%.6g Hz)", int(np.sum(negative)), worst,
-                       freqs[worst_idx])
-    clipped = values.copy()
-    clipped[negative] = 0.0
-    return clipped
-
-
-def _worst_negative(values):
-    finite = np.isfinite(values)
-    negative = finite & (values < 0.0)
-    if not np.any(negative):
-        return 0.0
-    return float(values[negative].min())
 
 
 def _record_budget_failures(freqs, start_idx, reason, failures, report):
@@ -386,8 +460,8 @@ def mft_psd(system, frequencies, segments_per_phase=64, output_row=0,
             **kwargs):
     """One-call convenience wrapper around :class:`MftNoiseAnalyzer`.
 
-    Keyword arguments (``preflight``, ``fallback``, ``budget``) are
-    forwarded to the analyzer constructor.
+    Keyword arguments (``preflight``, ``fallback``, ``budget``,
+    ``cache``, ``context``) are forwarded to the analyzer constructor.
     """
     analyzer = MftNoiseAnalyzer(system, segments_per_phase, output_row,
                                 **kwargs)

@@ -1,0 +1,262 @@
+"""Parallel frequency-sweep execution for the MFT engine.
+
+The frequencies of a PSD sweep are independent — each is one periodic
+steady-state solve — so a sweep shards naturally into chunks that run
+concurrently. :class:`SweepExecutor` does exactly that while keeping the
+semantics of the serial :meth:`~repro.mft.engine.MftNoiseAnalyzer.psd`
+sweep:
+
+* **Values**: identical per-frequency numerics (same analyzer, same
+  solves), merged back in frequency order.
+* **Partial failure**: a frequency whose fallback chain is exhausted
+  contributes NaN plus a :class:`FrequencyFailure` with its *global*
+  sweep index, exactly as in the serial sweep.
+* **Diagnostics**: workers collect findings into chunk-local reports
+  that are merged in chunk order; negative-PSD clipping is diagnosed
+  once on the merged values, so severity counts match the serial sweep.
+* **Budget**: the :class:`~repro.diagnostics.budget.SweepBudget` gates
+  the *dispatch* of new chunks. Once spent, no further chunk is
+  submitted and the remaining frequencies become ``budget``-stage
+  failures — but in-flight chunks always run to completion; the
+  executor never kills work it already started.
+
+Backends: ``"serial"`` (in-process loop, the default), ``"thread"``
+(cheap dispatch; the solves are NumPy/LAPACK-heavy so the GIL is partly
+released), and ``"process"`` (true multi-core; the analyzer and its
+warmed :class:`~repro.mft.context.SweepContext` are shipped to workers
+by fork when available, pickle otherwise). The analyzer is warmed up
+(:meth:`~repro.mft.engine.MftNoiseAnalyzer.warm_up`) before dispatch so
+workers never race on lazy caches and forked workers inherit the
+precomputed frequency-independent work.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import dataclasses
+import logging
+import multiprocessing
+import os
+import time
+
+import numpy as np
+
+from ..diagnostics.budget import as_budget
+from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
+from ..errors import ReproError
+from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
+
+logger = logging.getLogger(__name__)
+
+_BACKENDS = ("serial", "thread", "process")
+
+#: Default chunk size: large enough to amortise dispatch overhead,
+#: small enough that the budget gate has frequent decision points.
+_DEFAULT_CHUNK = 8
+
+
+def _default_workers():
+    return max(1, (os.cpu_count() or 1))
+
+
+def _run_chunk(analyzer, frequencies, on_failure):
+    """Worker body: sweep one chunk with a chunk-local report.
+
+    Runs unbudgeted (the budget gates dispatch, not execution) and
+    returns *unclipped* values — clipping is diagnosed once on the
+    merged sweep so the finding counts match the serial path.
+    """
+    report = DiagnosticsReport(context="mft sweep chunk")
+    budget = as_budget(None)
+    budget.start()
+    values, failures, attempts = analyzer._sweep_raw(
+        np.asarray(frequencies, dtype=float), on_failure, budget, report)
+    return values, failures, attempts, report.findings
+
+
+class SweepExecutor:
+    """Run an MFT frequency sweep in chunks, optionally concurrently.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    max_workers:
+        Worker count for the concurrent backends (default: CPU count).
+    chunk_size:
+        Frequencies per dispatched chunk (default 8). Smaller chunks
+        give the budget gate finer granularity; larger chunks amortise
+        dispatch overhead.
+    """
+
+    def __init__(self, backend="serial", max_workers=None, chunk_size=None):
+        if backend not in _BACKENDS:
+            raise ReproError(
+                f"unknown sweep backend {backend!r}; expected one of "
+                f"{_BACKENDS}")
+        self.backend = backend
+        self.max_workers = (int(max_workers) if max_workers is not None
+                            else _default_workers())
+        if self.max_workers < 1:
+            raise ReproError(
+                f"max_workers must be positive, got {max_workers}")
+        self.chunk_size = (int(chunk_size) if chunk_size is not None
+                           else _DEFAULT_CHUNK)
+        if self.chunk_size < 1:
+            raise ReproError(
+                f"chunk_size must be positive, got {chunk_size}")
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, analyzer, frequencies, budget=None, on_failure="record"):
+        """Sweep ``frequencies`` with ``analyzer``; returns a PsdResult.
+
+        Matches :meth:`MftNoiseAnalyzer.psd` point for point — values,
+        NaN masks, failure records, diagnostics severity counts — and
+        additionally reports executor metadata in
+        ``info["executor"]``.
+        """
+        if on_failure not in ("record", "raise"):
+            raise ReproError(
+                f"on_failure must be 'record' or 'raise', "
+                f"got {on_failure!r}")
+        freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+        budget = as_budget(budget if budget is not None
+                           else analyzer.budget)
+        budget.start()
+        report = DiagnosticsReport(context="mft sweep")
+        report.merge(analyzer.preflight)
+        t0 = time.perf_counter()
+        analyzer.warm_up()
+        chunks = [(start, freqs[start:start + self.chunk_size])
+                  for start in range(0, freqs.size, self.chunk_size)]
+        if self.backend == "serial" or len(chunks) <= 1:
+            outputs, skipped_from = self._run_serial(
+                analyzer, chunks, budget, on_failure)
+        else:
+            outputs, skipped_from = self._run_pooled(
+                analyzer, chunks, budget, on_failure)
+        values, failures, attempts = self._merge(
+            freqs, chunks, outputs, skipped_from, budget, report)
+        runtime = time.perf_counter() - t0
+        clipped = clip_negative_psd(freqs, values, report, logger=logger)
+        stats = analyzer.cache_stats
+        return PsdResult(
+            frequencies=freqs, psd=clipped, method="mft",
+            output=analyzer._output_name(),
+            info={
+                "runtime_seconds": runtime,
+                "segments": len(analyzer._disc.segments),
+                "negative_clipped": int(np.sum(
+                    np.isfinite(values) & (values < 0.0))),
+                "worst_negative_psd": worst_negative_psd(values),
+                "diagnostics": report,
+                "failures": failures,
+                "fallback_attempts": attempts,
+                "cache_stats": (stats.to_dict()
+                                if stats is not None else None),
+                "executor": {
+                    "backend": self.backend,
+                    "max_workers": self.max_workers,
+                    "chunk_size": self.chunk_size,
+                    "n_chunks": len(chunks),
+                    "n_chunks_skipped": len(chunks) - len(outputs),
+                },
+            })
+
+    # -- backends ------------------------------------------------------------
+
+    def _run_serial(self, analyzer, chunks, budget, on_failure):
+        """In-process chunk loop; the reference dispatch semantics."""
+        outputs = []
+        for i, (_start, chunk) in enumerate(chunks):
+            if budget.exceeded() is not None:
+                return outputs, i
+            outputs.append(_run_chunk(analyzer, chunk, on_failure))
+        return outputs, None
+
+    def _make_pool(self):
+        if self.backend == "thread":
+            return cf.ThreadPoolExecutor(max_workers=self.max_workers)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        return cf.ProcessPoolExecutor(max_workers=self.max_workers,
+                                      mp_context=ctx)
+
+    def _run_pooled(self, analyzer, chunks, budget, on_failure):
+        """Bounded-in-flight dispatch with a budget gate between submits.
+
+        At most ``max_workers`` chunks are in flight; before each new
+        submission the budget is checked, and on exhaustion the
+        remaining chunks are *not* dispatched while everything already
+        submitted runs to completion.
+        """
+        outputs = {}
+        skipped_from = None
+        next_chunk = 0
+        pending = {}
+        with self._make_pool() as pool:
+            try:
+                while next_chunk < len(chunks) or pending:
+                    while (next_chunk < len(chunks)
+                           and len(pending) < self.max_workers):
+                        if budget.exceeded() is not None:
+                            skipped_from = next_chunk
+                            next_chunk = len(chunks)
+                            break
+                        future = pool.submit(
+                            _run_chunk, analyzer,
+                            chunks[next_chunk][1], on_failure)
+                        pending[future] = next_chunk
+                        next_chunk += 1
+                    if not pending:
+                        break
+                    done, _ = cf.wait(
+                        pending, return_when=cf.FIRST_COMPLETED)
+                    for future in done:
+                        outputs[pending.pop(future)] = future.result()
+            finally:
+                # Abandon not-yet-started chunks when a worker raised
+                # (on_failure="raise"); no-op on the clean path where
+                # ``pending`` is already empty.
+                for future in pending:
+                    future.cancel()
+        ordered = [outputs[i] for i in sorted(outputs)]
+        return ordered, skipped_from
+
+    # -- merging -------------------------------------------------------------
+
+    @staticmethod
+    def _merge(freqs, chunks, outputs, skipped_from, budget, report):
+        """Stitch chunk outputs back into one sweep, in index order."""
+        values = np.full(freqs.shape, np.nan)
+        failures = []
+        attempts = []
+        for (start, chunk), (chunk_values, chunk_failures,
+                             chunk_attempts, findings) in zip(
+                chunks, outputs):
+            values[start:start + chunk.size] = chunk_values
+            for failure in chunk_failures:
+                failures.append(dataclasses.replace(
+                    failure, index=failure.index + start))
+            attempts.extend(chunk_attempts)
+            report.merge(findings)
+        if skipped_from is not None:
+            first_skipped = chunks[skipped_from][0]
+            reason = budget.exceeded() or "budget exhausted"
+            for k in range(first_skipped, freqs.size):
+                failures.append(FrequencyFailure(
+                    frequency=float(freqs[k]), index=k, stage="budget",
+                    error="BudgetExceededError", message=reason))
+            report.error(
+                "budget-exhausted",
+                f"sweep budget spent before {freqs.size - first_skipped} "
+                f"of {freqs.size} frequencies: {reason}",
+                skipped=freqs.size - first_skipped, reason=reason)
+            logger.warning(
+                "sweep budget spent: %d chunks not dispatched "
+                "(%d frequencies)", len(chunks) - skipped_from,
+                freqs.size - first_skipped)
+        return values, failures, attempts

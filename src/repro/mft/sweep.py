@@ -46,22 +46,30 @@ def clock_harmonic_grid(f_clock, n_harmonics, points_per_interval=32,
     Returns a strictly increasing grid from ``f_start`` (default
     ``f_clock / points_per_interval``) to ``n_harmonics * f_clock`` with
     extra points clustered near each harmonic, where sinc notches and
-    folding peaks live.
+    folding peaks live. The first point is always exactly the requested
+    start — even when it falls between base points — and a start at or
+    beyond ``n_harmonics * f_clock`` raises.
     """
     if f_clock <= 0.0 or n_harmonics < 1:
         raise ReproError("need a positive clock frequency and >=1 harmonic")
-    base = np.linspace(0.0, n_harmonics * f_clock,
-                       n_harmonics * points_per_interval + 1)
+    start = (f_clock / points_per_interval if f_start is None
+             else float(f_start))
+    stop = n_harmonics * f_clock
+    if not np.isfinite(start) or start < 0.0 or start >= stop:
+        raise ReproError(
+            f"f_start must be a finite frequency in [0, {stop:.6g}) Hz, "
+            f"got {start!r}")
+    base = np.linspace(0.0, stop, n_harmonics * points_per_interval + 1)
     extras = []
     for k in range(1, n_harmonics + 1):
         centre = k * f_clock
         extras.append(centre + f_clock * np.asarray(
             [-0.02, -0.01, -0.005, -0.002, 0.002, 0.005, 0.01, 0.02]))
     grid = np.unique(np.concatenate([base] + extras))
-    start = (f_clock / points_per_interval if f_start is None
-             else float(f_start))
-    stop = n_harmonics * f_clock
-    return grid[(grid >= start) & (grid <= stop)]
+    grid = grid[(grid >= start) & (grid <= stop)]
+    if grid.size == 0 or grid[0] > start:
+        grid = np.insert(grid, 0, start)
+    return grid
 
 
 def adaptive_frequency_grid(psd_fn, f_start, f_stop, n_initial=16,

@@ -62,11 +62,16 @@ class BruteForceResult:
 def brute_force_psd(system, frequencies, output_row=0,
                     segments_per_phase=64, tol_db=0.1, window_periods=5,
                     max_periods=20000, min_periods=8, step_mode="exact",
-                    on_failure="raise", budget=None):
+                    on_failure="raise", budget=None, context=None):
     """Compute the average output PSD at the given frequencies [Hz].
 
     Returns a :class:`~repro.noise.result.PsdResult`; per-frequency
     convergence traces are stored in ``result.info["details"]``.
+
+    A ``context`` (:class:`~repro.mft.context.SweepContext`) supplies a
+    prebuilt discretization — propagators and Van Loan Gramians computed
+    once and shared with the MFT engine — in which case its density
+    overrides ``segments_per_phase``.
 
     With ``on_failure="raise"`` (the default, the historical behaviour) a
     frequency that fails to settle within ``max_periods`` clock periods
@@ -85,7 +90,8 @@ def brute_force_psd(system, frequencies, output_row=0,
     freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
     budget = as_budget(budget)
     budget.start()
-    disc = system.discretize(segments_per_phase)
+    disc = (context.disc if context is not None
+            else system.discretize(segments_per_phase))
     l_row = np.asarray(system.output_matrix)[output_row].astype(float)
     report = DiagnosticsReport(context="brute-force sweep")
     details = []

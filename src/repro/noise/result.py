@@ -109,6 +109,45 @@ class PsdResult:
         return float(np.trapezoid(ps, fs))
 
 
+def clip_negative_psd(freqs, values, report, logger=None):
+    """Clip negative PSD samples to zero, diagnosing the worst one.
+
+    A negative averaged PSD is pure discretization error (the true
+    quantity is nonnegative); its magnitude measures how coarse the
+    cross-spectral quadrature grid is. Shared by the serial MFT sweep
+    and the parallel sweep executor so both report identical findings.
+    """
+    finite = np.isfinite(values)
+    negative = finite & (values < 0.0)
+    if np.any(negative):
+        worst_idx = int(np.argmin(np.where(negative, values, 0.0)))
+        worst = float(values[worst_idx])
+        report.warning(
+            "negative-psd-clipped",
+            f"{int(np.sum(negative))} of {values.size} PSD samples were "
+            f"negative and were clipped to zero (worst {worst:.3g} "
+            f"V^2/Hz at {freqs[worst_idx]:.6g} Hz); the discretization "
+            "is likely too coarse — increase segments_per_phase",
+            count=int(np.sum(negative)), worst_value=worst,
+            worst_frequency=float(freqs[worst_idx]))
+        if logger is not None:
+            logger.warning("clipped %d negative PSD samples (worst %.3g "
+                           "at %.6g Hz)", int(np.sum(negative)), worst,
+                           freqs[worst_idx])
+    clipped = values.copy()
+    clipped[negative] = 0.0
+    return clipped
+
+
+def worst_negative_psd(values):
+    """Most negative finite PSD sample, or 0.0 when none are negative."""
+    finite = np.isfinite(values)
+    negative = finite & (values < 0.0)
+    if not np.any(negative):
+        return 0.0
+    return float(values[negative].min())
+
+
 @dataclass
 class ConvergenceTrace:
     """PSD-vs-time trace of the brute-force engine (paper Fig. 1)."""

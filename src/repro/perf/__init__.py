@@ -1,0 +1,42 @@
+"""Performance benchmarking: workloads, timing harness, bench artifacts.
+
+``python -m repro.perf`` times the sweep workload suite (cache off/on ×
+serial/parallel) and writes ``BENCH_sweep.json``;
+``benchmarks/test_perf_regression.py`` asserts the recorded speedups and
+numerical equivalence, and the CI ``bench-smoke`` job validates the
+artifact's schema on tiny workloads. See DESIGN.md §8.
+"""
+
+from .harness import (
+    BENCH_FILENAME,
+    BENCH_SCHEMA_VERSION,
+    load_bench,
+    max_relative_difference,
+    run_suite,
+    run_workload,
+    validate_bench,
+    write_bench,
+)
+from .workloads import (
+    AdaptiveSpec,
+    Workload,
+    default_workloads,
+    tiny_workloads,
+    workload_by_name,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA_VERSION",
+    "AdaptiveSpec",
+    "Workload",
+    "default_workloads",
+    "tiny_workloads",
+    "workload_by_name",
+    "run_suite",
+    "run_workload",
+    "load_bench",
+    "validate_bench",
+    "write_bench",
+    "max_relative_difference",
+]

@@ -1,0 +1,73 @@
+"""CLI entry point: ``python -m repro.perf [--tiny] [-o BENCH_sweep.json]``.
+
+Runs the sweep benchmark suite and writes the machine-readable artifact;
+``--check PATH`` instead validates an existing artifact against the
+schema (the CI ``bench-smoke`` job uses both modes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from .harness import (
+    BENCH_FILENAME,
+    load_bench,
+    run_suite,
+    write_bench,
+)
+from .workloads import default_workloads, tiny_workloads, workload_by_name
+
+
+def _format_summary(data: dict) -> str:
+    lines = []
+    for entry in data["workloads"]:
+        lines.append(f"{entry['workload']} ({entry['kind']}, "
+                     f"{entry['n_points']} points)")
+        for variant in entry["variants"]:
+            lines.append(
+                f"  {variant['variant']:>18}: "
+                f"{variant['wall_seconds'] * 1e3:8.1f} ms  "
+                f"{variant['points_per_second']:8.1f} pts/s  "
+                f"{variant['speedup_vs_serial_uncached']:6.2f}x  "
+                f"maxrel {variant['max_rel_diff_vs_serial_uncached']:.2e}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Time the sweep workloads and write BENCH_sweep.json")
+    parser.add_argument("-o", "--output", default=BENCH_FILENAME,
+                        help="artifact path (default: %(default)s)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI-smoke workloads (seconds, not minutes)")
+    parser.add_argument("--workload", action="append", default=None,
+                        help="run only the named workload (repeatable)")
+    parser.add_argument("--check", metavar="PATH", default=None,
+                        help="validate an existing artifact and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.check is not None:
+            load_bench(args.check)
+            sys.stdout.write(f"{args.check}: schema OK\n")
+            return 0
+        workloads = None
+        if args.workload:
+            pool = tiny_workloads() if args.tiny else default_workloads()
+            workloads = [workload_by_name(name, pool)
+                         for name in args.workload]
+        data = run_suite(workloads=workloads, tiny=args.tiny)
+        path = write_bench(data, args.output)
+    except ReproError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 1
+    sys.stdout.write(_format_summary(data) + "\n")
+    sys.stdout.write(f"wrote {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,300 @@
+"""Benchmark harness: time the sweep workloads, emit ``BENCH_sweep.json``.
+
+For every workload the harness times a matrix of configurations —
+cache off/on × serial/parallel dispatch — always from a *cold* cache
+(the context registry is cleared first), so the recorded wall time of a
+cached variant honestly includes building the frequency-independent
+work. Each variant is compared numerically against the serial-uncached
+reference of the same workload; the worst relative deviation over the
+finite points is recorded next to the speedup, so the perf trajectory
+can never silently trade correctness for wall clock.
+
+The JSON schema (validated by :func:`validate_bench`, checked in CI)::
+
+    {
+      "schema_version": 1,
+      "suite": "sweep",
+      "generated_at": "2026-01-01T00:00:00Z",
+      "tiny": false,
+      "workloads": [
+        {
+          "workload": "sc-lowpass-sweep-64",
+          "description": "...",
+          "kind": "sweep",
+          "n_points": 64,
+          "variants": [
+            {
+              "variant": "serial-uncached",
+              "backend": "serial",
+              "cache": false,
+              "wall_seconds": 0.37,
+              "n_points": 64,
+              "points_per_second": 172.0,
+              "cache_stats": null,
+              "speedup_vs_serial_uncached": 1.0,
+              "max_rel_diff_vs_serial_uncached": 0.0
+            }, ...
+          ]
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError
+from ..mft.context import clear_sweep_contexts
+from ..mft.engine import MftNoiseAnalyzer
+from ..mft.sweep import adaptive_frequency_grid
+from ..typing import FloatArray
+from .workloads import Workload, default_workloads, tiny_workloads
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default artifact path, relative to the repository root.
+BENCH_FILENAME = "BENCH_sweep.json"
+
+#: The timing matrix: (variant name, cache enabled, executor backend).
+SWEEP_VARIANTS: tuple[tuple[str, bool, str], ...] = (
+    ("serial-uncached", False, "serial"),
+    ("serial-cached", True, "serial"),
+    ("parallel-uncached", False, "thread"),
+    ("parallel-cached", True, "thread"),
+)
+
+#: Adaptive refinement is inherently sequential (each bisection depends
+#: on the previous PSD values), so only the cache axis is timed.
+ADAPTIVE_VARIANTS: tuple[tuple[str, bool, str], ...] = (
+    ("serial-uncached", False, "serial"),
+    ("serial-cached", True, "serial"),
+)
+
+
+@dataclass
+class VariantResult:
+    """Timing + equivalence record of one (workload, configuration)."""
+
+    variant: str
+    backend: str
+    cache: bool
+    wall_seconds: float
+    n_points: int
+    values: FloatArray
+    cache_stats: dict[str, Any] | None
+
+    def to_dict(self, reference: "VariantResult") -> dict[str, Any]:
+        rate = (self.n_points / self.wall_seconds
+                if self.wall_seconds > 0.0 else float("inf"))
+        return {
+            "variant": self.variant,
+            "backend": self.backend,
+            "cache": self.cache,
+            "wall_seconds": self.wall_seconds,
+            "n_points": self.n_points,
+            "points_per_second": rate,
+            "cache_stats": self.cache_stats,
+            "speedup_vs_serial_uncached": (
+                reference.wall_seconds / self.wall_seconds
+                if self.wall_seconds > 0.0 else float("inf")),
+            "max_rel_diff_vs_serial_uncached": max_relative_difference(
+                reference.values, self.values),
+        }
+
+
+def max_relative_difference(reference: FloatArray,
+                            candidate: FloatArray) -> float:
+    """Worst |Δ| over finite points, relative to the spectrum scale.
+
+    Relative to ``max |reference|`` rather than pointwise, so a sinc
+    notch near zero does not blow the metric up; NaN masks must match
+    exactly (a mismatch returns ``inf``).
+    """
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if reference.shape != candidate.shape:
+        return float("inf")
+    finite = np.isfinite(reference)
+    if not np.array_equal(finite, np.isfinite(candidate)):
+        return float("inf")
+    if not np.any(finite):
+        return 0.0
+    scale = float(np.max(np.abs(reference[finite])))
+    if scale == 0.0:
+        return float(np.max(np.abs(candidate[finite])))
+    return float(np.max(np.abs(candidate[finite] - reference[finite]))
+                 / scale)
+
+
+def _time_sweep(workload: Workload, cache: bool,
+                backend: str) -> VariantResult:
+    """One cold timed run of a fixed-grid sweep workload."""
+    system = workload.build()
+    freqs = workload.frequencies()
+    clear_sweep_contexts()
+    t0 = time.perf_counter()
+    analyzer = MftNoiseAnalyzer(
+        system, workload.segments_per_phase, cache=cache)
+    if backend == "serial":
+        result = analyzer.psd(freqs)
+    else:
+        result = analyzer.psd_sweep(freqs, parallel=backend)
+    wall = time.perf_counter() - t0
+    stats = analyzer.cache_stats
+    return VariantResult(
+        variant="", backend=backend, cache=cache, wall_seconds=wall,
+        n_points=int(freqs.size), values=result.psd,
+        cache_stats=stats.to_dict() if stats is not None else None)
+
+
+def _time_adaptive(workload: Workload, cache: bool) -> VariantResult:
+    """One cold timed run of an adaptive-grid workload."""
+    spec = workload.adaptive
+    assert spec is not None
+    system = workload.build()
+    clear_sweep_contexts()
+    t0 = time.perf_counter()
+    analyzer = MftNoiseAnalyzer(
+        system, workload.segments_per_phase, cache=cache)
+    freqs, values = adaptive_frequency_grid(
+        analyzer.psd_at, spec.f_start, spec.f_stop,
+        n_initial=spec.n_initial, max_points=spec.max_points,
+        tol_db=spec.tol_db)
+    wall = time.perf_counter() - t0
+    stats = analyzer.cache_stats
+    return VariantResult(
+        variant="", backend="serial", cache=cache, wall_seconds=wall,
+        n_points=int(freqs.size), values=np.asarray(values, dtype=float),
+        cache_stats=stats.to_dict() if stats is not None else None)
+
+
+def run_workload(workload: Workload) -> dict[str, Any]:
+    """Time every configuration of one workload; returns its JSON entry."""
+    variants = (SWEEP_VARIANTS if workload.kind == "sweep"
+                else ADAPTIVE_VARIANTS)
+    results: list[VariantResult] = []
+    for name, cache, backend in variants:
+        if workload.kind == "sweep":
+            run = _time_sweep(workload, cache, backend)
+        else:
+            run = _time_adaptive(workload, cache)
+        run.variant = name
+        results.append(run)
+    reference = results[0]
+    if reference.variant != "serial-uncached":
+        raise ReproError(
+            "the first timed variant must be the serial-uncached "
+            f"reference, got {reference.variant!r}")
+    return {
+        "workload": workload.name,
+        "description": workload.description,
+        "kind": workload.kind,
+        "n_points": reference.n_points,
+        "variants": [run.to_dict(reference) for run in results],
+    }
+
+
+def run_suite(workloads: list[Workload] | None = None,
+              tiny: bool = False) -> dict[str, Any]:
+    """Run the whole benchmark suite; returns the JSON document."""
+    if workloads is None:
+        workloads = tiny_workloads() if tiny else default_workloads()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "sweep",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      time.gmtime()),
+        "tiny": bool(tiny),
+        "workloads": [run_workload(w) for w in workloads],
+    }
+
+
+def write_bench(data: dict[str, Any], path: str | Path) -> Path:
+    """Validate and write a benchmark document (stable, diff-friendly)."""
+    validate_bench(data)
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+_VARIANT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "variant": str,
+    "backend": str,
+    "cache": bool,
+    "wall_seconds": (int, float),
+    "n_points": int,
+    "points_per_second": (int, float),
+    "speedup_vs_serial_uncached": (int, float),
+    "max_rel_diff_vs_serial_uncached": (int, float),
+}
+
+
+def validate_bench(data: dict[str, Any]) -> None:
+    """Schema-check one benchmark document; raises ``ReproError``.
+
+    The CI ``bench-smoke`` job runs this against the emitted
+    ``BENCH_sweep.json`` so a drive-by change to the harness cannot
+    silently break downstream consumers of the perf trajectory.
+    """
+    if not isinstance(data, dict):
+        raise ReproError(
+            f"bench document must be a JSON object, got "
+            f"{type(data).__name__}")
+    if data.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported bench schema_version "
+            f"{data.get('schema_version')!r}; expected "
+            f"{BENCH_SCHEMA_VERSION}")
+    for key in ("suite", "generated_at", "tiny", "workloads"):
+        if key not in data:
+            raise ReproError(f"bench document is missing {key!r}")
+    workloads = data["workloads"]
+    if not isinstance(workloads, list) or not workloads:
+        raise ReproError("bench document must record >= 1 workload")
+    for entry in workloads:
+        for key in ("workload", "description", "kind", "n_points",
+                    "variants"):
+            if key not in entry:
+                raise ReproError(
+                    f"workload entry is missing {key!r}: {entry!r}")
+        if entry["kind"] not in ("sweep", "adaptive"):
+            raise ReproError(
+                f"unknown workload kind {entry['kind']!r}")
+        if not isinstance(entry["variants"], list) or not entry["variants"]:
+            raise ReproError(
+                f"workload {entry['workload']!r} records no variants")
+        names = [v.get("variant") for v in entry["variants"]]
+        if names[0] != "serial-uncached":
+            raise ReproError(
+                f"workload {entry['workload']!r} must lead with the "
+                "serial-uncached reference variant")
+        for variant in entry["variants"]:
+            for key, types in _VARIANT_FIELDS.items():
+                if key not in variant:
+                    raise ReproError(
+                        f"variant entry is missing {key!r}: {variant!r}")
+                if not isinstance(variant[key], types):
+                    raise ReproError(
+                        f"variant field {key!r} has type "
+                        f"{type(variant[key]).__name__}, expected "
+                        f"{types}")
+            stats = variant.get("cache_stats")
+            if stats is not None and not isinstance(stats, dict):
+                raise ReproError(
+                    "variant cache_stats must be an object or null, "
+                    f"got {type(stats).__name__}")
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Read and validate a benchmark document from disk."""
+    data = json.loads(Path(path).read_text())
+    validate_bench(data)
+    return data

@@ -1,0 +1,143 @@
+"""Representative sweep workloads the perf harness times.
+
+Each :class:`Workload` names one realistic analysis — circuit, grid, and
+density — small enough to run in CI yet large enough that cache and
+dispatch effects dominate noise. The registry is the single source of
+truth for :mod:`repro.perf.harness`, ``benchmarks/test_perf_regression``
+and the ``bench-smoke`` CI job, so the recorded trajectory in
+``BENCH_sweep.json`` always refers to the same work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from ..circuits import (
+    sc_bandpass_system,
+    sc_lowpass_system,
+    switched_rc_system,
+)
+from ..errors import ReproError
+from ..typing import FloatArray
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """Parameters of an adaptive-grid workload (see ``mft.sweep``)."""
+
+    f_start: float
+    f_stop: float
+    n_initial: int = 16
+    max_points: int = 64
+    tol_db: float = 0.5
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark workload.
+
+    ``build`` returns a fresh LPTV system; ``grid`` the fixed frequency
+    grid of a plain sweep (``None`` for adaptive workloads, which carry
+    an :class:`AdaptiveSpec` instead).
+    """
+
+    name: str
+    description: str
+    build: Callable[[], Any]
+    segments_per_phase: int = 64
+    grid: Callable[[], FloatArray] | None = None
+    adaptive: AdaptiveSpec | None = None
+
+    def __post_init__(self) -> None:
+        if (self.grid is None) == (self.adaptive is None):
+            raise ReproError(
+                f"workload {self.name!r} must define exactly one of "
+                "grid or adaptive")
+
+    @property
+    def kind(self) -> str:
+        return "sweep" if self.grid is not None else "adaptive"
+
+    def frequencies(self) -> FloatArray:
+        if self.grid is None:
+            raise ReproError(
+                f"adaptive workload {self.name!r} has no fixed grid")
+        return np.asarray(self.grid(), dtype=float)
+
+
+def _switched_rc_grid() -> FloatArray:
+    return np.linspace(100.0, 40e3, 32)
+
+
+def _sc_lowpass_grid() -> FloatArray:
+    return np.linspace(100.0, 12e3, 64)
+
+
+def default_workloads() -> list[Workload]:
+    """The recorded benchmark set (≥ 3 workloads, see ISSUE/DESIGN §8).
+
+    ``sc-lowpass-sweep-64`` is the headline workload: the acceptance
+    criterion (cached+parallel ≥ 2× the serial-uncached seed path at
+    ≤ 1e-12 relative) is asserted against it.
+    """
+    return [
+        Workload(
+            name="switched-rc-sweep",
+            description="Switched-RC track/hold, 32-point linear sweep "
+                        "to 2x the clock rate",
+            build=switched_rc_system,
+            grid=_switched_rc_grid,
+        ),
+        Workload(
+            name="sc-lowpass-sweep-64",
+            description="SC low-pass filter (paper circuit), 64-point "
+                        "linear sweep across the baseband",
+            build=lambda: sc_lowpass_system().system,
+            grid=_sc_lowpass_grid,
+        ),
+        Workload(
+            name="sc-bandpass-adaptive",
+            description="SC band-pass biquad, adaptive grid resolving "
+                        "the resonance",
+            build=lambda: sc_bandpass_system().system,
+            adaptive=AdaptiveSpec(f_start=1e3, f_stop=5e4,
+                                  n_initial=12, max_points=48),
+        ),
+    ]
+
+
+def tiny_workloads() -> list[Workload]:
+    """CI-smoke versions: same circuits, drastically smaller grids."""
+    tiny = []
+    for workload in default_workloads():
+        if workload.grid is not None:
+            grid = workload.frequencies()[::8]
+            if grid.size < 3:
+                grid = workload.frequencies()[:3]
+            tiny.append(replace(workload,
+                                grid=lambda g=grid: g,
+                                segments_per_phase=16))
+        else:
+            assert workload.adaptive is not None
+            tiny.append(replace(
+                workload,
+                adaptive=replace(workload.adaptive, n_initial=6,
+                                 max_points=10),
+                segments_per_phase=16))
+    return tiny
+
+
+def workload_by_name(name: str,
+                     workloads: list[Workload] | None = None) -> Workload:
+    """Look a workload up by name (raises with the known names)."""
+    pool = workloads if workloads is not None else default_workloads()
+    for workload in pool:
+        if workload.name == name:
+            return workload
+    raise ReproError(
+        f"unknown workload {name!r}; known: "
+        f"{[w.name for w in pool]}")

@@ -188,3 +188,85 @@ class TestSweepGrids:
         assert near_peak >= 8
         assert np.all(np.diff(freqs) > 0.0)
         assert np.allclose(values, [psd(f) for f in freqs], rtol=1e-12)
+
+    def test_clock_harmonic_grid_includes_requested_start(self):
+        # Regression: a start that falls between base points used to be
+        # silently dropped, so the grid began above the requested start.
+        g = clock_harmonic_grid(4e3, 3, points_per_interval=8,
+                                f_start=700.0)
+        assert g[0] == 700.0
+        assert g[-1] == pytest.approx(12e3)
+        assert np.all(np.diff(g) > 0.0)
+
+    def test_clock_harmonic_grid_start_on_base_point_unchanged(self):
+        g = clock_harmonic_grid(4e3, 3, points_per_interval=8,
+                                f_start=500.0)
+        assert g[0] == 500.0
+        # No duplicate when the start already is a grid point.
+        assert np.all(np.diff(g) > 0.0)
+
+    def test_clock_harmonic_grid_bad_start_raises(self):
+        with pytest.raises(ReproError):
+            clock_harmonic_grid(4e3, 3, f_start=12e3)  # == stop
+        with pytest.raises(ReproError):
+            clock_harmonic_grid(4e3, 3, f_start=-1.0)
+        with pytest.raises(ReproError):
+            clock_harmonic_grid(4e3, 3, f_start=np.nan)
+
+
+class TestAdaptiveGridFailurePaths:
+    def test_exhausted_budget_stops_refinement(self):
+        from repro.diagnostics.budget import SweepBudget
+
+        calls = []
+
+        def psd(f):
+            calls.append(f)
+            return 1.0 / (1.0 + ((f - 100.0) / 2.0) ** 2) + 1e-6
+
+        budget = SweepBudget(wall_clock_seconds=1e-9)
+        freqs, values = adaptive_frequency_grid(
+            psd, 10.0, 1000.0, max_points=60, tol_db=0.5, budget=budget)
+        # The seed grid and its one-probe-per-interval evaluations run
+        # (the budget stops refinement, never a psd_fn mid-call), but no
+        # point may be inserted once the budget is spent.
+        assert len(freqs) == len(values)
+        assert len(calls) == len(freqs) + (len(freqs) - 1)
+        assert len(freqs) < 60  # refinement never started
+
+    def test_midpoint_failures_freeze_interval_only(self):
+        # psd_fn fails inside a band; the adaptive grid must freeze the
+        # affected intervals instead of bisecting forever toward them,
+        # while still refining the genuine feature elsewhere.
+        def psd(f):
+            if 300.0 < f < 500.0:
+                return float("nan")
+            return 1.0 / (1.0 + ((f - 100.0) / 2.0) ** 2) + 1e-6
+
+        freqs, values = adaptive_frequency_grid(psd, 10.0, 1000.0,
+                                                max_points=60,
+                                                tol_db=0.5)
+        in_band = (freqs > 300.0) & (freqs < 500.0)
+        # No refinement point was inserted into the failing band (seed
+        # points may land there; they carry NaN).
+        assert np.all(np.isnan(values[in_band]))
+        near_peak = np.sum((freqs > 80.0) & (freqs < 125.0))
+        assert near_peak >= 8
+        assert np.all(np.diff(freqs) > 0.0)
+
+    def test_failed_seed_point_does_not_block_the_rest(self):
+        seed_failure = []
+
+        def psd(f):
+            # Fail exactly once: on the first evaluated seed point.
+            if not seed_failure:
+                seed_failure.append(f)
+                return float("nan")
+            return 1.0 / (1.0 + ((f - 100.0) / 2.0) ** 2) + 1e-6
+
+        freqs, values = adaptive_frequency_grid(psd, 10.0, 1000.0,
+                                                max_points=40,
+                                                tol_db=0.5)
+        assert np.isnan(values[0])
+        assert np.sum(np.isfinite(values)) >= len(values) - 2
+        assert np.all(np.diff(freqs) > 0.0)

@@ -11,6 +11,13 @@ from repro.circuits.switched_rc import SwitchedRcParams, switched_rc_system
 from repro.linalg.expm import expm
 from repro.linalg.lyapunov import solve_discrete_lyapunov
 from repro.linalg.vanloan import vanloan_gramian
+from repro.lptv.system import PiecewiseLTISystem
+from repro.mft.context import (
+    clear_sweep_contexts,
+    discretization_fingerprint,
+    registry_stats,
+    sweep_context_for,
+)
 from repro.mft.engine import MftNoiseAnalyzer
 from repro.noise.covariance import periodic_covariance
 from repro.units import parse_value, format_value
@@ -111,3 +118,100 @@ class TestCircuitProperties:
             rice = rice_switched_rc_psd(params, [freq])[0]
             assert psd >= -1e-25
             assert psd <= 1.05 * rice + 1e-30
+
+
+def _rotated(system, shift):
+    """The same periodic system started ``shift`` phases later."""
+    phases = list(system.phases)
+    phases = phases[shift:] + phases[:shift]
+    return PiecewiseLTISystem(
+        phases=phases, output_matrix=system.output_matrix,
+        state_names=system.state_names,
+        output_names=system.output_names)
+
+
+class TestSweepProperties:
+    @given(switched_rc_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_swept_psd_nonnegative_after_clipping(self, params):
+        # Sweeps clip the (discretization-noise) negative samples; the
+        # delivered spectrum must be >= 0 at every finite point, on
+        # coarse grids too.
+        sys = switched_rc_system(params)
+        grid = np.linspace(0.0, 2.0 / params.period, 9)
+        result = MftNoiseAnalyzer(sys, 8).psd(grid)
+        finite = np.isfinite(result.psd)
+        assert np.all(result.psd[finite] >= 0.0)
+        # Whatever was clipped is accounted for in the result info.
+        assert result.info["negative_clipped"] >= 0
+        assert result.info["worst_negative_psd"] <= 0.0
+
+    @given(switched_rc_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_averaged_psd_invariant_under_phase_shift(self, params):
+        # The period-averaged PSD is a property of the periodic orbit,
+        # not of where the sweep chooses to start the period: rotating
+        # the phase schedule must not change it beyond rounding.
+        sys = switched_rc_system(params)
+        grid = np.linspace(100.0, 2.0 / params.period, 7)
+        base = MftNoiseAnalyzer(sys, 24).psd(grid).psd
+        rotated = MftNoiseAnalyzer(_rotated(sys, 1), 24).psd(grid).psd
+        scale = max(np.max(np.abs(base)), 1e-300)
+        assert np.max(np.abs(base - rotated)) / scale < 1e-9
+
+
+class TestCacheKeyProperties:
+    def test_same_system_hits_registry(self, rc_system):
+        clear_sweep_contexts()
+        before = registry_stats.to_dict()
+        first = sweep_context_for(rc_system, 32)
+        again = sweep_context_for(rc_system, 32)
+        after = registry_stats.to_dict()
+        assert again is first
+        assert after["total_hits"] == before["total_hits"] + 1
+        assert after["total_misses"] == before["total_misses"] + 1
+
+    def test_segment_density_invalidates_context(self, rc_system):
+        clear_sweep_contexts()
+        before = registry_stats.to_dict()
+        coarse = sweep_context_for(rc_system, 16)
+        fine = sweep_context_for(rc_system, 64)
+        after = registry_stats.to_dict()
+        assert fine is not coarse
+        assert after["total_misses"] == before["total_misses"] + 2
+        assert after["total_hits"] == before["total_hits"]
+
+    def test_schedule_mutation_invalidates_context(self, rc_params):
+        import dataclasses
+        clear_sweep_contexts()
+        sys_a = switched_rc_system(rc_params)
+        sys_b = switched_rc_system(
+            dataclasses.replace(rc_params, duty=rc_params.duty / 2.0))
+        assert (discretization_fingerprint(sys_a, 32)
+                != discretization_fingerprint(sys_b, 32))
+        before = registry_stats.to_dict()
+        ctx_a = sweep_context_for(sys_a, 32)
+        ctx_b = sweep_context_for(sys_b, 32)
+        after = registry_stats.to_dict()
+        assert ctx_a is not ctx_b
+        assert after["total_misses"] == before["total_misses"] + 2
+
+    def test_structural_twin_shares_context(self, rc_params):
+        # Content-addressed keys: two separately built but identical
+        # systems must land on the same context (that is the point of
+        # fingerprinting instead of id()).
+        clear_sweep_contexts()
+        ctx_a = sweep_context_for(switched_rc_system(rc_params), 32)
+        ctx_b = sweep_context_for(switched_rc_system(rc_params), 32)
+        assert ctx_a is ctx_b
+
+    def test_context_stats_count_reuse(self, rc_system):
+        clear_sweep_contexts()
+        context = sweep_context_for(rc_system, 32)
+        analyzer = MftNoiseAnalyzer(rc_system, 32, context=context)
+        analyzer.psd(np.linspace(100.0, 4e4, 5))
+        stats = context.stats.to_dict()
+        # One cold build per cached quantity, then hits on every reuse.
+        assert stats["misses"].get("covariance") == 1
+        assert stats["misses"].get("structure") == 1
+        assert stats["total_hits"] > stats["total_misses"]
