@@ -91,17 +91,21 @@ class NoiseAnalysis:
                                budget=budget)
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
-                  chunk_size=None, budget=None, on_failure="record"):
+                  chunk_size=None, budget=None, on_failure="record",
+                  solver=None):
         """Same as :meth:`psd` but through a parallel sweep executor.
 
         ``parallel="thread"`` or ``"process"`` runs independent
         frequency chunks concurrently (``max_workers`` workers) with the
         same values, failure semantics, and diagnostics as :meth:`psd`.
+        ``solver="spectral-batch"`` evaluates each chunk as one ω-block
+        through the frequency-batched spectral kernel
+        (:mod:`repro.mft.spectral`).
         """
         return self.engine.psd_sweep(frequencies, parallel=parallel,
                                      max_workers=max_workers,
                                      chunk_size=chunk_size, budget=budget,
-                                     on_failure=on_failure)
+                                     on_failure=on_failure, solver=solver)
 
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
                         **kwargs):

@@ -26,8 +26,11 @@ __all__ = [
     "checked_solve",
     "checked_inv",
     "checked_lstsq",
+    "batched_solve",
+    "batched_condition_number",
     "eigenvalues",
     "eigenvalues_hermitian",
+    "eigensystem",
     "eigensystem_hermitian",
     "spectral_radius",
     "condition_number",
@@ -136,6 +139,76 @@ def checked_lstsq(a: ArrayLike, b: ArrayLike, *,
     return solution, int(rank)
 
 
+def batched_solve(a: ArrayLike, b: ArrayLike, *, context: str = ""
+                  ) -> "tuple[ComplexArray, np.ndarray]":
+    """Solve a stack of systems ``a[k] x[k] = b[k]`` with partial failure.
+
+    ``a`` has shape ``(m, n, n)``; ``b`` is ``(m, n)`` (vector right
+    -hand sides) or ``(m, n, k)`` (matrix right-hand sides).  Returns
+    ``(x, ok)`` where ``x`` matches ``b``'s shape in the promoted dtype
+    and ``ok`` is a ``(m,)`` boolean mask.  Unlike :func:`checked_solve`
+    this never raises on singularity: LAPACK rejects a whole stack when
+    any member is singular, so on failure the solve is retried per
+    member and the failing entries come back as NaN with ``ok`` False —
+    exactly the partial-failure contract batched frequency sweeps need.
+    Non-finite members from a "successful" solve are likewise masked.
+    """
+    stack = np.asarray(a)
+    rhs = np.asarray(b)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise SingularMatrixError(
+            f"{context or 'batched solve'}: expected an (m, n, n) stack, "
+            f"got {stack.shape}")
+    vector_rhs = rhs.ndim == 2
+    if vector_rhs:
+        if rhs.shape != stack.shape[:2]:
+            raise SingularMatrixError(
+                f"{context or 'batched solve'}: rhs shape {rhs.shape} "
+                f"does not match stack {stack.shape}")
+    elif rhs.ndim != 3 or rhs.shape[:2] != stack.shape[:2]:
+        raise SingularMatrixError(
+            f"{context or 'batched solve'}: rhs shape {rhs.shape} does "
+            f"not match stack {stack.shape}")
+    dtype = np.promote_types(stack.dtype, rhs.dtype)
+    lapack_rhs = rhs[..., None] if vector_rhs else rhs
+    try:
+        solutions = np.linalg.solve(stack, lapack_rhs)
+    except np.linalg.LinAlgError:
+        solutions = np.full(lapack_rhs.shape, np.nan, dtype=dtype)
+        for k in range(stack.shape[0]):
+            try:
+                solutions[k] = np.linalg.solve(stack[k], lapack_rhs[k])
+            except np.linalg.LinAlgError:
+                continue
+    if vector_rhs:
+        solutions = solutions[..., 0]
+    ok = np.all(np.isfinite(solutions),
+                axis=tuple(range(1, solutions.ndim)))
+    return solutions.astype(dtype, copy=False), ok
+
+
+def batched_condition_number(a: ArrayLike) -> FloatArray:
+    """2-norm condition numbers of a stack, shape ``(m, n, n) -> (m,)``.
+
+    Stacked counterpart of :func:`condition_number` with the same
+    semantics: members whose SVD fails (or that contain Inf/NaN) report
+    ``inf`` instead of raising, retrying per member when LAPACK rejects
+    the whole stack.
+    """
+    stack = np.asarray(a)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise SingularMatrixError(
+            f"batched condition number: expected an (m, n, n) stack, "
+            f"got {stack.shape}")
+    if np.all(np.isfinite(stack)):
+        try:
+            return np.asarray(np.linalg.cond(stack), dtype=float)
+        except np.linalg.LinAlgError:  # pragma: no cover - rare
+            pass
+    return np.asarray([condition_number(stack[k])
+                       for k in range(stack.shape[0])], dtype=float)
+
+
 def eigenvalues(a: ArrayLike, *, context: str = "") -> ComplexArray:
     """Eigenvalues of a general square matrix, shape ``(n,)`` complex.
 
@@ -150,6 +223,29 @@ def eigenvalues(a: ArrayLike, *, context: str = "") -> ComplexArray:
         raise SingularMatrixError(
             f"{context or 'eigenvalue computation'}: QR iteration did "
             "not converge") from exc
+
+
+def eigensystem(a: ArrayLike, *, context: str = ""
+                ) -> "tuple[ComplexArray, ComplexArray]":
+    """Eigendecomposition of a general square matrix: ``(values, vectors)``.
+
+    ``values`` is ``(n,)`` complex; ``vectors`` is ``(n, n)`` complex
+    with eigenvectors in columns, so ``a ≈ V diag(values) V^{-1}``
+    whenever ``a`` is diagonalizable.  A defective matrix does *not*
+    raise here — LAPACK returns numerically parallel columns — so
+    callers that need an invertible basis must gate on
+    :func:`condition_number` of ``vectors`` (the spectral sweep kernel
+    does exactly that).  QR-iteration failures become
+    :class:`~repro.errors.SingularMatrixError`.
+    """
+    try:
+        values, vectors = np.linalg.eig(np.asarray(a))
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - rare
+        raise SingularMatrixError(
+            f"{context or 'eigendecomposition'}: QR iteration did not "
+            "converge") from exc
+    return np.asarray(values, dtype=complex), np.asarray(vectors,
+                                                         dtype=complex)
 
 
 def eigenvalues_hermitian(a: ArrayLike, *, context: str = "") -> FloatArray:

@@ -30,6 +30,13 @@ from .context import (
     sweep_context_for,
 )
 from .executor import SweepExecutor
+from .spectral import (
+    BatchedSolveResult,
+    GroupBasis,
+    build_group_bases,
+    phi_scalar_integrals,
+    solve_spectral_batch,
+)
 from .sweep import (
     adaptive_frequency_grid,
     clock_harmonic_grid,
@@ -46,6 +53,11 @@ __all__ = [
     "CacheStats",
     "SweepContext",
     "SweepExecutor",
+    "BatchedSolveResult",
+    "GroupBasis",
+    "build_group_bases",
+    "phi_scalar_integrals",
+    "solve_spectral_batch",
     "sweep_context_for",
     "clear_sweep_contexts",
     "discretization_fingerprint",

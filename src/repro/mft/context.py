@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import hashlib
 import logging
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -75,10 +77,11 @@ _OMEGA_CACHE_LIMIT = 512
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for every cached quantity of a sweep context."""
+    """Hit/miss/evict counters for every cached quantity of a context."""
 
     hits: dict = field(default_factory=dict)
     misses: dict = field(default_factory=dict)
+    evictions: dict = field(default_factory=dict)
 
     def hit(self, category):
         self.hits[category] = self.hits.get(category, 0) + 1
@@ -86,19 +89,27 @@ class CacheStats:
     def miss(self, category):
         self.misses[category] = self.misses.get(category, 0) + 1
 
+    def evict(self, category):
+        self.evictions[category] = self.evictions.get(category, 0) + 1
+
     def total_hits(self):
         return int(sum(self.hits.values()))
 
     def total_misses(self):
         return int(sum(self.misses.values()))
 
+    def total_evictions(self):
+        return int(sum(self.evictions.values()))
+
     def to_dict(self):
         """JSON-friendly counters (used by the perf harness)."""
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
+            "evictions": dict(self.evictions),
             "total_hits": self.total_hits(),
             "total_misses": self.total_misses(),
+            "total_evictions": self.total_evictions(),
         }
 
     def __str__(self):
@@ -210,8 +221,10 @@ class SweepContext:
         self._structure = None
         self._covariance = None
         self._monodromy = None
+        self._spectral = None
         self._forcing = {}
-        self._omega_cache = {}
+        self._omega_cache = OrderedDict()
+        self._omega_cache_limit = _OMEGA_CACHE_LIMIT
 
     # -- cached frequency-independent quantities ----------------------------
 
@@ -255,6 +268,24 @@ class SweepContext:
             self.stats.hit("monodromy")
         return self._monodromy
 
+    @property
+    def spectral_bases(self):
+        """Per-group eigenbases of the frequency-batched spectral kernel.
+
+        One :class:`~repro.mft.spectral.GroupBasis` per segment group,
+        computed once (frequency-independent) and gated on
+        :data:`~repro.tolerances.SPECTRAL_EIGENBASIS_COND_LIMIT`; a
+        defective group is marked and later served by the per-frequency
+        reference path instead.
+        """
+        if self._spectral is None:
+            self.stats.miss("spectral-basis")
+            from .spectral import build_group_bases
+            self._spectral = build_group_bases(self.structure.groups)
+        else:
+            self.stats.hit("spectral-basis")
+        return self._spectral
+
     def forcing_pairs(self, l_row):
         """Cross-spectral forcing ``K(t) l`` as per-segment endpoint pairs.
 
@@ -288,6 +319,9 @@ class SweepContext:
         key = float(omega)
         cached = self._omega_cache.get(key)
         if cached is not None:
+            # True LRU: a hit refreshes recency, so a hot frequency
+            # revisited by an adaptive sweep is the *last* to go.
+            self._omega_cache.move_to_end(key)
             self.stats.hit("shifted-integrals")
             return cached
         self.stats.miss("shifted-integrals")
@@ -301,8 +335,9 @@ class SweepContext:
                 a_shifted, group.duration, phi=phi_shifted)
             norm_h = float(np.linalg.norm(a_shifted, 1) * group.duration)
             entries.append((phi, i1, i2, a_shifted, norm_h))
-        if len(self._omega_cache) >= _OMEGA_CACHE_LIMIT:
-            self._omega_cache.pop(next(iter(self._omega_cache)))
+        while len(self._omega_cache) >= self._omega_cache_limit:
+            self._omega_cache.popitem(last=False)
+            self.stats.evict("shifted-integrals")
         self._omega_cache[key] = entries
         return entries
 
@@ -418,7 +453,32 @@ class SweepContext:
                                 dpre=dpre, dpost=dpost, integral=integral,
                                 condition=condition, solver=solver)
 
+    def solve_batched(self, omegas, segment_forcing, condition_limit=None):
+        """Frequency-batched periodic steady state for a whole ω-block.
+
+        Evaluates every frequency of ``omegas`` (1-D, rad/s, finite)
+        through the spectral kernel of :mod:`repro.mft.spectral`:
+        eigenbases once per segment group, scalar φ-functions stacked
+        over all frequencies, one batched ``(I − e^{-jωT}M₀)`` solve.
+        Returns a :class:`~repro.mft.spectral.BatchedSolveResult`; the
+        ``ok`` mask (condition gate, solve failures) tells the engine
+        which frequencies to rerun through the per-ω fallback chain.
+        """
+        from .spectral import solve_spectral_batch
+        return solve_spectral_batch(self, omegas, segment_forcing,
+                                    condition_limit=condition_limit)
+
     # -- misc ---------------------------------------------------------------
+
+    @classmethod
+    def for_system(cls, system, segments_per_phase=64):
+        """Registry-backed context for ``(system, density)``.
+
+        Convenience front door to :func:`sweep_context_for` — the
+        thread-safe, LRU-bounded module registry keyed by the content
+        fingerprint of the system.
+        """
+        return sweep_context_for(system, segments_per_phase)
 
     def warm_up(self, l_row=None):
         """Force every frequency-independent quantity to exist.
@@ -442,9 +502,12 @@ class SweepContext:
 
 # -- registry ---------------------------------------------------------------
 
-#: Bounded module registry of contexts, keyed by system fingerprint.
-_REGISTRY = {}
+#: Bounded LRU module registry of contexts, keyed by system fingerprint.
+#: Guarded by :data:`_REGISTRY_LOCK` — thread sweep backends and several
+#: analyzers constructed concurrently all pass through here.
+_REGISTRY = OrderedDict()
 _REGISTRY_LIMIT = 32
+_REGISTRY_LOCK = threading.Lock()
 #: Registry-level counters (the per-context stats live on the context).
 registry_stats = CacheStats()
 
@@ -486,21 +549,29 @@ def sweep_context_for(system, segments_per_phase=64):
 
     Returns the cached context when the fingerprint matches a previous
     call (counted as a registry hit) and builds + registers a fresh one
-    otherwise. The registry is bounded; the oldest entry is evicted.
+    otherwise.  The registry is a bounded LRU — a hit refreshes the
+    entry's recency and the least-recently-used context is evicted at
+    the limit — and every access holds :data:`_REGISTRY_LOCK`, so
+    concurrent analyzers (thread sweep backends, parallel test workers)
+    always agree on one context per fingerprint.
     """
     key = discretization_fingerprint(system, segments_per_phase)
-    context = _REGISTRY.get(key)
-    if context is not None:
-        registry_stats.hit("context")
+    with _REGISTRY_LOCK:
+        context = _REGISTRY.get(key)
+        if context is not None:
+            _REGISTRY.move_to_end(key)
+            registry_stats.hit("context")
+            return context
+        registry_stats.miss("context")
+        context = SweepContext(system, segments_per_phase)
+        while len(_REGISTRY) >= _REGISTRY_LIMIT:
+            _REGISTRY.popitem(last=False)
+            registry_stats.evict("context")
+        _REGISTRY[key] = context
         return context
-    registry_stats.miss("context")
-    context = SweepContext(system, segments_per_phase)
-    if len(_REGISTRY) >= _REGISTRY_LIMIT:
-        _REGISTRY.pop(next(iter(_REGISTRY)))
-    _REGISTRY[key] = context
-    return context
 
 
 def clear_sweep_contexts():
     """Empty the registry (tests; long-lived processes reclaiming memory)."""
-    _REGISTRY.clear()
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()

@@ -283,6 +283,91 @@ class MftNoiseAnalyzer:
                 logger.warning("recording NaN at %.6g Hz: %s", f, exc)
         return values, failures, attempts_log
 
+    def _sweep_batched(self, freqs, on_failure, budget, report):
+        """Frequency-batched sweep of one ω-block (``spectral-batch``).
+
+        Drop-in for :meth:`_sweep_raw` over one executor chunk: same
+        ``(values, failures, attempts)`` return, same per-frequency NaN
+        and failure-record semantics.  All finite frequencies of the
+        block are solved at once through
+        :meth:`~repro.mft.context.SweepContext.solve_batched`; the ones
+        the batched direct solve rejects (condition gate, singular
+        fixed point) are rerun individually through the reference
+        fallback chain, so their attempt records and failures are
+        exactly the per-ω path's.  The budget gates the block as a
+        whole (dispatch semantics, matching the executor's chunk gate).
+        """
+        if self._context is None:
+            raise ReproError(
+                "solver='spectral-batch' needs the shared sweep context; "
+                "construct the analyzer with cache=True (the default) or "
+                "an explicit context=")
+        failures = []
+        attempts_log = []
+        values = np.full(freqs.shape, np.nan)
+        reason = budget.exceeded()
+        if reason is not None:
+            _record_budget_failures(freqs, 0, reason, failures, report)
+            return values, failures, attempts_log
+        finite_mask = np.isfinite(freqs)
+        for idx in np.nonzero(~finite_mask)[0]:
+            exc = ReproError(
+                f"analysis frequency must be finite, got {freqs[idx]!r}")
+            if on_failure == "raise":
+                raise exc.attach_diagnostics(report)
+            failures.append(FrequencyFailure(
+                frequency=float(freqs[idx]), index=int(idx), stage="input",
+                error=type(exc).__name__, message=str(exc)))
+            report.error("non-finite-frequency", str(exc), index=int(idx))
+            logger.warning("recording NaN at index %d: %s", idx, exc)
+        finite_idx = np.nonzero(finite_mask)[0]
+        rescue_idx = []
+        if finite_idx.size:
+            policy = self.fallback
+            batch = self._context.solve_batched(
+                2.0 * np.pi * freqs[finite_idx], self._forcing_pairs(),
+                condition_limit=(policy.condition_limit
+                                 if policy is not None else None))
+            psd = (2.0 * np.real(batch.integral @ self._l_row)
+                   / self._disc.period)
+            ok = batch.ok & np.isfinite(psd)
+            values[finite_idx[ok]] = psd[ok]
+            rescue_idx = [int(i) for i in finite_idx[~ok]]
+            if batch.fallback_groups:
+                bases = self._context.spectral_bases
+                report.warning(
+                    "spectral-defective-basis",
+                    f"{len(batch.fallback_groups)} of {len(bases)} segment "
+                    "groups lack a usable eigenbasis; those groups used "
+                    "the per-frequency reference integrals",
+                    groups=list(batch.fallback_groups),
+                    conditions=[bases[g].condition
+                                for g in batch.fallback_groups],
+                    reasons=[bases[g].reason
+                             for g in batch.fallback_groups])
+            report.info(
+                "spectral-batch",
+                f"spectral kernel solved {int(np.sum(ok))} of "
+                f"{finite_idx.size} frequencies in one batch",
+                n_batched=int(np.sum(ok)), n_rescued=len(rescue_idx))
+        for idx in rescue_idx:
+            f = freqs[idx]
+            try:
+                value, attempts = run_fallback_chain(
+                    self._strategies(f, budget), f, report)
+                attempts_log.extend(attempts)
+                values[idx] = value
+            except FallbackExhausted as exc:
+                attempts_log.extend(exc.attempts)
+                failures.append(FrequencyFailure(
+                    frequency=float(f), index=idx, stage="solve",
+                    error=type(exc).__name__, message=str(exc)))
+                if on_failure == "raise":
+                    raise exc.attach_diagnostics(report)
+                logger.warning("recording NaN at %.6g Hz: %s", f, exc)
+        failures.sort(key=lambda failure: failure.index)
+        return values, failures, attempts_log
+
     def psd(self, frequencies, on_failure="record", budget=None):
         """Averaged PSD over a frequency grid; returns a PsdResult.
 
@@ -333,7 +418,8 @@ class MftNoiseAnalyzer:
             })
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
-                  chunk_size=None, budget=None, on_failure="record"):
+                  chunk_size=None, budget=None, on_failure="record",
+                  solver=None):
         """Averaged PSD over a grid through a :class:`SweepExecutor`.
 
         ``parallel`` is ``None``/``"serial"`` for in-process execution,
@@ -342,11 +428,19 @@ class MftNoiseAnalyzer:
         failure records, and diagnostics match :meth:`psd`; the sweep
         ``budget`` gates the *dispatch* of new chunks (in-flight work is
         never killed). See :mod:`repro.mft.executor`.
+
+        ``solver="spectral-batch"`` evaluates each chunk as one ω-block
+        through the frequency-batched spectral kernel
+        (:mod:`repro.mft.spectral`): eigenbases once per segment group,
+        all frequencies of the block at once.  Values agree with the
+        per-ω path to ≤ 1e-9 relative with identical NaN masks and
+        failure records; it requires the shared sweep context
+        (``cache=True`` or an explicit ``context=``).
         """
         from .executor import SweepExecutor
         executor = SweepExecutor(backend=parallel or "serial",
                                  max_workers=max_workers,
-                                 chunk_size=chunk_size)
+                                 chunk_size=chunk_size, solver=solver)
         return executor.run(self, frequencies, budget=budget,
                             on_failure=on_failure)
 

@@ -54,22 +54,34 @@ _BACKENDS = ("serial", "thread", "process")
 #: small enough that the budget gate has frequent decision points.
 _DEFAULT_CHUNK = 8
 
+#: Default chunk size for ``solver="spectral-batch"``: each chunk is one
+#: ω-block through the batched kernel, so larger blocks amortise the
+#: per-block trace recursion and stacked solves across more frequencies.
+_DEFAULT_SPECTRAL_CHUNK = 64
+
+_SOLVERS = (None, "spectral-batch")
+
 
 def _default_workers():
     return max(1, (os.cpu_count() or 1))
 
 
-def _run_chunk(analyzer, frequencies, on_failure):
+def _run_chunk(analyzer, frequencies, on_failure, solver=None):
     """Worker body: sweep one chunk with a chunk-local report.
 
     Runs unbudgeted (the budget gates dispatch, not execution) and
     returns *unclipped* values — clipping is diagnosed once on the
-    merged sweep so the finding counts match the serial path.
+    merged sweep so the finding counts match the serial path.  With
+    ``solver="spectral-batch"`` the chunk is evaluated as one ω-block
+    through the frequency-batched spectral kernel instead of the per
+    -frequency loop.
     """
     report = DiagnosticsReport(context="mft sweep chunk")
     budget = as_budget(None)
     budget.start()
-    values, failures, attempts = analyzer._sweep_raw(
+    sweep = (analyzer._sweep_batched if solver == "spectral-batch"
+             else analyzer._sweep_raw)
+    values, failures, attempts = sweep(
         np.asarray(frequencies, dtype=float), on_failure, budget, report)
     return values, failures, attempts, report.findings
 
@@ -84,24 +96,40 @@ class SweepExecutor:
     max_workers:
         Worker count for the concurrent backends (default: CPU count).
     chunk_size:
-        Frequencies per dispatched chunk (default 8). Smaller chunks
-        give the budget gate finer granularity; larger chunks amortise
-        dispatch overhead.
+        Frequencies per dispatched chunk (default 8, or 64 for the
+        spectral-batch solver where each chunk is one ω-block). Smaller
+        chunks give the budget gate finer granularity; larger chunks
+        amortise dispatch overhead.
+    solver:
+        ``None`` (default) sweeps each chunk through the per-frequency
+        fallback chain; ``"spectral-batch"`` evaluates each chunk as
+        one ω-block through :mod:`repro.mft.spectral` (requires the
+        analyzer's shared sweep context).
     """
 
-    def __init__(self, backend="serial", max_workers=None, chunk_size=None):
+    def __init__(self, backend="serial", max_workers=None, chunk_size=None,
+                 solver=None):
         if backend not in _BACKENDS:
             raise ReproError(
                 f"unknown sweep backend {backend!r}; expected one of "
                 f"{_BACKENDS}")
+        if solver not in _SOLVERS:
+            raise ReproError(
+                f"unknown sweep solver {solver!r}; expected one of "
+                f"{_SOLVERS}")
         self.backend = backend
+        self.solver = solver
         self.max_workers = (int(max_workers) if max_workers is not None
                             else _default_workers())
         if self.max_workers < 1:
             raise ReproError(
                 f"max_workers must be positive, got {max_workers}")
-        self.chunk_size = (int(chunk_size) if chunk_size is not None
-                           else _DEFAULT_CHUNK)
+        if chunk_size is not None:
+            self.chunk_size = int(chunk_size)
+        elif solver == "spectral-batch":
+            self.chunk_size = _DEFAULT_SPECTRAL_CHUNK
+        else:
+            self.chunk_size = _DEFAULT_CHUNK
         if self.chunk_size < 1:
             raise ReproError(
                 f"chunk_size must be positive, got {chunk_size}")
@@ -128,6 +156,15 @@ class SweepExecutor:
         report.merge(analyzer.preflight)
         t0 = time.perf_counter()
         analyzer.warm_up()
+        if self.solver == "spectral-batch":
+            if analyzer.context is None:
+                raise ReproError(
+                    "solver='spectral-batch' needs the shared sweep "
+                    "context; construct the analyzer with cache=True "
+                    "(the default) or an explicit context=")
+            # Materialise group eigenbases before dispatch so thread
+            # workers never race on the lazy property.
+            analyzer.context.spectral_bases
         chunks = [(start, freqs[start:start + self.chunk_size])
                   for start in range(0, freqs.size, self.chunk_size)]
         if self.backend == "serial" or len(chunks) <= 1:
@@ -157,6 +194,7 @@ class SweepExecutor:
                                 if stats is not None else None),
                 "executor": {
                     "backend": self.backend,
+                    "solver": self.solver,
                     "max_workers": self.max_workers,
                     "chunk_size": self.chunk_size,
                     "n_chunks": len(chunks),
@@ -172,7 +210,8 @@ class SweepExecutor:
         for i, (_start, chunk) in enumerate(chunks):
             if budget.exceeded() is not None:
                 return outputs, i
-            outputs.append(_run_chunk(analyzer, chunk, on_failure))
+            outputs.append(_run_chunk(analyzer, chunk, on_failure,
+                                      self.solver))
         return outputs, None
 
     def _make_pool(self):
@@ -208,7 +247,7 @@ class SweepExecutor:
                             break
                         future = pool.submit(
                             _run_chunk, analyzer,
-                            chunks[next_chunk][1], on_failure)
+                            chunks[next_chunk][1], on_failure, self.solver)
                         pending[future] = next_chunk
                         next_chunk += 1
                     if not pending:

@@ -1,0 +1,396 @@
+"""Frequency-batched spectral evaluation kernel for PSD sweeps.
+
+:meth:`~repro.mft.context.SweepContext.solve_shifted` already made the
+per-frequency cost of a sweep one ``affine_step_integrals`` call per
+segment group plus one dense ``(I − M_ω)`` solve — but still inside a
+per-ω Python loop, paying O(n³) matrix work at every frequency.  This
+module removes the loop.  The key observation is that the only genuinely
+frequency-dependent matrices of the shifted dynamics ``A − jωI`` share
+the *frequency-independent* eigenbasis of ``A``:
+
+    A = V Λ V⁻¹   ⇒   A − jωI = V (Λ − jωI) V⁻¹
+
+so with ``μ_i(ω) = λ_i − jω`` and ``z = μ h`` every per-frequency matrix
+function collapses to elementwise scalar functions of ``z``:
+
+    Φ_ω = V diag(e^{z}) V⁻¹
+    I1(ω) = V diag(h φ1(z)) V⁻¹          φ1(z) = (e^z − 1)/z
+    I2(ω) = V diag(h² φ2(z)) V⁻¹         φ2(z) = (e^z − 1 − z)/z²
+    (A − jωI)⁻¹ r = V diag(1/μ) V⁻¹ r
+
+Eigendecompose each segment group **once** (frequency-independent, via
+:func:`repro.linalg.checked.eigensystem`), then evaluate the scalar
+φ-functions for *all* ω at once as stacked ``(n_freq, n)`` arrays.  The
+one-period fixed point uses the scalar identity ``M_ω = e^{-jωT} M₀``
+(see :mod:`repro.mft.context`), so the solve becomes one batched
+``repro.linalg.checked.batched_solve`` over the ``(n_freq, n, n)`` stack
+``I − e^{-jωT} M₀``.  Per-ω cost drops from O(n³) Python-looped work to
+O(n³)-once plus O(n²)-per-ω vectorized einsum kernels, and — just as
+important at SC-circuit sizes — the Python interpreter overhead of the
+per-segment recursion amortizes over the whole frequency block.
+
+Numerics: round-tripping through the eigenbasis amplifies rounding by
+~``cond(V)``, so each group's basis is gated on
+:data:`~repro.tolerances.SPECTRAL_EIGENBASIS_COND_LIMIT`.  A defective
+(Jordan-block) or ill-conditioned group falls back **per group** — not
+per sweep — to the reference per-frequency ``affine_step_integrals``
+path, preserving correctness at the cost of that group's batching; the
+engine surfaces this as a severity-tagged diagnostics finding.  The
+batched results agree with the per-ω reference to ≤ 1e-9 relative
+(enforced by ``benchmarks/test_perf_regression.py`` and
+``tests/test_mft_spectral.py``); the exact-reorder paths stay at 1e-12.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError, SingularMatrixError
+from ..linalg.checked import (
+    batched_condition_number,
+    batched_solve,
+    checked_inv,
+    condition_number,
+    eigensystem,
+)
+from ..linalg.phi import SERIES_THRESHOLD, affine_step_integrals
+from ..tolerances import SPECTRAL_EIGENBASIS_COND_LIMIT
+from ..typing import ComplexArray, FloatArray
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "GroupBasis",
+    "BatchedSolveResult",
+    "build_group_bases",
+    "phi_scalar_integrals",
+    "solve_spectral_batch",
+]
+
+#: Mirrors ``_SERIES_TERMS`` of :mod:`repro.linalg.phi`: 12 terms give
+#: full double precision below :data:`~repro.linalg.phi.SERIES_THRESHOLD`.
+_SERIES_TERMS = 12
+
+
+@dataclass
+class GroupBasis:
+    """Frequency-independent eigenbasis of one segment group.
+
+    ``diagonalizable`` is False when the eigendecomposition failed or
+    ``cond(V)`` exceeds the gate — that group must use the per-frequency
+    reference integrals.  ``values``/``vectors``/``inverse`` are ``None``
+    exactly when ``diagonalizable`` is False.
+    """
+
+    diagonalizable: bool
+    condition: float
+    values: ComplexArray | None = None
+    vectors: ComplexArray | None = None
+    inverse: ComplexArray | None = None
+    reason: str = ""
+
+
+@dataclass
+class BatchedSolveResult:
+    """Outcome of one frequency-batched periodic solve.
+
+    ``integral[f]`` is the period integral of the steady-state trace at
+    ``omegas[f]`` (complex, shape ``(n_freq, n)``); ``v0`` the fixed
+    points; ``conditions`` the per-frequency ``cond(I − M_ω)``.  ``ok``
+    masks the frequencies whose direct batched solve succeeded (finite
+    result, condition gate passed) — the engine reruns the others
+    through the reference fallback chain so failure semantics match the
+    per-ω path exactly.  ``fallback_groups`` lists the segment-group
+    indices that used the per-frequency path (defective eigenbasis).
+    """
+
+    omegas: FloatArray
+    integral: ComplexArray
+    v0: ComplexArray
+    conditions: FloatArray
+    ok: np.ndarray
+    fallback_groups: list = field(default_factory=list)
+    solver: str = "spectral-batch"
+
+
+def build_group_bases(groups) -> list:
+    """Eigendecompose every segment group once; returns ``GroupBasis`` list.
+
+    Gated on :data:`~repro.tolerances.SPECTRAL_EIGENBASIS_COND_LIMIT`:
+    a group whose eigenvector matrix is singular, non-finite, or
+    ill-conditioned beyond the gate is marked non-diagonalizable and
+    later routed through the per-frequency reference path.
+    """
+    bases = []
+    for index, group in enumerate(groups):
+        try:
+            values, vectors = eigensystem(
+                group.a_matrix, context="spectral group eigenbasis")
+        except SingularMatrixError as exc:
+            bases.append(GroupBasis(
+                diagonalizable=False, condition=float("inf"),
+                reason=f"eigendecomposition failed: {exc}"))
+            continue
+        cond = condition_number(vectors)
+        if not (np.all(np.isfinite(values))
+                and cond <= SPECTRAL_EIGENBASIS_COND_LIMIT):
+            bases.append(GroupBasis(
+                diagonalizable=False, condition=float(cond),
+                reason=(f"eigenbasis rejected: cond(V) = {cond:.3g} "
+                        f"exceeds {SPECTRAL_EIGENBASIS_COND_LIMIT:.3g} "
+                        "(defective or near-defective segment matrix)")))
+            logger.info("spectral kernel: group %d falls back to the "
+                        "per-frequency path (cond(V) = %.3g)", index, cond)
+            continue
+        inverse = checked_inv(vectors, context="spectral eigenbasis inverse",
+                              cond_limit=None)
+        bases.append(GroupBasis(
+            diagonalizable=True, condition=float(cond), values=values,
+            vectors=vectors, inverse=inverse))
+    return bases
+
+
+def phi_scalar_integrals(z: ComplexArray, h: float
+                         ) -> "tuple[ComplexArray, ComplexArray]":
+    """Elementwise diagonal factors ``(h φ1(z), h² φ2(z))`` of ``I1, I2``.
+
+    ``z`` is any-shape complex (``z = (λ − jω) h``); both returns match
+    its shape and are complex.  Small arguments use the same 12-term
+    Taylor series as the matrix path in :mod:`repro.linalg.phi`
+    (below :data:`~repro.linalg.phi.SERIES_THRESHOLD`, where the closed
+    forms lose digits to cancellation); large arguments use the closed
+    forms directly.
+    """
+    z = np.asarray(z, dtype=complex)
+    small = np.abs(z) < SERIES_THRESHOLD
+    safe = np.where(small, 1.0, z)
+    exp_z = np.exp(safe)
+    phi1 = (exp_z - 1.0) / safe
+    phi2 = (exp_z - 1.0 - safe) / (safe * safe)
+    # Taylor series, identical term recurrence to phi._series_integrals:
+    # φ1 = Σ z^k/(k+1)!,  φ2 = Σ z^k/(k+2)!.
+    term = np.ones_like(z)
+    s1 = np.zeros_like(z)
+    s2 = np.zeros_like(z)
+    for k in range(_SERIES_TERMS):
+        s1 = s1 + term / (k + 1)
+        s2 = s2 + term / ((k + 1) * (k + 2))
+        term = term * z / (k + 1)
+    i1 = h * np.where(small, s1, phi1)
+    i2 = (h * h) * np.where(small, s2, phi2)
+    return i1, i2
+
+
+def _group_norm_h(a_matrix, omegas, duration):
+    """Vectorized ``‖A − jωI‖₁ · h`` for all ω, shape ``(n_freq,)``.
+
+    The 1-norm is the max column absolute sum; only the diagonal entry
+    of each column depends on ω, so the off-diagonal sums are computed
+    once and the shifted diagonal contributes ``|A_jj − jω|``.
+    """
+    a = np.asarray(a_matrix)
+    col_sums = np.sum(np.abs(a), axis=0)
+    diag = np.diagonal(a)
+    off_diag = col_sums - np.abs(diag)
+    shifted_diag = np.abs(diag[None, :] - 1j * omegas[:, None])
+    return np.max(off_diag[None, :] + shifted_diag, axis=1) * duration
+
+
+def _lu_step_integrals(group, omegas, eye):
+    """Batched mirror of the LU branch of ``affine_step_integrals``.
+
+    Returns ``(I1, I2)`` as ``(n_freq, n, n)`` stacks via
+    ``I1 = A_ω⁻¹(Φ_ω − I)`` and ``I2 = h I1 − A_ω⁻¹(h Φ_ω − I1)`` —
+    the identical solves the per-ω reference performs, batched over the
+    stack.  A frequency whose shifted matrix is exactly singular (the
+    reference's substepping branch) falls back to
+    :func:`affine_step_integrals` for that member.
+    """
+    h = group.duration
+    a_stack = (group.a_matrix.astype(complex)[None, :, :]
+               - 1j * omegas[:, None, None] * eye[None, :, :])
+    phi_w = (np.exp(-1j * omegas * h)[:, None, None]
+             * group.phi.astype(complex))
+    i1, ok1 = batched_solve(a_stack, phi_w - eye,
+                            context="batched affine step I1")
+    correction, ok2 = batched_solve(a_stack, h * phi_w - i1,
+                                    context="batched affine step I2")
+    i2 = h * i1 - correction
+    for fi in np.nonzero(~(ok1 & ok2))[0]:
+        _phi, i1[fi], i2[fi] = affine_step_integrals(
+            a_stack[fi], h, phi=phi_w[fi])
+    return i1, i2
+
+
+def _reference_group_integrals(group, omegas, forcing, g_seg):
+    """Per-frequency fallback: fill ``g_seg`` for one defective group."""
+    idx = group.indices
+    h = group.duration
+    n = group.a_matrix.shape[0]
+    eye = np.eye(n)
+    f0 = forcing[idx, 0]
+    slope = (forcing[idx, 1] - f0) / h
+    for fi, omega in enumerate(omegas):
+        a_shifted = group.a_matrix.astype(complex) - 1j * omega * eye
+        phi_shifted = np.exp(-1j * omega * h) * group.phi
+        _phi, i1, i2 = affine_step_integrals(a_shifted, h, phi=phi_shifted)
+        g_seg[fi, idx] = f0 @ i1.T + slope @ i2.T
+
+
+def solve_spectral_batch(context, omegas, segment_forcing,
+                         condition_limit=None) -> BatchedSolveResult:
+    """Periodic steady state of ``dv/dt = (A−jω)v + f`` for all ω at once.
+
+    Batched counterpart of
+    :meth:`~repro.mft.context.SweepContext.solve_shifted`; see the
+    module docstring for the identities.  ``omegas`` is a 1-D float
+    array [rad/s] of finite frequencies; ``segment_forcing`` the usual
+    ``(S, 2, n)`` endpoint pairs.  With ``condition_limit`` given,
+    frequencies whose ``cond(I − M_ω)`` exceeds it are *masked out*
+    (``ok`` False) rather than raising — the engine reruns them through
+    the per-frequency fallback chain, which reproduces the reference
+    rejection and its fallback attempts exactly.
+    """
+    disc = context.disc
+    struct = context.structure
+    n = disc.n_states
+    n_seg = len(disc.segments)
+    forcing = np.asarray(segment_forcing)
+    if forcing.shape != (n_seg, 2, n):
+        raise ReproError(
+            f"segment forcing must have shape ({n_seg}, 2, {n}), "
+            f"got {forcing.shape}")
+    omegas = np.asarray(omegas, dtype=float).reshape(-1)
+    if not np.all(np.isfinite(omegas)):
+        raise ReproError("batched solve frequencies must be finite "
+                         "(filter non-finite inputs before the kernel)")
+    n_freq = omegas.size
+    bases = context.spectral_bases
+    fallback_groups = [g for g, basis in enumerate(bases)
+                       if not basis.diagonalizable]
+
+    if n_freq == 0:
+        return BatchedSolveResult(
+            omegas=omegas, integral=np.empty((0, n), dtype=complex),
+            v0=np.empty((0, n), dtype=complex),
+            conditions=np.empty(0, dtype=float),
+            ok=np.empty(0, dtype=bool), fallback_groups=fallback_groups)
+
+    # Per-segment forcing integrals g_k(ω) = I1(ω) f0 + I2(ω) slope,
+    # batched over frequencies.  Regimes mirror the per-ω reference
+    # (``affine_step_integrals``) so the two paths stay within the 1e-9
+    # equivalence budget: below the series threshold the reference's
+    # Taylor series and the eigenbasis scalar φ-series agree to rounding
+    # (and the scalar path needs no per-ω matrix work at all); at or
+    # above it the reference solves with the ill-conditioned ``A − jωI``
+    # whose ~cond·eps error is *algorithm-specific*, so the batch runs
+    # the very same LU through a stacked solve instead of the (more
+    # accurate, but differently-rounded) eigenbasis division.
+    g_seg = np.empty((n_freq, n_seg, n), dtype=complex)
+    eye_c = np.eye(n, dtype=complex)
+    norm_h_groups = [_group_norm_h(group.a_matrix, omegas, group.duration)
+                     for group in struct.groups]
+    for g, (group, basis) in enumerate(zip(struct.groups, bases)):
+        if not basis.diagonalizable:
+            _reference_group_integrals(group, omegas, forcing, g_seg)
+            continue
+        idx = np.asarray(group.indices)
+        h = group.duration
+        f0 = forcing[idx, 0]
+        slope = (forcing[idx, 1] - f0) / h
+        small = norm_h_groups[g] < SERIES_THRESHOLD
+        if np.any(small):
+            rows = np.nonzero(small)[0]
+            c0 = f0 @ basis.inverse.T
+            cs = slope @ basis.inverse.T
+            z = (basis.values[None, :] - 1j * omegas[rows, None]) * h
+            i1d, i2d = phi_scalar_integrals(z, h)
+            coeffs = (i1d[:, None, :] * c0[None, :, :]
+                      + i2d[:, None, :] * cs[None, :, :])
+            g_seg[rows[:, None], idx[None, :]] = coeffs @ basis.vectors.T
+        if not np.all(small):
+            rows = np.nonzero(~small)[0]
+            i1, i2 = _lu_step_integrals(group, omegas[rows], eye_c)
+            g_seg[rows[:, None], idx[None, :]] = (
+                np.einsum("fij,sj->fsi", i1, f0)
+                + np.einsum("fij,sj->fsi", i2, slope))
+
+    # One-period affine map, all frequencies at once:
+    # M_ω = e^{-jωT} M₀ and g_ω = Σ_k e^{-jω(T − t_end_k)} R_k g_k.
+    period = disc.period
+    phase_total = np.exp(-1j * omegas * period)
+    monodromy = context.monodromy.astype(complex)
+    eye = np.eye(n, dtype=complex)
+    m_stack = eye[None, :, :] - phase_total[:, None, None] * monodromy
+    conditions = batched_condition_number(m_stack)
+    tail_phase = np.exp(-1j * omegas[:, None]
+                        * (period - struct.t_end)[None, :])
+    g_acc = np.einsum("kij,fkj->fi", struct.suffix,
+                      tail_phase[:, :, None] * g_seg)
+    v0, ok = batched_solve(m_stack, g_acc,
+                           context="batched fixed-point solve")
+    if condition_limit is not None:
+        ok = ok & ~(conditions > condition_limit)
+
+    # One sequential pass through the period (inherently ordered),
+    # vectorized across the whole frequency block.
+    seg_phase = np.exp(-1j * omegas[:, None] * struct.durations[None, :])
+    pre = np.empty((n_freq, n_seg + 1, n), dtype=complex)
+    post = np.empty((n_freq, n_seg + 1, n), dtype=complex)
+    pre[:, 0] = v0
+    post[:, 0] = v0
+    v = v0
+    for k in range(n_seg):
+        v = seg_phase[:, k, None] * (v @ struct.phi_stack[k].T) \
+            + g_seg[:, k]
+        pre[:, k + 1] = v
+        if struct.has_jump[k]:
+            v = v @ struct.jumps[k].T
+        post[:, k + 1] = v
+
+    # Period integral per group: resolvent solve (in the eigenbasis for
+    # diagonalizable groups) above the stiffness threshold, derivative-
+    # corrected trapezoid below it — per (group, ω), exactly mirroring
+    # the per-frequency reference decision.
+    from .context import _RESOLVENT_NORM_THRESHOLD
+    integral = np.zeros((n_freq, n), dtype=complex)
+    for g, group in enumerate(struct.groups):
+        idx = group.indices
+        h = group.duration
+        a = group.a_matrix
+        post_g = post[:, idx]
+        pre_g = pre[:, idx + 1]
+        dpost_g = (post_g @ a.T
+                   - 1j * omegas[:, None, None] * post_g
+                   + forcing[None, idx, 0])
+        dpre_g = (pre_g @ a.T
+                  - 1j * omegas[:, None, None] * pre_g
+                  + forcing[None, idx, 1])
+        trapezoid = np.sum(
+            0.5 * h * (post_g + pre_g)
+            + h * h / 12.0 * (dpost_g - dpre_g), axis=1)
+        use_resolvent = norm_h_groups[g] > _RESOLVENT_NORM_THRESHOLD
+        if not np.any(use_resolvent):
+            integral += trapezoid
+            continue
+        f_int = 0.5 * h * (forcing[idx, 0] + forcing[idx, 1])
+        rhs = np.sum(pre_g - post_g - f_int[None, :, :], axis=1)
+        # Resolvent A_ω⁻¹ rhs through the same LAPACK LU the reference
+        # path uses (not eigenbasis division): A_ω is ill-conditioned
+        # exactly when the resolvent branch triggers (stiff segment,
+        # ‖A‖h large, |μ_min| ~ ω), and a cond(A_ω)·eps-sized solver
+        # difference would eat the 1e-9 equivalence budget.
+        a_shifted_stack = (a.astype(complex)[None, :, :]
+                           - 1j * omegas[:, None, None]
+                           * np.eye(n, dtype=complex)[None, :, :])
+        resolvent, solve_ok = batched_solve(
+            a_shifted_stack, rhs, context="segment integral resolvent")
+        good = use_resolvent & solve_ok
+        integral += np.where(good[:, None], resolvent, trapezoid)
+
+    return BatchedSolveResult(
+        omegas=omegas, integral=integral, v0=v0, conditions=conditions,
+        ok=ok, fallback_groups=fallback_groups)

@@ -9,7 +9,9 @@ artifact's schema on tiny workloads. See DESIGN.md §8.
 
 from .harness import (
     BENCH_FILENAME,
+    BENCH_HISTORY_LIMIT,
     BENCH_SCHEMA_VERSION,
+    append_history,
     load_bench,
     max_relative_difference,
     run_suite,
@@ -27,7 +29,9 @@ from .workloads import (
 
 __all__ = [
     "BENCH_FILENAME",
+    "BENCH_HISTORY_LIMIT",
     "BENCH_SCHEMA_VERSION",
+    "append_history",
     "AdaptiveSpec",
     "Workload",
     "default_workloads",

@@ -8,16 +8,31 @@ schema (the CI ``bench-smoke`` job uses both modes).
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 
 from ..errors import ReproError
 from .harness import (
     BENCH_FILENAME,
+    append_history,
     load_bench,
     run_suite,
     write_bench,
 )
 from .workloads import default_workloads, tiny_workloads, workload_by_name
+
+
+def _detect_git_sha() -> str:
+    """Short HEAD SHA for the history entry; "unknown" outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
 
 
 def _format_summary(data: dict) -> str:
@@ -47,6 +62,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="run only the named workload (repeatable)")
     parser.add_argument("--check", metavar="PATH", default=None,
                         help="validate an existing artifact and exit")
+    parser.add_argument("--git-sha", default=None,
+                        help="commit identifier recorded in the history "
+                             "entry (default: git rev-parse --short HEAD)")
+    parser.add_argument("--timestamp", default=None,
+                        help="timestamp recorded in the history entry "
+                             "(default: the run's generated_at)")
     args = parser.parse_args(argv)
 
     try:
@@ -60,6 +81,10 @@ def main(argv: list[str] | None = None) -> int:
             workloads = [workload_by_name(name, pool)
                          for name in args.workload]
         data = run_suite(workloads=workloads, tiny=args.tiny)
+        git_sha = (args.git_sha if args.git_sha is not None
+                   else _detect_git_sha())
+        append_history(data, args.output, git_sha=git_sha,
+                       timestamp=args.timestamp)
         path = write_bench(data, args.output)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")

@@ -12,7 +12,7 @@ can never silently trade correctness for wall clock.
 The JSON schema (validated by :func:`validate_bench`, checked in CI)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "suite": "sweep",
       "generated_at": "2026-01-01T00:00:00Z",
       "tiny": false,
@@ -27,6 +27,7 @@ The JSON schema (validated by :func:`validate_bench`, checked in CI)::
               "variant": "serial-uncached",
               "backend": "serial",
               "cache": false,
+              "solver": null,
               "wall_seconds": 0.37,
               "n_points": 64,
               "points_per_second": 172.0,
@@ -36,8 +37,24 @@ The JSON schema (validated by :func:`validate_bench`, checked in CI)::
             }, ...
           ]
         }, ...
+      ],
+      "history": [
+        {
+          "git_sha": "abc1234",
+          "timestamp": "2026-01-01T00:00:00Z",
+          "workloads": {
+            "sc-lowpass-sweep-64": {"serial-uncached": 0.37, ...}
+          }
+        }, ...
       ]
     }
+
+Schema v2 added the per-variant ``solver`` axis (``null`` for the per
+-frequency path, ``"spectral-batch"`` for the frequency-batched kernel)
+and the append-only ``history`` list: :func:`append_history` carries the
+prior artifact's history forward and appends one entry per recorded run,
+so ``BENCH_sweep.json`` preserves the perf trajectory across commits
+instead of overwriting it.
 """
 
 from __future__ import annotations
@@ -57,25 +74,31 @@ from ..mft.sweep import adaptive_frequency_grid
 from ..typing import FloatArray
 from .workloads import Workload, default_workloads, tiny_workloads
 
-#: Bump when the JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: Bump when the JSON layout changes incompatibly.  v2: per-variant
+#: ``solver`` axis + append-only ``history`` list.
+BENCH_SCHEMA_VERSION = 2
 
 #: Default artifact path, relative to the repository root.
 BENCH_FILENAME = "BENCH_sweep.json"
 
-#: The timing matrix: (variant name, cache enabled, executor backend).
-SWEEP_VARIANTS: tuple[tuple[str, bool, str], ...] = (
-    ("serial-uncached", False, "serial"),
-    ("serial-cached", True, "serial"),
-    ("parallel-uncached", False, "thread"),
-    ("parallel-cached", True, "thread"),
+#: Cap on retained history entries; the oldest are dropped first.
+BENCH_HISTORY_LIMIT = 200
+
+#: The timing matrix: (variant, cache enabled, executor backend, solver).
+SWEEP_VARIANTS: tuple[tuple[str, bool, str, str | None], ...] = (
+    ("serial-uncached", False, "serial", None),
+    ("serial-cached", True, "serial", None),
+    ("parallel-uncached", False, "thread", None),
+    ("parallel-cached", True, "thread", None),
+    ("serial-spectral", True, "serial", "spectral-batch"),
+    ("parallel-spectral", True, "thread", "spectral-batch"),
 )
 
 #: Adaptive refinement is inherently sequential (each bisection depends
 #: on the previous PSD values), so only the cache axis is timed.
-ADAPTIVE_VARIANTS: tuple[tuple[str, bool, str], ...] = (
-    ("serial-uncached", False, "serial"),
-    ("serial-cached", True, "serial"),
+ADAPTIVE_VARIANTS: tuple[tuple[str, bool, str, str | None], ...] = (
+    ("serial-uncached", False, "serial", None),
+    ("serial-cached", True, "serial", None),
 )
 
 
@@ -90,6 +113,7 @@ class VariantResult:
     n_points: int
     values: FloatArray
     cache_stats: dict[str, Any] | None
+    solver: str | None = None
 
     def to_dict(self, reference: "VariantResult") -> dict[str, Any]:
         rate = (self.n_points / self.wall_seconds
@@ -98,6 +122,7 @@ class VariantResult:
             "variant": self.variant,
             "backend": self.backend,
             "cache": self.cache,
+            "solver": self.solver,
             "wall_seconds": self.wall_seconds,
             "n_points": self.n_points,
             "points_per_second": rate,
@@ -134,8 +159,8 @@ def max_relative_difference(reference: FloatArray,
                  / scale)
 
 
-def _time_sweep(workload: Workload, cache: bool,
-                backend: str) -> VariantResult:
+def _time_sweep(workload: Workload, cache: bool, backend: str,
+                solver: str | None = None) -> VariantResult:
     """One cold timed run of a fixed-grid sweep workload."""
     system = workload.build()
     freqs = workload.frequencies()
@@ -143,7 +168,11 @@ def _time_sweep(workload: Workload, cache: bool,
     t0 = time.perf_counter()
     analyzer = MftNoiseAnalyzer(
         system, workload.segments_per_phase, cache=cache)
-    if backend == "serial":
+    if solver is not None:
+        result = analyzer.psd_sweep(
+            freqs, parallel=None if backend == "serial" else backend,
+            solver=solver)
+    elif backend == "serial":
         result = analyzer.psd(freqs)
     else:
         result = analyzer.psd_sweep(freqs, parallel=backend)
@@ -151,7 +180,7 @@ def _time_sweep(workload: Workload, cache: bool,
     stats = analyzer.cache_stats
     return VariantResult(
         variant="", backend=backend, cache=cache, wall_seconds=wall,
-        n_points=int(freqs.size), values=result.psd,
+        n_points=int(freqs.size), values=result.psd, solver=solver,
         cache_stats=stats.to_dict() if stats is not None else None)
 
 
@@ -181,9 +210,9 @@ def run_workload(workload: Workload) -> dict[str, Any]:
     variants = (SWEEP_VARIANTS if workload.kind == "sweep"
                 else ADAPTIVE_VARIANTS)
     results: list[VariantResult] = []
-    for name, cache, backend in variants:
+    for name, cache, backend, solver in variants:
         if workload.kind == "sweep":
-            run = _time_sweep(workload, cache, backend)
+            run = _time_sweep(workload, cache, backend, solver)
         else:
             run = _time_adaptive(workload, cache)
         run.variant = name
@@ -214,7 +243,49 @@ def run_suite(workloads: list[Workload] | None = None,
                                       time.gmtime()),
         "tiny": bool(tiny),
         "workloads": [run_workload(w) for w in workloads],
+        "history": [],
     }
+
+
+def append_history(data: dict[str, Any], path: str | Path,
+                   git_sha: str = "unknown",
+                   timestamp: str | None = None,
+                   limit: int = BENCH_HISTORY_LIMIT) -> dict[str, Any]:
+    """Fold the prior artifact's history into ``data`` and append this run.
+
+    Reads the existing artifact at ``path`` *leniently* — a missing,
+    corrupt, or pre-v2 file contributes no history rather than failing
+    the benchmark run — carries its ``history`` list forward, and
+    appends one entry for the current document: the git SHA and
+    timestamp identifying the run plus the per-workload
+    ``{variant: wall_seconds}`` timings.  At most ``limit`` entries are
+    kept (oldest dropped first).  Returns ``data`` mutated in place.
+    """
+    history: list[dict[str, Any]] = []
+    try:
+        prior = json.loads(Path(path).read_text())
+        prior_history = prior.get("history")
+        if isinstance(prior_history, list):
+            history = [entry for entry in prior_history
+                       if isinstance(entry, dict)]
+    except (OSError, ValueError, AttributeError):
+        pass
+    entry = {
+        "git_sha": str(git_sha),
+        "timestamp": (str(timestamp) if timestamp is not None
+                      else data.get("generated_at", "unknown")),
+        "tiny": bool(data.get("tiny", False)),
+        "workloads": {
+            workload["workload"]: {
+                variant["variant"]: variant["wall_seconds"]
+                for variant in workload["variants"]
+            }
+            for workload in data.get("workloads", [])
+        },
+    }
+    history.append(entry)
+    data["history"] = history[-int(limit):]
+    return data
 
 
 def write_bench(data: dict[str, Any], path: str | Path) -> Path:
@@ -229,11 +300,18 @@ _VARIANT_FIELDS: dict[str, type | tuple[type, ...]] = {
     "variant": str,
     "backend": str,
     "cache": bool,
+    "solver": (str, type(None)),
     "wall_seconds": (int, float),
     "n_points": int,
     "points_per_second": (int, float),
     "speedup_vs_serial_uncached": (int, float),
     "max_rel_diff_vs_serial_uncached": (int, float),
+}
+
+_HISTORY_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "git_sha": str,
+    "timestamp": str,
+    "workloads": dict,
 }
 
 
@@ -253,9 +331,26 @@ def validate_bench(data: dict[str, Any]) -> None:
             f"unsupported bench schema_version "
             f"{data.get('schema_version')!r}; expected "
             f"{BENCH_SCHEMA_VERSION}")
-    for key in ("suite", "generated_at", "tiny", "workloads"):
+    for key in ("suite", "generated_at", "tiny", "workloads", "history"):
         if key not in data:
             raise ReproError(f"bench document is missing {key!r}")
+    history = data["history"]
+    if not isinstance(history, list):
+        raise ReproError(
+            f"bench history must be a list, got "
+            f"{type(history).__name__}")
+    for entry in history:
+        if not isinstance(entry, dict):
+            raise ReproError(
+                f"history entry must be an object: {entry!r}")
+        for key, types in _HISTORY_FIELDS.items():
+            if key not in entry:
+                raise ReproError(
+                    f"history entry is missing {key!r}: {entry!r}")
+            if not isinstance(entry[key], types):
+                raise ReproError(
+                    f"history field {key!r} has type "
+                    f"{type(entry[key]).__name__}, expected {types}")
     workloads = data["workloads"]
     if not isinstance(workloads, list) or not workloads:
         raise ReproError("bench document must record >= 1 workload")

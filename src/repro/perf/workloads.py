@@ -77,6 +77,10 @@ def _sc_lowpass_grid() -> FloatArray:
     return np.linspace(100.0, 12e3, 64)
 
 
+def _sc_lowpass_grid_256() -> FloatArray:
+    return np.linspace(100.0, 12e3, 256)
+
+
 def default_workloads() -> list[Workload]:
     """The recorded benchmark set (≥ 3 workloads, see ISSUE/DESIGN §8).
 
@@ -98,6 +102,14 @@ def default_workloads() -> list[Workload]:
                         "linear sweep across the baseband",
             build=lambda: sc_lowpass_system().system,
             grid=_sc_lowpass_grid,
+        ),
+        Workload(
+            name="sc-lowpass-sweep-256",
+            description="SC low-pass filter, 256-point linear sweep; "
+                        "dense enough that the spectral-batch kernel's "
+                        "per-block amortization dominates",
+            build=lambda: sc_lowpass_system().system,
+            grid=_sc_lowpass_grid_256,
         ),
         Workload(
             name="sc-bandpass-adaptive",

@@ -108,6 +108,15 @@ PSD_CLIP_ATOL: float = 1e-12
 #: interpolant above which the adaptive sweep subdivides the interval.
 SWEEP_REFINE_DB: float = 0.5
 
+#: cond(V) of a segment group's eigenvector matrix above which the
+#: frequency-batched spectral kernel refuses the eigenbasis and routes
+#: that group through the per-frequency reference integrals instead.
+#: Round-tripping through the basis amplifies rounding by ~cond(V), so
+#: 1e6 bounds the eigenbasis contribution to ~1e-10 relative — an order
+#: under the 1e-9 spectral-batch equivalence gate.  A defective (Jordan)
+#: block returns numerically parallel eigenvectors with cond(V) ≫ this.
+SPECTRAL_EIGENBASIS_COND_LIMIT: float = 1e6
+
 # ---------------------------------------------------------------------------
 # Schedules and time grids
 # ---------------------------------------------------------------------------
@@ -134,5 +143,6 @@ __all__ = [
     "PSD_FLOOR",
     "PSD_CLIP_ATOL",
     "SWEEP_REFINE_DB",
+    "SPECTRAL_EIGENBASIS_COND_LIMIT",
     "SCHEDULE_TILE_RTOL",
 ]
