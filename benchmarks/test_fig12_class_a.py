@@ -24,7 +24,7 @@ from conftest import db, run_once
 
 def pipeline():
     params = ClassAParams()
-    analyzer = MftNoiseAnalyzer(class_a_system(params), 384)
+    analyzer = MftNoiseAnalyzer(class_a_system(params), segments_per_phase=384)
     f_pole = params.pole / (2.0 * np.pi)
     freqs = np.geomspace(f_pole / 30.0, 10.0 * f_pole, 13)
     spectrum = analyzer.psd(freqs)
@@ -40,10 +40,10 @@ def pipeline():
     # Companding: drive level modulates the noise.
     quiet = MftNoiseAnalyzer(
         class_a_system(ClassAParams(u_amplitude=0.05e-6)),
-        384).average_output_variance()
+        segments_per_phase=384).average_output_variance()
     loud = MftNoiseAnalyzer(
         class_a_system(ClassAParams(u_amplitude=0.9e-6)),
-        384).average_output_variance()
+        segments_per_phase=384).average_output_variance()
     return params, freqs, spectrum, variance, eq34_variance, quiet, loud
 
 

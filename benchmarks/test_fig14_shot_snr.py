@@ -29,7 +29,7 @@ def pipeline():
     params = ShotNoiseParams(m_index=10.0)
     orbit = shot_large_signal(params)
     system = shot_noise_system(params, orbit=orbit)
-    analyzer = MftNoiseAnalyzer(system, 384)
+    analyzer = MftNoiseAnalyzer(system, segments_per_phase=384)
     freqs = np.geomspace(5e3, 5e6, 12)
     spectrum = analyzer.psd(freqs)
     return snr_rows, freqs, spectrum

@@ -25,7 +25,7 @@ def pipeline():
     bf = brute_force_psd(model.system, [FREQ], segments_per_phase=SPP,
                          tol_db=0.1, window_periods=5, max_periods=5000)
     trace = bf.info["details"][0].trace
-    mft_value = MftNoiseAnalyzer(model.system, SPP).psd_at(FREQ)
+    mft_value = MftNoiseAnalyzer(model.system, segments_per_phase=SPP).psd_at(FREQ)
     return trace, mft_value
 
 

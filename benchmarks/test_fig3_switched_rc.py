@@ -34,7 +34,7 @@ def pipeline():
         t_hold = (1.0 - params.duty) * params.period
         freqs = np.linspace(100.0, 0.7 / t_hold, 25)
         psd = MftNoiseAnalyzer(switched_rc_system(params),
-                               64).psd(freqs).psd
+                               segments_per_phase=64).psd(freqs).psd
         rice = rice_switched_rc_psd(params, freqs)
         sh = rice_sampled_data_limit_psd(params, freqs)
         results.append((params, freqs, psd, rice, sh))

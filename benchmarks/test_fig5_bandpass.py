@@ -29,7 +29,7 @@ def pipeline():
     params = ScBandpassParams()
     model = sc_bandpass_system(params)
     freqs = np.linspace(1e3, 40e3, 40)
-    analyzer = MftNoiseAnalyzer(model.system, 24)
+    analyzer = MftNoiseAnalyzer(model.system, segments_per_phase=24)
     mft = analyzer.psd(freqs)
 
     check_freqs = np.array([5e3, params.f_center, 20e3])

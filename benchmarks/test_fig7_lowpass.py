@@ -28,10 +28,11 @@ def pipeline():
     freqs = np.linspace(200.0, 12e3, 36)
 
     follower = MftNoiseAnalyzer(
-        sc_lowpass_system(params).system, SPP).psd(freqs)
+        sc_lowpass_system(params).system,
+        segments_per_phase=SPP).psd(freqs)
     single = MftNoiseAnalyzer(
         sc_lowpass_system(opamp_model="single-stage").system,
-        SPP).psd(freqs)
+        segments_per_phase=SPP).psd(freqs)
 
     m, q, l_row = ideal_lowpass_model(
         params.c1, params.c2, params.c3,

@@ -32,7 +32,7 @@ def pipeline():
     spectra = {}
     for label, overrides in cases.items():
         system = sc_lowpass_system(**overrides).system
-        spectra[label] = MftNoiseAnalyzer(system, SPP).psd(PROBE).psd
+        spectra[label] = MftNoiseAnalyzer(system, segments_per_phase=SPP).psd(PROBE).psd
     return spectra
 
 

@@ -31,7 +31,7 @@ def pipeline():
     spectra = []
     for wu in WU_VALUES:
         system = sc_lowpass_system(opamp_wu=wu).system
-        spectra.append(MftNoiseAnalyzer(system, SPP).psd(PROBE).psd)
+        spectra.append(MftNoiseAnalyzer(system, segments_per_phase=SPP).psd(PROBE).psd)
     return spectra
 
 

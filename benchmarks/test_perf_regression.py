@@ -19,6 +19,7 @@ but skips the speedup assertion (tiny grids are dispatch-dominated).
 
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -191,3 +192,99 @@ class TestSpectralBatchGate:
         record = lambda f: (f.index, f.stage, f.error)  # noqa: E731
         assert ([record(f) for f in spectral.info["failures"]]
                 == [record(f) for f in reference.info["failures"]])
+
+
+class TestObservabilityGates:
+    """Acceptance gates of the repro.obs layer (schema v3)."""
+
+    def test_every_variant_records_stages(self, bench_data):
+        # Schema v3: each timed variant carries a non-empty per-span
+        # seconds breakdown, always including the sweep root.
+        assert bench_data["schema_version"] == 3
+        for entry in bench_data["workloads"]:
+            for variant in entry["variants"]:
+                stages = variant["stages"]
+                assert stages, (entry["workload"], variant["variant"])
+                root = ("mft.sweep" if entry["kind"] == "sweep"
+                        else "mft.solve")
+                assert root in stages, (entry["workload"],
+                                        variant["variant"],
+                                        sorted(stages))
+
+    def test_disabled_recorder_overhead_under_two_percent(self):
+        # The no-op recorder costs one attribute check plus one constant
+        # method call per instrumented event.  Measure that unit cost,
+        # count the events an instrumented sweep actually emits (spans +
+        # counter bumps + histogram samples, from an enabled run), and
+        # require events x unit cost < 2% of the sweep's wall-clock.
+        from repro.mft.context import clear_sweep_contexts
+        from repro.mft.engine import MftNoiseAnalyzer
+        from repro.obs import NULL_RECORDER, Recorder
+        from repro.perf.workloads import (
+            default_workloads,
+            tiny_workloads,
+            workload_by_name,
+        )
+
+        pool = tiny_workloads() if TINY else default_workloads()
+        workload = workload_by_name(HEADLINE_WORKLOAD, pool)
+        system = workload.build()
+        freqs = workload.frequencies()
+
+        clear_sweep_contexts()
+        rec = Recorder()
+        analyzer = MftNoiseAnalyzer(
+            system, segments_per_phase=workload.segments_per_phase,
+            recorder=rec)
+        t0 = time.perf_counter()
+        analyzer.psd(freqs)
+        wall = time.perf_counter() - t0
+        export = rec.export()
+        events = (len(export["spans"])
+                  + sum(export["counters"].values())
+                  + sum(len(v) for v in export["histograms"].values()))
+        assert events > 0
+
+        reps = 10000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            with NULL_RECORDER.span("x", a=1):
+                pass
+            NULL_RECORDER.count("c")
+            NULL_RECORDER.observe("h", 0.0)
+        unit = (time.perf_counter() - t0) / (3 * reps)
+
+        overhead = events * unit
+        assert overhead < 0.02 * wall, (
+            f"{events} events x {unit * 1e9:.0f} ns = "
+            f"{overhead * 1e3:.3f} ms against a {wall * 1e3:.1f} ms "
+            f"sweep ({overhead / wall:.1%}, need < 2%)")
+
+    def test_trace_attributes_95_percent_of_wall_clock(self):
+        # >= 95% of the sweep root's wall-clock must be covered by its
+        # direct children -- untraced gaps between spans stay under 5%.
+        from repro.mft.context import clear_sweep_contexts
+        from repro.mft.engine import MftNoiseAnalyzer
+        from repro.obs import Recorder, attributed_fraction
+        from repro.perf.workloads import (
+            default_workloads,
+            tiny_workloads,
+            workload_by_name,
+        )
+
+        pool = tiny_workloads() if TINY else default_workloads()
+        workload = workload_by_name(HEADLINE_WORKLOAD, pool)
+        system = workload.build()
+        freqs = workload.frequencies()
+        for parallel in (None, "thread"):
+            clear_sweep_contexts()
+            rec = Recorder()
+            analyzer = MftNoiseAnalyzer(
+                system, segments_per_phase=workload.segments_per_phase,
+                recorder=rec)
+            analyzer.psd_sweep(freqs, parallel=parallel)
+            fraction = attributed_fraction(rec, "mft.sweep")
+            assert fraction >= 0.95, (
+                f"parallel={parallel!r}: only {fraction:.1%} of the "
+                "sweep wall-clock is attributed to named spans")
+            assert rec.is_balanced()

@@ -31,7 +31,7 @@ N_FREQS = 8
 def _time_circuit(label, system, f_max, mc_kwargs):
     freqs = np.linspace(f_max / N_FREQS, f_max, N_FREQS)
 
-    analyzer = MftNoiseAnalyzer(system, SPP)
+    analyzer = MftNoiseAnalyzer(system, segments_per_phase=SPP)
     analyzer.covariance  # shared setup, counted separately
     t0 = time.perf_counter()
     mft = analyzer.psd(freqs)

@@ -41,13 +41,13 @@ def ablation_grid_density():
 
     lp = sc_lowpass_system().system
     freq_lp = 7.5e3
-    truth_lp = MftNoiseAnalyzer(lp, 768).psd_at(freq_lp)
+    truth_lp = MftNoiseAnalyzer(lp, segments_per_phase=768).psd_at(freq_lp)
 
     rows = []
     for spp in (4, 16, 64, 256):
-        err_rc = abs(MftNoiseAnalyzer(rc, spp).psd_at(freq_rc)
+        err_rc = abs(MftNoiseAnalyzer(rc, segments_per_phase=spp).psd_at(freq_rc)
                      - truth_rc) / truth_rc
-        err_lp = abs(MftNoiseAnalyzer(lp, spp).psd_at(freq_lp)
+        err_lp = abs(MftNoiseAnalyzer(lp, segments_per_phase=spp).psd_at(freq_lp)
                      - truth_lp) / truth_lp
         rows.append([spp, err_rc, err_lp])
     return rows
@@ -58,7 +58,7 @@ def ablation_boundary_layer():
     rows = []
     system = sc_lowpass_system().system
     for spp in (32, 64, 128, 512):
-        uniform = MftNoiseAnalyzer(system, spp).psd(freqs).psd
+        uniform = MftNoiseAnalyzer(system, segments_per_phase=spp).psd(freqs).psd
         disc_graded = system.discretize(spp, boundary_layer=True)
 
         class _Shim:
@@ -69,7 +69,7 @@ def ablation_boundary_layer():
             def discretize(_spp):
                 return disc_graded
 
-        graded = MftNoiseAnalyzer(_Shim(), spp).psd(freqs).psd
+        graded = MftNoiseAnalyzer(_Shim(), segments_per_phase=spp).psd(freqs).psd
         rows.append([spp] + list(uniform) + list(graded))
     return rows
 
@@ -94,7 +94,7 @@ def ablation_step_mode():
 def ablation_propagator_sharing():
     system = switched_rc_system(resistance=10e3, capacitance=1e-9,
                                 period=5e-5, duty=0.5)
-    analyzer = MftNoiseAnalyzer(system, 64)
+    analyzer = MftNoiseAnalyzer(system, segments_per_phase=64)
     analyzer.covariance
     freqs = np.linspace(1e3, 60e3, 32)
     t0 = time.perf_counter()

@@ -67,6 +67,7 @@ from .mft import (
     sweep_context_for,
 )
 from .noise import PsdResult, brute_force_psd, periodic_covariance
+from .obs import Recorder
 
 __version__ = "1.0.0"
 
@@ -94,4 +95,6 @@ __all__ = [
     "MftNoiseAnalyzer", "mft_psd",
     "SweepContext", "SweepExecutor", "sweep_context_for",
     "PsdResult", "brute_force_psd", "periodic_covariance",
+    # observability
+    "Recorder",
 ]

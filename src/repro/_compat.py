@@ -1,0 +1,43 @@
+"""Deprecation shims for API transitions.
+
+The analyzer constructors went keyword-only after the model/system
+argument (see DESIGN.md §9); :func:`absorb_positional` keeps the old
+positional call forms working for one release while warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Sequence
+
+__all__ = ["absorb_positional"]
+
+
+def absorb_positional(owner: str, names: Sequence[str],
+                      args: tuple[Any, ...],
+                      kwargs: dict[str, Any],
+                      stacklevel: int = 3) -> dict[str, Any]:
+    """Map legacy positional ``args`` onto ``names``, merging into kwargs.
+
+    Emits a :class:`DeprecationWarning` when any positional argument is
+    present, raises :class:`TypeError` on overflow or positional/keyword
+    conflict (matching what a real keyword-only signature would do).
+    Returns the merged keyword dict.
+    """
+    if not args:
+        return kwargs
+    if len(args) > len(names):
+        raise TypeError(
+            f"{owner}() takes at most {len(names) + 2} positional "
+            f"arguments ({len(args) + 2} given)")
+    warnings.warn(
+        f"passing {owner}() arguments positionally is deprecated; "
+        f"use keywords ({', '.join(names[:len(args)])}=...)",
+        DeprecationWarning, stacklevel=stacklevel)
+    merged = dict(kwargs)
+    for name, value in zip(names, args):
+        if name in merged:
+            raise TypeError(
+                f"{owner}() got multiple values for argument '{name}'")
+        merged[name] = value
+    return merged

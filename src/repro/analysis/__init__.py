@@ -5,7 +5,13 @@ netlist/model in, spectra and reports out — for users who don't want to
 assemble the engines by hand.
 """
 
+from ..diagnostics.budget import SweepBudget
+from ..noise.result import PsdResult
+from ..obs import Recorder
 from .api import NoiseAnalysis, compare_spectra
 from .spectrum import SpectrumComparison
 
-__all__ = ["NoiseAnalysis", "compare_spectra", "SpectrumComparison"]
+__all__ = [
+    "NoiseAnalysis", "PsdResult", "Recorder", "SpectrumComparison",
+    "SweepBudget", "compare_spectra",
+]

@@ -18,6 +18,7 @@ import logging
 
 import numpy as np
 
+from .._compat import absorb_positional
 from ..diagnostics.preflight import preflight_report
 from ..errors import ReproError
 from ..io.tables import format_table
@@ -27,6 +28,13 @@ from ..noise.snr import integrated_noise_power, snr_db
 from .spectrum import SpectrumComparison
 
 logger = logging.getLogger(__name__)
+
+_UNSET = object()
+
+#: Legacy positional order of the pre-redesign constructor; positional
+#: use is absorbed with a DeprecationWarning for one release.
+_CTOR_ORDER = ("segments_per_phase", "output_row", "preflight",
+               "fallback", "budget", "cache", "context")
 
 
 def _system_of(model_or_system):
@@ -43,19 +51,29 @@ class NoiseAnalysis:
     """High-level noise analysis of a switched circuit.
 
     Accepts either a :class:`~repro.circuit.statespace.SwitchedCircuitModel`
-    (netlist-based) or a bare LPTV system.
+    (netlist-based) or a bare LPTV system. All options after the model
+    are keyword-only; legacy positional use still works for one release
+    with a :class:`DeprecationWarning` (see DESIGN.md §9). Pass a
+    :class:`~repro.obs.Recorder` as ``recorder=`` to trace every solve —
+    the default is a shared no-op recorder costing one attribute check.
     """
 
-    def __init__(self, model_or_system, segments_per_phase=64,
-                 output_row=0, preflight=True, fallback=True,
-                 budget=None, cache=True, context=None):
+    def __init__(self, model_or_system, *args, segments_per_phase=_UNSET,
+                 output_row=_UNSET, preflight=_UNSET, fallback=_UNSET,
+                 budget=_UNSET, cache=_UNSET, context=_UNSET,
+                 recorder=_UNSET):
+        explicit = {name: value for name, value in (
+            ("segments_per_phase", segments_per_phase),
+            ("output_row", output_row), ("preflight", preflight),
+            ("fallback", fallback), ("budget", budget),
+            ("cache", cache), ("context", context),
+            ("recorder", recorder)) if value is not _UNSET}
+        params = absorb_positional("NoiseAnalysis", _CTOR_ORDER, args,
+                                   explicit)
         self.system, self.model = _system_of(model_or_system)
-        self.segments_per_phase = segments_per_phase
-        self.output_row = output_row
-        self.engine = MftNoiseAnalyzer(self.system, segments_per_phase,
-                                       output_row, preflight=preflight,
-                                       fallback=fallback, budget=budget,
-                                       cache=cache, context=context)
+        self.segments_per_phase = params.get("segments_per_phase", 64)
+        self.output_row = params.get("output_row", 0)
+        self.engine = MftNoiseAnalyzer(self.system, **params)
         if self.engine.preflight.has_warnings:
             logger.warning("preflight: %s",
                            self.engine.preflight.summary())
@@ -66,6 +84,19 @@ class NoiseAnalysis:
     def preflight(self):
         """Preflight findings gathered at construction."""
         return self.engine.preflight
+
+    @property
+    def recorder(self):
+        """The attached :class:`~repro.obs.Recorder` (no-op by default)."""
+        return self.engine.recorder
+
+    def trace_report(self, title="noise analysis trace"):
+        """Rendered span tree of everything recorded so far."""
+        return self.engine.trace_report(title=title)
+
+    def trace_export(self):
+        """JSON-ready dict of recorded spans, counters, histograms."""
+        return self.engine.trace_export()
 
     def check(self, stability_margin=1e-3, condition_limit=1e12):
         """Re-run preflight validation; returns the DiagnosticsReport.
@@ -79,8 +110,18 @@ class NoiseAnalysis:
 
     # -- spectra -------------------------------------------------------------
 
-    def psd(self, frequencies, on_failure="record", budget=None):
-        """Averaged double-sided PSD via the MFT steady-state engine.
+    def psd(self, frequencies, on_failure="record", budget=None,
+            solver=None, **solver_options):
+        """Averaged double-sided PSD of the selected output.
+
+        ``solver`` picks the engine by name — ``"mft"`` (default),
+        ``"spectral-batch"``, ``"brute-force"``, or ``"monte-carlo"`` —
+        with identical result conventions; unknown names raise
+        :class:`~repro.errors.ReproError` listing the choices.
+        ``solver_options`` are forwarded to the delegate engines
+        (e.g. ``tol_db=`` for brute force, ``n_trajectories=`` for
+        Monte-Carlo; ``frequencies`` must be ``None`` for Monte-Carlo,
+        which defines its own Welch grid).
 
         Per-frequency failures yield NaN plus records in
         ``result.info["failures"]`` (``on_failure="record"``, default)
@@ -88,11 +129,12 @@ class NoiseAnalysis:
         findings are in ``result.info["diagnostics"]``.
         """
         return self.engine.psd(frequencies, on_failure=on_failure,
-                               budget=budget)
+                               budget=budget, solver=solver,
+                               **solver_options)
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
-                  solver=None):
+                  solver=None, **solver_options):
         """Same as :meth:`psd` but through a parallel sweep executor.
 
         ``parallel="thread"`` or ``"process"`` runs independent
@@ -100,12 +142,15 @@ class NoiseAnalysis:
         same values, failure semantics, and diagnostics as :meth:`psd`.
         ``solver="spectral-batch"`` evaluates each chunk as one ω-block
         through the frequency-batched spectral kernel
-        (:mod:`repro.mft.spectral`).
+        (:mod:`repro.mft.spectral`); the delegate solvers
+        (``"brute-force"``, ``"monte-carlo"``) accept only
+        ``parallel=None`` or ``"serial"``.
         """
         return self.engine.psd_sweep(frequencies, parallel=parallel,
                                      max_workers=max_workers,
                                      chunk_size=chunk_size, budget=budget,
-                                     on_failure=on_failure, solver=solver)
+                                     on_failure=on_failure, solver=solver,
+                                     **solver_options)
 
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
                         **kwargs):
@@ -117,6 +162,7 @@ class NoiseAnalysis:
         """
         if self.engine.context is not None:
             kwargs.setdefault("context", self.engine.context)
+        kwargs.setdefault("recorder", self.engine.recorder)
         return brute_force_psd(self.system, frequencies,
                                output_row=self.output_row,
                                segments_per_phase=self.segments_per_phase,

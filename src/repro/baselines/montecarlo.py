@@ -89,7 +89,7 @@ def _uniform_discretization(system, samples_per_period, context=None):
 
 def simulate_trajectories(system, n_trajectories, n_periods,
                           samples_per_period=64, rng=None, burn_in=None,
-                          budget=None, context=None):
+                          budget=None, context=None, recorder=None):
     """Draw exact sample paths of the switched SDE.
 
     Returns ``(times, outputs)`` with ``outputs`` of shape
@@ -103,6 +103,9 @@ def simulate_trajectories(system, n_trajectories, n_periods,
     trajectory finished).
     """
     rng = np.random.default_rng(rng)
+    if recorder is None:
+        from ..obs import NULL_RECORDER
+        recorder = NULL_RECORDER
     budget = as_budget(budget)
     budget.start()
     disc, n_seg = _uniform_discretization(system, samples_per_period,
@@ -135,40 +138,45 @@ def simulate_trajectories(system, n_trajectories, n_periods,
     outputs = np.empty((n_trajectories, n_keep))
     dt = disc.period / n_seg
     completed = 0
-    for traj in range(n_trajectories):
-        reason = budget.exceeded()
-        if reason is not None:
-            if completed < 1:
-                raise BudgetExceededError(
-                    f"Monte-Carlo budget spent before the first "
-                    f"trajectory finished: {reason}",
-                    elapsed_seconds=budget.elapsed_seconds,
-                    spent_periods=budget.spent_periods)
-            logger.warning(
-                "Monte-Carlo budget spent after %d of %d trajectories "
-                "(%s); returning the completed subset", completed,
-                n_trajectories, reason)
-            break
-        x = np.zeros(n)
-        col = 0
-        for period in range(burn_in + n_periods):
-            keep = period >= burn_in
-            for k, seg in enumerate(disc.segments):
-                x = seg.phi @ x + factors[k] @ rng.standard_normal(n)
-                if seg.jump is not None:
-                    x = seg.jump @ x
-                if keep:
-                    outputs[traj, col] = l_row @ x
-                    col += 1
-        budget.charge_periods(burn_in + n_periods)
-        completed += 1
+    with recorder.span("monte-carlo.simulate",
+                       n_trajectories=int(n_trajectories),
+                       burn_in=int(burn_in)):
+        for traj in range(n_trajectories):
+            reason = budget.exceeded()
+            if reason is not None:
+                if completed < 1:
+                    raise BudgetExceededError(
+                        f"Monte-Carlo budget spent before the first "
+                        f"trajectory finished: {reason}",
+                        elapsed_seconds=budget.elapsed_seconds,
+                        spent_periods=budget.spent_periods)
+                logger.warning(
+                    "Monte-Carlo budget spent after %d of %d trajectories "
+                    "(%s); returning the completed subset", completed,
+                    n_trajectories, reason)
+                break
+            x = np.zeros(n)
+            col = 0
+            for period in range(burn_in + n_periods):
+                keep = period >= burn_in
+                for k, seg in enumerate(disc.segments):
+                    x = seg.phi @ x + factors[k] @ rng.standard_normal(n)
+                    if seg.jump is not None:
+                        x = seg.jump @ x
+                    if keep:
+                        outputs[traj, col] = l_row @ x
+                        col += 1
+            budget.charge_periods(burn_in + n_periods)
+            completed += 1
+            recorder.count("monte-carlo.trajectories")
     times = dt * np.arange(n_keep)
     return times, outputs[:completed]
 
 
 def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
                     samples_per_period=64, segment_periods=64,
-                    rng=None, output_row=0, budget=None, context=None):
+                    rng=None, output_row=0, budget=None, context=None,
+                    recorder=None):
     """Welch-estimated double-sided output PSD of the switched system.
 
     Parameters
@@ -187,11 +195,26 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
     MonteCarloResult
     """
     del output_row  # only the first output is simulated
+    if recorder is None:
+        from ..obs import NULL_RECORDER
+        recorder = NULL_RECORDER
     t0 = time.perf_counter()
     report = DiagnosticsReport(context="monte-carlo")
-    times, outputs = simulate_trajectories(
-        system, n_trajectories, n_periods, samples_per_period, rng,
-        budget=budget, context=context)
+    with recorder.span("monte-carlo.run",
+                       n_trajectories=int(n_trajectories),
+                       n_periods=int(n_periods)):
+        times, outputs = simulate_trajectories(
+            system, n_trajectories, n_periods, samples_per_period, rng,
+            budget=budget, context=context, recorder=recorder)
+        return _finish_welch(system, times, outputs, n_trajectories,
+                             n_periods, samples_per_period,
+                             segment_periods, report, recorder, t0)
+
+
+def _finish_welch(system, times, outputs, n_trajectories, n_periods,
+                  samples_per_period, segment_periods, report, recorder,
+                  t0):
+    """Welch-average the ensemble and assemble the result object."""
     if outputs.shape[0] < n_trajectories:
         report.warning(
             "partial-ensemble",
@@ -216,14 +239,16 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
     freqs = np.fft.rfftfreq(block, d=dt)
 
     per_traj = np.empty((outputs.shape[0], freqs.size))
-    for idx in range(outputs.shape[0]):
-        acc = np.zeros(freqs.size)
-        for b in range(n_blocks):
-            chunk = outputs[idx, b * block:(b + 1) * block] * window
-            spec = np.abs(np.fft.rfft(chunk)) ** 2
-            acc += spec
-        # Double-sided PSD: |X|^2 dt / sum(w^2)  (no factor 2).
-        per_traj[idx] = acc / n_blocks * dt / win_power
+    with recorder.span("monte-carlo.welch", n_blocks=int(n_blocks),
+                       block=int(block)):
+        for idx in range(outputs.shape[0]):
+            acc = np.zeros(freqs.size)
+            for b in range(n_blocks):
+                chunk = outputs[idx, b * block:(b + 1) * block] * window
+                spec = np.abs(np.fft.rfft(chunk)) ** 2
+                acc += spec
+            # Double-sided PSD: |X|^2 dt / sum(w^2)  (no factor 2).
+            per_traj[idx] = acc / n_blocks * dt / win_power
     mean = per_traj.mean(axis=0)
     stderr = per_traj.std(axis=0, ddof=1) / np.sqrt(outputs.shape[0])
     runtime = time.perf_counter() - t0

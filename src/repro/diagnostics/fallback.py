@@ -91,7 +91,7 @@ class FallbackExhausted(ReproError):
         self.frequency = frequency
 
 
-def run_fallback_chain(strategies, frequency, report=None):
+def run_fallback_chain(strategies, frequency, report=None, recorder=None):
     """Run ``strategies`` in order until one succeeds.
 
     ``strategies`` is a sequence of ``(name, callable)``; each callable
@@ -103,13 +103,22 @@ def run_fallback_chain(strategies, frequency, report=None):
     (with the attempt records attached) when every strategy fails. Each
     attempt is mirrored into ``report`` when one is given: INFO for the
     primary path, WARNING for engaged fallbacks, ERROR for exhaustion.
+    With an enabled ``recorder`` (:class:`repro.obs.Recorder`) every
+    attempt additionally becomes an ``mft.attempt`` child span of the
+    enclosing solve span, tagged with strategy and outcome.
     """
+    if recorder is None:
+        from ..obs import NULL_RECORDER
+        recorder = NULL_RECORDER
     attempts = []
     trigger = "primary"
     for name, solve in strategies:
         t0 = time.perf_counter()
+        recorder.count("fallback.attempts")
         try:
-            value = solve()
+            with recorder.span("mft.attempt", strategy=name) as span:
+                value = solve()
+                span.tag(success=True)
         except ReproError as exc:
             cost = time.perf_counter() - t0
             record = AttemptRecord(

@@ -71,6 +71,11 @@ class DiagnosticsReport:
         self.findings = list(findings) if findings else []
         #: Free-form label of what was analysed ("mft preflight", ...).
         self.context = context
+        #: Span summary of the run that produced this report (a list of
+        #: per-stage aggregate rows from :func:`repro.obs.span_summary`)
+        #: when an enabled recorder was attached; empty otherwise. Lets
+        #: a failure report carry its own timeline.
+        self.timeline = []
 
     # -- building -----------------------------------------------------------
 
@@ -140,6 +145,7 @@ class DiagnosticsReport:
                  "message": f.message, "data": dict(f.data)}
                 for f in self.findings
             ],
+            "timeline": [dict(row) for row in self.timeline],
         }
 
     def summary(self):

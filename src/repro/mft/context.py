@@ -77,20 +77,67 @@ _OMEGA_CACHE_LIMIT = 512
 
 @dataclass
 class CacheStats:
-    """Hit/miss/evict counters for every cached quantity of a context."""
+    """Hit/miss/evict counters for every cached quantity of a context.
+
+    Counters are monotonic for the lifetime of their context — nothing
+    (``warm_up`` included) ever resets them, so deltas between two
+    :meth:`snapshot` calls are meaningful. Increments are lock-guarded:
+    the thread sweep backend mutates one shared instance from many
+    workers, and a lost update would break the serial-vs-parallel
+    metric-count equality the observability tests assert. The lock is
+    dropped on pickle (process workers get a private copy) and rebuilt.
+    """
 
     hits: dict = field(default_factory=dict)
     misses: dict = field(default_factory=dict)
     evictions: dict = field(default_factory=dict)
 
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def hit(self, category):
-        self.hits[category] = self.hits.get(category, 0) + 1
+        with self._lock:
+            self.hits[category] = self.hits.get(category, 0) + 1
 
     def miss(self, category):
-        self.misses[category] = self.misses.get(category, 0) + 1
+        with self._lock:
+            self.misses[category] = self.misses.get(category, 0) + 1
 
     def evict(self, category):
-        self.evictions[category] = self.evictions.get(category, 0) + 1
+        with self._lock:
+            self.evictions[category] = self.evictions.get(category, 0) + 1
+
+    def snapshot(self):
+        """Point-in-time copy of all counters (for delta computation)."""
+        with self._lock:
+            return {
+                "hits": dict(self.hits),
+                "misses": dict(self.misses),
+                "evictions": dict(self.evictions),
+            }
+
+    @staticmethod
+    def delta(before, after):
+        """Per-category counter increments between two snapshots."""
+        out = {}
+        for kind in ("hits", "misses", "evictions"):
+            diffs = {}
+            prior = before.get(kind, {})
+            for category, count in after.get(kind, {}).items():
+                inc = count - prior.get(category, 0)
+                if inc:
+                    diffs[category] = inc
+            out[kind] = diffs
+        return out
 
     def total_hits(self):
         return int(sum(self.hits.values()))
@@ -103,13 +150,14 @@ class CacheStats:
 
     def to_dict(self):
         """JSON-friendly counters (used by the perf harness)."""
+        snap = self.snapshot()
         return {
-            "hits": dict(self.hits),
-            "misses": dict(self.misses),
-            "evictions": dict(self.evictions),
-            "total_hits": self.total_hits(),
-            "total_misses": self.total_misses(),
-            "total_evictions": self.total_evictions(),
+            "hits": snap["hits"],
+            "misses": snap["misses"],
+            "evictions": snap["evictions"],
+            "total_hits": int(sum(snap["hits"].values())),
+            "total_misses": int(sum(snap["misses"].values())),
+            "total_evictions": int(sum(snap["evictions"].values())),
         }
 
     def __str__(self):
@@ -453,7 +501,8 @@ class SweepContext:
                                 dpre=dpre, dpost=dpost, integral=integral,
                                 condition=condition, solver=solver)
 
-    def solve_batched(self, omegas, segment_forcing, condition_limit=None):
+    def solve_batched(self, omegas, segment_forcing, condition_limit=None,
+                      recorder=None):
         """Frequency-batched periodic steady state for a whole ω-block.
 
         Evaluates every frequency of ``omegas`` (1-D, rad/s, finite)
@@ -466,7 +515,8 @@ class SweepContext:
         """
         from .spectral import solve_spectral_batch
         return solve_spectral_batch(self, omegas, segment_forcing,
-                                    condition_limit=condition_limit)
+                                    condition_limit=condition_limit,
+                                    recorder=recorder)
 
     # -- misc ---------------------------------------------------------------
 
@@ -485,7 +535,10 @@ class SweepContext:
 
         Called before parallel dispatch so thread workers never race on
         lazy initialisation and process workers inherit the cached work
-        through the fork/pickle instead of recomputing it.
+        through the fork/pickle instead of recomputing it. Idempotent
+        with respect to :attr:`stats`: repeated warm-ups only *add*
+        hit counts — the counters are never reset, so accumulated
+        hit/miss history survives any number of warm-ups.
         """
         _ = self.structure, self.covariance, self.monodromy
         if l_row is not None:
@@ -528,7 +581,9 @@ def discretization_fingerprint(system, segments_per_phase):
     phases = getattr(system, "phases", None)
     if phases is None:
         digest.update(str(id(system)).encode())
-        digest.update(repr(float(system.period)).encode())
+        period = getattr(system, "period", None)
+        if period is not None:
+            digest.update(repr(float(period)).encode())
         return digest.hexdigest()
     for phase in phases:
         digest.update(phase.name.encode())

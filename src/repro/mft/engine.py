@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import absorb_positional
 from ..diagnostics.budget import as_budget
 from ..diagnostics.fallback import (
     FallbackExhausted,
@@ -58,10 +59,41 @@ from ..errors import ReproError
 from ..lptv.periodic_solve import forcing_from_samples, periodic_steady_state
 from ..noise.covariance import periodic_covariance
 from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
+from ..noise.solvers import resolve_solver
+from ..obs import NULL_RECORDER, format_trace, span_summary
 from ..tolerances import FIXED_POINT_RIDGE
-from .context import SweepContext, sweep_context_for
+from .context import CacheStats, SweepContext, sweep_context_for
 
 logger = logging.getLogger(__name__)
+
+_UNSET = object()
+
+#: Legacy positional order of the analyzer constructor arguments after
+#: ``system`` — consumed by the one-release deprecation shim.
+_CTOR_ORDER = ("segments_per_phase", "output_row", "preflight",
+               "fallback", "budget", "cache", "context")
+
+
+def _pick(params, name, default):
+    value = params.get(name, _UNSET)
+    return default if value is _UNSET else value
+
+
+def fold_cache_delta(recorder, before, after):
+    """Fold a cache-stats delta into a recorder's counters.
+
+    Emits ``cache.<kind>`` aggregates plus ``cache.<kind>.<category>``
+    per-category counters so serial and parallel sweeps over the same
+    grid report identical metric counts.
+    """
+    delta = CacheStats.delta(before, after)
+    for kind in ("hits", "misses", "evictions"):
+        diffs = delta[kind]
+        total = sum(diffs.values())
+        if total:
+            recorder.count(f"cache.{kind}", total)
+        for category, n in diffs.items():
+            recorder.count(f"cache.{kind}.{category}", n)
 
 
 @dataclass
@@ -114,11 +146,36 @@ class MftNoiseAnalyzer:
         from (its ``segments_per_phase`` takes precedence). Lets several
         engines — MFT, brute force, Monte Carlo — share one set of
         propagators and one covariance solve.
+    recorder:
+        An :class:`~repro.obs.Recorder` collecting spans and metrics
+        from every stage of the analysis (default: the shared no-op
+        recorder — tracing off, one attribute check per stage).
+
+    All parameters after ``system`` are keyword-only; positional use is
+    supported through a one-release :class:`DeprecationWarning` shim
+    (see DESIGN.md §9).
     """
 
-    def __init__(self, system, segments_per_phase=64, output_row=0,
-                 preflight=True, fallback=True, budget=None, cache=True,
-                 context=None):
+    def __init__(self, system, *args, segments_per_phase=_UNSET,
+                 output_row=_UNSET, preflight=_UNSET, fallback=_UNSET,
+                 budget=_UNSET, cache=_UNSET, context=_UNSET,
+                 recorder=_UNSET):
+        explicit = {name: value for name, value in (
+            ("segments_per_phase", segments_per_phase),
+            ("output_row", output_row), ("preflight", preflight),
+            ("fallback", fallback), ("budget", budget),
+            ("cache", cache), ("context", context),
+            ("recorder", recorder)) if value is not _UNSET}
+        params = absorb_positional("MftNoiseAnalyzer", _CTOR_ORDER,
+                                   args, explicit)
+        segments_per_phase = _pick(params, "segments_per_phase", 64)
+        output_row = _pick(params, "output_row", 0)
+        preflight = _pick(params, "preflight", True)
+        fallback = _pick(params, "fallback", True)
+        budget = _pick(params, "budget", None)
+        cache = _pick(params, "cache", True)
+        context = _pick(params, "context", None)
+        recorder = _pick(params, "recorder", None)
         if not hasattr(system, "discretize") or not hasattr(
                 system, "output_matrix"):
             raise ReproError(
@@ -126,6 +183,13 @@ class MftNoiseAnalyzer:
                 f"output_matrix), got {type(system).__name__}")
         self.system = system
         self.output_row = output_row
+        if recorder is None:
+            recorder = NULL_RECORDER
+        elif not (hasattr(recorder, "span") and hasattr(recorder, "count")):
+            raise ReproError(
+                "recorder must be a repro.obs.Recorder (or None), got "
+                f"{type(recorder).__name__}")
+        self.recorder = recorder
         self._l_row = np.asarray(system.output_matrix)[output_row].astype(
             float)
         if context is not None:
@@ -155,7 +219,8 @@ class MftNoiseAnalyzer:
             self.fallback = fallback
         self.budget = budget
         if preflight:
-            self.preflight = require_preflight(self._disc)
+            with self.recorder.span("mft.preflight"):
+                self.preflight = require_preflight(self._disc)
         else:
             self.preflight = DiagnosticsReport(context="preflight skipped")
 
@@ -237,7 +302,8 @@ class MftNoiseAnalyzer:
         This is the raw direct solve — it raises on failure. Sweeps that
         should survive per-frequency failures go through :meth:`psd`.
         """
-        return self._psd_at(frequency)
+        with self.recorder.span("mft.solve", frequency=float(frequency)):
+            return self._psd_at(frequency)
 
     def _sweep_raw(self, freqs, on_failure, budget, report):
         """Inner sweep loop shared by :meth:`psd` and the executor.
@@ -247,6 +313,7 @@ class MftNoiseAnalyzer:
         caller decides where negative-PSD clipping is diagnosed (once
         per sweep, not once per chunk).
         """
+        rec = self.recorder
         failures = []
         attempts_log = []
         values = np.full(freqs.shape, np.nan)
@@ -268,11 +335,16 @@ class MftNoiseAnalyzer:
                              index=idx)
                 logger.warning("recording NaN at index %d: %s", idx, exc)
                 continue
+            rec.count("sweep.frequencies")
             try:
-                value, attempts = run_fallback_chain(
-                    self._strategies(f, budget), f, report)
+                with rec.span("mft.solve", frequency=float(f)) as span:
+                    value, attempts = run_fallback_chain(
+                        self._strategies(f, budget), f, report,
+                        recorder=rec)
                 attempts_log.extend(attempts)
                 values[idx] = value
+                if rec.enabled:
+                    rec.observe("mft.solve_seconds", span.duration)
             except FallbackExhausted as exc:
                 attempts_log.extend(exc.attempts)
                 failures.append(FrequencyFailure(
@@ -302,6 +374,7 @@ class MftNoiseAnalyzer:
                 "solver='spectral-batch' needs the shared sweep context; "
                 "construct the analyzer with cache=True (the default) or "
                 "an explicit context=")
+        rec = self.recorder
         failures = []
         attempts_log = []
         values = np.full(freqs.shape, np.nan)
@@ -323,11 +396,14 @@ class MftNoiseAnalyzer:
         finite_idx = np.nonzero(finite_mask)[0]
         rescue_idx = []
         if finite_idx.size:
+            rec.count("sweep.frequencies", int(finite_idx.size))
             policy = self.fallback
-            batch = self._context.solve_batched(
-                2.0 * np.pi * freqs[finite_idx], self._forcing_pairs(),
-                condition_limit=(policy.condition_limit
-                                 if policy is not None else None))
+            with rec.span("spectral.batch", n=int(finite_idx.size)):
+                batch = self._context.solve_batched(
+                    2.0 * np.pi * freqs[finite_idx], self._forcing_pairs(),
+                    condition_limit=(policy.condition_limit
+                                     if policy is not None else None),
+                    recorder=rec)
             psd = (2.0 * np.real(batch.integral @ self._l_row)
                    / self._disc.period)
             ok = batch.ok & np.isfinite(psd)
@@ -353,10 +429,15 @@ class MftNoiseAnalyzer:
         for idx in rescue_idx:
             f = freqs[idx]
             try:
-                value, attempts = run_fallback_chain(
-                    self._strategies(f, budget), f, report)
+                with rec.span("mft.solve", frequency=float(f),
+                              rescued=True) as span:
+                    value, attempts = run_fallback_chain(
+                        self._strategies(f, budget), f, report,
+                        recorder=rec)
                 attempts_log.extend(attempts)
                 values[idx] = value
+                if rec.enabled:
+                    rec.observe("mft.solve_seconds", span.duration)
             except FallbackExhausted as exc:
                 attempts_log.extend(exc.attempts)
                 failures.append(FrequencyFailure(
@@ -368,7 +449,8 @@ class MftNoiseAnalyzer:
         failures.sort(key=lambda failure: failure.index)
         return values, failures, attempts_log
 
-    def psd(self, frequencies, on_failure="record", budget=None):
+    def psd(self, frequencies, on_failure="record", budget=None,
+            solver=None, **solver_options):
         """Averaged PSD over a frequency grid; returns a PsdResult.
 
         Each frequency runs through the graceful-degradation chain (when
@@ -380,21 +462,54 @@ class MftNoiseAnalyzer:
         ``budget`` (or the analyzer default) bounds the sweep wall
         clock: once spent, remaining frequencies are recorded as
         ``budget``-stage failures.
+
+        ``solver`` picks the engine by name — one of
+        :data:`repro.noise.solvers.SOLVERS` (``"mft"`` the default,
+        ``"spectral-batch"`` the frequency-batched kernel,
+        ``"brute-force"`` and ``"monte-carlo"`` the baselines, with
+        extra ``solver_options`` forwarded to the delegate). The
+        Monte-Carlo solver defines its own Welch frequency grid, so it
+        requires ``frequencies=None``.
         """
         if on_failure not in ("record", "raise"):
             raise ReproError(
                 f"on_failure must be 'record' or 'raise', "
                 f"got {on_failure!r}")
+        solver = resolve_solver(solver)
+        if solver in ("brute-force", "monte-carlo"):
+            return self._delegate_solver(solver, frequencies,
+                                         budget=budget,
+                                         on_failure=on_failure,
+                                         **solver_options)
+        if solver_options:
+            raise ReproError(
+                f"solver {solver!r} accepts no extra solver options, "
+                f"got {sorted(solver_options)}")
         freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
         budget = as_budget(budget if budget is not None else self.budget)
         budget.start()
         report = DiagnosticsReport(context="mft sweep")
         report.merge(self.preflight)
+        rec = self.recorder
+        mark = rec.mark()
+        stats = self.cache_stats
+        stats_before = stats.snapshot() if (rec.enabled
+                                            and stats is not None) else None
+        sweep = (self._sweep_batched if solver == "spectral-batch"
+                 else self._sweep_raw)
         t0 = time.perf_counter()
-        values, failures, attempts_log = self._sweep_raw(
-            freqs, on_failure, budget, report)
+        with rec.span("mft.sweep", solver=solver, n=int(freqs.size),
+                      backend="inline"):
+            values, failures, attempts_log = sweep(
+                freqs, on_failure, budget, report)
+            with rec.span("mft.clip"):
+                clipped = clip_negative_psd(freqs, values, report,
+                                            logger=logger)
         runtime = time.perf_counter() - t0
-        clipped = clip_negative_psd(freqs, values, report, logger=logger)
+        if rec.enabled:
+            if stats_before is not None:
+                fold_cache_delta(rec, stats_before, stats.snapshot())
+            report.timeline = span_summary(rec, since=mark)
         n_fallback = sum(1 for a in attempts_log
                          if a.success and a.trigger != "primary")
         if n_fallback:
@@ -406,6 +521,7 @@ class MftNoiseAnalyzer:
             output=self._output_name(),
             info={
                 "runtime_seconds": runtime,
+                "solver": solver,
                 "segments": len(self._disc.segments),
                 "negative_clipped": int(np.sum(
                     np.isfinite(values) & (values < 0.0))),
@@ -419,7 +535,7 @@ class MftNoiseAnalyzer:
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
-                  solver=None):
+                  solver=None, **solver_options):
         """Averaged PSD over a grid through a :class:`SweepExecutor`.
 
         ``parallel`` is ``None``/``"serial"`` for in-process execution,
@@ -429,20 +545,102 @@ class MftNoiseAnalyzer:
         ``budget`` gates the *dispatch* of new chunks (in-flight work is
         never killed). See :mod:`repro.mft.executor`.
 
-        ``solver="spectral-batch"`` evaluates each chunk as one ω-block
-        through the frequency-batched spectral kernel
-        (:mod:`repro.mft.spectral`): eigenbases once per segment group,
-        all frequencies of the block at once.  Values agree with the
-        per-ω path to ≤ 1e-9 relative with identical NaN masks and
-        failure records; it requires the shared sweep context
-        (``cache=True`` or an explicit ``context=``).
+        ``solver`` is the unified engine selector
+        (:data:`repro.noise.solvers.SOLVERS`):
+
+        * ``"mft"`` (default, also reachable as ``None``) — the
+          per-frequency fallback-chain sweep;
+        * ``"spectral-batch"`` — each chunk becomes one ω-block through
+          the frequency-batched spectral kernel
+          (:mod:`repro.mft.spectral`): eigenbases once per segment
+          group, all frequencies of the block at once.  Values agree
+          with the per-ω path to ≤ 1e-9 relative with identical NaN
+          masks and failure records; requires the shared sweep context
+          (``cache=True`` or an explicit ``context=``);
+        * ``"brute-force"`` / ``"monte-carlo"`` — delegate to the
+          baseline engines (serial only; extra ``solver_options`` are
+          forwarded).
         """
+        solver = resolve_solver(solver)
+        if solver in ("brute-force", "monte-carlo"):
+            if parallel not in (None, "serial"):
+                raise ReproError(
+                    f"solver {solver!r} runs serially; parallel="
+                    f"{parallel!r} is not supported — drop parallel= or "
+                    "use solver='mft'/'spectral-batch'")
+            return self._delegate_solver(solver, frequencies,
+                                         budget=budget,
+                                         on_failure=on_failure,
+                                         **solver_options)
+        if solver_options:
+            raise ReproError(
+                f"solver {solver!r} accepts no extra solver options, "
+                f"got {sorted(solver_options)}")
         from .executor import SweepExecutor
         executor = SweepExecutor(backend=parallel or "serial",
                                  max_workers=max_workers,
                                  chunk_size=chunk_size, solver=solver)
         return executor.run(self, frequencies, budget=budget,
                             on_failure=on_failure)
+
+    def _delegate_solver(self, solver, frequencies, budget=None,
+                         on_failure="record", **solver_options):
+        """Route ``solver="brute-force"|"monte-carlo"`` to the baselines.
+
+        The delegation forwards the analyzer's own output row, shared
+        sweep context, recorder, and (resolved) budget, so
+        ``psd(..., solver="brute-force")`` computes exactly what the
+        free function :func:`repro.noise.brute_force.brute_force_psd`
+        does with the same inputs.
+        """
+        budget = budget if budget is not None else self.budget
+        if solver == "brute-force":
+            from ..noise.brute_force import brute_force_psd
+            kwargs = dict(solver_options)
+            if self._context is not None:
+                kwargs.setdefault("context", self._context)
+            else:
+                kwargs.setdefault("segments_per_phase",
+                                  self.segments_per_phase)
+            return brute_force_psd(self.system, frequencies,
+                                   output_row=self.output_row,
+                                   on_failure=on_failure, budget=budget,
+                                   recorder=self.recorder, **kwargs)
+        from ..baselines.montecarlo import monte_carlo_psd
+        if frequencies is not None:
+            raise ReproError(
+                "solver='monte-carlo' estimates the PSD on its own Welch "
+                "frequency grid (f_clk / segment_periods resolution); "
+                "pass frequencies=None and read result.frequencies")
+        # The engine's context is NOT forwarded by default: Monte-Carlo
+        # spectral estimation needs a *uniform* sampling grid, which the
+        # boundary-layer-graded deterministic discretization usually is
+        # not. Pass context= in solver_options to share one explicitly.
+        mc = monte_carlo_psd(self.system, output_row=self.output_row,
+                             budget=budget, recorder=self.recorder,
+                             **solver_options)
+        result = mc.psd
+        result.info["standard_error"] = mc.standard_error
+        result.info["n_periods"] = mc.n_periods
+        return result
+
+    # -- tracing --------------------------------------------------------------
+
+    def trace_report(self, title="mft trace"):
+        """Tree-formatted table of every span the recorder holds.
+
+        Needs an enabled :class:`~repro.obs.Recorder` passed at
+        construction; with the default no-op recorder the report says
+        so instead of raising.
+        """
+        if not self.recorder.enabled:
+            return (f"{title}\n(tracing disabled — construct the "
+                    "analyzer with recorder=Recorder() to collect spans)")
+        return format_trace(self.recorder, title=title)
+
+    def trace_export(self):
+        """JSON-friendly dump of the recorder's spans and metrics."""
+        return self.recorder.export()
 
     # -- fallback machinery -------------------------------------------------
 
@@ -483,9 +681,10 @@ class MftNoiseAnalyzer:
             logger.info("building refined discretization: %d segments "
                         "per phase", segments)
             analyzer = MftNoiseAnalyzer(
-                self.system, segments, self.output_row,
-                preflight=False, fallback=False,
-                cache=self._context is not None)
+                self.system, segments_per_phase=segments,
+                output_row=self.output_row, preflight=False,
+                fallback=False, cache=self._context is not None,
+                recorder=self.recorder)
             self._refined[segments] = analyzer
         return analyzer
 
@@ -502,7 +701,8 @@ class MftNoiseAnalyzer:
             kwargs["context"] = self._context
         result = brute_force_psd(self.system, [frequency],
                                  output_row=self.output_row,
-                                 budget=budget, **kwargs)
+                                 budget=budget, recorder=self.recorder,
+                                 **kwargs)
         return float(result.psd[0])
 
     # -- other observables --------------------------------------------------
@@ -555,10 +755,12 @@ def mft_psd(system, frequencies, segments_per_phase=64, output_row=0,
     """One-call convenience wrapper around :class:`MftNoiseAnalyzer`.
 
     Keyword arguments (``preflight``, ``fallback``, ``budget``,
-    ``cache``, ``context``) are forwarded to the analyzer constructor.
+    ``cache``, ``context``, ``recorder``) are forwarded to the analyzer
+    constructor.
     """
-    analyzer = MftNoiseAnalyzer(system, segments_per_phase, output_row,
-                                **kwargs)
+    analyzer = MftNoiseAnalyzer(system,
+                                segments_per_phase=segments_per_phase,
+                                output_row=output_row, **kwargs)
     return analyzer.psd(frequencies)
 
 

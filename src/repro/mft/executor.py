@@ -45,6 +45,8 @@ from ..diagnostics.budget import as_budget
 from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
 from ..errors import ReproError
 from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
+from ..obs import span_summary
+from .engine import fold_cache_delta
 
 logger = logging.getLogger(__name__)
 
@@ -59,14 +61,17 @@ _DEFAULT_CHUNK = 8
 #: per-block trace recursion and stacked solves across more frequencies.
 _DEFAULT_SPECTRAL_CHUNK = 64
 
-_SOLVERS = (None, "spectral-batch")
+#: ``None`` and ``"mft"`` are the same per-frequency reference sweep —
+#: ``"mft"`` is the unified-API spelling (:mod:`repro.noise.solvers`).
+_SOLVERS = (None, "mft", "spectral-batch")
 
 
 def _default_workers():
     return max(1, (os.cpu_count() or 1))
 
 
-def _run_chunk(analyzer, frequencies, on_failure, solver=None):
+def _run_chunk(analyzer, frequencies, on_failure, solver=None,
+               parent_span=None, export_obs=False, submitted_at=None):
     """Worker body: sweep one chunk with a chunk-local report.
 
     Runs unbudgeted (the budget gates dispatch, not execution) and
@@ -75,15 +80,42 @@ def _run_chunk(analyzer, frequencies, on_failure, solver=None):
     ``solver="spectral-batch"`` the chunk is evaluated as one ω-block
     through the frequency-batched spectral kernel instead of the per
     -frequency loop.
+
+    Observability: the chunk runs inside an ``executor.chunk`` span
+    attached under ``parent_span`` (the dispatcher's span — worker
+    threads have an empty span stack of their own). With ``export_obs``
+    (the process backend, where the worker records into a *private*
+    pickled copy of the recorder) the spans and metrics recorded by
+    this chunk — including the chunk-local cache-stats delta — are
+    exported and returned as the fifth tuple element for the dispatcher
+    to merge; on the shared-recorder backends it is ``None`` and the
+    dispatcher folds one sweep-level delta instead.
     """
+    rec = analyzer.recorder
+    collect = export_obs and rec.enabled
+    checkpoint = rec.checkpoint() if collect else None
+    stats = analyzer.cache_stats
+    stats_before = (stats.snapshot()
+                    if collect and stats is not None else None)
+    if rec.enabled and submitted_at is not None:
+        rec.observe("executor.queue_seconds",
+                    max(0.0, time.perf_counter() - submitted_at))
     report = DiagnosticsReport(context="mft sweep chunk")
     budget = as_budget(None)
     budget.start()
     sweep = (analyzer._sweep_batched if solver == "spectral-batch"
              else analyzer._sweep_raw)
-    values, failures, attempts = sweep(
-        np.asarray(frequencies, dtype=float), on_failure, budget, report)
-    return values, failures, attempts, report.findings
+    with rec.span("executor.chunk", _parent=parent_span,
+                  n=int(len(frequencies)), pid=os.getpid()):
+        values, failures, attempts = sweep(
+            np.asarray(frequencies, dtype=float), on_failure, budget,
+            report)
+    obs = None
+    if collect:
+        if stats_before is not None:
+            fold_cache_delta(rec, stats_before, stats.snapshot())
+        obs = rec.export_since(checkpoint)
+    return values, failures, attempts, report.findings, obs
 
 
 class SweepExecutor:
@@ -118,7 +150,8 @@ class SweepExecutor:
                 f"unknown sweep solver {solver!r}; expected one of "
                 f"{_SOLVERS}")
         self.backend = backend
-        self.solver = solver
+        self.solver = None if solver == "mft" else solver
+        solver = self.solver
         self.max_workers = (int(max_workers) if max_workers is not None
                             else _default_workers())
         if self.max_workers < 1:
@@ -154,29 +187,64 @@ class SweepExecutor:
         budget.start()
         report = DiagnosticsReport(context="mft sweep")
         report.merge(analyzer.preflight)
+        rec = analyzer.recorder
+        mark = rec.mark()
+        cache_stats = analyzer.cache_stats
+        stats_before = (cache_stats.snapshot()
+                        if rec.enabled and cache_stats is not None
+                        else None)
         t0 = time.perf_counter()
-        analyzer.warm_up()
-        if self.solver == "spectral-batch":
-            if analyzer.context is None:
-                raise ReproError(
-                    "solver='spectral-batch' needs the shared sweep "
-                    "context; construct the analyzer with cache=True "
-                    "(the default) or an explicit context=")
-            # Materialise group eigenbases before dispatch so thread
-            # workers never race on the lazy property.
-            analyzer.context.spectral_bases
-        chunks = [(start, freqs[start:start + self.chunk_size])
-                  for start in range(0, freqs.size, self.chunk_size)]
-        if self.backend == "serial" or len(chunks) <= 1:
-            outputs, skipped_from = self._run_serial(
-                analyzer, chunks, budget, on_failure)
-        else:
-            outputs, skipped_from = self._run_pooled(
-                analyzer, chunks, budget, on_failure)
-        values, failures, attempts = self._merge(
-            freqs, chunks, outputs, skipped_from, budget, report)
+        with rec.span("mft.sweep", backend=self.backend,
+                      solver=self.solver or "mft",
+                      n=int(freqs.size)):
+            with rec.span("mft.warmup"):
+                analyzer.warm_up()
+                if self.solver == "spectral-batch":
+                    if analyzer.context is None:
+                        raise ReproError(
+                            "solver='spectral-batch' needs the shared "
+                            "sweep context; construct the analyzer with "
+                            "cache=True (the default) or an explicit "
+                            "context=")
+                    # Materialise group eigenbases before dispatch so
+                    # thread workers never race on the lazy property.
+                    analyzer.context.spectral_bases
+            chunks = [(start, freqs[start:start + self.chunk_size])
+                      for start in range(0, freqs.size, self.chunk_size)]
+            with rec.span("executor.dispatch",
+                          n_chunks=len(chunks)) as dispatch_span:
+                parent_span = (dispatch_span.span_id if rec.enabled
+                               else None)
+                if self.backend == "serial" or len(chunks) <= 1:
+                    outputs, skipped_from = self._run_serial(
+                        analyzer, chunks, budget, on_failure)
+                else:
+                    outputs, skipped_from = self._run_pooled(
+                        analyzer, chunks, budget, on_failure,
+                        parent_span)
+            with rec.span("executor.merge"):
+                for output in outputs:
+                    if output[4] is not None:
+                        rec.merge(output[4], parent_id=parent_span)
+                values, failures, attempts = self._merge(
+                    freqs, chunks, outputs, skipped_from, budget, report)
+            with rec.span("mft.clip"):
+                clipped = clip_negative_psd(freqs, values, report,
+                                            logger=logger)
         runtime = time.perf_counter() - t0
-        clipped = clip_negative_psd(freqs, values, report, logger=logger)
+        if rec.enabled:
+            rec.count("executor.chunks_dispatched", len(outputs))
+            if stats_before is not None:
+                # One parent-side delta. On the shared-context backends
+                # (serial/thread) it covers the whole sweep; on the
+                # process backend the workers mutate *private* context
+                # copies — their chunk-local deltas arrived through the
+                # merged exports, and the parent delta only adds the
+                # warm-up counts. Either way the totals match the
+                # serial sweep exactly.
+                fold_cache_delta(rec, stats_before,
+                                 cache_stats.snapshot())
+            report.timeline = span_summary(rec, since=mark)
         stats = analyzer.cache_stats
         return PsdResult(
             frequencies=freqs, psd=clipped, method="mft",
@@ -224,7 +292,8 @@ class SweepExecutor:
         return cf.ProcessPoolExecutor(max_workers=self.max_workers,
                                       mp_context=ctx)
 
-    def _run_pooled(self, analyzer, chunks, budget, on_failure):
+    def _run_pooled(self, analyzer, chunks, budget, on_failure,
+                    parent_span=None):
         """Bounded-in-flight dispatch with a budget gate between submits.
 
         At most ``max_workers`` chunks are in flight; before each new
@@ -247,7 +316,9 @@ class SweepExecutor:
                             break
                         future = pool.submit(
                             _run_chunk, analyzer,
-                            chunks[next_chunk][1], on_failure, self.solver)
+                            chunks[next_chunk][1], on_failure, self.solver,
+                            parent_span, self.backend == "process",
+                            time.perf_counter())
                         pending[future] = next_chunk
                         next_chunk += 1
                     if not pending:
@@ -274,7 +345,7 @@ class SweepExecutor:
         failures = []
         attempts = []
         for (start, chunk), (chunk_values, chunk_failures,
-                             chunk_attempts, findings) in zip(
+                             chunk_attempts, findings, _obs) in zip(
                 chunks, outputs):
             values[start:start + chunk.size] = chunk_values
             for failure in chunk_failures:

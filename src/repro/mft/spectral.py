@@ -241,7 +241,8 @@ def _reference_group_integrals(group, omegas, forcing, g_seg):
 
 
 def solve_spectral_batch(context, omegas, segment_forcing,
-                         condition_limit=None) -> BatchedSolveResult:
+                         condition_limit=None,
+                         recorder=None) -> BatchedSolveResult:
     """Periodic steady state of ``dv/dt = (A−jω)v + f`` for all ω at once.
 
     Batched counterpart of
@@ -253,7 +254,15 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     (``ok`` False) rather than raising — the engine reruns them through
     the per-frequency fallback chain, which reproduces the reference
     rejection and its fallback attempts exactly.
+
+    With an enabled ``recorder`` (:class:`repro.obs.Recorder`) the
+    kernel's stages — eigenbasis build, φ-integral stacking, batched
+    fixed-point solve, trace recursion, period integral — become child
+    spans of the caller's ``spectral.batch`` span.
     """
+    if recorder is None:
+        from ..obs import NULL_RECORDER
+        recorder = NULL_RECORDER
     disc = context.disc
     struct = context.structure
     n = disc.n_states
@@ -268,9 +277,12 @@ def solve_spectral_batch(context, omegas, segment_forcing,
         raise ReproError("batched solve frequencies must be finite "
                          "(filter non-finite inputs before the kernel)")
     n_freq = omegas.size
-    bases = context.spectral_bases
+    with recorder.span("spectral.eigenbasis"):
+        bases = context.spectral_bases
     fallback_groups = [g for g, basis in enumerate(bases)
                        if not basis.diagonalizable]
+    if fallback_groups:
+        recorder.count("spectral.fallback_groups", len(fallback_groups))
 
     if n_freq == 0:
         return BatchedSolveResult(
@@ -289,107 +301,117 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     # whose ~cond·eps error is *algorithm-specific*, so the batch runs
     # the very same LU through a stacked solve instead of the (more
     # accurate, but differently-rounded) eigenbasis division.
-    g_seg = np.empty((n_freq, n_seg, n), dtype=complex)
-    eye_c = np.eye(n, dtype=complex)
-    norm_h_groups = [_group_norm_h(group.a_matrix, omegas, group.duration)
-                     for group in struct.groups]
-    for g, (group, basis) in enumerate(zip(struct.groups, bases)):
-        if not basis.diagonalizable:
-            _reference_group_integrals(group, omegas, forcing, g_seg)
-            continue
-        idx = np.asarray(group.indices)
-        h = group.duration
-        f0 = forcing[idx, 0]
-        slope = (forcing[idx, 1] - f0) / h
-        small = norm_h_groups[g] < SERIES_THRESHOLD
-        if np.any(small):
-            rows = np.nonzero(small)[0]
-            c0 = f0 @ basis.inverse.T
-            cs = slope @ basis.inverse.T
-            z = (basis.values[None, :] - 1j * omegas[rows, None]) * h
-            i1d, i2d = phi_scalar_integrals(z, h)
-            coeffs = (i1d[:, None, :] * c0[None, :, :]
-                      + i2d[:, None, :] * cs[None, :, :])
-            g_seg[rows[:, None], idx[None, :]] = coeffs @ basis.vectors.T
-        if not np.all(small):
-            rows = np.nonzero(~small)[0]
-            i1, i2 = _lu_step_integrals(group, omegas[rows], eye_c)
-            g_seg[rows[:, None], idx[None, :]] = (
-                np.einsum("fij,sj->fsi", i1, f0)
-                + np.einsum("fij,sj->fsi", i2, slope))
+    with recorder.span("spectral.step-integrals", n_groups=len(bases)):
+        g_seg = np.empty((n_freq, n_seg, n), dtype=complex)
+        eye_c = np.eye(n, dtype=complex)
+        norm_h_groups = [_group_norm_h(group.a_matrix, omegas,
+                                       group.duration)
+                         for group in struct.groups]
+        for g, (group, basis) in enumerate(zip(struct.groups, bases)):
+            if not basis.diagonalizable:
+                with recorder.span("spectral.group-fallback", group=g):
+                    _reference_group_integrals(group, omegas, forcing,
+                                               g_seg)
+                continue
+            idx = np.asarray(group.indices)
+            h = group.duration
+            f0 = forcing[idx, 0]
+            slope = (forcing[idx, 1] - f0) / h
+            small = norm_h_groups[g] < SERIES_THRESHOLD
+            if np.any(small):
+                rows = np.nonzero(small)[0]
+                c0 = f0 @ basis.inverse.T
+                cs = slope @ basis.inverse.T
+                z = (basis.values[None, :] - 1j * omegas[rows, None]) * h
+                i1d, i2d = phi_scalar_integrals(z, h)
+                coeffs = (i1d[:, None, :] * c0[None, :, :]
+                          + i2d[:, None, :] * cs[None, :, :])
+                g_seg[rows[:, None], idx[None, :]] = (
+                    coeffs @ basis.vectors.T)
+            if not np.all(small):
+                rows = np.nonzero(~small)[0]
+                i1, i2 = _lu_step_integrals(group, omegas[rows], eye_c)
+                g_seg[rows[:, None], idx[None, :]] = (
+                    np.einsum("fij,sj->fsi", i1, f0)
+                    + np.einsum("fij,sj->fsi", i2, slope))
 
     # One-period affine map, all frequencies at once:
     # M_ω = e^{-jωT} M₀ and g_ω = Σ_k e^{-jω(T − t_end_k)} R_k g_k.
-    period = disc.period
-    phase_total = np.exp(-1j * omegas * period)
-    monodromy = context.monodromy.astype(complex)
-    eye = np.eye(n, dtype=complex)
-    m_stack = eye[None, :, :] - phase_total[:, None, None] * monodromy
-    conditions = batched_condition_number(m_stack)
-    tail_phase = np.exp(-1j * omegas[:, None]
-                        * (period - struct.t_end)[None, :])
-    g_acc = np.einsum("kij,fkj->fi", struct.suffix,
-                      tail_phase[:, :, None] * g_seg)
-    v0, ok = batched_solve(m_stack, g_acc,
-                           context="batched fixed-point solve")
-    if condition_limit is not None:
-        ok = ok & ~(conditions > condition_limit)
+    with recorder.span("spectral.solve", n=int(n_freq)):
+        period = disc.period
+        phase_total = np.exp(-1j * omegas * period)
+        monodromy = context.monodromy.astype(complex)
+        eye = np.eye(n, dtype=complex)
+        m_stack = eye[None, :, :] - phase_total[:, None, None] * monodromy
+        conditions = batched_condition_number(m_stack)
+        tail_phase = np.exp(-1j * omegas[:, None]
+                            * (period - struct.t_end)[None, :])
+        g_acc = np.einsum("kij,fkj->fi", struct.suffix,
+                          tail_phase[:, :, None] * g_seg)
+        v0, ok = batched_solve(m_stack, g_acc,
+                               context="batched fixed-point solve")
+        if condition_limit is not None:
+            ok = ok & ~(conditions > condition_limit)
 
     # One sequential pass through the period (inherently ordered),
     # vectorized across the whole frequency block.
-    seg_phase = np.exp(-1j * omegas[:, None] * struct.durations[None, :])
-    pre = np.empty((n_freq, n_seg + 1, n), dtype=complex)
-    post = np.empty((n_freq, n_seg + 1, n), dtype=complex)
-    pre[:, 0] = v0
-    post[:, 0] = v0
-    v = v0
-    for k in range(n_seg):
-        v = seg_phase[:, k, None] * (v @ struct.phi_stack[k].T) \
-            + g_seg[:, k]
-        pre[:, k + 1] = v
-        if struct.has_jump[k]:
-            v = v @ struct.jumps[k].T
-        post[:, k + 1] = v
+    with recorder.span("spectral.trace", n_segments=int(n_seg)):
+        seg_phase = np.exp(-1j * omegas[:, None]
+                           * struct.durations[None, :])
+        pre = np.empty((n_freq, n_seg + 1, n), dtype=complex)
+        post = np.empty((n_freq, n_seg + 1, n), dtype=complex)
+        pre[:, 0] = v0
+        post[:, 0] = v0
+        v = v0
+        for k in range(n_seg):
+            v = seg_phase[:, k, None] * (v @ struct.phi_stack[k].T) \
+                + g_seg[:, k]
+            pre[:, k + 1] = v
+            if struct.has_jump[k]:
+                v = v @ struct.jumps[k].T
+            post[:, k + 1] = v
 
     # Period integral per group: resolvent solve (in the eigenbasis for
     # diagonalizable groups) above the stiffness threshold, derivative-
     # corrected trapezoid below it — per (group, ω), exactly mirroring
     # the per-frequency reference decision.
     from .context import _RESOLVENT_NORM_THRESHOLD
-    integral = np.zeros((n_freq, n), dtype=complex)
-    for g, group in enumerate(struct.groups):
-        idx = group.indices
-        h = group.duration
-        a = group.a_matrix
-        post_g = post[:, idx]
-        pre_g = pre[:, idx + 1]
-        dpost_g = (post_g @ a.T
-                   - 1j * omegas[:, None, None] * post_g
-                   + forcing[None, idx, 0])
-        dpre_g = (pre_g @ a.T
-                  - 1j * omegas[:, None, None] * pre_g
-                  + forcing[None, idx, 1])
-        trapezoid = np.sum(
-            0.5 * h * (post_g + pre_g)
-            + h * h / 12.0 * (dpost_g - dpre_g), axis=1)
-        use_resolvent = norm_h_groups[g] > _RESOLVENT_NORM_THRESHOLD
-        if not np.any(use_resolvent):
-            integral += trapezoid
-            continue
-        f_int = 0.5 * h * (forcing[idx, 0] + forcing[idx, 1])
-        rhs = np.sum(pre_g - post_g - f_int[None, :, :], axis=1)
-        # Resolvent A_ω⁻¹ rhs through the same LAPACK LU the reference
-        # path uses (not eigenbasis division): A_ω is ill-conditioned
-        # exactly when the resolvent branch triggers (stiff segment,
-        # ‖A‖h large, |μ_min| ~ ω), and a cond(A_ω)·eps-sized solver
-        # difference would eat the 1e-9 equivalence budget.
-        a_shifted_stack = (a.astype(complex)[None, :, :]
-                           - 1j * omegas[:, None, None]
-                           * np.eye(n, dtype=complex)[None, :, :])
-        resolvent, solve_ok = batched_solve(
-            a_shifted_stack, rhs, context="segment integral resolvent")
-        good = use_resolvent & solve_ok
-        integral += np.where(good[:, None], resolvent, trapezoid)
+    with recorder.span("spectral.period-integral"):
+        integral = np.zeros((n_freq, n), dtype=complex)
+        for g, group in enumerate(struct.groups):
+            idx = group.indices
+            h = group.duration
+            a = group.a_matrix
+            post_g = post[:, idx]
+            pre_g = pre[:, idx + 1]
+            dpost_g = (post_g @ a.T
+                       - 1j * omegas[:, None, None] * post_g
+                       + forcing[None, idx, 0])
+            dpre_g = (pre_g @ a.T
+                      - 1j * omegas[:, None, None] * pre_g
+                      + forcing[None, idx, 1])
+            trapezoid = np.sum(
+                0.5 * h * (post_g + pre_g)
+                + h * h / 12.0 * (dpost_g - dpre_g), axis=1)
+            use_resolvent = norm_h_groups[g] > _RESOLVENT_NORM_THRESHOLD
+            if not np.any(use_resolvent):
+                integral += trapezoid
+                continue
+            f_int = 0.5 * h * (forcing[idx, 0] + forcing[idx, 1])
+            rhs = np.sum(pre_g - post_g - f_int[None, :, :], axis=1)
+            # Resolvent A_ω⁻¹ rhs through the same LAPACK LU the
+            # reference path uses (not eigenbasis division): A_ω is
+            # ill-conditioned exactly when the resolvent branch triggers
+            # (stiff segment, ‖A‖h large, |μ_min| ~ ω), and a
+            # cond(A_ω)·eps-sized solver difference would eat the 1e-9
+            # equivalence budget.
+            a_shifted_stack = (a.astype(complex)[None, :, :]
+                               - 1j * omegas[:, None, None]
+                               * np.eye(n, dtype=complex)[None, :, :])
+            resolvent, solve_ok = batched_solve(
+                a_shifted_stack, rhs, context="segment integral resolvent")
+            good = use_resolvent & solve_ok
+            integral += np.where(good[:, None], resolvent, trapezoid)
 
     return BatchedSolveResult(
         omegas=omegas, integral=integral, v0=v0, conditions=conditions,

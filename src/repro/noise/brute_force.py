@@ -62,7 +62,8 @@ class BruteForceResult:
 def brute_force_psd(system, frequencies, output_row=0,
                     segments_per_phase=64, tol_db=0.1, window_periods=5,
                     max_periods=20000, min_periods=8, step_mode="exact",
-                    on_failure="raise", budget=None, context=None):
+                    on_failure="raise", budget=None, context=None,
+                    recorder=None):
     """Compute the average output PSD at the given frequencies [Hz].
 
     Returns a :class:`~repro.noise.result.PsdResult`; per-frequency
@@ -82,11 +83,16 @@ def brute_force_psd(system, frequencies, output_row=0,
     (:class:`~repro.diagnostics.budget.SweepBudget` or wall-clock
     seconds) bounds the whole sweep; the deadline is also checked
     *inside* the per-period loop so one pathological frequency cannot
-    hang the sweep.
+    hang the sweep. A ``recorder`` (:class:`~repro.obs.Recorder`) traces
+    the sweep: one ``brute-force.sweep`` root span with a
+    ``brute-force.solve`` child per frequency.
     """
     if on_failure not in ("raise", "record"):
         raise ReproError(
             f"on_failure must be 'raise' or 'record', got {on_failure!r}")
+    if recorder is None:
+        from ..obs import NULL_RECORDER
+        recorder = NULL_RECORDER
     freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
     budget = as_budget(budget)
     budget.start()
@@ -98,6 +104,36 @@ def brute_force_psd(system, frequencies, output_row=0,
     failures = []
     psd_values = np.full(freqs.shape, np.nan)
     t_start = time.perf_counter()
+    with recorder.span("brute-force.sweep", n=int(freqs.size),
+                       step_mode=step_mode):
+        _sweep_loop(disc, l_row, freqs, tol_db, window_periods,
+                    max_periods, min_periods, step_mode, on_failure,
+                    budget, recorder, report, details, failures,
+                    psd_values)
+    runtime = time.perf_counter() - t_start
+    ok_periods = int(sum(d.periods for d in details if d is not None))
+    logger.debug("brute-force sweep: %d frequencies, %d periods, %.3g s",
+                 freqs.size, ok_periods, runtime)
+    return PsdResult(
+        frequencies=freqs, psd=psd_values,
+        method=f"brute-force/{step_mode}",
+        output=system.output_names[output_row]
+        if hasattr(system, "output_names") else "",
+        info={
+            "details": details,
+            "tol_db": tol_db,
+            "window_periods": window_periods,
+            "runtime_seconds": runtime,
+            "total_periods": ok_periods,
+            "diagnostics": report,
+            "failures": failures,
+        })
+
+
+def _sweep_loop(disc, l_row, freqs, tol_db, window_periods, max_periods,
+                min_periods, step_mode, on_failure, budget, recorder,
+                report, details, failures, psd_values):
+    """Per-frequency loop of :func:`brute_force_psd` (mutates outputs)."""
     for idx, f in enumerate(freqs):
         reason = budget.exceeded()
         if reason is not None:
@@ -131,10 +167,17 @@ def brute_force_psd(system, frequencies, output_row=0,
                 error=type(exc).__name__, message=str(exc)))
             details.append(None)
             continue
+        recorder.count("sweep.frequencies")
         try:
-            detail = _single_frequency(disc, l_row, f, tol_db,
-                                       window_periods, max_periods,
-                                       min_periods, step_mode, budget)
+            with recorder.span("brute-force.solve",
+                               frequency=float(f)) as span:
+                detail = _single_frequency(disc, l_row, f, tol_db,
+                                           window_periods, max_periods,
+                                           min_periods, step_mode, budget)
+                span.tag(periods=int(detail.periods))
+            if recorder.enabled:
+                recorder.observe("brute-force.solve_seconds",
+                                 span.duration)
         except (ConvergenceError, BudgetExceededError) as exc:
             periods = getattr(exc, "iterations", None) or 0
             budget.charge_periods(periods)
@@ -154,24 +197,6 @@ def brute_force_psd(system, frequencies, output_row=0,
         budget.charge_periods(detail.periods)
         details.append(detail)
         psd_values[idx] = detail.psd
-    runtime = time.perf_counter() - t_start
-    ok_periods = int(sum(d.periods for d in details if d is not None))
-    logger.debug("brute-force sweep: %d frequencies, %d periods, %.3g s",
-                 freqs.size, ok_periods, runtime)
-    return PsdResult(
-        frequencies=freqs, psd=psd_values,
-        method=f"brute-force/{step_mode}",
-        output=system.output_names[output_row]
-        if hasattr(system, "output_names") else "",
-        info={
-            "details": details,
-            "tol_db": tol_db,
-            "window_periods": window_periods,
-            "runtime_seconds": runtime,
-            "total_periods": ok_periods,
-            "diagnostics": report,
-            "failures": failures,
-        })
 
 
 def _shifted_step_integrals(disc, omega):

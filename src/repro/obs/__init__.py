@@ -1,0 +1,42 @@
+"""Tracing and metrics for the noise engines (``repro.obs``).
+
+Quickstart::
+
+    from repro import NoiseAnalysis
+    from repro.obs import Recorder
+
+    rec = Recorder()
+    analysis = NoiseAnalysis(model, recorder=rec)
+    analysis.psd_sweep(freqs)
+    report = analysis.trace_report()  # rendered span tree
+
+Everything here is stdlib-only (``threading`` + ``time``); the default
+:data:`NULL_RECORDER` keeps instrumented hot paths at one attribute
+check when tracing is off.
+"""
+
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    SpanHandle,
+    SpanRecord,
+)
+from .render import (
+    attributed_fraction,
+    format_trace,
+    span_summary,
+    stage_totals,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanHandle",
+    "SpanRecord",
+    "attributed_fraction",
+    "format_trace",
+    "span_summary",
+    "stage_totals",
+]

@@ -1,0 +1,170 @@
+"""Rendering and aggregation helpers for recorded traces.
+
+These operate on :class:`~repro.obs.recorder.SpanRecord` lists (or a
+:class:`~repro.obs.recorder.Recorder`) and never mutate them, so they
+are safe to call while a sweep is still running.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..io.tables import format_table
+from .recorder import Recorder, SpanRecord
+
+__all__ = [
+    "attributed_fraction",
+    "format_trace",
+    "span_summary",
+    "stage_totals",
+]
+
+
+def _as_spans(source: Recorder | Sequence[SpanRecord],
+              since: int = 0) -> list[SpanRecord]:
+    if isinstance(source, Recorder):
+        return source.spans[since:]
+    return list(source)[since:]
+
+
+def stage_totals(source: Recorder | Sequence[SpanRecord],
+                 since: int = 0) -> dict[str, float]:
+    """Total seconds per span name, summed over every closed span.
+
+    Nested spans are *not* subtracted from their parents — the totals
+    answer "how much wall-clock did stage X account for", the same
+    convention profilers use for cumulative time.
+    """
+    totals: dict[str, float] = {}
+    for span in _as_spans(source, since):
+        if not span.closed:
+            continue
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration
+    return totals
+
+
+def attributed_fraction(source: Recorder | Sequence[SpanRecord],
+                        root_name: str, since: int = 0) -> float:
+    """Fraction of the root span's wall-clock covered by its children.
+
+    Finds the longest closed span named ``root_name`` and sums the
+    durations of its *direct* children; returns children / root. This
+    is the "≥ 95 % of the sweep is attributed to named stages" metric:
+    values near 1.0 mean the instrumentation explains essentially all
+    of the wall-clock, values well below 1.0 mean there is untraced
+    time hiding between spans.
+    """
+    spans = _as_spans(source, since)
+    roots = [s for s in spans if s.name == root_name and s.closed]
+    if not roots:
+        return 0.0
+    root = max(roots, key=lambda s: s.duration)
+    if root.duration <= 0.0:
+        return 0.0
+    covered = sum(s.duration for s in spans
+                  if s.parent_id == root.span_id and s.closed)
+    return covered / root.duration
+
+
+def span_summary(source: Recorder | Sequence[SpanRecord],
+                 since: int = 0) -> list[dict[str, Any]]:
+    """Per-name aggregate rows: count, total/mean/max seconds.
+
+    Sorted by descending total — the shape attached to
+    ``DiagnosticsReport.timeline`` so failure reports carry their own
+    cost breakdown.
+    """
+    spans = _as_spans(source, since)
+    counts: dict[str, int] = {}
+    totals: dict[str, float] = {}
+    maxima: dict[str, float] = {}
+    for span in spans:
+        if not span.closed:
+            continue
+        counts[span.name] = counts.get(span.name, 0) + 1
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        maxima[span.name] = max(maxima.get(span.name, 0.0), span.duration)
+    rows = [
+        {
+            "name": name,
+            "count": counts[name],
+            "total_seconds": totals[name],
+            "mean_seconds": totals[name] / counts[name],
+            "max_seconds": maxima[name],
+        }
+        for name in counts
+    ]
+    rows.sort(key=lambda row: float(row["total_seconds"]), reverse=True)
+    return rows
+
+
+_MAX_TREE_ROWS = 200
+
+
+def format_trace(source: Recorder | Sequence[SpanRecord],
+                 since: int = 0, title: str = "trace") -> str:
+    """Tree-formatted trace table (via :func:`repro.io.tables`).
+
+    Repeated siblings of the same name under the same parent are rolled
+    up into one ``name ×N`` row (a 256-point sweep would otherwise print
+    256 ``mft.solve`` lines), keeping the report readable at any sweep
+    size; the table is additionally capped at ``200`` rows.
+    """
+    spans = _as_spans(source, since)
+    if not spans:
+        return f"{title}\n(no spans recorded)"
+
+    known = {span.span_id for span in spans}
+    children: dict[int | None, list[SpanRecord]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in known else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.start)
+
+    # Roll up by *name path*: spans sharing the same chain of ancestor
+    # names collapse into one ``name ×N`` row even when their parents
+    # are distinct spans (64 ``mft.solve`` parents each with one
+    # ``mft.attempt`` child print as two rows, not 128).
+    GroupKey = tuple  # (parent_group_key | None, name)
+    groups: dict[GroupKey, list[SpanRecord]] = {}
+    order: list[tuple[GroupKey, int, SpanRecord]] = []
+
+    def visit(parent_id: int | None, parent_key: GroupKey | None,
+              depth: int) -> None:
+        for span in children.get(parent_id, []):
+            key = (parent_key, span.name)
+            if key not in groups:
+                groups[key] = []
+                order.append((key, depth, span))
+            groups[key].append(span)
+            visit(span.span_id, key, depth + 1)
+
+    visit(None, None, 0)
+
+    rows: list[tuple[str, object, object, object]] = []
+    truncated = 0
+    for key, depth, first in order:
+        group = groups[key]
+        total = sum(s.duration for s in group if s.closed)
+        open_count = sum(1 for s in group if not s.closed)
+        label = "  " * depth + first.name
+        if len(group) > 1:
+            label += f" ×{len(group)}"
+        if open_count:
+            label += " (open)"
+        tag_text = ", ".join(f"{k}={v}" for k, v in first.tags.items())
+        if len(group) > 1 and tag_text:
+            tag_text = ""
+        if len(rows) >= _MAX_TREE_ROWS:
+            truncated += 1
+            continue
+        rows.append((label, len(group), total, tag_text))
+
+    table = format_table(
+        ["span", "count", "seconds", "tags"],
+        [list(row) for row in rows],
+        title=title)
+    if truncated:
+        table += f"\n... ({truncated} more span groups)"
+    return table

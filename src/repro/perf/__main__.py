@@ -2,14 +2,19 @@
 
 Runs the sweep benchmark suite and writes the machine-readable artifact;
 ``--check PATH`` instead validates an existing artifact against the
-schema (the CI ``bench-smoke`` job uses both modes).
+schema, and ``--trace PATH`` additionally dumps the full span/counter
+export of every timed variant as a JSON trace artifact (the CI
+``bench-smoke`` job uses all three).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import subprocess
 import sys
+from pathlib import Path
+from typing import Any
 
 from ..errors import ReproError
 from .harness import (
@@ -62,6 +67,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="run only the named workload (repeatable)")
     parser.add_argument("--check", metavar="PATH", default=None,
                         help="validate an existing artifact and exit")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also write the per-variant span/counter "
+                             "exports as a JSON trace artifact")
     parser.add_argument("--git-sha", default=None,
                         help="commit identifier recorded in the history "
                              "entry (default: git rev-parse --short HEAD)")
@@ -80,17 +88,25 @@ def main(argv: list[str] | None = None) -> int:
             pool = tiny_workloads() if args.tiny else default_workloads()
             workloads = [workload_by_name(name, pool)
                          for name in args.workload]
-        data = run_suite(workloads=workloads, tiny=args.tiny)
+        trace_sink: dict[str, Any] | None = (
+            {} if args.trace is not None else None)
+        data = run_suite(workloads=workloads, tiny=args.tiny,
+                         trace_sink=trace_sink)
         git_sha = (args.git_sha if args.git_sha is not None
                    else _detect_git_sha())
         append_history(data, args.output, git_sha=git_sha,
                        timestamp=args.timestamp)
         path = write_bench(data, args.output)
+        if args.trace is not None:
+            Path(args.trace).write_text(
+                json.dumps(trace_sink, indent=2) + "\n")
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")
         return 1
     sys.stdout.write(_format_summary(data) + "\n")
     sys.stdout.write(f"wrote {path}\n")
+    if args.trace is not None:
+        sys.stdout.write(f"wrote {args.trace}\n")
     return 0
 
 

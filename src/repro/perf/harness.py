@@ -12,7 +12,7 @@ can never silently trade correctness for wall clock.
 The JSON schema (validated by :func:`validate_bench`, checked in CI)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "suite": "sweep",
       "generated_at": "2026-01-01T00:00:00Z",
       "tiny": false,
@@ -32,6 +32,7 @@ The JSON schema (validated by :func:`validate_bench`, checked in CI)::
               "n_points": 64,
               "points_per_second": 172.0,
               "cache_stats": null,
+              "stages": {"mft.sweep": 0.36, "mft.solve": 0.34, ...},
               "speedup_vs_serial_uncached": 1.0,
               "max_rel_diff_vs_serial_uncached": 0.0
             }, ...
@@ -55,6 +56,13 @@ and the append-only ``history`` list: :func:`append_history` carries the
 prior artifact's history forward and appends one entry per recorded run,
 so ``BENCH_sweep.json`` preserves the perf trajectory across commits
 instead of overwriting it.
+
+Schema v3 adds the per-variant ``stages`` block: every timed run now
+attaches a :class:`~repro.obs.Recorder` and reports cumulative seconds
+per named span (:func:`repro.obs.stage_totals`), so a wall-clock
+regression can be localised to eigenbasis construction versus the
+batched solve versus dispatch overhead without rerunning anything.
+History entries are unchanged — pre-v3 history carries forward as-is.
 """
 
 from __future__ import annotations
@@ -71,12 +79,14 @@ from ..errors import ReproError
 from ..mft.context import clear_sweep_contexts
 from ..mft.engine import MftNoiseAnalyzer
 from ..mft.sweep import adaptive_frequency_grid
+from ..obs import Recorder, stage_totals
 from ..typing import FloatArray
 from .workloads import Workload, default_workloads, tiny_workloads
 
 #: Bump when the JSON layout changes incompatibly.  v2: per-variant
-#: ``solver`` axis + append-only ``history`` list.
-BENCH_SCHEMA_VERSION = 2
+#: ``solver`` axis + append-only ``history`` list.  v3: per-variant
+#: ``stages`` block (seconds per recorded span name).
+BENCH_SCHEMA_VERSION = 3
 
 #: Default artifact path, relative to the repository root.
 BENCH_FILENAME = "BENCH_sweep.json"
@@ -114,6 +124,8 @@ class VariantResult:
     values: FloatArray
     cache_stats: dict[str, Any] | None
     solver: str | None = None
+    stages: dict[str, float] | None = None
+    trace: dict[str, Any] | None = None
 
     def to_dict(self, reference: "VariantResult") -> dict[str, Any]:
         rate = (self.n_points / self.wall_seconds
@@ -127,6 +139,7 @@ class VariantResult:
             "n_points": self.n_points,
             "points_per_second": rate,
             "cache_stats": self.cache_stats,
+            "stages": dict(self.stages or {}),
             "speedup_vs_serial_uncached": (
                 reference.wall_seconds / self.wall_seconds
                 if self.wall_seconds > 0.0 else float("inf")),
@@ -165,9 +178,11 @@ def _time_sweep(workload: Workload, cache: bool, backend: str,
     system = workload.build()
     freqs = workload.frequencies()
     clear_sweep_contexts()
+    recorder = Recorder()
     t0 = time.perf_counter()
     analyzer = MftNoiseAnalyzer(
-        system, workload.segments_per_phase, cache=cache)
+        system, segments_per_phase=workload.segments_per_phase,
+        cache=cache, recorder=recorder)
     if solver is not None:
         result = analyzer.psd_sweep(
             freqs, parallel=None if backend == "serial" else backend,
@@ -181,7 +196,8 @@ def _time_sweep(workload: Workload, cache: bool, backend: str,
     return VariantResult(
         variant="", backend=backend, cache=cache, wall_seconds=wall,
         n_points=int(freqs.size), values=result.psd, solver=solver,
-        cache_stats=stats.to_dict() if stats is not None else None)
+        cache_stats=stats.to_dict() if stats is not None else None,
+        stages=stage_totals(recorder), trace=recorder.export())
 
 
 def _time_adaptive(workload: Workload, cache: bool) -> VariantResult:
@@ -190,9 +206,11 @@ def _time_adaptive(workload: Workload, cache: bool) -> VariantResult:
     assert spec is not None
     system = workload.build()
     clear_sweep_contexts()
+    recorder = Recorder()
     t0 = time.perf_counter()
     analyzer = MftNoiseAnalyzer(
-        system, workload.segments_per_phase, cache=cache)
+        system, segments_per_phase=workload.segments_per_phase,
+        cache=cache, recorder=recorder)
     freqs, values = adaptive_frequency_grid(
         analyzer.psd_at, spec.f_start, spec.f_stop,
         n_initial=spec.n_initial, max_points=spec.max_points,
@@ -202,11 +220,20 @@ def _time_adaptive(workload: Workload, cache: bool) -> VariantResult:
     return VariantResult(
         variant="", backend="serial", cache=cache, wall_seconds=wall,
         n_points=int(freqs.size), values=np.asarray(values, dtype=float),
-        cache_stats=stats.to_dict() if stats is not None else None)
+        cache_stats=stats.to_dict() if stats is not None else None,
+        stages=stage_totals(recorder), trace=recorder.export())
 
 
-def run_workload(workload: Workload) -> dict[str, Any]:
-    """Time every configuration of one workload; returns its JSON entry."""
+def run_workload(workload: Workload,
+                 trace_sink: dict[str, Any] | None = None
+                 ) -> dict[str, Any]:
+    """Time every configuration of one workload; returns its JSON entry.
+
+    ``trace_sink`` (a dict) optionally collects the full span/counter
+    export of every variant under ``trace_sink[workload][variant]`` —
+    the ``--trace`` CLI artifact; the bench JSON itself only carries the
+    compact per-stage totals.
+    """
     variants = (SWEEP_VARIANTS if workload.kind == "sweep"
                 else ADAPTIVE_VARIANTS)
     results: list[VariantResult] = []
@@ -217,6 +244,8 @@ def run_workload(workload: Workload) -> dict[str, Any]:
             run = _time_adaptive(workload, cache)
         run.variant = name
         results.append(run)
+        if trace_sink is not None:
+            trace_sink.setdefault(workload.name, {})[name] = run.trace
     reference = results[0]
     if reference.variant != "serial-uncached":
         raise ReproError(
@@ -232,7 +261,8 @@ def run_workload(workload: Workload) -> dict[str, Any]:
 
 
 def run_suite(workloads: list[Workload] | None = None,
-              tiny: bool = False) -> dict[str, Any]:
+              tiny: bool = False,
+              trace_sink: dict[str, Any] | None = None) -> dict[str, Any]:
     """Run the whole benchmark suite; returns the JSON document."""
     if workloads is None:
         workloads = tiny_workloads() if tiny else default_workloads()
@@ -242,7 +272,8 @@ def run_suite(workloads: list[Workload] | None = None,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                       time.gmtime()),
         "tiny": bool(tiny),
-        "workloads": [run_workload(w) for w in workloads],
+        "workloads": [run_workload(w, trace_sink=trace_sink)
+                      for w in workloads],
         "history": [],
     }
 
@@ -304,6 +335,7 @@ _VARIANT_FIELDS: dict[str, type | tuple[type, ...]] = {
     "wall_seconds": (int, float),
     "n_points": int,
     "points_per_second": (int, float),
+    "stages": dict,
     "speedup_vs_serial_uncached": (int, float),
     "max_rel_diff_vs_serial_uncached": (int, float),
 }
@@ -386,6 +418,13 @@ def validate_bench(data: dict[str, Any]) -> None:
                 raise ReproError(
                     "variant cache_stats must be an object or null, "
                     f"got {type(stats).__name__}")
+            for stage, seconds in variant["stages"].items():
+                if (not isinstance(stage, str)
+                        or not isinstance(seconds, (int, float))
+                        or isinstance(seconds, bool)):
+                    raise ReproError(
+                        "variant stages must map span names to "
+                        f"seconds, got {stage!r}: {seconds!r}")
 
 
 def load_bench(path: str | Path) -> dict[str, Any]:

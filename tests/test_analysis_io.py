@@ -31,13 +31,13 @@ class TestNoiseAnalysisFacade:
         assert slow == pytest.approx(fast, rel=0.03)
 
     def test_convergence_trace(self, rc_system):
-        trace = NoiseAnalysis(rc_system, 16).convergence_trace(
+        trace = NoiseAnalysis(rc_system, segments_per_phase=16).convergence_trace(
             3e3, tol_db=0.2)
         assert trace.converged
         assert trace.frequency == 3e3
 
     def test_output_variance_and_snr(self, rc_system, rc_params):
-        analysis = NoiseAnalysis(rc_system, 32)
+        analysis = NoiseAnalysis(rc_system, segments_per_phase=32)
         assert analysis.output_variance() == pytest.approx(
             rc_params.ktc_variance, rel=1e-6)
         snr = analysis.snr(signal_power=1.0)
@@ -45,7 +45,7 @@ class TestNoiseAnalysisFacade:
             10 * np.log10(1.0 / rc_params.ktc_variance), rel=1e-6)
 
     def test_snr_band_integrated(self, rc_system):
-        analysis = NoiseAnalysis(rc_system, 32)
+        analysis = NoiseAnalysis(rc_system, segments_per_phase=32)
         freqs = np.linspace(0.0, 200e3, 400)
         snr_band = analysis.snr(1.0, f_low=0.0, f_high=200e3,
                                 frequencies=freqs)
@@ -54,13 +54,13 @@ class TestNoiseAnalysisFacade:
         assert snr_band >= snr_var - 0.5
 
     def test_contribution_report(self, lowpass_model):
-        analysis = NoiseAnalysis(lowpass_model, 16)
+        analysis = NoiseAnalysis(lowpass_model, segments_per_phase=16)
         report = analysis.contribution_report(2e3)
         assert "C1" in report and "share" in report
         assert "Cross-spectral contributions" in report
 
     def test_instantaneous_psd(self, rc_system):
-        inst = NoiseAnalysis(rc_system, 32).instantaneous_psd(5e3)
+        inst = NoiseAnalysis(rc_system, segments_per_phase=32).instantaneous_psd(5e3)
         assert inst.times.shape == inst.values.shape
 
 

@@ -45,17 +45,19 @@ class TestOpampModels:
     def test_buffer_noise_is_one_pole(self, model):
         m = buffer_model(model)
         freqs = np.array([1e3, 1e6, 4e6])
-        psd = MftNoiseAnalyzer(m.system, 16).psd(freqs).psd
+        psd = MftNoiseAnalyzer(m.system, segments_per_phase=16).psd(freqs).psd
         expected = 1e-16 / (1.0 + (freqs / 1e6) ** 2)
         assert np.allclose(psd, expected, rtol=1e-3, atol=0.0)
 
     def test_source_follower_cint_immaterial(self):
         # The paper: with the follower model only ω_u matters.
         freqs = np.array([1e4, 1e6])
-        psd1 = MftNoiseAnalyzer(buffer_model(
-            "sf", c_internal=1e-12).system, 16).psd(freqs).psd
-        psd2 = MftNoiseAnalyzer(buffer_model(
-            "sf", c_internal=33e-12).system, 16).psd(freqs).psd
+        psd1 = MftNoiseAnalyzer(
+            buffer_model("sf", c_internal=1e-12).system,
+            segments_per_phase=16).psd(freqs).psd
+        psd2 = MftNoiseAnalyzer(
+            buffer_model("sf", c_internal=33e-12).system,
+            segments_per_phase=16).psd(freqs).psd
         assert np.allclose(psd1, psd2, rtol=1e-9, atol=0.0)
 
     def test_ideal_opamp_is_vcvs(self):
@@ -74,7 +76,7 @@ class TestOpampModels:
         m = buffer_model("sf")
         ph = m.system.phases[0]
         freqs = np.array([1e4, 5e5, 2e6])
-        mft = MftNoiseAnalyzer(m.system, 8).psd(freqs).psd
+        mft = MftNoiseAnalyzer(m.system, segments_per_phase=8).psd(freqs).psd
         ref = lti_noise_psd(ph.a_matrix, ph.b_matrix,
                             m.system.output_matrix[0], freqs)
         assert np.allclose(mft, ref, rtol=1e-10, atol=0.0)

@@ -77,10 +77,10 @@ class TestScLowpass:
         freqs = np.array([2e3, 7.5e3])
         p1 = MftNoiseAnalyzer(sc_lowpass_system(
             opamp_model="single-stage", opamp_ceq=100e-12).system,
-            24).psd(freqs).psd
+            segments_per_phase=24).psd(freqs).psd
         p2 = MftNoiseAnalyzer(sc_lowpass_system(
             opamp_model="single-stage", opamp_ceq=20e-12).system,
-            24).psd(freqs).psd
+            segments_per_phase=24).psd(freqs).psd
         assert not np.allclose(p1, p2, rtol=0.05)
 
     def test_source_follower_cint_does_not_matter(self):
@@ -88,12 +88,12 @@ class TestScLowpass:
         # builder hardwires cint, so verify via the opamp module test
         # path: two wu values must differ, same wu must agree).
         freqs = np.array([2e3, 7.5e3])
-        base = MftNoiseAnalyzer(sc_lowpass_system().system, 24).psd(
+        base = MftNoiseAnalyzer(sc_lowpass_system().system, segments_per_phase=24).psd(
             freqs).psd
-        same = MftNoiseAnalyzer(sc_lowpass_system().system, 24).psd(
+        same = MftNoiseAnalyzer(sc_lowpass_system().system, segments_per_phase=24).psd(
             freqs).psd
         faster = MftNoiseAnalyzer(sc_lowpass_system(
-            opamp_wu=10.0 * 9e6 * np.pi).system, 24).psd(freqs).psd
+            opamp_wu=10.0 * 9e6 * np.pi).system, segments_per_phase=24).psd(freqs).psd
         assert np.allclose(base, same, rtol=1e-12)
         assert not np.allclose(base, faster, rtol=0.05)
 
@@ -101,7 +101,7 @@ class TestScLowpass:
         # Paper Fig. 9: higher ω_u -> more sampled charge -> higher PSD.
         freqs = np.array([7.5e3])
         psd = [MftNoiseAnalyzer(sc_lowpass_system(opamp_wu=wu).system,
-                                32).psd(freqs).psd[0]
+                                segments_per_phase=32).psd(freqs).psd[0]
                for wu in (9e6 * np.pi, 9e7 * np.pi)]
         assert psd[1] > psd[0]
 
@@ -131,7 +131,7 @@ class TestScBandpass:
 
     def test_noise_peaks_at_resonance(self):
         params = ScBandpassParams()
-        an = MftNoiseAnalyzer(sc_bandpass_system(params).system, 16)
+        an = MftNoiseAnalyzer(sc_bandpass_system(params).system, segments_per_phase=16)
         psd_centre = an.psd_at(params.f_center)
         assert psd_centre > 5.0 * an.psd_at(params.f_center / 5.0)
         assert psd_centre > 5.0 * an.psd_at(3.0 * params.f_center)
@@ -177,7 +177,7 @@ class TestSampleHold:
         # Noise power divides in proportion to resistance: the source
         # resistor (1 kΩ) contributes 5× the 200 Ω switch.
         model = sample_hold_system()
-        an = MftNoiseAnalyzer(model.system, 32)
+        an = MftNoiseAnalyzer(model.system, segments_per_phase=32)
         contributions = []
         for column in range(2):
             sys_single = _single_source_system(model.system, column)

@@ -187,13 +187,13 @@ class TestFallbackChain:
 class TestMftGuardrails:
     def test_unstable_system_raises_at_construction(self):
         with pytest.raises(StabilityError) as excinfo:
-            MftNoiseAnalyzer(unstable_system(), 4)
+            MftNoiseAnalyzer(unstable_system(), segments_per_phase=4)
         assert excinfo.value.multipliers is not None
 
     def test_preflight_opt_out(self):
         # With preflight off, construction succeeds; failure surfaces
         # later, at covariance time (the historical behaviour).
-        analyzer = MftNoiseAnalyzer(unstable_system(), 4, preflight=False)
+        analyzer = MftNoiseAnalyzer(unstable_system(), segments_per_phase=4, preflight=False)
         with pytest.raises(StabilityError):
             analyzer.average_output_variance()
 
@@ -202,7 +202,7 @@ class TestMftGuardrails:
         system = marginal_system()
         policy = FallbackPolicy(condition_limit=1e4,
                                 enable_brute_force=False)
-        analyzer = MftNoiseAnalyzer(system, 8, fallback=policy)
+        analyzer = MftNoiseAnalyzer(system, segments_per_phase=8, fallback=policy)
         radius = analyzer.preflight.by_code(
             "floquet-margin")[0].data["spectral_radius"]
         assert radius >= 0.999
@@ -231,19 +231,19 @@ class TestMftGuardrails:
             condition_limit=1e-3,  # rejects every direct solve
             max_refinements=0, enable_regularized=False,
             brute_force_kwargs={"tol_db": 0.5, "segments_per_phase": 32})
-        analyzer = MftNoiseAnalyzer(rc_system, 32, fallback=policy)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=32, fallback=policy)
         result = analyzer.psd([7.5e3])
         assert result.n_failed == 0
         attempts = result.info["fallback_attempts"]
         assert attempts[-1].strategy == "brute-force"
         assert attempts[-1].success
-        reference = MftNoiseAnalyzer(rc_system, 32).psd_at(7.5e3)
+        reference = MftNoiseAnalyzer(rc_system, segments_per_phase=32).psd_at(7.5e3)
         assert result.psd[0] == pytest.approx(reference, rel=0.15)
 
     def test_sweep_survives_one_failing_frequency(self, rc_system,
                                                   monkeypatch):
         """Acceptance: one bad frequency -> NaN, the rest are returned."""
-        analyzer = MftNoiseAnalyzer(rc_system, 16, fallback=False)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=16, fallback=False)
         real = MftNoiseAnalyzer._psd_at
         bad = 2e3
 
@@ -265,7 +265,7 @@ class TestMftGuardrails:
         assert np.all(ok_v > 0.0)
 
     def test_on_failure_raise(self, rc_system, monkeypatch):
-        analyzer = MftNoiseAnalyzer(rc_system, 16, fallback=False)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=16, fallback=False)
 
         def boom(self, frequency, **kwargs):
             raise SingularMatrixError("injected")
@@ -276,7 +276,7 @@ class TestMftGuardrails:
         assert excinfo.value.diagnostics is not None
 
     def test_sweep_budget_records_skipped_frequencies(self, rc_system):
-        analyzer = MftNoiseAnalyzer(rc_system, 16)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=16)
         result = analyzer.psd([1e3, 2e3, 3e3],
                               budget=SweepBudget(wall_clock_seconds=0.0))
         assert result.n_failed == 3
@@ -284,7 +284,7 @@ class TestMftGuardrails:
         assert result.diagnostics.by_code("budget-exhausted")
 
     def test_negative_clip_diagnostic(self, rc_system, monkeypatch):
-        analyzer = MftNoiseAnalyzer(rc_system, 16, fallback=False)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=16, fallback=False)
 
         def negative(self, frequency, **kwargs):
             return -2.5e-18 if frequency == 1e3 else 1e-18
@@ -302,19 +302,19 @@ class TestMftGuardrails:
     def test_nan_frequency_recorded_not_crashed(self, rc_system):
         # A non-finite frequency must become an input-stage failure,
         # not a raw LinAlgError escaping the chain mid-sweep.
-        result = MftNoiseAnalyzer(rc_system, 16).psd([1e3, np.nan])
+        result = MftNoiseAnalyzer(rc_system, segments_per_phase=16).psd([1e3, np.nan])
         assert np.isfinite(result.psd[0])
         assert np.isnan(result.psd[1])
         assert [f.stage for f in result.failures] == ["input"]
         assert result.diagnostics.by_code("non-finite-frequency")
 
     def test_nan_frequency_raise_mode(self, rc_system):
-        analyzer = MftNoiseAnalyzer(rc_system, 16)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=16)
         with pytest.raises(ReproError):
             analyzer.psd([np.inf], on_failure="raise")
 
     def test_healthy_sweep_diagnostics_clean(self, rc_system):
-        result = MftNoiseAnalyzer(rc_system, 16).psd([1e3, 5e3])
+        result = MftNoiseAnalyzer(rc_system, segments_per_phase=16).psd([1e3, 5e3])
         assert result.n_failed == 0
         assert result.failures == []
         report = result.diagnostics
@@ -449,7 +449,7 @@ class TestLoggingSetup:
 
     def test_engines_emit_logs(self, rc_system, caplog):
         with caplog.at_level(logging.DEBUG, logger="repro"):
-            MftNoiseAnalyzer(rc_system, 8).psd([1e3])
+            MftNoiseAnalyzer(rc_system, segments_per_phase=8).psd([1e3])
         assert any(record.name.startswith("repro")
                    for record in caplog.records)
 

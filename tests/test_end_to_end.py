@@ -39,13 +39,13 @@ class TestThreeWayAgreementSwitchedRc:
 
     def test_mft_vs_rice(self, setup):
         params, system = setup
-        mft = MftNoiseAnalyzer(system, 64).psd(self.FREQS).psd
+        mft = MftNoiseAnalyzer(system, segments_per_phase=64).psd(self.FREQS).psd
         assert np.allclose(mft, rice_switched_rc_psd(params, self.FREQS),
                            rtol=1e-3, atol=0.0)
 
     def test_brute_force_vs_mft(self, setup):
         _params, system = setup
-        mft = MftNoiseAnalyzer(system, 48)
+        mft = MftNoiseAnalyzer(system, segments_per_phase=48)
         bf = brute_force_psd(system, self.FREQS, segments_per_phase=48,
                              tol_db=0.02, window_periods=8,
                              max_periods=50000)
@@ -69,7 +69,7 @@ class TestLowpassCrossChecks:
         # manageable and the two independent methods must then agree.
         model = sc_lowpass_system(opamp_wu=2 * np.pi * 40e3)
         freqs = np.array([500.0, 2e3, 7.5e3])
-        mft = MftNoiseAnalyzer(model.system, 64).psd(freqs).psd
+        mft = MftNoiseAnalyzer(model.system, segments_per_phase=64).psd(freqs).psd
         htf = htf_noise_psd(model.system, freqs,
                             n_harmonics=80, segments_per_phase=64,
                             tail_tol=0.2).psd
@@ -78,7 +78,7 @@ class TestLowpassCrossChecks:
     def test_brute_force_converges_to_mft_at_7500(self, lowpass_model):
         # The paper's Fig. 1 frequency.
         freq = 7.5e3
-        mft = MftNoiseAnalyzer(lowpass_model.system, 32).psd_at(freq)
+        mft = MftNoiseAnalyzer(lowpass_model.system, segments_per_phase=32).psd_at(freq)
         bf = brute_force_psd(lowpass_model.system, [freq],
                              segments_per_phase=32, tol_db=0.01,
                              window_periods=20, max_periods=20000)
@@ -107,7 +107,7 @@ class TestLowpassCrossChecks:
             np.array([f_ref, f_notch]))
         assert theory.psd[1] < 1e-4 * theory.psd[0]
 
-        an = MftNoiseAnalyzer(model.system, 48)
+        an = MftNoiseAnalyzer(model.system, segments_per_phase=48)
         engine_ratio = an.psd_at(f_notch) / an.psd_at(f_ref)
         assert engine_ratio > 1e-3  # no deep notch
 
@@ -137,7 +137,7 @@ class TestSpeedupClaim:
         # Frequency sweeps reuse the real propagators: 40 extra
         # frequencies must cost far less than 40× one frequency.
         import time
-        an = MftNoiseAnalyzer(rc_system, 64)
+        an = MftNoiseAnalyzer(rc_system, segments_per_phase=64)
         an.psd_at(1e3)  # warm the covariance cache
         t0 = time.perf_counter()
         an.psd_at(2e3)
@@ -159,7 +159,7 @@ class TestLtiDegeneration:
                                output_matrix=l_row[None, :])
         freqs = np.array([0.1, 1.0, 5.0])
         ref = lti_noise_psd(a, b, l_row, freqs)
-        mft = MftNoiseAnalyzer(sys, 16).psd(freqs).psd
+        mft = MftNoiseAnalyzer(sys, segments_per_phase=16).psd(freqs).psd
         htf = htf_noise_psd(sys, freqs, n_harmonics=2,
                             segments_per_phase=16).psd
         assert np.allclose(mft, ref, rtol=1e-9, atol=0.0)

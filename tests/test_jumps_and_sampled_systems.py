@@ -69,7 +69,7 @@ class TestJumpPath:
     def test_mft_and_brute_force_agree_with_jumps(self):
         sys = ideal_sample_hold(c_ratio=0.6)
         freq = 3e4
-        mft = MftNoiseAnalyzer(sys, 32).psd_at(freq)
+        mft = MftNoiseAnalyzer(sys, segments_per_phase=32).psd_at(freq)
         bf = brute_force_psd(sys, [freq], segments_per_phase=32,
                              tol_db=0.02, window_periods=10,
                              max_periods=50000).psd[0]
@@ -84,8 +84,8 @@ class TestJumpPath:
         sys_plain = PiecewiseLTISystem(phases=phases,
                                        output_matrix=np.array([[1.0]]))
         f = 1.7e4
-        assert MftNoiseAnalyzer(sys_jump, 16).psd_at(f) == \
-            pytest.approx(MftNoiseAnalyzer(sys_plain, 16).psd_at(f),
+        assert MftNoiseAnalyzer(sys_jump, segments_per_phase=16).psd_at(f) == \
+            pytest.approx(MftNoiseAnalyzer(sys_plain, segments_per_phase=16).psd_at(f),
                           rel=1e-12)
 
     def test_zero_jump_resets_state(self):
@@ -94,7 +94,7 @@ class TestJumpPath:
         sys = ideal_sample_hold(c_ratio=0.0)
         cov = periodic_covariance(sys, 8)
         assert cov.post[-1, 0, 0] == pytest.approx(0.0, abs=1e-30)
-        assert np.isfinite(MftNoiseAnalyzer(sys, 16).psd_at(1e4))
+        assert np.isfinite(MftNoiseAnalyzer(sys, segments_per_phase=16).psd_at(1e4))
 
 
 class TestSampledSystems:
@@ -106,7 +106,7 @@ class TestSampledSystems:
             a_of_t=lambda _t: a, b_of_t=lambda _t: b, period=0.5,
             n_states=2, output_matrix=np.array([[1.0, 0.0]]))
         freqs = np.array([0.3, 2.0, 11.0])
-        psd = MftNoiseAnalyzer(sampled, 64).psd(freqs).psd
+        psd = MftNoiseAnalyzer(sampled, segments_per_phase=64).psd(freqs).psd
         ref = lti_noise_psd(a, b, np.array([1.0, 0.0]), freqs)
         assert np.allclose(psd, ref, rtol=1e-6, atol=0.0)
 

@@ -20,7 +20,7 @@ class TestLtiLimit:
         sys = lti_phase_system(a, b, period=0.7,
                                output_matrix=l_row[None, :])
         freqs = np.array([0.01, 0.3, 2.0, 9.0])
-        psd = MftNoiseAnalyzer(sys, 8).psd(freqs).psd
+        psd = MftNoiseAnalyzer(sys, segments_per_phase=8).psd(freqs).psd
         ref = lti_noise_psd(a, b, l_row, freqs)
         assert np.allclose(psd, ref, rtol=1e-9, atol=0.0)
 
@@ -29,8 +29,8 @@ class TestLtiLimit:
         a = random_stable_matrix(rng, 3)
         b = rng.standard_normal((3, 1))
         sys = lti_phase_system(a, b, period=1.0)
-        psd_coarse = MftNoiseAnalyzer(sys, 3).psd_at(0.5)
-        psd_fine = MftNoiseAnalyzer(sys, 96).psd_at(0.5)
+        psd_coarse = MftNoiseAnalyzer(sys, segments_per_phase=3).psd_at(0.5)
+        psd_fine = MftNoiseAnalyzer(sys, segments_per_phase=96).psd_at(0.5)
         assert psd_coarse == pytest.approx(psd_fine, rel=1e-10)
 
     def test_parseval_total_power(self, rng):
@@ -42,7 +42,7 @@ class TestLtiLimit:
         l_row = np.array([1.0, 0.0])
         sys = lti_phase_system(a, b, period=1.0,
                                output_matrix=l_row[None, :])
-        an = MftNoiseAnalyzer(sys, 8)
+        an = MftNoiseAnalyzer(sys, segments_per_phase=8)
         freqs = np.linspace(0.0, 60.0, 1200)
         spectrum = an.psd(freqs)
         power = integrated_noise_power(spectrum)
@@ -53,7 +53,7 @@ class TestLtiLimit:
 class TestSwitchedRc:
     def test_matches_rice_closed_form(self, rc_system, rc_params):
         freqs = np.array([100.0, 1e3, 5e3, 12e3, 31e3, 77e3])
-        psd = MftNoiseAnalyzer(rc_system, 96).psd(freqs).psd
+        psd = MftNoiseAnalyzer(rc_system, segments_per_phase=96).psd(freqs).psd
         assert np.allclose(psd, rice_switched_rc_psd(rc_params, freqs),
                            rtol=2e-4, atol=0.0)
 
@@ -63,22 +63,22 @@ class TestSwitchedRc:
         for duty in (0.1, 0.5, 0.9):
             p = SwitchedRcParams(resistance=10e3, capacitance=1e-9,
                                  period=5e-5, duty=duty)
-            psd = MftNoiseAnalyzer(switched_rc_system(p), 96).psd(freqs)
+            psd = MftNoiseAnalyzer(switched_rc_system(p), segments_per_phase=96).psd(freqs)
             assert np.allclose(psd.psd, rice_switched_rc_psd(p, freqs),
                                rtol=3e-4, atol=0.0), duty
 
     def test_instantaneous_psd_averages_to_psd(self, rc_system):
-        an = MftNoiseAnalyzer(rc_system, 64)
+        an = MftNoiseAnalyzer(rc_system, segments_per_phase=64)
         inst = an.instantaneous_psd(3e3)
         assert inst.average() == pytest.approx(an.psd_at(3e3), rel=1e-3)
 
     def test_psd_even_in_frequency(self, rc_system):
-        an = MftNoiseAnalyzer(rc_system, 32)
+        an = MftNoiseAnalyzer(rc_system, segments_per_phase=32)
         assert an.psd_at(-4e3) == pytest.approx(an.psd_at(4e3),
                                                 rel=1e-10)
 
     def test_zero_frequency_finite(self, rc_system):
-        assert np.isfinite(MftNoiseAnalyzer(rc_system, 32).psd_at(0.0))
+        assert np.isfinite(MftNoiseAnalyzer(rc_system, segments_per_phase=32).psd_at(0.0))
 
     def test_result_metadata(self, rc_system):
         result = mft_psd(rc_system, [1e3, 2e3], segments_per_phase=16)
@@ -87,19 +87,19 @@ class TestSwitchedRc:
         assert result.info["runtime_seconds"] >= 0.0
 
     def test_cross_contributions_sum_to_psd(self, lowpass_model):
-        an = MftNoiseAnalyzer(lowpass_model.system, 24)
+        an = MftNoiseAnalyzer(lowpass_model.system, segments_per_phase=24)
         contributions = an.cross_spectral_contributions(2e3)
         l_row = lowpass_model.system.output_matrix[0]
         assert float(l_row @ contributions) == pytest.approx(
             an.psd_at(2e3), rel=1e-10)
 
     def test_covariance_cached(self, rc_system):
-        an = MftNoiseAnalyzer(rc_system, 16)
+        an = MftNoiseAnalyzer(rc_system, segments_per_phase=16)
         assert an.covariance is an.covariance
 
     def test_requires_discretizable_system(self):
         with pytest.raises(ReproError):
-            MftNoiseAnalyzer(object(), 8)
+            MftNoiseAnalyzer(object(), segments_per_phase=8)
 
 
 class TestGridConvergence:
@@ -112,7 +112,7 @@ class TestGridConvergence:
         freq = 31e3
         ref = rice_switched_rc_psd(rc_params, [freq])[0]
         for spp in (4, 8, 16):
-            psd = MftNoiseAnalyzer(rc_system, spp).psd_at(freq)
+            psd = MftNoiseAnalyzer(rc_system, segments_per_phase=spp).psd_at(freq)
             assert abs(psd - ref) / ref < 1e-5, spp
 
     def test_psd_converges_for_varying_forcing(self):
@@ -121,7 +121,7 @@ class TestGridConvergence:
         # must decay with grid refinement.
         from repro.circuits import sc_lowpass_system
         system = sc_lowpass_system().system
-        ref = MftNoiseAnalyzer(system, 512).psd_at(7.5e3)
-        errors = [abs(MftNoiseAnalyzer(system, spp).psd_at(7.5e3) - ref)
+        ref = MftNoiseAnalyzer(system, segments_per_phase=512).psd_at(7.5e3)
+        errors = [abs(MftNoiseAnalyzer(system, segments_per_phase=spp).psd_at(7.5e3) - ref)
                   for spp in (16, 64, 256)]
         assert errors[0] > errors[1] > errors[2]

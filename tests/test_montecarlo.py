@@ -52,7 +52,7 @@ class TestMonteCarloPsd:
         mc = monte_carlo_psd(rc_system, n_trajectories=32,
                              n_periods=128, samples_per_period=32,
                              segment_periods=16, rng=3)
-        an = MftNoiseAnalyzer(rc_system, 32)
+        an = MftNoiseAnalyzer(rc_system, segments_per_phase=32)
         # Compare away from DC (window bias) and from Nyquist (the
         # sampled Lorentzian tail aliases ~10 % there).
         freqs = mc.psd.frequencies

@@ -24,7 +24,7 @@ class TestBruteForce:
         bf = brute_force_psd(rc_system, [freq], segments_per_phase=48,
                              tol_db=0.01, window_periods=10,
                              max_periods=50000)
-        mft = MftNoiseAnalyzer(rc_system, 48).psd_at(freq)
+        mft = MftNoiseAnalyzer(rc_system, segments_per_phase=48).psd_at(freq)
         assert bf.psd[0] == pytest.approx(mft, rel=0.02)
 
     def test_needs_many_periods(self, rc_system):

@@ -100,7 +100,7 @@ class TestCircuitProperties:
     def test_mft_matches_rice_everywhere(self, params, f_rel):
         freq = f_rel * 3.0 / params.period  # up to 3 clock harmonics
         sys = switched_rc_system(params)
-        psd = MftNoiseAnalyzer(sys, 48).psd_at(freq)
+        psd = MftNoiseAnalyzer(sys, segments_per_phase=48).psd_at(freq)
         ref = rice_switched_rc_psd(params, [freq])[0]
         assert psd == pytest.approx(ref, rel=5e-3, abs=1e-30)
 
@@ -108,7 +108,7 @@ class TestCircuitProperties:
     @settings(max_examples=15, deadline=None)
     def test_psd_nonnegative_and_bounded(self, params):
         sys = switched_rc_system(params)
-        an = MftNoiseAnalyzer(sys, 32)
+        an = MftNoiseAnalyzer(sys, segments_per_phase=32)
         # Tight envelope: the Rice closed form is the exact spectrum,
         # so the engine may never exceed it by more than rounding, and
         # PSDs are non-negative.
@@ -139,7 +139,7 @@ class TestSweepProperties:
         # coarse grids too.
         sys = switched_rc_system(params)
         grid = np.linspace(0.0, 2.0 / params.period, 9)
-        result = MftNoiseAnalyzer(sys, 8).psd(grid)
+        result = MftNoiseAnalyzer(sys, segments_per_phase=8).psd(grid)
         finite = np.isfinite(result.psd)
         assert np.all(result.psd[finite] >= 0.0)
         # Whatever was clipped is accounted for in the result info.
@@ -154,8 +154,8 @@ class TestSweepProperties:
         # the phase schedule must not change it beyond rounding.
         sys = switched_rc_system(params)
         grid = np.linspace(100.0, 2.0 / params.period, 7)
-        base = MftNoiseAnalyzer(sys, 24).psd(grid).psd
-        rotated = MftNoiseAnalyzer(_rotated(sys, 1), 24).psd(grid).psd
+        base = MftNoiseAnalyzer(sys, segments_per_phase=24).psd(grid).psd
+        rotated = MftNoiseAnalyzer(_rotated(sys, 1), segments_per_phase=24).psd(grid).psd
         scale = max(np.max(np.abs(base)), 1e-300)
         assert np.max(np.abs(base - rotated)) / scale < 1e-9
 
@@ -208,7 +208,7 @@ class TestCacheKeyProperties:
     def test_context_stats_count_reuse(self, rc_system):
         clear_sweep_contexts()
         context = sweep_context_for(rc_system, 32)
-        analyzer = MftNoiseAnalyzer(rc_system, 32, context=context)
+        analyzer = MftNoiseAnalyzer(rc_system, segments_per_phase=32, context=context)
         analyzer.psd(np.linspace(100.0, 4e4, 5))
         stats = context.stats.to_dict()
         # One cold build per cached quantity, then hits on every reuse.

@@ -53,7 +53,7 @@ class TestClassA:
         # over a period.
         params = ClassAParams()
         system = class_a_system(params)
-        an = MftNoiseAnalyzer(system, 512)
+        an = MftNoiseAnalyzer(system, segments_per_phase=512)
         cov_engine = an.covariance.variance(0)
 
         # Integrate eq. (34) to steady state, then average over exactly
@@ -74,14 +74,14 @@ class TestClassA:
         small = ClassAParams(u_amplitude=0.1e-6)
         large = ClassAParams(u_amplitude=0.9e-6)
         var_small = MftNoiseAnalyzer(class_a_system(small),
-                                     256).average_output_variance()
+                                     segments_per_phase=256).average_output_variance()
         var_large = MftNoiseAnalyzer(class_a_system(large),
-                                     256).average_output_variance()
+                                     segments_per_phase=256).average_output_variance()
         assert var_large > var_small
 
     def test_psd_is_lowpass(self):
         params = ClassAParams()
-        an = MftNoiseAnalyzer(class_a_system(params), 256)
+        an = MftNoiseAnalyzer(class_a_system(params), segments_per_phase=256)
         f_pole = params.pole / (2 * np.pi)
         assert an.psd_at(f_pole / 20.0) > 5.0 * an.psd_at(10.0 * f_pole)
 
