@@ -288,3 +288,107 @@ class TestObservabilityGates:
                 f"parallel={parallel!r}: only {fraction:.1%} of the "
                 "sweep wall-clock is attributed to named spans")
             assert rec.is_balanced()
+
+
+class TestChaosGates:
+    """Acceptance gates of the resilience layer (DESIGN.md §10).
+
+    Injected faults are allowed to cost retries, never numbers: a sweep
+    that recovers from 20% transient solve failures plus a hard worker
+    crash must be *bit-identical* to the fault-free sweep, and a sweep
+    killed halfway then resumed from its checkpoint must be bit
+    -identical to an uninterrupted one.  The disabled injection seams
+    must cost < 2% of sweep wall-clock, like the disabled recorder.
+    """
+
+    CHUNK = 2 if TINY else 8
+
+    def _workload(self):
+        from repro.perf.workloads import (
+            default_workloads,
+            tiny_workloads,
+            workload_by_name,
+        )
+        pool = tiny_workloads() if TINY else default_workloads()
+        return workload_by_name(HEADLINE_WORKLOAD, pool)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_faulted_sweep_is_bit_identical(self, backend):
+        from repro.perf.chaos import run_chaos
+
+        document = run_chaos(self._workload(), backend=backend, seed=3,
+                             chunk_size=self.CHUNK, max_workers=2)
+        check = document["checks"][0]
+        assert check["check"] == "fault-recovery"
+        # The plan must actually have injected: transient retries plus
+        # at least one hard worker death.
+        assert check["n_retries"] >= 1
+        assert check["n_worker_crashes"] >= 1
+        assert check["n_chunks_failed"] == 0
+        assert check["bit_identical"], (
+            f"{backend}: sweep recovered from injected faults with "
+            "different bits")
+
+    def test_killed_sweep_resumes_bit_identical(self, tmp_path):
+        from repro.perf.chaos import run_chaos
+
+        document = run_chaos(self._workload(), backend="serial", seed=3,
+                             chunk_size=self.CHUNK,
+                             checkpoint_dir=tmp_path / "ckpt")
+        check = document["checks"][1]
+        assert check["check"] == "kill-resume"
+        assert check["killed"], "the kill plan never fired"
+        assert check["n_chunks_resumed"] >= 1
+        assert check["bit_identical"], (
+            "resumed sweep differs from the uninterrupted one")
+
+    def test_disabled_injection_overhead_under_two_percent(
+            self, monkeypatch):
+        # Count the seam invocations of a real sweep (by patching the
+        # seam at every import site), then require count x the unit
+        # cost of a disabled fire() < 2% of the unpatched sweep wall.
+        from repro.linalg import checked
+        from repro.mft import engine as engine_mod
+        from repro.mft import executor as executor_mod
+        from repro.mft.context import clear_sweep_contexts
+        from repro.mft.engine import MftNoiseAnalyzer
+        from repro.resilience import faults
+
+        workload = self._workload()
+        system = workload.build()
+        freqs = workload.frequencies()
+
+        events = {"n": 0}
+
+        def counting_fire(site, **key):
+            events["n"] += 1
+            faults.fire(site, **key)
+
+        monkeypatch.setattr(checked, "_inject_fault", counting_fire)
+        monkeypatch.setattr(engine_mod, "_inject_fault", counting_fire)
+        monkeypatch.setattr(executor_mod, "fire", counting_fire)
+        clear_sweep_contexts()
+        analyzer = MftNoiseAnalyzer(
+            system, segments_per_phase=workload.segments_per_phase)
+        analyzer.psd_sweep(freqs, chunk_size=self.CHUNK)
+        monkeypatch.undo()
+        assert events["n"] >= freqs.size
+
+        clear_sweep_contexts()
+        analyzer = MftNoiseAnalyzer(
+            system, segments_per_phase=workload.segments_per_phase)
+        t0 = time.perf_counter()
+        analyzer.psd_sweep(freqs, chunk_size=self.CHUNK)
+        wall = time.perf_counter() - t0
+
+        reps = 100000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            faults.fire("mft.solve", frequency=1.0)
+        unit = (time.perf_counter() - t0) / reps
+
+        overhead = events["n"] * unit
+        assert overhead < 0.02 * wall, (
+            f"{events['n']} seam calls x {unit * 1e9:.0f} ns = "
+            f"{overhead * 1e3:.3f} ms against a {wall * 1e3:.1f} ms "
+            f"sweep ({overhead / wall:.1%}, need < 2%)")

@@ -25,6 +25,7 @@ from ..io.tables import format_table
 from ..mft.engine import MftNoiseAnalyzer
 from ..noise.brute_force import brute_force_psd
 from ..noise.snr import integrated_noise_power, snr_db
+from ..tolerances import DIRECT_SOLVE_COND_LIMIT, FLOQUET_MARGIN
 from .spectrum import SpectrumComparison
 
 logger = logging.getLogger(__name__)
@@ -98,7 +99,8 @@ class NoiseAnalysis:
         """JSON-ready dict of recorded spans, counters, histograms."""
         return self.engine.trace_export()
 
-    def check(self, stability_margin=1e-3, condition_limit=1e12):
+    def check(self, stability_margin=FLOQUET_MARGIN,
+              condition_limit=DIRECT_SOLVE_COND_LIMIT):
         """Re-run preflight validation; returns the DiagnosticsReport.
 
         Unlike the construction-time preflight this never raises, so it
@@ -134,7 +136,8 @@ class NoiseAnalysis:
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
-                  solver=None, **solver_options):
+                  solver=None, retry=None, faults=None, checkpoint=None,
+                  **solver_options):
         """Same as :meth:`psd` but through a parallel sweep executor.
 
         ``parallel="thread"`` or ``"process"`` runs independent
@@ -145,11 +148,21 @@ class NoiseAnalysis:
         (:mod:`repro.mft.spectral`); the delegate solvers
         (``"brute-force"``, ``"monte-carlo"``) accept only
         ``parallel=None`` or ``"serial"``.
+
+        Resilience knobs (DESIGN.md §10): ``retry`` sets the chunk
+        retry/backoff/timeout policy
+        (:class:`~repro.resilience.retry.RetryPolicy`), ``faults`` arms
+        a deterministic fault-injection plan
+        (:class:`~repro.resilience.faults.FaultPlan`), ``checkpoint``
+        names a directory to persist completed chunks for bit-identical
+        resume after an interruption.
         """
         return self.engine.psd_sweep(frequencies, parallel=parallel,
                                      max_workers=max_workers,
                                      chunk_size=chunk_size, budget=budget,
                                      on_failure=on_failure, solver=solver,
+                                     retry=retry, faults=faults,
+                                     checkpoint=checkpoint,
                                      **solver_options)
 
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError
+from ..tolerances import PSD_FLOOR
 
 
 @dataclass
@@ -29,8 +30,8 @@ class SpectrumComparison:
 
     def deviation_db(self):
         """Pointwise ``10 log10(candidate/reference)`` (inf-safe)."""
-        ref = np.maximum(self.reference, 1e-300)
-        cand = np.maximum(self.candidate, 1e-300)
+        ref = np.maximum(self.reference, PSD_FLOOR)
+        cand = np.maximum(self.candidate, PSD_FLOOR)
         return 10.0 * np.log10(cand / ref)
 
     @property

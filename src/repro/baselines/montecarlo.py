@@ -29,7 +29,7 @@ from ..linalg.checked import (
     spectral_radius,
 )
 from ..noise.result import PsdResult
-from ..tolerances import SCHEDULE_TILE_RTOL
+from ..tolerances import SCHEDULE_TILE_RTOL, UNIFORM_GRID_RTOL
 
 logger = logging.getLogger(__name__)
 
@@ -72,7 +72,7 @@ def _uniform_discretization(system, samples_per_period, context=None):
     counts = np.maximum(1, np.round(durations / dt).astype(int))
     # Adjust so segment lengths are equal across phases.
     base = durations / counts
-    if not np.allclose(base, base[0], rtol=1e-9):
+    if not np.allclose(base, base[0], rtol=UNIFORM_GRID_RTOL):
         raise ReproError(
             "cannot build a uniform sampling grid: phase durations "
             f"{durations.tolist()} are not commensurate at "
@@ -82,7 +82,7 @@ def _uniform_discretization(system, samples_per_period, context=None):
     # boundary-layer grid grading used by the deterministic engines.
     disc = system.discretize(counts, boundary_layer=False)
     dt = np.diff(disc.grid)
-    if not np.allclose(dt, dt[0], rtol=1e-9):
+    if not np.allclose(dt, dt[0], rtol=UNIFORM_GRID_RTOL):
         raise ReproError("discretization grid is not uniform")
     return disc, int(counts.sum())
 

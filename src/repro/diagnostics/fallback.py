@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
+from ..tolerances import DIRECT_SOLVE_COND_LIMIT, FIXED_POINT_RIDGE
 from .report import Severity
 
 logger = logging.getLogger(__name__)
@@ -44,10 +45,10 @@ class FallbackPolicy:
     ``brute_force_kwargs`` tunes the terminal transient fallback.
     """
 
-    condition_limit: float = 1e12
+    condition_limit: float = DIRECT_SOLVE_COND_LIMIT
     max_refinements: int = 2
     segments_cap: int = 1024
-    regularization: float = 1e-10
+    regularization: float = FIXED_POINT_RIDGE
     enable_refinement: bool = True
     enable_regularized: bool = True
     enable_brute_force: bool = True
@@ -80,6 +81,24 @@ class AttemptRecord:
         return (f"{self.strategy} @ {self.frequency:.6g} Hz "
                 f"[{self.trigger}]: {outcome} "
                 f"in {self.cost_seconds:.3g} s")
+
+    def to_dict(self):
+        """JSON-friendly form (checkpoint files, trace exports)."""
+        return {"strategy": self.strategy, "frequency": self.frequency,
+                "trigger": self.trigger, "success": self.success,
+                "cost_seconds": self.cost_seconds, "error": self.error,
+                "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(strategy=str(data["strategy"]),
+                   frequency=float(data["frequency"]),
+                   trigger=str(data["trigger"]),
+                   success=bool(data["success"]),
+                   cost_seconds=float(data["cost_seconds"]),
+                   error=str(data.get("error", "")),
+                   data=dict(data.get("data", {})))
 
 
 class FallbackExhausted(ReproError):

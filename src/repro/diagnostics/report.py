@@ -43,6 +43,19 @@ class Finding:
     def __str__(self):
         return f"[{self.severity}] {self.code}: {self.message}"
 
+    def to_dict(self):
+        """JSON-friendly form (checkpoint files, trace exports)."""
+        return {"code": self.code, "severity": str(self.severity),
+                "message": self.message, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(code=str(data["code"]),
+                   severity=Severity[str(data["severity"]).upper()],
+                   message=str(data["message"]),
+                   data=dict(data.get("data", {})))
+
 
 @dataclass
 class FrequencyFailure:
@@ -62,6 +75,20 @@ class FrequencyFailure:
     def __str__(self):
         return (f"f={self.frequency:.6g} Hz [{self.stage}] "
                 f"{self.error}: {self.message}")
+
+    def to_dict(self):
+        """JSON-friendly form (checkpoint files, trace exports)."""
+        return {"frequency": self.frequency, "index": self.index,
+                "stage": self.stage, "error": self.error,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(frequency=float(data["frequency"]),
+                   index=int(data["index"]), stage=str(data["stage"]),
+                   error=str(data["error"]),
+                   message=str(data["message"]))
 
 
 class DiagnosticsReport:

@@ -20,6 +20,13 @@ import numpy as np
 
 from ..errors import ConvergenceError, SingularMatrixError
 from ..linalg.checked import checked_solve
+from ..tolerances import (
+    GRID_SNAP_RTOL,
+    TRAPEZOID_ATOL,
+    TRAPEZOID_MIN_STEP,
+    TRAPEZOID_NEWTON_TOL,
+    TRAPEZOID_RTOL,
+)
 
 
 @dataclass
@@ -65,12 +72,12 @@ class TrapezoidalIntegrator:
         Corrector controls. Linear systems converge in a single iteration.
     """
 
-    rtol: float = 1e-6
-    atol: float = 1e-12
+    rtol: float = TRAPEZOID_RTOL
+    atol: float = TRAPEZOID_ATOL
     max_step: float = np.inf
-    min_step: float = 1e-18
+    min_step: float = TRAPEZOID_MIN_STEP
     first_step: float | None = None
-    newton_tol: float = 1e-10
+    newton_tol: float = TRAPEZOID_NEWTON_TOL
     newton_max_iter: int = 25
     safety: float = 0.85
     grow_limit: float = 4.0
@@ -107,7 +114,7 @@ class TrapezoidalIntegrator:
         # Derivative history for the divided-difference LTE estimate.
         history = [(t, f_prev)]
 
-        while t < t1 - 1e-15 * max(abs(t1), 1.0):
+        while t < t1 - GRID_SNAP_RTOL * max(abs(t1), 1.0):
             h = min(h, self.max_step, t1 - t)
             h = self._clip_to_breakpoint(t, h, breaks)
             accepted = False
@@ -165,7 +172,7 @@ class TrapezoidalIntegrator:
         """Shrink ``h`` so the step lands exactly on the next breakpoint."""
         if breaks.size == 0:
             return h
-        idx = np.searchsorted(breaks, t + 1e-15 * max(abs(t), 1.0))
+        idx = np.searchsorted(breaks, t + GRID_SNAP_RTOL * max(abs(t), 1.0))
         if idx < breaks.size and t + h > breaks[idx]:
             return breaks[idx] - t
         return h

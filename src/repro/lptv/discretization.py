@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError
+from ..tolerances import SCHEDULE_TILE_RTOL
 
 
 @dataclass(frozen=True)
@@ -60,11 +61,13 @@ class PeriodDiscretization:
             raise ReproError("empty discretization")
         t = 0.0
         for seg in self.segments:
-            if abs(seg.t_start - t) > 1e-9 * max(self.period, 1.0):
+            if (abs(seg.t_start - t)
+                    > SCHEDULE_TILE_RTOL * max(self.period, 1.0)):
                 raise ReproError(
                     f"segment chain has a gap at t={seg.t_start}")
             t = seg.t_end
-        if abs(t - self.period) > 1e-9 * max(self.period, 1.0):
+        if (abs(t - self.period)
+                > SCHEDULE_TILE_RTOL * max(self.period, 1.0)):
             raise ReproError(
                 f"segments cover [0, {t}], expected period {self.period}")
 

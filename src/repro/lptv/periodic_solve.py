@@ -34,6 +34,7 @@ from ..linalg.lyapunov import (
     solve_regularized_fixed_point,
 )
 from ..linalg.phi import affine_step_integrals
+from ..tolerances import FIXED_POINT_RIDGE
 
 logger = logging.getLogger(__name__)
 
@@ -134,7 +135,7 @@ def forcing_from_samples(disc, samples_post, samples_pre=None):
 
 
 def periodic_steady_state(disc, omega, segment_forcing, solver="direct",
-                          ridge=1e-10, condition_limit=None):
+                          ridge=FIXED_POINT_RIDGE, condition_limit=None):
     """Solve the periodic steady state of ``dv/dt = (A−jω)v + f``.
 
     Parameters

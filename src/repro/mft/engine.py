@@ -61,6 +61,7 @@ from ..noise.covariance import periodic_covariance
 from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
 from ..noise.solvers import resolve_solver
 from ..obs import NULL_RECORDER, format_trace, span_summary
+from ..resilience.faults import fire as _inject_fault
 from ..tolerances import FIXED_POINT_RIDGE
 from .context import CacheStats, SweepContext, sweep_context_for
 
@@ -336,6 +337,7 @@ class MftNoiseAnalyzer:
                 logger.warning("recording NaN at index %d: %s", idx, exc)
                 continue
             rec.count("sweep.frequencies")
+            _inject_fault("mft.solve", frequency=float(f))
             try:
                 with rec.span("mft.solve", frequency=float(f)) as span:
                     value, attempts = run_fallback_chain(
@@ -397,6 +399,9 @@ class MftNoiseAnalyzer:
         rescue_idx = []
         if finite_idx.size:
             rec.count("sweep.frequencies", int(finite_idx.size))
+            _inject_fault("mft.batch",
+                          first_frequency=float(freqs[finite_idx[0]]),
+                          n=int(finite_idx.size))
             policy = self.fallback
             with rec.span("spectral.batch", n=int(finite_idx.size)):
                 batch = self._context.solve_batched(
@@ -535,7 +540,8 @@ class MftNoiseAnalyzer:
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
-                  solver=None, **solver_options):
+                  solver=None, retry=None, faults=None, checkpoint=None,
+                  **solver_options):
         """Averaged PSD over a grid through a :class:`SweepExecutor`.
 
         ``parallel`` is ``None``/``"serial"`` for in-process execution,
@@ -560,6 +566,17 @@ class MftNoiseAnalyzer:
         * ``"brute-force"`` / ``"monte-carlo"`` — delegate to the
           baseline engines (serial only; extra ``solver_options`` are
           forwarded).
+
+        Resilience (DESIGN.md §10): ``retry`` is a chunk-level
+        :class:`~repro.resilience.retry.RetryPolicy` (or ``True`` /
+        ``False``) governing requeues after worker crashes, timeouts,
+        and unexpected chunk errors; ``faults`` arms a deterministic
+        :class:`~repro.resilience.faults.FaultPlan` for chaos testing;
+        ``checkpoint`` is a directory (or
+        :class:`~repro.resilience.checkpoint.SweepCheckpoint`) that
+        persists each completed chunk so an interrupted sweep resumes
+        bit-identically.  All three are executor features and are
+        rejected for the delegated baseline solvers.
         """
         solver = resolve_solver(solver)
         if solver in ("brute-force", "monte-carlo"):
@@ -568,6 +585,12 @@ class MftNoiseAnalyzer:
                     f"solver {solver!r} runs serially; parallel="
                     f"{parallel!r} is not supported — drop parallel= or "
                     "use solver='mft'/'spectral-batch'")
+            if (retry is not None or faults is not None
+                    or checkpoint is not None):
+                raise ReproError(
+                    f"retry=, faults=, and checkpoint= are sweep-"
+                    f"executor features; solver {solver!r} delegates to "
+                    "a baseline engine that does not support them")
             return self._delegate_solver(solver, frequencies,
                                          budget=budget,
                                          on_failure=on_failure,
@@ -579,9 +602,10 @@ class MftNoiseAnalyzer:
         from .executor import SweepExecutor
         executor = SweepExecutor(backend=parallel or "serial",
                                  max_workers=max_workers,
-                                 chunk_size=chunk_size, solver=solver)
+                                 chunk_size=chunk_size, solver=solver,
+                                 retry=retry, faults=faults)
         return executor.run(self, frequencies, budget=budget,
-                            on_failure=on_failure)
+                            on_failure=on_failure, checkpoint=checkpoint)
 
     def _delegate_solver(self, solver, frequencies, budget=None,
                          on_failure="record", **solver_options):

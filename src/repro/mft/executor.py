@@ -28,14 +28,34 @@ by fork when available, pickle otherwise). The analyzer is warmed up
 (:meth:`~repro.mft.engine.MftNoiseAnalyzer.warm_up`) before dispatch so
 workers never race on lazy caches and forked workers inherit the
 precomputed frequency-independent work.
+
+Operational resilience (DESIGN.md §10): a chunk that fails for a
+*non-numerical* reason — a worker process dying (broken pool), a chunk
+running past its per-chunk timeout, an unexpected exception escaping
+the worker body — is requeued with exponential backoff + jitter up to
+``RetryPolicy.max_retries`` times, on a freshly respawned pool when the
+old one broke.  Numerical failures (:class:`~repro.errors.ReproError`,
+i.e. the ``on_failure="raise"`` contract and exhausted fallback chains)
+are never retried — they propagate exactly as before.  A chunk that
+exhausts its retries degrades to the NaN + :class:`FrequencyFailure`
+partial-failure contract with stage ``"retry-exhausted"``,
+``"worker-crash"``, or ``"timeout"``.  Every retry/crash/timeout is
+counted on the analyzer's recorder and mirrored as a finding.  With a
+``checkpoint=`` store each completed chunk is persisted as it merges,
+and a re-run resumes from the completed set bit-identically
+(:mod:`repro.resilience.checkpoint`).  Deterministic fault injection
+for all of the above lives in :mod:`repro.resilience.faults`.
 """
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures as cf
 import dataclasses
+import hashlib
 import logging
 import multiprocessing
+import numbers
 import os
 import time
 
@@ -46,6 +66,14 @@ from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
 from ..errors import ReproError
 from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
 from ..obs import span_summary
+from ..resilience.checkpoint import SweepCheckpoint
+from ..resilience.faults import (
+    FaultPlan,
+    InjectedWorkerCrash,
+    activate,
+    fire,
+)
+from ..resilience.retry import resolve_retry
 from .engine import fold_cache_delta
 
 logger = logging.getLogger(__name__)
@@ -70,8 +98,30 @@ def _default_workers():
     return max(1, (os.cpu_count() or 1))
 
 
+def _positive_int(name, value, default, minimum=1):
+    """Validate an integer knob, mirroring the ``_BACKENDS`` check.
+
+    ``None`` selects ``default``.  Booleans and non-integral values are
+    rejected (``workers=0``/``chunk_size=-3`` used to be silently
+    accepted downstream); the error states the allowed range.
+    """
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ReproError(
+            f"{name} must be an integer >= {minimum} (or None for the "
+            f"default), got {value!r} of type {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ReproError(
+            f"{name} must be >= {minimum}, got {value}; allowed range "
+            f"is [{minimum}, ∞)")
+    return value
+
+
 def _run_chunk(analyzer, frequencies, on_failure, solver=None,
-               parent_span=None, export_obs=False, submitted_at=None):
+               parent_span=None, export_obs=False, submitted_at=None,
+               plan=None, attempt=0, chunk_start=0):
     """Worker body: sweep one chunk with a chunk-local report.
 
     Runs unbudgeted (the budget gates dispatch, not execution) and
@@ -90,32 +140,141 @@ def _run_chunk(analyzer, frequencies, on_failure, solver=None,
     exported and returned as the fifth tuple element for the dispatcher
     to merge; on the shared-recorder backends it is ``None`` and the
     dispatcher folds one sweep-level delta instead.
+
+    Fault injection: ``plan``/``attempt`` arm the worker's thread-local
+    :class:`~repro.resilience.faults.FaultPlan` for the duration of the
+    chunk (no-op when ``plan`` is ``None``), firing the
+    ``executor.chunk`` seam on entry and the per-frequency seams inside
+    the engine.
     """
-    rec = analyzer.recorder
-    collect = export_obs and rec.enabled
-    checkpoint = rec.checkpoint() if collect else None
-    stats = analyzer.cache_stats
-    stats_before = (stats.snapshot()
-                    if collect and stats is not None else None)
-    if rec.enabled and submitted_at is not None:
-        rec.observe("executor.queue_seconds",
-                    max(0.0, time.perf_counter() - submitted_at))
-    report = DiagnosticsReport(context="mft sweep chunk")
-    budget = as_budget(None)
-    budget.start()
-    sweep = (analyzer._sweep_batched if solver == "spectral-batch"
-             else analyzer._sweep_raw)
-    with rec.span("executor.chunk", _parent=parent_span,
-                  n=int(len(frequencies)), pid=os.getpid()):
-        values, failures, attempts = sweep(
-            np.asarray(frequencies, dtype=float), on_failure, budget,
-            report)
-    obs = None
-    if collect:
-        if stats_before is not None:
-            fold_cache_delta(rec, stats_before, stats.snapshot())
-        obs = rec.export_since(checkpoint)
-    return values, failures, attempts, report.findings, obs
+    with activate(plan, attempt):
+        fire("executor.chunk", chunk=int(chunk_start))
+        rec = analyzer.recorder
+        collect = export_obs and rec.enabled
+        checkpoint = rec.checkpoint() if collect else None
+        stats = analyzer.cache_stats
+        stats_before = (stats.snapshot()
+                        if collect and stats is not None else None)
+        if rec.enabled and submitted_at is not None:
+            rec.observe("executor.queue_seconds",
+                        max(0.0, time.perf_counter() - submitted_at))
+        report = DiagnosticsReport(context="mft sweep chunk")
+        budget = as_budget(None)
+        budget.start()
+        sweep = (analyzer._sweep_batched if solver == "spectral-batch"
+                 else analyzer._sweep_raw)
+        with rec.span("executor.chunk", _parent=parent_span,
+                      n=int(len(frequencies)), pid=os.getpid()):
+            values, failures, attempts = sweep(
+                np.asarray(frequencies, dtype=float), on_failure, budget,
+                report)
+        obs = None
+        if collect:
+            if stats_before is not None:
+                fold_cache_delta(rec, stats_before, stats.snapshot())
+            obs = rec.export_since(checkpoint)
+        return values, failures, attempts, report.findings, obs
+
+
+class _DispatchState:
+    """Book-keeping shared by the serial and pooled dispatch loops.
+
+    Tracks completed chunk outputs (seeded from a checkpoint on
+    resume), chunks that exhausted their retries, chunks skipped by the
+    budget gate, and the resilience counters/findings — and persists
+    each completed chunk to the checkpoint store as it lands.
+    """
+
+    def __init__(self, chunks, recorder, report, retry, store):
+        self.chunks = chunks
+        self.recorder = recorder
+        self.report = report
+        self.retry = retry
+        self.store = store
+        self.outputs = {}
+        self.chunk_errors = {}
+        self.skipped = set()
+        self.n_resumed = 0
+        self.n_retries = 0
+        self.n_worker_crashes = 0
+        self.n_timeouts = 0
+
+    def resume(self, completed):
+        """Seed completed chunks loaded from the checkpoint store."""
+        starts = {start: idx for idx, (start, _chunk)
+                  in enumerate(self.chunks)}
+        for start, output in completed.items():
+            idx = starts.get(int(start))
+            if idx is None:
+                raise ReproError(
+                    f"checkpoint chunk start {start} does not align "
+                    "with the sweep chunking — the store key should "
+                    "have caught this; delete the checkpoint directory")
+            self.outputs[idx] = output
+        self.n_resumed = len(self.outputs)
+        if self.n_resumed:
+            self.recorder.count("executor.chunks_resumed",
+                                self.n_resumed)
+            self.report.info(
+                "checkpoint-resume",
+                f"resumed {self.n_resumed} of {len(self.chunks)} chunks "
+                f"from {self.store.path}",
+                n_resumed=self.n_resumed, n_chunks=len(self.chunks),
+                path=str(self.store.path))
+
+    def todo(self):
+        return [idx for idx in range(len(self.chunks))
+                if idx not in self.outputs]
+
+    def complete(self, idx, output):
+        self.outputs[idx] = output
+        if self.store is not None:
+            values, failures, attempts, findings, _obs = output
+            self.store.record(self.chunks[idx][0], values, failures,
+                              attempts, findings)
+
+    def note_retry(self, idx, next_attempt, stage, exc, delay):
+        """Record one requeue of chunk ``idx`` (about to re-run)."""
+        self.n_retries += 1
+        self.recorder.count("executor.retries")
+        if stage == "worker-crash":
+            self.n_worker_crashes += 1
+            self.recorder.count("executor.worker_crashes")
+            code = "worker-crash"
+        elif stage == "timeout":
+            self.n_timeouts += 1
+            self.recorder.count("executor.timeouts")
+            code = "chunk-timeout"
+        else:
+            code = "chunk-retry"
+        message = (f"chunk {idx} ({stage}): {type(exc).__name__}: {exc}"
+                   f" — retrying (attempt {next_attempt} of "
+                   f"{self.retry.max_retries}) after {delay:.3g} s")
+        self.report.warning(code, message, chunk=idx,
+                            attempt=next_attempt, stage=stage,
+                            delay_seconds=delay,
+                            error=type(exc).__name__)
+        logger.warning("sweep %s", message)
+
+    def fail_chunk(self, idx, stage, exc):
+        """Chunk ``idx`` is out of retries: degrade to NaN + failures."""
+        if stage == "worker-crash":
+            self.n_worker_crashes += 1
+            self.recorder.count("executor.worker_crashes")
+        elif stage == "timeout":
+            self.n_timeouts += 1
+            self.recorder.count("executor.timeouts")
+        self.recorder.count("executor.chunks_failed")
+        message = (f"chunk {idx} failed after "
+                   f"{self.retry.max_retries + 1} attempts: "
+                   f"{type(exc).__name__}: {exc}")
+        self.chunk_errors[idx] = (stage, type(exc).__name__, message)
+        self.report.error("retry-exhausted", message, chunk=idx,
+                          stage=stage, error=type(exc).__name__)
+        logger.error("sweep %s", message)
+
+    def skip(self, indices):
+        self.skipped.update(int(idx) for idx in indices)
 
 
 class SweepExecutor:
@@ -137,10 +296,20 @@ class SweepExecutor:
         fallback chain; ``"spectral-batch"`` evaluates each chunk as
         one ω-block through :mod:`repro.mft.spectral` (requires the
         analyzer's shared sweep context).
+    retry:
+        Chunk-retry policy: ``None``/``True`` for the default
+        :class:`~repro.resilience.retry.RetryPolicy`, ``False`` to
+        disable retries, or an explicit policy instance (backoff,
+        jitter, per-chunk timeout).
+    faults:
+        A :class:`~repro.resilience.faults.FaultPlan` armed around
+        every chunk for deterministic fault injection (tests, chaos
+        runs).  ``None`` (the default) injects nothing and costs one
+        integer check per seam.
     """
 
     def __init__(self, backend="serial", max_workers=None, chunk_size=None,
-                 solver=None):
+                 solver=None, retry=None, faults=None):
         if backend not in _BACKENDS:
             raise ReproError(
                 f"unknown sweep backend {backend!r}; expected one of "
@@ -152,30 +321,34 @@ class SweepExecutor:
         self.backend = backend
         self.solver = None if solver == "mft" else solver
         solver = self.solver
-        self.max_workers = (int(max_workers) if max_workers is not None
-                            else _default_workers())
-        if self.max_workers < 1:
+        self.max_workers = _positive_int("max_workers", max_workers,
+                                         _default_workers())
+        default_chunk = (_DEFAULT_SPECTRAL_CHUNK
+                         if solver == "spectral-batch" else _DEFAULT_CHUNK)
+        self.chunk_size = _positive_int("chunk_size", chunk_size,
+                                        default_chunk)
+        self.retry = resolve_retry(retry)
+        if faults is not None and not isinstance(faults, FaultPlan):
             raise ReproError(
-                f"max_workers must be positive, got {max_workers}")
-        if chunk_size is not None:
-            self.chunk_size = int(chunk_size)
-        elif solver == "spectral-batch":
-            self.chunk_size = _DEFAULT_SPECTRAL_CHUNK
-        else:
-            self.chunk_size = _DEFAULT_CHUNK
-        if self.chunk_size < 1:
-            raise ReproError(
-                f"chunk_size must be positive, got {chunk_size}")
+                "faults must be a repro.resilience.FaultPlan (or None), "
+                f"got {type(faults).__name__}")
+        self.faults = faults
 
     # -- public API ----------------------------------------------------------
 
-    def run(self, analyzer, frequencies, budget=None, on_failure="record"):
+    def run(self, analyzer, frequencies, budget=None, on_failure="record",
+            checkpoint=None):
         """Sweep ``frequencies`` with ``analyzer``; returns a PsdResult.
 
         Matches :meth:`MftNoiseAnalyzer.psd` point for point — values,
         NaN masks, failure records, diagnostics severity counts — and
-        additionally reports executor metadata in
-        ``info["executor"]``.
+        additionally reports executor metadata in ``info["executor"]``.
+
+        ``checkpoint`` is a directory path (or
+        :class:`~repro.resilience.checkpoint.SweepCheckpoint`) to
+        persist each completed chunk into; a re-run with the same store
+        and an identical sweep (system fingerprint, grid, solver,
+        chunking) resumes from the completed chunks bit-identically.
         """
         if on_failure not in ("record", "raise"):
             raise ReproError(
@@ -211,29 +384,35 @@ class SweepExecutor:
                     analyzer.context.spectral_bases
             chunks = [(start, freqs[start:start + self.chunk_size])
                       for start in range(0, freqs.size, self.chunk_size)]
+            store = self._open_checkpoint(checkpoint, analyzer, freqs,
+                                          on_failure)
+            state = _DispatchState(chunks, rec, report, self.retry, store)
+            if store is not None:
+                state.resume(store.open(self._checkpoint_key(
+                    analyzer, freqs, on_failure)))
             with rec.span("executor.dispatch",
                           n_chunks=len(chunks)) as dispatch_span:
                 parent_span = (dispatch_span.span_id if rec.enabled
                                else None)
                 if self.backend == "serial" or len(chunks) <= 1:
-                    outputs, skipped_from = self._run_serial(
-                        analyzer, chunks, budget, on_failure)
+                    self._run_serial(analyzer, budget, on_failure, state)
                 else:
-                    outputs, skipped_from = self._run_pooled(
-                        analyzer, chunks, budget, on_failure,
-                        parent_span)
+                    self._run_pooled(analyzer, budget, on_failure,
+                                     parent_span, state)
             with rec.span("executor.merge"):
-                for output in outputs:
+                for idx in sorted(state.outputs):
+                    output = state.outputs[idx]
                     if output[4] is not None:
                         rec.merge(output[4], parent_id=parent_span)
                 values, failures, attempts = self._merge(
-                    freqs, chunks, outputs, skipped_from, budget, report)
+                    freqs, state, budget, report)
             with rec.span("mft.clip"):
                 clipped = clip_negative_psd(freqs, values, report,
                                             logger=logger)
         runtime = time.perf_counter() - t0
         if rec.enabled:
-            rec.count("executor.chunks_dispatched", len(outputs))
+            rec.count("executor.chunks_dispatched",
+                      len(state.outputs) - state.n_resumed)
             if stats_before is not None:
                 # One parent-side delta. On the shared-context backends
                 # (serial/thread) it covers the whole sweep; on the
@@ -266,21 +445,103 @@ class SweepExecutor:
                     "max_workers": self.max_workers,
                     "chunk_size": self.chunk_size,
                     "n_chunks": len(chunks),
-                    "n_chunks_skipped": len(chunks) - len(outputs),
+                    "n_chunks_skipped": len(state.skipped),
+                    "n_chunks_failed": len(state.chunk_errors),
+                    "n_chunks_resumed": state.n_resumed,
+                    "n_retries": state.n_retries,
+                    "n_worker_crashes": state.n_worker_crashes,
+                    "n_timeouts": state.n_timeouts,
+                    "max_retries": self.retry.max_retries,
+                    "chunk_timeout_seconds":
+                        self.retry.chunk_timeout_seconds,
+                    "checkpoint": (str(store.path)
+                                   if store is not None else None),
                 },
             })
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _open_checkpoint(self, checkpoint, analyzer, freqs, on_failure):
+        if checkpoint is None:
+            return None
+        if isinstance(checkpoint, SweepCheckpoint):
+            return checkpoint
+        return SweepCheckpoint(checkpoint)
+
+    def _checkpoint_key(self, analyzer, freqs, on_failure):
+        """Identity of one sweep for checkpoint compatibility.
+
+        Content fingerprint of the discretized system plus grid bytes,
+        output row, resolved solver, chunking, and failure mode — any
+        mismatch means stored chunks cannot be spliced into this sweep.
+        """
+        from .context import discretization_fingerprint
+        grid = hashlib.sha256(
+            np.ascontiguousarray(freqs, dtype=float).tobytes())
+        return {
+            "fingerprint": discretization_fingerprint(
+                analyzer.system, analyzer.segments_per_phase),
+            "output_row": int(analyzer.output_row),
+            "grid_sha256": grid.hexdigest(),
+            "n_points": int(freqs.size),
+            "solver": self.solver or "mft",
+            "chunk_size": int(self.chunk_size),
+            "on_failure": str(on_failure),
+        }
+
     # -- backends ------------------------------------------------------------
 
-    def _run_serial(self, analyzer, chunks, budget, on_failure):
-        """In-process chunk loop; the reference dispatch semantics."""
-        outputs = []
-        for i, (_start, chunk) in enumerate(chunks):
+    def _fire_dispatch(self, start):
+        """Dispatcher-side seam (``kind="kill"`` aborts the sweep).
+
+        Keyed by chunk *start* index, matching the worker-side
+        ``executor.chunk`` seam, so one ``match={"chunk": s}`` targets
+        the same chunk at either site.
+        """
+        if self.faults is not None:
+            self.faults.fire("executor.dispatch", 0, chunk=int(start))
+
+    def _run_serial(self, analyzer, budget, on_failure, state):
+        """In-process chunk loop; the reference dispatch semantics.
+
+        Retries re-run the chunk inline; per-chunk timeouts are not
+        enforceable without preemption and are ignored here.
+        """
+        for idx in state.todo():
             if budget.exceeded() is not None:
-                return outputs, i
-            outputs.append(_run_chunk(analyzer, chunk, on_failure,
-                                      self.solver))
-        return outputs, None
+                state.skip(i for i in state.todo()
+                           if i not in state.chunk_errors)
+                return
+            start, chunk = state.chunks[idx]
+            self._fire_dispatch(start)
+            attempt = 0
+            while True:
+                try:
+                    output = _run_chunk(
+                        analyzer, chunk, on_failure, self.solver,
+                        plan=self.faults, attempt=attempt,
+                        chunk_start=start)
+                except ReproError:
+                    # Numerical failures (on_failure="raise", structural
+                    # errors) keep their existing contract: no retry.
+                    raise
+                except Exception as exc:  # scn: ignore[SCN002]
+                    # Resilience boundary: any non-ReproError escaping
+                    # the worker body is an operational fault.
+                    stage = ("worker-crash"
+                             if isinstance(exc, InjectedWorkerCrash)
+                             else "retry-exhausted")
+                    if attempt >= self.retry.max_retries:
+                        state.fail_chunk(idx, stage, exc)
+                        break
+                    attempt += 1
+                    delay = self.retry.delay(attempt, chunk=idx)
+                    state.note_retry(idx, attempt, stage, exc, delay)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                else:
+                    state.complete(idx, output)
+                    break
 
     def _make_pool(self):
         if self.backend == "thread":
@@ -292,81 +553,179 @@ class SweepExecutor:
         return cf.ProcessPoolExecutor(max_workers=self.max_workers,
                                       mp_context=ctx)
 
-    def _run_pooled(self, analyzer, chunks, budget, on_failure,
-                    parent_span=None):
-        """Bounded-in-flight dispatch with a budget gate between submits.
+    def _handle_failure(self, state, queue, idx, attempt, stage, exc):
+        """Requeue a failed chunk with backoff, or declare it exhausted."""
+        if attempt >= self.retry.max_retries:
+            state.fail_chunk(idx, stage, exc)
+            return
+        next_attempt = attempt + 1
+        delay = self.retry.delay(next_attempt, chunk=idx)
+        state.note_retry(idx, next_attempt, stage, exc, delay)
+        queue.append((idx, next_attempt, time.perf_counter() + delay))
 
-        At most ``max_workers`` chunks are in flight; before each new
-        submission the budget is checked, and on exhaustion the
-        remaining chunks are *not* dispatched while everything already
-        submitted runs to completion.
+    def _wait_timeout(self, pending, queue):
+        """Seconds until the next deadline or backoff expiry (or None)."""
+        now = time.perf_counter()
+        horizon = None
+        for _idx, _attempt, deadline in pending.values():
+            if deadline is not None:
+                horizon = (deadline if horizon is None
+                           else min(horizon, deadline))
+        for _idx, _attempt, not_before in queue:
+            if not_before > now:
+                horizon = (not_before if horizon is None
+                           else min(horizon, not_before))
+        if horizon is None:
+            return None
+        return max(0.0, horizon - now)
+
+    def _run_pooled(self, analyzer, budget, on_failure, parent_span,
+                    state):
+        """Bounded-in-flight dispatch with budget gate, retry, timeout.
+
+        At most ``max_workers`` chunks are in flight; before dispatching
+        more work the budget is checked, and on exhaustion the chunks
+        not yet submitted (including requeued retries) are *not*
+        dispatched while everything already submitted runs to
+        completion.  A broken process pool is respawned and every
+        in-flight chunk requeued with its attempt count bumped; a chunk
+        past its per-chunk timeout is abandoned (its late result is
+        discarded) and requeued.
         """
-        outputs = {}
-        skipped_from = None
-        next_chunk = 0
+        retry = self.retry
+        queue = collections.deque(
+            (idx, 0, 0.0) for idx in state.todo())
         pending = {}
-        with self._make_pool() as pool:
-            try:
-                while next_chunk < len(chunks) or pending:
-                    while (next_chunk < len(chunks)
-                           and len(pending) < self.max_workers):
-                        if budget.exceeded() is not None:
-                            skipped_from = next_chunk
-                            next_chunk = len(chunks)
-                            break
-                        future = pool.submit(
-                            _run_chunk, analyzer,
-                            chunks[next_chunk][1], on_failure, self.solver,
-                            parent_span, self.backend == "process",
-                            time.perf_counter())
-                        pending[future] = next_chunk
-                        next_chunk += 1
-                    if not pending:
+        pool = self._make_pool()
+        try:
+            while queue or pending:
+                if queue and budget.exceeded() is not None:
+                    state.skip(idx for idx, _a, _t in queue)
+                    queue.clear()
+                now = time.perf_counter()
+                deferred = []
+                while queue and len(pending) < self.max_workers:
+                    idx, attempt, not_before = queue.popleft()
+                    if not_before > now:
+                        deferred.append((idx, attempt, not_before))
+                        continue
+                    self._fire_dispatch(state.chunks[idx][0])
+                    deadline = (now + retry.chunk_timeout_seconds
+                                if retry.chunk_timeout_seconds is not None
+                                else None)
+                    future = pool.submit(
+                        _run_chunk, analyzer, state.chunks[idx][1],
+                        on_failure, self.solver, parent_span,
+                        self.backend == "process", time.perf_counter(),
+                        self.faults, attempt, state.chunks[idx][0])
+                    pending[future] = (idx, attempt, deadline)
+                queue.extend(deferred)
+                if not pending:
+                    if not queue:
                         break
-                    done, _ = cf.wait(
-                        pending, return_when=cf.FIRST_COMPLETED)
-                    for future in done:
-                        outputs[pending.pop(future)] = future.result()
-            finally:
-                # Abandon not-yet-started chunks when a worker raised
-                # (on_failure="raise"); no-op on the clean path where
-                # ``pending`` is already empty.
-                for future in pending:
+                    # Every runnable chunk is waiting out its backoff.
+                    time.sleep(self._wait_timeout(pending, queue) or 0.0)
+                    continue
+                done, _ = cf.wait(pending,
+                                  timeout=self._wait_timeout(pending,
+                                                             queue),
+                                  return_when=cf.FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    idx, attempt, _deadline = pending.pop(future)
+                    try:
+                        output = future.result()
+                    except ReproError:
+                        raise
+                    except cf.BrokenExecutor as exc:
+                        broken = True
+                        self._handle_failure(state, queue, idx, attempt,
+                                             "worker-crash", exc)
+                    except Exception as exc:  # scn: ignore[SCN002]
+                        # Resilience boundary (see _run_serial).
+                        stage = ("worker-crash"
+                                 if isinstance(exc, InjectedWorkerCrash)
+                                 else "retry-exhausted")
+                        self._handle_failure(state, queue, idx, attempt,
+                                             stage, exc)
+                    else:
+                        state.complete(idx, output)
+                now = time.perf_counter()
+                expired = [future for future, (_i, _a, deadline)
+                           in pending.items()
+                           if deadline is not None and now >= deadline]
+                for future in expired:
+                    idx, attempt, _deadline = pending.pop(future)
                     future.cancel()
-        ordered = [outputs[i] for i in sorted(outputs)]
-        return ordered, skipped_from
+                    exc = TimeoutError(
+                        f"chunk exceeded its "
+                        f"{retry.chunk_timeout_seconds:.3g} s timeout")
+                    self._handle_failure(state, queue, idx, attempt,
+                                         "timeout", exc)
+                if broken:
+                    # The pool is dead: every still-pending future will
+                    # fail with the same BrokenExecutor. Requeue them
+                    # all against a fresh pool.
+                    for future, (idx, attempt, _d) in list(
+                            pending.items()):
+                        self._handle_failure(
+                            state, queue, idx, attempt, "worker-crash",
+                            cf.BrokenExecutor(
+                                "sibling of a crashed worker"))
+                    pending.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._make_pool()
+        finally:
+            # Abandon not-yet-started chunks when a worker raised
+            # (on_failure="raise") or the sweep was killed; no-op on
+            # the clean path where ``pending`` is already empty.
+            for future in pending:
+                future.cancel()
+            pool.shutdown(wait=True)
 
     # -- merging -------------------------------------------------------------
 
     @staticmethod
-    def _merge(freqs, chunks, outputs, skipped_from, budget, report):
+    def _merge(freqs, state, budget, report):
         """Stitch chunk outputs back into one sweep, in index order."""
         values = np.full(freqs.shape, np.nan)
         failures = []
         attempts = []
-        for (start, chunk), (chunk_values, chunk_failures,
-                             chunk_attempts, findings, _obs) in zip(
-                chunks, outputs):
-            values[start:start + chunk.size] = chunk_values
-            for failure in chunk_failures:
-                failures.append(dataclasses.replace(
-                    failure, index=failure.index + start))
-            attempts.extend(chunk_attempts)
-            report.merge(findings)
-        if skipped_from is not None:
-            first_skipped = chunks[skipped_from][0]
+        for idx, (start, chunk) in enumerate(state.chunks):
+            output = state.outputs.get(idx)
+            if output is not None:
+                (chunk_values, chunk_failures, chunk_attempts,
+                 findings, _obs) = output
+                values[start:start + chunk.size] = chunk_values
+                for failure in chunk_failures:
+                    failures.append(dataclasses.replace(
+                        failure, index=failure.index + start))
+                attempts.extend(chunk_attempts)
+                report.merge(findings)
+            elif idx in state.chunk_errors:
+                stage, error, message = state.chunk_errors[idx]
+                for k in range(start, start + chunk.size):
+                    failures.append(FrequencyFailure(
+                        frequency=float(freqs[k]), index=k, stage=stage,
+                        error=error, message=message))
+        if state.skipped:
             reason = budget.exceeded() or "budget exhausted"
-            for k in range(first_skipped, freqs.size):
-                failures.append(FrequencyFailure(
-                    frequency=float(freqs[k]), index=k, stage="budget",
-                    error="BudgetExceededError", message=reason))
+            n_skipped = 0
+            for idx in sorted(state.skipped):
+                start, chunk = state.chunks[idx]
+                n_skipped += chunk.size
+                for k in range(start, start + chunk.size):
+                    failures.append(FrequencyFailure(
+                        frequency=float(freqs[k]), index=k,
+                        stage="budget", error="BudgetExceededError",
+                        message=reason))
             report.error(
                 "budget-exhausted",
-                f"sweep budget spent before {freqs.size - first_skipped} "
-                f"of {freqs.size} frequencies: {reason}",
-                skipped=freqs.size - first_skipped, reason=reason)
+                f"sweep budget spent before {n_skipped} of "
+                f"{freqs.size} frequencies: {reason}",
+                skipped=n_skipped, reason=reason)
             logger.warning(
                 "sweep budget spent: %d chunks not dispatched "
-                "(%d frequencies)", len(chunks) - skipped_from,
-                freqs.size - first_skipped)
+                "(%d frequencies)", len(state.skipped), n_skipped)
+        failures.sort(key=lambda failure: failure.index)
         return values, failures, attempts

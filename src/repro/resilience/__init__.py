@@ -1,0 +1,46 @@
+"""Operational resilience for sweep execution.
+
+Three pieces, threaded through :mod:`repro.mft.executor`:
+
+* :mod:`repro.resilience.faults` — deterministic, seedable fault
+  injection (:class:`FaultPlan`) with zero-overhead seams in the linear
+  -algebra wrappers, the MFT engine, and the executor worker body;
+* :mod:`repro.resilience.retry` — chunk-level :class:`RetryPolicy`
+  (exponential backoff + jitter, per-chunk timeouts);
+* :mod:`repro.resilience.checkpoint` — :class:`SweepCheckpoint`, the
+  chunk-granular resume store keyed on the discretization fingerprint.
+
+See DESIGN.md §10 for the fault model and the retry state machine.
+"""
+
+from .checkpoint import SweepCheckpoint
+from .faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    NULL_FAULT_PLAN,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedPickleError,
+    InjectedSweepKill,
+    InjectedTransientError,
+    InjectedWorkerCrash,
+)
+from .retry import NO_RETRY, RetryPolicy, resolve_retry
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedPickleError",
+    "InjectedSweepKill",
+    "InjectedTransientError",
+    "InjectedWorkerCrash",
+    "NO_RETRY",
+    "NULL_FAULT_PLAN",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "resolve_retry",
+]

@@ -1,0 +1,121 @@
+"""Chunk-level retry policy: exponential backoff, jitter, timeouts.
+
+One :class:`RetryPolicy` instance parameterizes how the sweep executor
+treats a failed chunk — an unexpected worker exception, a broken process
+pool, or a chunk running past its per-chunk timeout.  The defaults come
+from the named constants in :mod:`repro.tolerances` (SCN003: no magic
+delays), and the policy is a frozen dataclass so one instance can be
+shared by concurrent sweeps.
+
+Jitter is *deterministic per (chunk, attempt)* — a seeded hash, not
+``random`` — so a retried run schedules identically; its purpose is
+decorrelating chunks within one run (all chunks failed by one pool
+crash must not retry in lockstep), not randomizing across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..tolerances import (
+    RETRY_BACKOFF_CAP_SECONDS,
+    RETRY_BACKOFF_FACTOR,
+    RETRY_BACKOFF_SECONDS,
+    RETRY_JITTER_FRACTION,
+)
+
+__all__ = ["NO_RETRY", "RetryPolicy", "resolve_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Tuning knobs of the executor's chunk-retry loop.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional attempts after the first (default 2: a chunk runs at
+        most three times before degrading to NaN + failure records with
+        stage ``"retry-exhausted"`` / ``"worker-crash"`` /
+        ``"timeout"``).
+    backoff_seconds / backoff_factor / backoff_cap_seconds:
+        Delay before attempt ``k`` (1-based retry) is
+        ``min(cap, backoff_seconds * factor**(k-1))``, plus jitter.
+    jitter:
+        Fraction of the delay randomized (deterministically, see the
+        module docstring) on top of the base backoff.
+    chunk_timeout_seconds:
+        Wall-clock allowance for one chunk attempt on the pooled
+        backends; an expired chunk is abandoned and requeued.  ``None``
+        (default) disables timeouts.  The serial backend cannot preempt
+        a running chunk, so it ignores this knob.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = RETRY_BACKOFF_SECONDS
+    backoff_factor: float = RETRY_BACKOFF_FACTOR
+    backoff_cap_seconds: float = RETRY_BACKOFF_CAP_SECONDS
+    jitter: float = RETRY_JITTER_FRACTION
+    chunk_timeout_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0.0:
+            raise ReproError(
+                f"backoff_seconds must be >= 0, got "
+                f"{self.backoff_seconds}")
+        if self.backoff_factor < 1.0:
+            raise ReproError(
+                f"backoff_factor must be >= 1, got "
+                f"{self.backoff_factor}")
+        if self.backoff_cap_seconds < 0.0:
+            raise ReproError(
+                f"backoff_cap_seconds must be >= 0, got "
+                f"{self.backoff_cap_seconds}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+        if (self.chunk_timeout_seconds is not None
+                and self.chunk_timeout_seconds <= 0.0):
+            raise ReproError(
+                f"chunk_timeout_seconds must be positive or None, got "
+                f"{self.chunk_timeout_seconds}")
+
+    def delay(self, attempt: int, chunk: int = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based) of ``chunk``."""
+        if attempt < 1:
+            return 0.0
+        base = min(self.backoff_cap_seconds,
+                   self.backoff_seconds
+                   * self.backoff_factor ** (attempt - 1))
+        if not self.jitter:
+            return base
+        digest = hashlib.sha256(
+            repr((int(chunk), int(attempt))).encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return base * (1.0 + self.jitter * u)
+
+
+#: Retry disabled: a failed chunk degrades immediately.
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+def resolve_retry(retry: "RetryPolicy | bool | None") -> RetryPolicy:
+    """Normalise the ``retry=`` API argument to a :class:`RetryPolicy`.
+
+    ``None``/``True`` select the default policy, ``False`` disables
+    retries, a :class:`RetryPolicy` passes through.
+    """
+    if retry is None or retry is True:
+        return RetryPolicy()
+    if retry is False:
+        return NO_RETRY
+    if not isinstance(retry, RetryPolicy):
+        raise ReproError(
+            "retry must be a RetryPolicy, True/None (defaults), or "
+            f"False (disabled), got {type(retry).__name__}")
+    return retry

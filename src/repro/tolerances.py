@@ -127,6 +127,74 @@ SPECTRAL_EIGENBASIS_COND_LIMIT: float = 1e6
 #: genuinely inconsistent schedule.
 SCHEDULE_TILE_RTOL: float = 1e-9
 
+#: Relative slack when snapping integrator steps onto schedule
+#: breakpoints: a step endpoint within ``1e-15·max(|t|, 1)`` of a
+#: breakpoint is "at" the breakpoint.  ~10·eps on the time coordinate —
+#: tight enough that no real segment is skipped, loose enough that the
+#: accumulated ``t += h`` rounding never creates a phantom micro-step.
+GRID_SNAP_RTOL: float = 1e-15
+
+# ---------------------------------------------------------------------------
+# Adaptive transient integration (repro.integrate)
+# ---------------------------------------------------------------------------
+
+#: Default relative local-error tolerance of the adaptive trapezoidal
+#: integrator.  1e-6 holds the per-period energy error well under the
+#: 0.1 dB kT/C validation target while keeping brute-force sweeps
+#: affordable.
+TRAPEZOID_RTOL: float = 1e-6
+
+#: Default absolute local-error floor of the adaptive trapezoidal
+#: integrator, guarding the error ratio when the state passes through
+#: zero.  Sized to the smallest state magnitudes (µV-scale capacitor
+#: voltages) the validation circuits produce.
+TRAPEZOID_ATOL: float = 1e-12
+
+#: Smallest step the adaptive integrator may take before declaring the
+#: problem pathologically stiff and raising, instead of looping forever
+#: on a discontinuity.  Far below any physical time constant in the SC
+#: circuits (~1e-9 s) yet far above the subnormal range.
+TRAPEZOID_MIN_STEP: float = 1e-18
+
+#: Residual tolerance of the Newton corrector inside the implicit
+#: trapezoidal step.  ~100·eps·‖x‖-scale: iterating further only churns
+#: rounding noise; looser visibly biases the periodic steady state.
+TRAPEZOID_NEWTON_TOL: float = 1e-10
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo baseline (repro.baselines)
+# ---------------------------------------------------------------------------
+
+#: Relative slack when verifying that a discretization grid is uniform
+#: enough for Welch spectral estimation (equal segment counts per phase,
+#: equal time steps).  1e-9 matches :data:`SCHEDULE_TILE_RTOL`: both
+#: guard the same accumulated O(n·eps) schedule arithmetic.
+UNIFORM_GRID_RTOL: float = 1e-9
+
+# ---------------------------------------------------------------------------
+# Resilient sweep execution (repro.resilience)
+# ---------------------------------------------------------------------------
+
+#: First-retry backoff of the chunk retry loop, in seconds.  Transient
+#: faults the retry exists for (LAPACK hiccups, a worker OOM-killed and
+#: respawned) clear in well under this; shorter delays just burn CPU
+#: re-hitting a still-broken pool.
+RETRY_BACKOFF_SECONDS: float = 0.05
+
+#: Multiplier applied to the backoff after each failed attempt
+#: (exponential backoff).  Doubling is the standard compromise between
+#: reacting fast to one-off faults and not hammering a struggling host.
+RETRY_BACKOFF_FACTOR: float = 2.0
+
+#: Upper bound on any single retry delay, in seconds.  Keeps the worst
+#: -case added latency of an exhausted chunk (max_retries delays)
+#: bounded and small against multi-second sweep budgets.
+RETRY_BACKOFF_CAP_SECONDS: float = 1.0
+
+#: Fraction of the backoff randomized as jitter so that chunks failed by
+#: one crash event do not retry in lockstep against the respawned pool.
+RETRY_JITTER_FRACTION: float = 0.25
+
 __all__ = [
     "MACHINE_EPS",
     "TINY_FLOOR",
@@ -145,4 +213,14 @@ __all__ = [
     "SWEEP_REFINE_DB",
     "SPECTRAL_EIGENBASIS_COND_LIMIT",
     "SCHEDULE_TILE_RTOL",
+    "GRID_SNAP_RTOL",
+    "TRAPEZOID_RTOL",
+    "TRAPEZOID_ATOL",
+    "TRAPEZOID_MIN_STEP",
+    "TRAPEZOID_NEWTON_TOL",
+    "UNIFORM_GRID_RTOL",
+    "RETRY_BACKOFF_SECONDS",
+    "RETRY_BACKOFF_FACTOR",
+    "RETRY_BACKOFF_CAP_SECONDS",
+    "RETRY_JITTER_FRACTION",
 ]

@@ -1,0 +1,279 @@
+"""Unit tests for the resilience primitives (DESIGN.md §10).
+
+Covers the deterministic fault-injection layer (:mod:`repro.resilience
+.faults`), the retry/backoff policy (:mod:`repro.resilience.retry`),
+the checkpoint store (:mod:`repro.resilience.checkpoint`), and the
+serialization round-trips the store depends on.  Executor integration
+lives in ``tests/test_executor_resilience.py``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.diagnostics.fallback import AttemptRecord
+from repro.diagnostics.report import Finding, FrequencyFailure, Severity
+from repro.errors import ReproError
+from repro.resilience import (
+    NO_RETRY,
+    NULL_FAULT_PLAN,
+    FaultPlan,
+    FaultSpec,
+    InjectedSweepKill,
+    InjectedTransientError,
+    InjectedWorkerCrash,
+    RetryPolicy,
+    SweepCheckpoint,
+    resolve_retry,
+)
+from repro.resilience.faults import activate, fire
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ReproError, match="site"):
+            FaultSpec("nowhere", "transient")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ReproError, match="kind"):
+            FaultSpec("mft.solve", "explode")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": -0.1}, {"rate": 1.5}, {"attempts": 0},
+        {"seconds": -1.0},
+    ])
+    def test_rejects_bad_numbers(self, kwargs):
+        with pytest.raises(ReproError):
+            FaultSpec("mft.solve", "transient", **kwargs)
+
+
+class TestFaultPlan:
+    def test_null_plan_is_disabled(self):
+        assert not NULL_FAULT_PLAN.enabled
+        NULL_FAULT_PLAN.fire("mft.solve", frequency=100.0)  # no-op
+
+    def test_fires_deterministically(self):
+        spec = FaultSpec("mft.solve", "transient", rate=0.5)
+        decisions = []
+        for _ in range(3):
+            plan = FaultPlan([spec], seed=7)
+            row = []
+            for k in range(40):
+                try:
+                    plan.fire("mft.solve", frequency=float(k))
+                    row.append(False)
+                except InjectedTransientError:
+                    row.append(True)
+            decisions.append(row)
+        assert decisions[0] == decisions[1] == decisions[2]
+        n_fired = sum(decisions[0])
+        assert 0 < n_fired < 40  # rate=0.5 hits some, not all
+
+    def test_seed_changes_decisions(self):
+        spec = FaultSpec("mft.solve", "transient", rate=0.5)
+
+        def pattern(seed):
+            plan = FaultPlan([spec], seed=seed)
+            out = []
+            for k in range(40):
+                try:
+                    plan.fire("mft.solve", frequency=float(k))
+                    out.append(False)
+                except InjectedTransientError:
+                    out.append(True)
+            return out
+
+        assert pattern(1) != pattern(2)
+
+    def test_attempt_gate_clears_on_retry(self):
+        plan = FaultPlan([FaultSpec("mft.solve", "transient")])
+        with pytest.raises(InjectedTransientError):
+            plan.fire("mft.solve", 0, frequency=1.0)
+        # attempt >= attempts: the retried computation runs clean.
+        plan.fire("mft.solve", 1, frequency=1.0)
+
+    def test_match_filter_targets_one_event(self):
+        plan = FaultPlan([FaultSpec("executor.chunk", "transient",
+                                    match={"chunk": 16})])
+        plan.fire("executor.chunk", 0, chunk=0)
+        plan.fire("executor.chunk", 0, chunk=8)
+        with pytest.raises(InjectedTransientError):
+            plan.fire("executor.chunk", 0, chunk=16)
+
+    def test_crash_raises_in_parent_process(self):
+        plan = FaultPlan([FaultSpec("executor.chunk", "crash")])
+        with pytest.raises(InjectedWorkerCrash):
+            plan.fire("executor.chunk", 0, chunk=0)
+
+    def test_kill_raises_sweep_kill(self):
+        plan = FaultPlan([FaultSpec("executor.dispatch", "kill")])
+        with pytest.raises(InjectedSweepKill):
+            plan.fire("executor.dispatch", 0, chunk=0)
+
+    def test_fired_log_records_events(self):
+        plan = FaultPlan([FaultSpec("mft.solve", "transient")])
+        with pytest.raises(InjectedTransientError):
+            plan.fire("mft.solve", 0, frequency=2.5)
+        assert plan.fired == [{"site": "mft.solve", "kind": "transient",
+                               "attempt": 0,
+                               "key": {"frequency": 2.5}}]
+
+    def test_plan_pickles(self):
+        plan = FaultPlan([FaultSpec("mft.solve", "transient", rate=0.25,
+                                    match={"frequency": 3.0})], seed=11)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == tuple(plan.specs) or \
+            list(clone.specs) == list(plan.specs)
+        assert clone.seed == plan.seed
+        assert clone.parent_pid == plan.parent_pid
+
+
+class TestActivation:
+    def test_fire_is_noop_outside_activation(self):
+        # Even with a plan constructed, nothing is armed.
+        FaultPlan([FaultSpec("mft.solve", "transient")])
+        fire("mft.solve", frequency=1.0)
+
+    def test_fire_acts_inside_activation(self):
+        plan = FaultPlan([FaultSpec("mft.solve", "transient")])
+        with activate(plan):
+            with pytest.raises(InjectedTransientError):
+                fire("mft.solve", frequency=1.0)
+        fire("mft.solve", frequency=1.0)  # disarmed again
+
+    def test_activation_carries_attempt(self):
+        plan = FaultPlan([FaultSpec("mft.solve", "transient")])
+        with activate(plan, attempt=1):
+            fire("mft.solve", frequency=1.0)  # attempt gate: clean
+
+    def test_activate_none_is_noop(self):
+        with activate(None):
+            fire("mft.solve", frequency=1.0)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1}, {"backoff_seconds": -0.1},
+        {"backoff_factor": 0.5}, {"backoff_cap_seconds": -1.0},
+        {"jitter": 1.5}, {"chunk_timeout_seconds": 0.0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ReproError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_factor=2.0,
+                             backoff_cap_seconds=0.35, jitter=0.0)
+        delays = [policy.delay(k) for k in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.35, 0.35]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_factor=1.0,
+                             jitter=0.25)
+        a = policy.delay(1, chunk=3)
+        b = policy.delay(1, chunk=3)
+        other = policy.delay(1, chunk=4)
+        assert a == b
+        assert a != other
+        assert 0.1 <= a <= 0.1 * 1.25
+
+    def test_resolve_retry(self):
+        assert resolve_retry(None) == RetryPolicy()
+        assert resolve_retry(True) == RetryPolicy()
+        assert resolve_retry(False) is NO_RETRY
+        custom = RetryPolicy(max_retries=5)
+        assert resolve_retry(custom) is custom
+        with pytest.raises(ReproError, match="RetryPolicy"):
+            resolve_retry(3)
+
+
+class TestSerializationRoundTrips:
+    def test_finding_round_trip(self):
+        finding = Finding(code="chunk-retry", severity=Severity.WARNING,
+                          message="m", data={"chunk": 2})
+        clone = Finding.from_dict(finding.to_dict())
+        assert clone.code == finding.code
+        assert clone.severity is Severity.WARNING
+        assert clone.message == finding.message
+        assert clone.data == finding.data
+
+    def test_frequency_failure_round_trip(self):
+        failure = FrequencyFailure(frequency=1e3, index=4,
+                                   stage="worker-crash",
+                                   error="InjectedWorkerCrash",
+                                   message="boom")
+        clone = FrequencyFailure.from_dict(failure.to_dict())
+        assert clone == failure
+
+    def test_attempt_record_round_trip(self):
+        record = AttemptRecord(strategy="mft-direct", frequency=2e3,
+                               trigger="", success=True,
+                               cost_seconds=0.01)
+        clone = AttemptRecord.from_dict(record.to_dict())
+        assert clone.strategy == record.strategy
+        assert clone.frequency == record.frequency
+        assert clone.success is True
+
+
+class TestSweepCheckpoint:
+    KEY = {"fingerprint": "abc", "grid_sha256": "def", "n_points": 8,
+           "solver": "mft", "chunk_size": 4, "on_failure": "record",
+           "output_row": 0}
+
+    def test_fresh_directory_initialises_empty(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "ckpt")
+        assert store.open(dict(self.KEY)) == {}
+        assert store.meta_path.exists()
+        assert store.n_chunks == 0
+
+    def test_record_and_reload_bit_exact(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "ckpt")
+        store.open(dict(self.KEY))
+        values = np.array([1.2345678901234567e-18, np.nan, 3.25])
+        failures = [FrequencyFailure(frequency=200.0, index=1,
+                                     stage="solve", error="E",
+                                     message="m")]
+        findings = [Finding(code="fallback-attempt",
+                            severity=Severity.INFO, message="ok",
+                            data={})]
+        attempts = [AttemptRecord(strategy="mft-direct", frequency=200.0,
+                                  trigger="", success=True,
+                                  cost_seconds=0.0)]
+        store.record(4, values, failures, attempts, findings)
+
+        fresh = SweepCheckpoint(tmp_path / "ckpt")
+        completed = fresh.open(dict(self.KEY))
+        assert set(completed) == {4}
+        got_values, got_failures, got_attempts, got_findings, obs = \
+            completed[4]
+        assert np.array_equal(got_values, values, equal_nan=True)
+        # bit-exact, not just close:
+        assert got_values.tobytes() == values.tobytes()
+        assert got_failures == failures
+        assert [f.code for f in got_findings] == ["fallback-attempt"]
+        assert got_attempts[0].strategy == "mft-direct"
+        assert obs is None
+
+    def test_key_mismatch_raises(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "ckpt")
+        store.open(dict(self.KEY))
+        other = dict(self.KEY, grid_sha256="XYZ")
+        fresh = SweepCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(ReproError, match="grid_sha256"):
+            fresh.open(other)
+
+    def test_record_before_open_raises(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "ckpt")
+        with pytest.raises(ReproError, match="open"):
+            store.record(0, np.zeros(2), [], [], [])
+
+    def test_missing_npz_is_skipped(self, tmp_path):
+        store = SweepCheckpoint(tmp_path / "ckpt")
+        store.open(dict(self.KEY))
+        store.record(0, np.ones(4), [], [], [])
+        store.record(4, np.ones(4), [], [], [])
+        (tmp_path / "ckpt" / "chunk_00000004.npz").unlink()
+        fresh = SweepCheckpoint(tmp_path / "ckpt")
+        completed = fresh.open(dict(self.KEY))
+        assert set(completed) == {0}
