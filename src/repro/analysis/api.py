@@ -114,7 +114,7 @@ class NoiseAnalysis:
 
     def psd(self, frequencies, on_failure="record", budget=None,
             solver=None, **solver_options):
-        """Averaged double-sided PSD of the selected output.
+        """Averaged double-sided PSD of the selected output, in V²/Hz.
 
         ``solver`` picks the engine by name — ``"mft"`` (default),
         ``"spectral-batch"``, ``"brute-force"``, or ``"monte-carlo"`` —
@@ -139,6 +139,9 @@ class NoiseAnalysis:
                   solver=None, retry=None, faults=None, checkpoint=None,
                   **solver_options):
         """Same as :meth:`psd` but through a parallel sweep executor.
+
+        Values are the same double-sided PSD samples in V²/Hz, merged
+        back in frequency order.
 
         ``parallel="thread"`` or ``"process"`` runs independent
         frequency chunks concurrently (``max_workers`` workers) with the
@@ -167,7 +170,8 @@ class NoiseAnalysis:
 
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
                         **kwargs):
-        """Same quantity via the baseline transient engine (slow).
+        """Same quantity — double-sided V²/Hz — via the baseline
+        transient engine (slow).
 
         Shares the engine's cached discretization (propagators, Van Loan
         Gramians) through its :class:`~repro.mft.context.SweepContext`
@@ -191,7 +195,10 @@ class NoiseAnalysis:
         return result.info["details"][0].trace
 
     def instantaneous_psd(self, frequency):
-        """``S(t, f)`` over one period of the steady state."""
+        """``S(t, f)`` over one period of the steady state.
+
+        Double-sided instantaneous PSD samples in V²/Hz.
+        """
         return self.engine.instantaneous_psd(frequency)
 
     # -- scalar figures of merit ----------------------------------------------

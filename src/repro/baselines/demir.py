@@ -47,7 +47,7 @@ def demir_corner_frequency(f_osc, c_parameter):
 
 
 def lorentzian_psd(f_osc, c_parameter, frequencies, power=0.5):
-    """Double-sided Lorentzian PSD of the oscillator fundamental.
+    """Double-sided Lorentzian PSD of the oscillator fundamental, V²/Hz.
 
     ``power`` is the carrier power in the fundamental (0.5 for a
     unit-amplitude sinusoid). The total power integrates to ``power``

@@ -28,7 +28,7 @@ logger = logging.getLogger(__name__)
 
 def htf_noise_psd(system, frequencies, n_harmonics=20,
                   segments_per_phase=64, output_row=0, tail_tol=1e-4):
-    """Double-sided output noise PSD via harmonic-transfer noise folding.
+    """Double-sided output noise PSD (V²/Hz) via harmonic-transfer folding.
 
     Parameters
     ----------

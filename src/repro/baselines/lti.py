@@ -21,7 +21,7 @@ from ..linalg.lyapunov import solve_continuous_lyapunov
 
 
 def lti_noise_psd(a_matrix, b_matrix, l_row, frequencies):
-    """Double-sided output PSD of a stable LTI SDE at frequencies [Hz]."""
+    """Double-sided output PSD (V²/Hz) of a stable LTI SDE at frequencies [Hz]."""
     a = np.atleast_2d(np.asarray(a_matrix, dtype=float))
     b = np.asarray(b_matrix, dtype=float)
     if b.ndim == 1:

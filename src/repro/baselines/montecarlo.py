@@ -177,7 +177,7 @@ def monte_carlo_psd(system, n_trajectories=64, n_periods=256,
                     samples_per_period=64, segment_periods=64,
                     rng=None, output_row=0, budget=None, context=None,
                     recorder=None):
-    """Welch-estimated double-sided output PSD of the switched system.
+    """Welch-estimated double-sided output PSD (V²/Hz) of the switched system.
 
     Parameters
     ----------

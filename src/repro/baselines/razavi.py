@@ -18,7 +18,7 @@ from ..errors import ReproError
 
 
 def razavi_linear_oscillator_psd(b_coefficient, offset_radps):
-    """Near-carrier PSD ``B / Δω²`` [V²/Hz vs rad/s offset]."""
+    """Near-carrier double-sided PSD ``B / Δω²`` [V²/Hz vs rad/s offset]."""
     offsets = np.atleast_1d(np.asarray(offset_radps, dtype=float))
     if np.any(offsets == 0.0):
         raise ReproError("offset must be non-zero (the model diverges "
@@ -29,6 +29,8 @@ def razavi_linear_oscillator_psd(b_coefficient, offset_radps):
 def linear_ring_psd_exact(resistance, capacitance, noise_intensity,
                           omega):
     """Paper eq. (41) (steady-state part) for the linear 3-stage ring.
+
+    Double-sided PSD in V²/Hz.
 
     ``A = R²ω_o I_n / (36√3)``, ``B = R² ω_o² I_n / 9``,
     ``ω_o = √3 / RC``:

@@ -86,7 +86,7 @@ def rice_switched_rc_psd(params, frequencies):
 
 
 def rice_track_only_psd(params, frequencies):
-    """PSD of the un-switched (always-tracking) RC circuit.
+    """Double-sided PSD (V²/Hz) of the un-switched (always-tracking) RC.
 
     The d→1 limit: the textbook Lorentzian ``2kTR / (1 + (ωRC)²)``
     (double-sided). Used to check the duty-cycle limits of the closed
@@ -100,6 +100,8 @@ def rice_track_only_psd(params, frequencies):
 
 def rice_sampled_data_limit_psd(params, frequencies):
     """Sample-and-hold component of the switched RC spectrum.
+
+    Double-sided PSD in V²/Hz.
 
     The held portion of the output is a zero-order hold of duration
     ``t2 = (1−d)T`` applied to the sampled sequence ``x_n = V(nT + dT)``,

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..circuits.sc_lowpass import SC_LOWPASS_C1, SC_LOWPASS_C2, SC_LOWPASS_C3
 from ..errors import NoiseModelError, ReproError
 from ..linalg.checked import checked_solve
 from ..linalg.lyapunov import solve_discrete_lyapunov
@@ -184,7 +185,8 @@ def sampled_and_held_psd(m_matrix, q_matrix, l_row, period, hold_time,
                      info={"period": period, "hold_time": hold_time})
 
 
-def ideal_lowpass_model(c1=300e-12, c2=100e-12, c3=100e-12,
+def ideal_lowpass_model(c1=SC_LOWPASS_C1, c2=SC_LOWPASS_C2,
+                        c3=SC_LOWPASS_C3,
                         temperature=ROOM_TEMPERATURE,
                         extra_sampled_psd=0.0, f_clock=4e3):
     """Scalar full-and-fast model of the paper's SC low-pass filter.

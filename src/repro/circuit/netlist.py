@@ -155,7 +155,7 @@ class Netlist:
                 if isinstance(c, (VoltageSource, CurrentSource))]
 
     def thermal_current_psd(self, comp, resistance):
-        """Double-sided thermal current PSD ``2kT/R`` of a resistive part."""
+        """Double-sided thermal current PSD ``2kT/R`` (A²/Hz) of a resistor."""
         return 2.0 * BOLTZMANN * comp.temperature / resistance
 
     # -- conversion ----------------------------------------------------------

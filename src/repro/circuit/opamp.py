@@ -28,10 +28,16 @@ from ..errors import CircuitError
 #: Open-loop DC gain used for the "large" resistances/gains of the models.
 DEFAULT_DC_GAIN = 1e7
 
+#: Internal compensation capacitance of the integrator stage, 1 pF.
+#: Only the product ``g_m = ω_u · C_int`` is observable, so this merely
+#: scales the internal node's impedance level.
+DEFAULT_C_INTERNAL = 1e-12
+
 
 def add_source_follower_opamp(netlist, name, in_pos, in_neg, out,
                               unity_gain_radps, input_noise_psd=0.0,
-                              c_internal=1e-12, dc_gain=DEFAULT_DC_GAIN):
+                              c_internal=DEFAULT_C_INTERNAL,
+                              dc_gain=DEFAULT_DC_GAIN):
     """Macromodel (a): integrator stage + ideal follower.
 
     Elements added (nodes prefixed ``name:``):

@@ -9,21 +9,23 @@ phases during which *all* switches are open.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ScheduleError
+from ..typing import FloatArray
 
 
 @dataclass(frozen=True)
 class ClockSchedule:
     """Ordered clock phases tiling one period."""
 
-    phase_names: tuple
-    durations: tuple
+    phase_names: tuple[str, ...]
+    durations: tuple[float, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         names = tuple(str(n) for n in self.phase_names)
         durations = tuple(float(d) for d in self.durations)
         if len(names) != len(durations):
@@ -40,7 +42,8 @@ class ClockSchedule:
         object.__setattr__(self, "durations", durations)
 
     @classmethod
-    def two_phase(cls, frequency, duty=0.5, names=("phi1", "phi2")):
+    def two_phase(cls, frequency: float, duty: float = 0.5,
+                  names: Sequence[str] = ("phi1", "phi2")) -> ClockSchedule:
         """Standard two-phase clock at ``frequency`` Hz.
 
         ``duty`` is the fraction of the period spent in the first phase.
@@ -55,34 +58,35 @@ class ClockSchedule:
                    durations=(duty * period, (1.0 - duty) * period))
 
     @classmethod
-    def uniform(cls, frequency, names):
+    def uniform(cls, frequency: float,
+                names: Iterable[str]) -> ClockSchedule:
         """Equal-duration phases at ``frequency`` Hz."""
         if frequency <= 0.0:
             raise ScheduleError(f"clock frequency must be positive: "
                                 f"{frequency}")
-        names = tuple(str(n) for n in names)
+        labels = tuple(str(n) for n in names)
         period = 1.0 / float(frequency)
-        return cls(phase_names=names,
-                   durations=(period / len(names),) * len(names))
+        return cls(phase_names=labels,
+                   durations=(period / len(labels),) * len(labels))
 
     @property
-    def period(self):
+    def period(self) -> float:
         return float(sum(self.durations))
 
     @property
-    def frequency(self):
+    def frequency(self) -> float:
         return 1.0 / self.period
 
     @property
-    def n_phases(self):
+    def n_phases(self) -> int:
         return len(self.phase_names)
 
     @property
-    def boundaries(self):
-        """Cumulative phase boundary times ``[0, ..., period]``."""
+    def boundaries(self) -> FloatArray:
+        """Cumulative phase boundary times ``[0, ..., period]``, shape (P+1,)."""
         return np.concatenate([[0.0], np.cumsum(self.durations)])
 
-    def duration_of(self, phase_name):
+    def duration_of(self, phase_name: str) -> float:
         try:
             idx = self.phase_names.index(str(phase_name))
         except ValueError:
@@ -91,7 +95,8 @@ class ClockSchedule:
                 f"{self.phase_names}") from None
         return self.durations[idx]
 
-    def validate_phase_names(self, names, owner=""):
+    def validate_phase_names(self, names: Iterable[str],
+                             owner: str = "") -> None:
         """Check that every name in ``names`` is a schedule phase."""
         unknown = [n for n in names if str(n) not in self.phase_names]
         if unknown:

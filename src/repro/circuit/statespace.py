@@ -23,6 +23,11 @@ import numpy as np
 
 from ..errors import CircuitError, NoiseModelError
 from ..lptv.system import Phase, PiecewiseLTISystem
+from ..tolerances import (
+    OUTPUT_FEEDTHROUGH_RTOL,
+    OUTPUT_ROW_MATCH_ATOL,
+    OUTPUT_ROW_MATCH_RTOL,
+)
 from .mna import assemble_phase
 
 
@@ -120,7 +125,8 @@ def extract_phase_state_space(netlist, phase_name, noise_descriptors=None,
         signal_names=[s.name for s in signal_sources])
 
 
-def build_lptv_system(netlist, schedule, outputs, feedthrough_tol=1e-9):
+def build_lptv_system(netlist, schedule, outputs,
+                      feedthrough_tol=OUTPUT_FEEDTHROUGH_RTOL):
     """Bind ``netlist`` to ``schedule`` and build the switched system.
 
     Parameters
@@ -217,7 +223,8 @@ def _output_row(spec, spaces, state_names, feedthrough_tol):
                 "the physically-present capacitance at that node.")
         rows.append(tx_row)
     for other in rows[1:]:
-        if not np.allclose(rows[0], other, rtol=1e-9, atol=1e-12):
+        if not np.allclose(rows[0], other, rtol=OUTPUT_ROW_MATCH_RTOL,
+                           atol=OUTPUT_ROW_MATCH_ATOL):
             raise NoiseModelError(
                 f"output node {spec!r} maps to different state "
                 "combinations in different phases; the engines require a "

@@ -18,6 +18,12 @@ from ..circuit.phases import ClockSchedule
 from ..circuit.statespace import build_lptv_system
 from ..units import BOLTZMANN, ROOM_TEMPERATURE
 
+#: Hold capacitor, 10 pF: kT/C ≈ (20.3 µV)² at 300 K — the textbook
+#: track-and-hold sizing the sampled-noise checks are written against.
+SAMPLE_HOLD_C_HOLD = 10e-12
+#: Clock rate, 1 MHz (a round video-rate T&H figure).
+SAMPLE_HOLD_F_CLOCK = 1e6
+
 
 @dataclass(frozen=True)
 class SampleHoldParams:
@@ -25,8 +31,8 @@ class SampleHoldParams:
 
     r_source: float = 1e3
     r_switch: float = 200.0
-    c_hold: float = 10e-12
-    f_clock: float = 1e6
+    c_hold: float = SAMPLE_HOLD_C_HOLD
+    f_clock: float = SAMPLE_HOLD_F_CLOCK
     duty: float = 0.5
     temperature: float = ROOM_TEMPERATURE
 

@@ -35,6 +35,12 @@ from ..circuit.statespace import build_lptv_system
 #: 20 nV/√Hz single-sided input noise, as a double-sided PSD [V²/Hz].
 PAPER_OPAMP_NOISE_PSD = 0.5 * (20e-9) ** 2
 
+#: Integrating capacitance of both loop integrators (10 pF — typical
+#: audio-band SC biquad sizing; the response depends only on ratios).
+SC_BANDPASS_C_INTEGRATE = 10e-12
+#: Op-amp unity-gain bandwidth, 20 MHz (fast settling at f_clk 128 kHz).
+SC_BANDPASS_OPAMP_WU = 2.0 * math.pi * 20e6
+
 
 @dataclass(frozen=True)
 class ScBandpassParams:
@@ -43,9 +49,9 @@ class ScBandpassParams:
     f_clock: float = 128e3
     f_center: float = 10e3
     q_factor: float = 8.0
-    c_integrate: float = 10e-12
+    c_integrate: float = SC_BANDPASS_C_INTEGRATE
     ron: float = 80.0
-    opamp_wu: float = 2.0 * math.pi * 20e6
+    opamp_wu: float = SC_BANDPASS_OPAMP_WU
     opamp_noise_psd: float = PAPER_OPAMP_NOISE_PSD
 
     def __post_init__(self):

@@ -20,19 +20,27 @@ from ..circuit.opamp import add_source_follower_opamp
 from ..circuit.phases import ClockSchedule
 from ..circuit.statespace import build_lptv_system
 
+#: Sampling capacitor, 1 pF — gain C_s/C_i = 0.1 per cycle with the
+#: 10 pF integrating cap below.
+SC_INTEGRATOR_C_SAMPLE = 1e-12
+#: Integrating capacitor, 10 pF.
+SC_INTEGRATOR_C_INTEGRATE = 10e-12
+#: Op-amp unity-gain bandwidth, 10 MHz (≫ f_clk keeps settling complete).
+SC_INTEGRATOR_OPAMP_WU = 2.0 * math.pi * 10e6
+
 
 @dataclass(frozen=True)
 class ScIntegratorParams:
     """Component values for the SC integrator."""
 
-    c_sample: float = 1e-12
-    c_integrate: float = 10e-12
+    c_sample: float = SC_INTEGRATOR_C_SAMPLE
+    c_integrate: float = SC_INTEGRATOR_C_INTEGRATE
     #: Fraction of the integrated charge leaked per cycle (0 = pure
     #: integrator, held off singularity only by the op-amp DC gain).
     leak: float = 0.05
     f_clock: float = 100e3
     ron: float = 1e3
-    opamp_wu: float = 2.0 * math.pi * 10e6
+    opamp_wu: float = SC_INTEGRATOR_OPAMP_WU
     opamp_noise_psd: float = 0.0
 
     def __post_init__(self):

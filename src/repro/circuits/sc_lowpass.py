@@ -52,16 +52,25 @@ PAPER_WU_SOURCE_FOLLOWER = 9.0e6 * math.pi
 
 #: ... and for the single-stage model, with its 100 pF equivalent cap.
 PAPER_WU_SINGLE_STAGE = 2.0e7 * math.pi
+#: Equivalent capacitance of the single-stage macromodel (Fig. 6b).
 PAPER_CEQ_SINGLE_STAGE = 100e-12
+
+#: Paper component values ("capacitors 300 pF, 100 pF, 100 pF"):
+#: input sampling cap C1, integrating cap C2, damping cap C3.
+SC_LOWPASS_C1 = 300e-12
+#: Integrating capacitor C2 = 100 pF.
+SC_LOWPASS_C2 = 100e-12
+#: Damping capacitor C3 = 100 pF (sets DC gain −C1/C3 = −3).
+SC_LOWPASS_C3 = 100e-12
 
 
 @dataclass(frozen=True)
 class ScLowpassParams:
     """Component values; defaults are the paper's quoted numbers."""
 
-    c1: float = 300e-12
-    c2: float = 100e-12
-    c3: float = 100e-12
+    c1: float = SC_LOWPASS_C1
+    c2: float = SC_LOWPASS_C2
+    c3: float = SC_LOWPASS_C3
     #: On-resistances of the named switches (the Fig. 8 sweep).
     r1: float = 80.0
     r4: float = 80.0

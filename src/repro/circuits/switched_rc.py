@@ -27,6 +27,12 @@ from ..errors import ReproError
 from ..lptv.system import Phase, PiecewiseLTISystem
 from ..units import BOLTZMANN, ROOM_TEMPERATURE
 
+#: Default capacitance, 1 nF: against 10 kΩ this gives RC = 10 µs.
+SWITCHED_RC_CAPACITANCE = 1e-9
+#: Default clock period, 100 µs, putting the paper's Fig. 3 sweep
+#: variable at T/(RC) = 10 with the values above.
+SWITCHED_RC_PERIOD = 1e-4
+
 
 @dataclass(frozen=True)
 class SwitchedRcParams:
@@ -37,9 +43,9 @@ class SwitchedRcParams:
     """
 
     resistance: float = 10e3
-    capacitance: float = 1e-9
+    capacitance: float = SWITCHED_RC_CAPACITANCE
     #: Clock period [s].
-    period: float = 1e-4
+    period: float = SWITCHED_RC_PERIOD
     #: Duty cycle: fraction of the period the switch is closed.
     duty: float = 0.5
     temperature: float = ROOM_TEMPERATURE

@@ -7,12 +7,17 @@ phase boundaries, with a configurable number of interior points per phase.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from ..errors import ScheduleError
+from ..typing import ArrayLike, FloatArray, IntArray
 
 
-def phase_aligned_grid(boundaries, points_per_phase):
+def phase_aligned_grid(boundaries: ArrayLike,
+                       points_per_phase: int | Sequence[int],
+                       ) -> tuple[FloatArray, IntArray]:
     """Build a grid over one period from phase boundary times.
 
     Parameters
@@ -32,13 +37,13 @@ def phase_aligned_grid(boundaries, points_per_phase):
         the phase index that interval belongs to (used to pick the correct
         ``A`` matrix on intervals that touch a discontinuity).
     """
-    boundaries = np.asarray(boundaries, dtype=float)
-    if boundaries.ndim != 1 or boundaries.size < 2:
+    edges = np.asarray(boundaries, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
         raise ScheduleError("need at least two boundary times")
-    if np.any(np.diff(boundaries) <= 0.0):
-        raise ScheduleError(f"boundaries must increase: {boundaries}")
-    n_phases = boundaries.size - 1
-    if np.isscalar(points_per_phase):
+    if np.any(np.diff(edges) <= 0.0):
+        raise ScheduleError(f"boundaries must increase: {edges}")
+    n_phases = edges.size - 1
+    if isinstance(points_per_phase, (int, np.integer)):
         counts = [int(points_per_phase)] * n_phases
     else:
         counts = [int(c) for c in points_per_phase]
@@ -49,26 +54,29 @@ def phase_aligned_grid(boundaries, points_per_phase):
         raise ScheduleError("points_per_phase entries must be >= 1")
 
     pieces = []
-    phase_of_segment = []
+    phase_of_segment: list[int] = []
     for k in range(n_phases):
-        seg = np.linspace(boundaries[k], boundaries[k + 1], counts[k] + 1)
+        seg = np.linspace(edges[k], edges[k + 1], counts[k] + 1)
         pieces.append(seg[:-1] if k < n_phases - 1 else seg)
         phase_of_segment.extend([k] * counts[k])
     grid = np.concatenate(pieces)
     return grid, np.asarray(phase_of_segment, dtype=int)
 
 
-def refine_grid(grid, factor):
-    """Insert ``factor - 1`` equally spaced points into every interval."""
-    grid = np.asarray(grid, dtype=float)
+def refine_grid(grid: ArrayLike, factor: int) -> FloatArray:
+    """Insert ``factor - 1`` equally spaced points into every interval.
+
+    Returns a 1-D float grid of size ``factor * (n - 1) + 1``.
+    """
+    coarse = np.asarray(grid, dtype=float)
     factor = int(factor)
     if factor < 1:
         raise ScheduleError(f"refinement factor must be >= 1, got {factor}")
-    if factor == 1 or grid.size < 2:
-        return grid.copy()
+    if factor == 1 or coarse.size < 2:
+        return coarse.copy()
     pieces = []
-    for k in range(grid.size - 1):
-        seg = np.linspace(grid[k], grid[k + 1], factor + 1)
+    for k in range(coarse.size - 1):
+        seg = np.linspace(coarse[k], coarse[k + 1], factor + 1)
         pieces.append(seg[:-1])
-    pieces.append(grid[-1:])
+    pieces.append(coarse[-1:])
     return np.concatenate(pieces)

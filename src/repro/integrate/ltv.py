@@ -12,13 +12,19 @@ which is exactly the discretization a circuit simulator would produce.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..typing import Array, ArrayLike, FloatArray
 from ..linalg.checked import checked_solve
 
 
-def integrate_linear_fixed_grid(a_of_t, f_of_t, t_grid, x0):
+def integrate_linear_fixed_grid(a_of_t: Callable[[float], ArrayLike],
+                                f_of_t: Callable[[float], ArrayLike],
+                                t_grid: ArrayLike,
+                                x0: ArrayLike) -> Array:
     """Propagate ``dx/dt = A(t) x + f(t)`` over the given time grid.
 
     Parameters
@@ -34,25 +40,25 @@ def integrate_linear_fixed_grid(a_of_t, f_of_t, t_grid, x0):
     -------
     (len(t_grid), n) array of states.
     """
-    t_grid = np.asarray(t_grid, dtype=float)
-    if t_grid.ndim != 1 or t_grid.size < 1:
+    grid = np.asarray(t_grid, dtype=float)
+    if grid.ndim != 1 or grid.size < 1:
         raise ConvergenceError("time grid must be a non-empty 1-D array")
-    if np.any(np.diff(t_grid) <= 0.0):
+    if np.any(np.diff(grid) <= 0.0):
         raise ConvergenceError("time grid must be strictly increasing")
     x = np.atleast_1d(np.asarray(x0))
     n = x.size
-    f0 = np.atleast_1d(np.asarray(f_of_t(t_grid[0])))
+    f0 = np.atleast_1d(np.asarray(f_of_t(grid[0])))
     dtype = np.promote_types(np.promote_types(x.dtype, f0.dtype), float)
-    out = np.zeros((t_grid.size, n), dtype=dtype)
+    out = np.zeros((grid.size, n), dtype=dtype)
     out[0] = x
-    a_next = np.asarray(a_of_t(t_grid[0]), dtype=float)
+    a_next = np.asarray(a_of_t(grid[0]), dtype=float)
     f_next = f0.astype(dtype)
     eye = np.eye(n)
-    for k in range(t_grid.size - 1):
-        h = t_grid[k + 1] - t_grid[k]
+    for k in range(grid.size - 1):
+        h = grid[k + 1] - grid[k]
         a_here, f_here = a_next, f_next
-        a_next = np.asarray(a_of_t(t_grid[k + 1]), dtype=float)
-        f_next = np.atleast_1d(np.asarray(f_of_t(t_grid[k + 1]))).astype(
+        a_next = np.asarray(a_of_t(grid[k + 1]), dtype=float)
+        f_next = np.atleast_1d(np.asarray(f_of_t(grid[k + 1]))).astype(
             dtype)
         rhs = (eye + 0.5 * h * a_here) @ out[k] + 0.5 * h * (f_here + f_next)
         out[k + 1] = checked_solve(eye - 0.5 * h * a_next, rhs,
@@ -60,13 +66,13 @@ def integrate_linear_fixed_grid(a_of_t, f_of_t, t_grid, x0):
     return out
 
 
-def trapezoid_weights(t_grid):
-    """Composite trapezoidal quadrature weights for an arbitrary grid."""
-    t_grid = np.asarray(t_grid, dtype=float)
-    if t_grid.size < 2:
-        return np.zeros_like(t_grid)
-    w = np.zeros_like(t_grid)
-    dt = np.diff(t_grid)
+def trapezoid_weights(t_grid: ArrayLike) -> FloatArray:
+    """Composite trapezoid quadrature weights, same shape as ``t_grid``."""
+    grid = np.asarray(t_grid, dtype=float)
+    if grid.size < 2:
+        return np.zeros_like(grid)
+    w = np.zeros_like(grid)
+    dt = np.diff(grid)
     w[:-1] += 0.5 * dt
     w[1:] += 0.5 * dt
     return w

@@ -27,6 +27,9 @@ def write_csv(path, headers, rows):
 def write_psd_csv(path, psd_result, extra_columns=None):
     """Write a :class:`~repro.noise.result.PsdResult` as CSV.
 
+    The ``psd`` column holds the library's canonical double-sided
+    samples in V²/Hz.
+
     ``extra_columns`` maps names to arrays aligned with the frequency
     grid (e.g. a baseline PSD for side-by-side comparison).
     """

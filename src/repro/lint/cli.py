@@ -3,16 +3,24 @@
 Exit status: 0 when the tree is clean against the baseline, 1 when
 there are new findings (or, under ``--check``, stale baseline entries),
 2 on usage errors.
+
+``--per-file`` restricts the run to pass-1 per-file rules (the fast
+pre-commit mode); the default runs both passes including the
+cross-module SCN006–SCN010 contract rules.  ``--format json`` emits a
+machine-readable report (uploaded as a CI artifact) instead of the
+human-readable rendering.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from typing import Iterable
 
 from .baseline import Baseline
+from .contracts import PROJECT_RULES
 from .engine import Finding, lint_paths
 from .rules import ALL_RULES
 
@@ -26,8 +34,10 @@ def _emit(text: str = "") -> None:
 
 def _rule_table() -> str:
     lines = []
-    for rule in ALL_RULES:
-        lines.append(f"{rule.code}  [{rule.severity:7s}] {rule.title}")
+    for rule in (*ALL_RULES, *PROJECT_RULES):
+        scope = ("project" if rule in PROJECT_RULES else "file")
+        lines.append(f"{rule.code}  [{rule.severity:7s}] "
+                     f"({scope:7s}) {rule.title}")
         lines.append(f"        hint: {rule.hint}")
     return "\n".join(lines)
 
@@ -38,11 +48,47 @@ def _summarize(findings: "Iterable[Finding]") -> str:
                      for code in sorted(counts)) or "none"
 
 
+def _json_report(findings: "list[Finding]", new: "list[Finding]",
+                 stale: "Counter[str]", baseline: Baseline,
+                 per_file: bool) -> str:
+    """The ``--format json`` artifact: everything CI wants in one blob."""
+    return json.dumps({
+        "schema_version": 1,
+        "mode": "per-file" if per_file else "project",
+        "rules": [{"code": rule.code, "title": rule.title,
+                   "severity": rule.severity,
+                   "scope": ("project" if rule in PROJECT_RULES
+                             else "file")}
+                  for rule in (*ALL_RULES, *PROJECT_RULES)],
+        "summary": {
+            "total": len(findings),
+            "new": len(new),
+            "baselined": len(findings) - len(new),
+            "stale": sum(stale.values()),
+            "by_rule": dict(Counter(f.rule for f in findings)),
+            "baseline_by_rule": _baseline_by_rule(baseline),
+        },
+        "new_findings": [f.as_dict() for f in new],
+        "stale_entries": {key: count
+                          for key, count in sorted(stale.items())},
+    }, indent=1, sort_keys=False) + "\n"
+
+
+def _baseline_by_rule(baseline: Baseline) -> "dict[str, int]":
+    counts: "Counter[str]" = Counter()
+    for key, count in baseline.entries.items():
+        parts = key.split("::", 2)
+        if len(parts) == 3:
+            counts[parts[1]] += count
+    return dict(sorted(counts.items()))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Numerics-aware static analysis for the repro "
-                    "codebase (rules SCN001-SCN005).")
+        description="Numerics-aware two-pass static analysis for the "
+                    "repro codebase (per-file rules SCN001-SCN005, "
+                    "project-wide contract rules SCN006-SCN010).")
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files or directories to lint "
                              "(default: src)")
@@ -57,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check", action="store_true",
                         help="CI mode: additionally fail when the "
                              "baseline contains stale entries")
+    parser.add_argument("--per-file", action="store_true",
+                        help="fast mode: per-file rules only, skip the "
+                             "project-wide pass (SCN006-SCN010)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (json emits the full "
+                             "machine-readable report on stdout)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe the rule set and exit")
     return parser
@@ -68,7 +121,7 @@ def main(argv: "list[str] | None" = None) -> int:
         _emit(_rule_table())
         return 0
 
-    findings = lint_paths(args.paths)
+    findings = lint_paths(args.paths, project=not args.per_file)
 
     if args.update_baseline:
         Baseline.from_findings(findings).save(args.baseline)
@@ -80,21 +133,26 @@ def main(argv: "list[str] | None" = None) -> int:
                 else Baseline.load(args.baseline))
     new, stale = baseline.partition(findings)
 
-    for finding in new:
-        _emit(finding.render())
-    if new:
-        _emit()
-        _emit(f"{len(new)} new finding(s): {_summarize(new)}")
-    if stale:
-        total = sum(stale.values())
-        _emit(f"{total} stale baseline entr{'y' if total == 1 else 'ies'} "
-              "(violations fixed but still listed) — run "
-              "--update-baseline to ratchet down:")
-        for key in sorted(stale):
-            _emit(f"    {key} (x{stale[key]})")
-    if not new and not stale:
-        baselined = len(findings)
-        _emit(f"clean: 0 new findings ({baselined} baselined)")
+    if args.format == "json":
+        sys.stdout.write(_json_report(findings, new, stale, baseline,
+                                      per_file=args.per_file))
+    else:
+        for finding in new:
+            _emit(finding.render())
+        if new:
+            _emit()
+            _emit(f"{len(new)} new finding(s): {_summarize(new)}")
+        if stale:
+            total = sum(stale.values())
+            _emit(f"{total} stale baseline "
+                  f"entr{'y' if total == 1 else 'ies'} "
+                  "(violations fixed but still listed) — run "
+                  "--update-baseline to ratchet down:")
+            for key in sorted(stale):
+                _emit(f"    {key} (x{stale[key]})")
+        if not new and not stale:
+            baselined = len(findings)
+            _emit(f"clean: 0 new findings ({baselined} baselined)")
 
     if new:
         return 1

@@ -1,4 +1,22 @@
-"""Finding model, suppression handling, and the file-walking engine."""
+"""Finding model, suppression handling, and the two-pass engine.
+
+The engine runs in two passes (DESIGN.md §7):
+
+* **Pass 1** parses every file exactly once into a
+  :class:`ModuleContext` and builds the
+  :class:`~repro.lint.project.ProjectIndex` (import graph + symbol
+  table + call edges) over the parsed set.  A file that fails to parse
+  — syntax error, null bytes, undecodable or unreadable content —
+  contributes one SCN000 finding and is dropped from the index; it
+  never aborts the run.
+* **Pass 2** runs the per-file rules (SCN001–SCN005) against each
+  module and the cross-module contract rules (SCN006–SCN010) against
+  the index, then applies inline suppressions uniformly to both.
+
+:func:`lint_source` remains the single-module entry point used by
+per-rule tests; project rules need cross-module context and therefore
+only run in :func:`lint_paths` (or via an explicitly built index).
+"""
 
 from __future__ import annotations
 
@@ -13,8 +31,11 @@ if TYPE_CHECKING:
 
 #: ``# scn: ignore`` or ``# scn: ignore[SCN001, SCN003]`` on the line of
 #: the finding suppresses it (bracket-less form suppresses every rule).
+#: An optional trailing ``- reason`` documents *why*; rules may declare
+#: ``suppression_requires_reason`` to make the reason mandatory.
 _SUPPRESS_RE = re.compile(
-    r"#\s*scn:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+    r"#\s*scn:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+    r"(?:\s*[-—:]\s*(?P<reason>\S.*))?")
 
 
 @dataclass(frozen=True)
@@ -45,6 +66,13 @@ class Finding:
                 f"    {self.snippet}\n"
                 f"    hint: {self.hint}")
 
+    def as_dict(self) -> "dict[str, object]":
+        """JSON-friendly form (the ``--format json`` report entry)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "severity": self.severity,
+                "message": self.message, "hint": self.hint,
+                "snippet": self.snippet}
+
 
 @dataclass(frozen=True)
 class ModuleContext:
@@ -74,47 +102,117 @@ class ModuleContext:
                        message=message, hint=rule.hint, snippet=snippet)
 
 
-def _suppressed(line: str, rule_code: str) -> bool:
+def _suppressed(line: str, rule_code: str,
+                require_reason: bool = False) -> bool:
     for match in _SUPPRESS_RE.finditer(line):
         listed = match.group("rules")
-        if listed is None:
-            return True
-        if rule_code in {r.strip().upper() for r in listed.split(",")}:
-            return True
+        if listed is not None and rule_code not in {
+                r.strip().upper() for r in listed.split(",")}:
+            continue
+        if require_reason and not match.group("reason"):
+            continue
+        return True
     return False
+
+
+def _requires_reason(rule_code: str) -> bool:
+    from .contracts import PROJECT_RULES
+    from .rules import ALL_RULES
+    for rule in (*ALL_RULES, *PROJECT_RULES):
+        if rule.code == rule_code:
+            return bool(getattr(rule, "suppression_requires_reason",
+                                False))
+    return False
+
+
+def _suppression_lines(lines: "tuple[str, ...]",
+                       lineno: int) -> "Iterator[str]":
+    """The finding's own line, then any comment-only block above it.
+
+    Multi-line statements (a ``for`` over a wrapped iterable, a long
+    call) rarely have room for an inline ``# scn: ignore`` within the
+    line limit, so a suppression may also sit in the contiguous run of
+    comment-only lines directly above the statement — the idiom every
+    mainstream linter supports.
+    """
+    if 1 <= lineno <= len(lines):
+        yield lines[lineno - 1]
+    k = lineno - 2
+    while k >= 0 and lines[k].lstrip().startswith("#"):
+        yield lines[k]
+        k -= 1
+
+
+def _filter_suppressed(findings: "Iterable[Finding]",
+                       lines_by_path: "dict[str, tuple[str, ...]]"
+                       ) -> "list[Finding]":
+    kept: "list[Finding]" = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path, ())
+        require_reason = _requires_reason(finding.rule)
+        if not any(_suppressed(text, finding.rule,
+                               require_reason=require_reason)
+                   for text in _suppression_lines(lines, finding.line)):
+            kept.append(finding)
+    return kept
+
+
+def _parse_failure(path: str, exc: Exception) -> Finding:
+    """A single SCN000 finding for a file that cannot be analysed."""
+    from .rules import SYNTAX_ERROR_RULE
+
+    line = int(getattr(exc, "lineno", None) or 1)
+    col = int(getattr(exc, "offset", None) or 0) + 1
+    detail = getattr(exc, "msg", None) or str(exc)
+    return Finding(path=path, line=line, col=col,
+                   rule=SYNTAX_ERROR_RULE.code,
+                   severity=SYNTAX_ERROR_RULE.severity,
+                   message=f"file does not parse: {detail}",
+                   hint=SYNTAX_ERROR_RULE.hint, snippet="")
+
+
+def parse_module(source: str, path: str
+                 ) -> "tuple[ModuleContext | None, Finding | None]":
+    """Parse one module; returns ``(context, None)`` or ``(None, SCN000)``."""
+    norm_path = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=norm_path)
+    except SyntaxError as exc:
+        return None, _parse_failure(norm_path, exc)
+    except ValueError as exc:  # e.g. source containing null bytes
+        return None, _parse_failure(norm_path, exc)
+    return ModuleContext(path=norm_path, source=source,
+                         lines=tuple(source.splitlines()),
+                         tree=tree), None
+
+
+def _check_per_file(ctx: ModuleContext,
+                    rules: "Iterable[Rule]") -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return findings
 
 
 def lint_source(source: str, path: str,
                 rules: "Iterable[Rule] | None" = None) -> "list[Finding]":
     """Lint one module given as text; ``path`` scopes path-based rules.
 
-    Returns the findings *after* inline-suppression filtering, sorted by
-    line.  A module with a syntax error yields a single SCN000 finding
-    rather than raising, so one broken file cannot hide the rest of a
-    CI run.
+    Runs the **per-file** rules only — cross-module rules need a
+    :class:`~repro.lint.project.ProjectIndex` and run in
+    :func:`lint_paths`.  Returns the findings *after*
+    inline-suppression filtering, sorted by line.  A module that does
+    not parse yields a single SCN000 finding rather than raising, so
+    one broken file cannot hide the rest of a CI run.
     """
-    from .rules import ALL_RULES, SYNTAX_ERROR_RULE
+    from .rules import ALL_RULES
 
     active = list(ALL_RULES if rules is None else rules)
-    norm_path = Path(path).as_posix()
-    try:
-        tree = ast.parse(source, filename=norm_path)
-    except SyntaxError as exc:
-        return [Finding(path=norm_path, line=int(exc.lineno or 1),
-                        col=int(exc.offset or 0) + 1,
-                        rule=SYNTAX_ERROR_RULE.code,
-                        severity=SYNTAX_ERROR_RULE.severity,
-                        message=f"file does not parse: {exc.msg}",
-                        hint=SYNTAX_ERROR_RULE.hint, snippet="")]
-    ctx = ModuleContext(path=norm_path, source=source,
-                        lines=tuple(source.splitlines()), tree=tree)
-    findings: "list[Finding]" = []
-    for rule in active:
-        for finding in rule.check(ctx):
-            line_text = (ctx.lines[finding.line - 1]
-                         if finding.line <= len(ctx.lines) else "")
-            if not _suppressed(line_text, finding.rule):
-                findings.append(finding)
+    ctx, failure = parse_module(source, path)
+    if ctx is None:
+        return [failure] if failure is not None else []
+    findings = _filter_suppressed(_check_per_file(ctx, active),
+                                  {ctx.path: ctx.lines})
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings
 
@@ -133,18 +231,52 @@ def iter_python_files(paths: "Iterable[str | Path]") -> "Iterator[Path]":
                 yield candidate
 
 
-def lint_paths(paths: "Iterable[str | Path]",
-               rules: "Iterable[Rule] | None" = None) -> "list[Finding]":
-    """Lint every Python file under ``paths``; see :func:`lint_source`.
-
-    Paths in findings are kept as given (relative stays relative), so
-    baseline keys are stable as long as the linter runs from the repo
-    root — which is what both CI and ``python -m repro.lint`` do.
-    """
-    findings: "list[Finding]" = []
-    rule_list = None if rules is None else list(rules)
+def parse_paths(paths: "Iterable[str | Path]"
+                ) -> "tuple[list[ModuleContext], list[Finding]]":
+    """Pass 1: parse every file once; broken files become SCN000s."""
+    contexts: "list[ModuleContext]" = []
+    failures: "list[Finding]" = []
     for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, str(file_path),
-                                    rules=rule_list))
+        norm_path = Path(file_path).as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            failures.append(_parse_failure(norm_path, exc))
+            continue
+        ctx, failure = parse_module(source, str(file_path))
+        if ctx is not None:
+            contexts.append(ctx)
+        elif failure is not None:
+            failures.append(failure)
+    return contexts, failures
+
+
+def lint_paths(paths: "Iterable[str | Path]",
+               rules: "Iterable[Rule] | None" = None,
+               project: bool = True) -> "list[Finding]":
+    """Lint every Python file under ``paths``: both analysis passes.
+
+    ``project=False`` restricts the run to the per-file rules — the
+    fast pre-commit/CI mode (``--per-file``).  Paths in findings are
+    kept as given (relative stays relative), so baseline keys are
+    stable as long as the linter runs from the repo root — which is
+    what both CI and ``python -m repro.lint`` do.
+    """
+    from .contracts import PROJECT_RULES
+    from .rules import ALL_RULES
+
+    active = list(ALL_RULES if rules is None else rules)
+    contexts, findings = parse_paths(paths)
+    findings = list(findings)
+    for ctx in contexts:
+        findings.extend(_check_per_file(ctx, active))
+    if project:
+        from .project import ProjectIndex
+
+        index = ProjectIndex.build(contexts)
+        for rule in PROJECT_RULES:
+            findings.extend(rule.check_project(index))
+    lines_by_path = {ctx.path: ctx.lines for ctx in contexts}
+    findings = _filter_suppressed(findings, lines_by_path)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

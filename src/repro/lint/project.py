@@ -1,0 +1,351 @@
+"""Pass 1 of the project-wide analysis: the :class:`ProjectIndex`.
+
+The per-file rules (SCN001–SCN005) see one module at a time, which is
+exactly why the cross-cutting runtime contracts grown in PRs 3–6 —
+recorder threading, process-pool payloads, budget seams, PSD unit
+conventions — could only fail at runtime.  The index gives pass-2 rules
+the project context they need without type inference:
+
+* a **module table** mapping dotted names to parsed modules,
+* a **symbol table** per module: module-level functions, classes and
+  their methods, module-level constants, decorated entry points,
+* an **import graph**: per-module alias → fully-qualified target for
+  every ``import``/``from … import`` (relative imports resolved against
+  the dotted module name),
+* **call resolution**: given an ``ast.Call`` inside a module (and
+  optionally its enclosing class, for ``self.method(...)``), find the
+  :class:`FunctionInfo` it statically resolves to, or ``None``.
+
+Everything is resolvable purely syntactically; anything ambiguous
+resolves to ``None`` and the rules stay silent — the engine prefers
+false negatives over false positives, because findings gate CI.
+
+Module names are derived from the filesystem: walking up from each
+``.py`` file while an ``__init__.py`` is present yields the package
+root, so ``src/repro/mft/engine.py`` indexes as ``repro.mft.engine``
+regardless of the path the linter was invoked with (relative or
+absolute).  Files outside any package index under their bare stem,
+which is what the synthetic-package tests rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from .engine import ModuleContext
+
+
+def module_name_for(path: "str | Path") -> str:
+    """Dotted module name for a file, from its ``__init__.py`` chain."""
+    file_path = Path(path)
+    parts = [file_path.stem] if file_path.stem != "__init__" else []
+    parent = file_path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else file_path.stem
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Dotted text of a decorator expression ('' when not a plain name)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.insert(0, node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.insert(0, node.id)
+        return ".".join(parts)
+    return ""
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One statically-indexed function or method."""
+
+    module: str
+    qualname: str  #: ``"func"`` or ``"Class.method"``
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    is_module_level: bool
+    params: "tuple[str, ...]"
+    accepts_kwargs: bool
+    decorators: "tuple[str, ...]"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def has_param(self, param: str) -> bool:
+        return param in self.params
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+
+def _function_info(node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                   module: str, qualname: str,
+                   module_level: bool) -> FunctionInfo:
+    args = node.args
+    names = [a.arg for a in (args.posonlyargs + args.args
+                             + args.kwonlyargs)]
+    return FunctionInfo(
+        module=module, qualname=qualname, node=node,
+        is_module_level=module_level, params=tuple(names),
+        accepts_kwargs=args.kwarg is not None,
+        decorators=tuple(filter(None, (_decorator_name(d)
+                                       for d in node.decorator_list))))
+
+
+@dataclass
+class ClassInfo:
+    """A module-level class: its methods and class attributes."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    attributes: "set[str]" = field(default_factory=set)
+    decorators: "tuple[str, ...]" = ()
+
+    @property
+    def init(self) -> "FunctionInfo | None":
+        return self.methods.get("__init__")
+
+    @property
+    def is_dataclass(self) -> bool:
+        return any(d.split(".")[-1] == "dataclass"
+                   for d in self.decorators)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table and import map for one parsed module."""
+
+    name: str
+    ctx: "ModuleContext"
+    #: local alias → fully-qualified target (module or module.symbol).
+    imports: "dict[str, str]" = field(default_factory=dict)
+    #: dotted modules this module imports (the import-graph edge set).
+    imported_modules: "set[str]" = field(default_factory=set)
+    functions: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    classes: "dict[str, ClassInfo]" = field(default_factory=dict)
+    module_level_names: "set[str]" = field(default_factory=set)
+
+    @property
+    def path(self) -> str:
+        return self.ctx.path
+
+    @property
+    def tree(self) -> ast.Module:
+        return self.ctx.tree
+
+    def imports_module(self, dotted: str) -> bool:
+        """True when this module imports ``dotted`` or a symbol from it."""
+        for target in self.imported_modules:
+            if target == dotted or target.startswith(dotted + "."):
+                return True
+        return False
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    """Fill ``info.imports`` / ``info.imported_modules`` from the AST."""
+    is_package = Path(info.ctx.path).name == "__init__.py"
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                alias = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                info.imports[alias] = target
+                info.imported_modules.add(item.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against the dotted name.
+                # level=1 is the containing package: strip the module
+                # segment — unless this module IS the package (an
+                # ``__init__.py``, whose dotted name has no module
+                # segment to strip); each extra level strips one more.
+                base_parts = info.name.split(".")
+                keep = len(base_parts) - node.level + (1 if is_package
+                                                       else 0)
+                if keep < 0:
+                    continue
+                base = ".".join(base_parts[:keep])
+            else:
+                base = ""
+            module = node.module or ""
+            full = ".".join(p for p in (base, module) if p)
+            if not full:
+                continue
+            info.imported_modules.add(full)
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                alias = item.asname or item.name
+                info.imports[alias] = f"{full}.{item.name}"
+
+
+def _collect_symbols(info: ModuleInfo) -> None:
+    """Fill function/class/constant tables from the module body."""
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = _function_info(
+                node, info.name, node.name, module_level=True)
+            info.module_level_names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                module=info.name, name=node.name, node=node,
+                decorators=tuple(filter(None, (_decorator_name(d)
+                                               for d in node.decorator_list))))
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = _function_info(
+                        item, info.name, f"{node.name}.{item.name}",
+                        module_level=False)
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name):
+                    cls.attributes.add(item.target.id)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            cls.attributes.add(target.id)
+            info.classes[node.name] = cls
+            info.module_level_names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.module_level_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name):
+            info.module_level_names.add(node.target.id)
+
+
+def dotted_attribute(node: ast.expr) -> str:
+    """Render an ``a.b.c`` attribute/name chain ('' when not one)."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.insert(0, node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.insert(0, node.id)
+        return ".".join(parts)
+    return ""
+
+
+class ProjectIndex:
+    """The cross-module symbol/import/call view used by pass-2 rules."""
+
+    def __init__(self) -> None:
+        self.modules: "dict[str, ModuleInfo]" = {}
+        self.by_path: "dict[str, ModuleInfo]" = {}
+
+    @classmethod
+    def build(cls, contexts: "Iterable[ModuleContext]") -> "ProjectIndex":
+        index = cls()
+        for ctx in contexts:
+            info = ModuleInfo(name=module_name_for(ctx.path), ctx=ctx)
+            _collect_imports(info)
+            _collect_symbols(info)
+            index.modules[info.name] = info
+            index.by_path[ctx.path] = info
+        return index
+
+    # -- graph views -------------------------------------------------------
+
+    def import_graph(self) -> "dict[str, set[str]]":
+        """Module → imported modules, restricted to indexed modules."""
+        graph: "dict[str, set[str]]" = {}
+        for name, info in self.modules.items():
+            edges: "set[str]" = set()
+            for target in info.imported_modules:
+                resolved = self._closest_module(target)
+                if resolved is not None and resolved != name:
+                    edges.add(resolved)
+            graph[name] = edges
+        return graph
+
+    def _closest_module(self, dotted: str) -> "str | None":
+        """Longest indexed-module prefix of ``dotted`` (or None)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_symbol(self, dotted: str
+                       ) -> "FunctionInfo | ClassInfo | None":
+        """Resolve ``pkg.mod.symbol`` to an indexed function or class."""
+        module = self._closest_module(dotted)
+        if module is None or module == dotted:
+            return None
+        info = self.modules[module]
+        remainder = dotted[len(module) + 1:].split(".")
+        head = remainder[0]
+        if len(remainder) == 1:
+            found = info.functions.get(head) or info.classes.get(head)
+            if found is not None:
+                return found
+            # Re-exported name (e.g. package __init__): chase one hop.
+            target = info.imports.get(head)
+            if target is not None and target != dotted:
+                return self.resolve_symbol(target)
+            return None
+        if len(remainder) == 2 and head in info.classes:
+            return info.classes[head].methods.get(remainder[1])
+        return None
+
+    def resolve_name(self, module: ModuleInfo, name: str
+                     ) -> "FunctionInfo | ClassInfo | None":
+        """Resolve a bare name used inside ``module``."""
+        found = module.functions.get(name) or module.classes.get(name)
+        if found is not None:
+            return found
+        target = module.imports.get(name)
+        if target is not None:
+            return self.resolve_symbol(target)
+        return None
+
+    def resolve_call(self, module: ModuleInfo, call: ast.Call,
+                     enclosing_class: "ClassInfo | None" = None
+                     ) -> "FunctionInfo | ClassInfo | None":
+        """Statically resolve a call's target; ``None`` when ambiguous.
+
+        Handles ``f(...)``, ``mod.f(...)``, ``pkg.mod.f(...)``,
+        ``Class(...)`` and — when ``enclosing_class`` is given —
+        ``self.method(...)`` / ``cls.method(...)``.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.resolve_name(module, func.id)
+        dotted = dotted_attribute(func)
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and enclosing_class is not None:
+            if "." not in rest and rest:
+                return enclosing_class.methods.get(rest)
+            return None
+        target = module.imports.get(head)
+        if target is not None and rest:
+            return self.resolve_symbol(f"{target}.{rest}")
+        return None
+
+    # -- iteration helpers -------------------------------------------------
+
+    def iter_functions(self) -> "Iterator[tuple[ModuleInfo, ClassInfo | None, FunctionInfo]]":
+        """Every indexed function with its module and enclosing class."""
+        for info in self.modules.values():
+            for fn in info.functions.values():
+                yield info, None, fn
+            for cls in info.classes.values():
+                for fn in cls.methods.values():
+                    yield info, cls, fn

@@ -35,6 +35,42 @@ def _is_tolerances_module(path: str) -> bool:
     return path.endswith("repro/tolerances.py")
 
 
+def _is_units_module(path: str) -> bool:
+    return path.endswith("repro/units.py")
+
+
+def _documented_constant_spans(ctx: ModuleContext) -> "list[tuple[int, int]]":
+    """Line spans of documented ``UPPER_CASE`` module-constant values.
+
+    A module-level ``NAME = <expr>`` (or ``NAME: T = <expr>``) whose
+    target is a single SCREAMING_CASE identifier counts as documented
+    when a ``#:`` doc comment sits on the assignment line itself or a
+    comment sits on the line directly above it.  (A trailing plain
+    comment does **not** count — ``scn: ignore`` directives and casual
+    trailing remarks are not documentation.)  Floats inside such
+    definitions are exempt from SCN003 — they are exactly the "named
+    threshold with a rationale" the rule demands, just homed in their
+    owning module (paper component values) instead of
+    :mod:`repro.tolerances`.
+    """
+    spans: list[tuple[int, int]] = []
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target = stmt.target
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id.isupper()):
+            continue
+        first = stmt.lineno
+        own_line = ctx.lines[first - 1] if first <= len(ctx.lines) else ""
+        above = ctx.lines[first - 2].strip() if first >= 2 else ""
+        if "#:" in own_line or above.startswith("#"):
+            spans.append((first, int(stmt.end_lineno or first)))
+    return spans
+
+
 class Rule:
     """Base class: subclasses set the class attributes and ``check``."""
 
@@ -166,23 +202,42 @@ class MagicToleranceRule(Rule):
     other copies of "the same" tolerance.  Small floats (``|x| ≤ 1e-3``)
     and scientific-notation limits (``|x| ≥ 1e6``, e.g. condition
     caps) must come from :mod:`repro.tolerances`; physical coefficients
-    written in plain decimal notation are untouched.
+    written in plain decimal notation are untouched.  Two modules are
+    exempt because they *are* the named homes the rule points at:
+    :mod:`repro.tolerances` itself, and :mod:`repro.units`, whose SI
+    prefix tables and CODATA constants are definitions, not thresholds.
+
+    One more carve-out keeps the rule aligned with its purpose rather
+    than its letter: a float inside a *documented module-level constant
+    definition* — an assignment to an ``UPPER_CASE`` name preceded by
+    (or sharing a line with) a comment — is already named and already
+    carries a rationale, exactly what the rule asks for.  This is how
+    the circuit library records paper component values
+    (``SC_LOWPASS_C1 = 300e-12`` under a ``#:`` comment citing the
+    paper's table); an *undocumented* constant definition is still
+    flagged so the citation cannot be dropped.
     """
 
     code = "SCN003"
     title = "no magic float tolerances"
     severity = "warning"
     hint = ("name the threshold in repro.tolerances with a rationale "
-            "comment and import it (see FLOQUET_MARGIN et al.)")
+            "comment and import it (see FLOQUET_MARGIN et al.), or for "
+            "a physical/paper value define a documented UPPER_CASE "
+            "module constant")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if _is_tolerances_module(ctx.path):
+        if _is_tolerances_module(ctx.path) or _is_units_module(ctx.path):
             return
+        exempt = _documented_constant_spans(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Constant):
                 continue
             value = node.value
             if not isinstance(value, float):
+                continue
+            lineno = getattr(node, "lineno", 0)
+            if any(lo <= lineno <= hi for lo, hi in exempt):
                 continue
             magnitude = abs(value)
             small = 0.0 < magnitude <= SMALL_LITERAL_CUTOFF

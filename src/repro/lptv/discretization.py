@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError
+from ..typing import ComplexArray, FloatArray
 from ..tolerances import SCHEDULE_TILE_RTOL
 
 
@@ -42,7 +43,7 @@ class Segment:
     phase_name: str = ""
 
     @property
-    def duration(self):
+    def duration(self) -> float:
         return self.t_end - self.t_start
 
 
@@ -50,13 +51,13 @@ class Segment:
 class PeriodDiscretization:
     """A chain of segments covering one period ``[0, T]``."""
 
-    segments: list
+    segments: list[Segment]
     period: float
     n_states: int
     #: True when propagators/Gramians are exact (piecewise-LTI source).
     exact: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.segments:
             raise ReproError("empty discretization")
         t = 0.0
@@ -72,12 +73,12 @@ class PeriodDiscretization:
                 f"segments cover [0, {t}], expected period {self.period}")
 
     @property
-    def grid(self):
-        """All segment boundary times, length ``len(segments) + 1``."""
+    def grid(self) -> FloatArray:
+        """All segment boundary times, shape ``(len(segments) + 1,)``."""
         return np.asarray([self.segments[0].t_start]
                           + [s.t_end for s in self.segments])
 
-    def monodromy(self):
+    def monodromy(self) -> FloatArray:
         """One-period state transition matrix, jumps included."""
         phi = np.eye(self.n_states)
         for seg in self.segments:
@@ -86,7 +87,7 @@ class PeriodDiscretization:
                 phi = seg.jump @ phi
         return phi
 
-    def period_gramian(self):
+    def period_gramian(self) -> tuple[FloatArray, FloatArray]:
         """``(Phi_T, Q_T)``: one-period propagator and noise Gramian.
 
         ``x(T) = Phi_T x(0) + w`` with ``w ~ N(0, Q_T)`` — the exact
@@ -102,7 +103,7 @@ class PeriodDiscretization:
                 phi = seg.jump @ phi
         return phi, 0.5 * (gram + gram.T)
 
-    def shifted_propagators(self, omega):
+    def shifted_propagators(self, omega: float) -> list[ComplexArray]:
         """Segment propagators of the dynamics ``A(t) − jωI``.
 
         Returns a list of complex matrices ``e^{-jω h_k} Phi_k`` — the

@@ -7,14 +7,15 @@ period; all numerics live in the engines.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ReproError, ScheduleError
+from ..typing import ArrayLike, FloatArray
 from ..linalg.checked import eigenvalues
 from ..linalg.vanloan import vanloan_gramian
-from ..linalg.expm import expm
 from .discretization import PeriodDiscretization, Segment
 
 
@@ -47,7 +48,7 @@ class Phase:
     b_matrix: np.ndarray
     end_jump: np.ndarray | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         a = np.atleast_2d(np.asarray(self.a_matrix, dtype=float))
         n = a.shape[0]
         if a.shape != (n, n):
@@ -75,8 +76,8 @@ class Phase:
         object.__setattr__(self, "end_jump", jump)
 
     @property
-    def n_states(self):
-        return self.a_matrix.shape[0]
+    def n_states(self) -> int:
+        return int(self.a_matrix.shape[0])
 
 
 @dataclass
@@ -89,12 +90,12 @@ class PiecewiseLTISystem:
     by default the full state is observed.
     """
 
-    phases: list
+    phases: list[Phase]
     output_matrix: np.ndarray | None = None
-    state_names: list = field(default_factory=list)
-    output_names: list = field(default_factory=list)
+    state_names: list[str] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.phases:
             raise ScheduleError("a switched system needs at least one phase")
         n = self.phases[0].n_states
@@ -119,26 +120,29 @@ class PiecewiseLTISystem:
                                  range(self.output_matrix.shape[0])]
 
     @property
-    def n_states(self):
+    def n_states(self) -> int:
         return self.phases[0].n_states
 
     @property
-    def n_outputs(self):
-        return self.output_matrix.shape[0]
+    def n_outputs(self) -> int:
+        matrix = self.output_matrix
+        if matrix is None:  # pragma: no cover - __post_init__ fills it in
+            raise ReproError("output matrix missing")
+        return int(matrix.shape[0])
 
     @property
-    def period(self):
+    def period(self) -> float:
         return float(sum(p.duration for p in self.phases))
 
     @property
-    def boundaries(self):
-        """Phase boundary times ``[0, d_0, d_0+d_1, ..., T]``."""
+    def boundaries(self) -> FloatArray:
+        """Phase boundary times ``[0, d_0, d_0+d_1, ..., T]``, shape (P+1,)."""
         edges = [0.0]
         for phase in self.phases:
             edges.append(edges[-1] + phase.duration)
         return np.asarray(edges)
 
-    def phase_at(self, t):
+    def phase_at(self, t: float) -> tuple[int, Phase]:
         """Return ``(index, phase)`` active at time ``t`` (mod period)."""
         tau = float(t) % self.period
         edges = self.boundaries
@@ -146,13 +150,14 @@ class PiecewiseLTISystem:
         idx = min(idx, len(self.phases) - 1)
         return idx, self.phases[idx]
 
-    def a_of_t(self, t):
+    def a_of_t(self, t: float) -> FloatArray:
         return self.phase_at(t)[1].a_matrix
 
-    def b_of_t(self, t):
+    def b_of_t(self, t: float) -> FloatArray:
         return self.phase_at(t)[1].b_matrix
 
-    def discretize(self, segments_per_phase=32, boundary_layer=False):
+    def discretize(self, segments_per_phase: int | Sequence[int] = 32,
+                   boundary_layer: bool = False) -> PeriodDiscretization:
         """Exact one-period discretization via Van Loan Gramians.
 
         ``segments_per_phase`` controls only the *grid density* used later
@@ -168,7 +173,7 @@ class PiecewiseLTISystem:
         nanoseconds starves the smooth region — the uniform default
         converges faster. The option is kept for experimentation.
         """
-        if np.isscalar(segments_per_phase):
+        if isinstance(segments_per_phase, (int, np.integer)):
             counts = [int(segments_per_phase)] * len(self.phases)
         else:
             counts = [int(c) for c in segments_per_phase]
@@ -183,7 +188,7 @@ class PiecewiseLTISystem:
                 raise ScheduleError("segments_per_phase must be >= 1")
             edges = _phase_edges(phase, count, boundary_layer)
             bbt = phase.b_matrix @ phase.b_matrix.T
-            cache = {}
+            cache: dict[float, tuple[FloatArray, FloatArray]] = {}
             for k in range(len(edges) - 1):
                 h = edges[k + 1] - edges[k]
                 key = round(h / phase.duration, 15)
@@ -213,14 +218,14 @@ class SampledLPTVSystem:
     uses.
     """
 
-    a_of_t: object
-    b_of_t: object
+    a_of_t: Callable[[float], ArrayLike]
+    b_of_t: Callable[[float], ArrayLike]
     period: float
     n_states: int
     output_matrix: np.ndarray | None = None
-    state_names: list = field(default_factory=list)
+    state_names: list[str] = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.period <= 0.0:
             raise ScheduleError(f"period must be positive: {self.period}")
         if self.output_matrix is None:
@@ -232,10 +237,13 @@ class SampledLPTVSystem:
             self.state_names = [f"x{k}" for k in range(self.n_states)]
 
     @property
-    def n_outputs(self):
-        return self.output_matrix.shape[0]
+    def n_outputs(self) -> int:
+        matrix = self.output_matrix
+        if matrix is None:  # pragma: no cover - __post_init__ fills it in
+            raise ReproError("output matrix missing")
+        return int(matrix.shape[0])
 
-    def discretize(self, n_segments=256):
+    def discretize(self, n_segments: int = 256) -> PeriodDiscretization:
         """Discretize one period on a uniform grid of ``n_segments``."""
         if n_segments < 2:
             raise ScheduleError("need at least 2 segments per period")
@@ -259,7 +267,8 @@ class SampledLPTVSystem:
             n_states=self.n_states, exact=False)
 
 
-def _phase_edges(phase, count, boundary_layer):
+def _phase_edges(phase: Phase, count: int,
+                 boundary_layer: bool) -> FloatArray:
     """Segment edge offsets within one phase, graded when needed.
 
     The fastest time constant is taken from the spectral abscissa of the
@@ -288,7 +297,10 @@ def _phase_edges(phase, count, boundary_layer):
     return np.concatenate([[0.0], log_edges, rest])
 
 
-def lti_phase_system(a_matrix, b_matrix, period=1.0, output_matrix=None):
+def lti_phase_system(a_matrix: ArrayLike, b_matrix: ArrayLike,
+                     period: float = 1.0,
+                     output_matrix: ArrayLike | None = None,
+                     ) -> PiecewiseLTISystem:
     """Wrap a plain LTI system as a one-phase switched system.
 
     Convenience used by the LTI baseline and by tests: an LTI circuit is
@@ -298,4 +310,6 @@ def lti_phase_system(a_matrix, b_matrix, period=1.0, output_matrix=None):
     phase = Phase(name="lti", duration=float(period),
                   a_matrix=np.asarray(a_matrix, dtype=float),
                   b_matrix=np.asarray(b_matrix, dtype=float))
-    return PiecewiseLTISystem(phases=[phase], output_matrix=output_matrix)
+    selector = (None if output_matrix is None
+                else np.atleast_2d(np.asarray(output_matrix, dtype=float)))
+    return PiecewiseLTISystem(phases=[phase], output_matrix=selector)

@@ -298,7 +298,7 @@ class MftNoiseAnalyzer:
                      / self._disc.period)
 
     def psd_at(self, frequency):
-        """Averaged double-sided PSD at one frequency [Hz].
+        """Averaged double-sided PSD (V²/Hz) at one frequency [Hz].
 
         This is the raw direct solve — it raises on failure. Sweeps that
         should survive per-frequency failures go through :meth:`psd`.
@@ -456,7 +456,9 @@ class MftNoiseAnalyzer:
 
     def psd(self, frequencies, on_failure="record", budget=None,
             solver=None, **solver_options):
-        """Averaged PSD over a frequency grid; returns a PsdResult.
+        """Averaged double-sided PSD (V²/Hz) over a frequency grid.
+
+        Returns a :class:`~repro.noise.result.PsdResult`.
 
         Each frequency runs through the graceful-degradation chain (when
         :attr:`fallback` is enabled). With ``on_failure="record"`` (the
@@ -542,7 +544,7 @@ class MftNoiseAnalyzer:
                   chunk_size=None, budget=None, on_failure="record",
                   solver=None, retry=None, faults=None, checkpoint=None,
                   **solver_options):
-        """Averaged PSD over a grid through a :class:`SweepExecutor`.
+        """Averaged double-sided PSD (V²/Hz) via a :class:`SweepExecutor`.
 
         ``parallel`` is ``None``/``"serial"`` for in-process execution,
         ``"thread"`` or ``"process"`` for concurrent chunks of
@@ -732,7 +734,9 @@ class MftNoiseAnalyzer:
     # -- other observables --------------------------------------------------
 
     def instantaneous_psd(self, frequency):
-        """``S(t, f)`` over one steady-state period at one frequency."""
+        """``S(t, f)`` over one steady-state period at one frequency.
+
+        Double-sided instantaneous PSD samples in V²/Hz."""
         omega = 2.0 * np.pi * float(frequency)
         solution = self._solve(omega)
         values = 2.0 * np.real(solution.post @ self._l_row)
@@ -761,6 +765,8 @@ class MftNoiseAnalyzer:
 
 def _record_budget_failures(freqs, start_idx, reason, failures, report):
     """Mark every frequency from ``start_idx`` on as budget-failed."""
+    # scn: ignore[SCN008] - this loop IS the budget-exhaustion
+    # bookkeeping: it only records the already-made budget decision
     for k in range(start_idx, freqs.size):
         failures.append(FrequencyFailure(
             frequency=float(freqs[k]), index=k, stage="budget",
@@ -777,6 +783,8 @@ def _record_budget_failures(freqs, start_idx, reason, failures, report):
 def mft_psd(system, frequencies, segments_per_phase=64, output_row=0,
             **kwargs):
     """One-call convenience wrapper around :class:`MftNoiseAnalyzer`.
+
+    Returns the averaged double-sided PSD in V²/Hz.
 
     Keyword arguments (``preflight``, ``fallback``, ``budget``,
     ``cache``, ``context``, ``recorder``) are forwarded to the analyzer

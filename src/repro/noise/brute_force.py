@@ -64,7 +64,7 @@ def brute_force_psd(system, frequencies, output_row=0,
                     max_periods=20000, min_periods=8, step_mode="exact",
                     on_failure="raise", budget=None, context=None,
                     recorder=None):
-    """Compute the average output PSD at the given frequencies [Hz].
+    """Average double-sided output PSD (V²/Hz) at the given frequencies [Hz].
 
     Returns a :class:`~repro.noise.result.PsdResult`; per-frequency
     convergence traces are stored in ``result.info["details"]``.

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from ..errors import ReproError
+from ..typing import ArrayLike, BoolArray, FloatArray
 from ..units import db10
 
 
@@ -28,7 +31,7 @@ class PsdResult:
     #: Free-form engine metadata (runtimes, cycle counts, grid sizes).
     info: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.frequencies = np.asarray(self.frequencies, dtype=float)
         self.psd = np.asarray(self.psd, dtype=float)
         if self.frequencies.shape != self.psd.shape:
@@ -39,7 +42,7 @@ class PsdResult:
     # -- diagnostics / partial-failure accessors ---------------------------
 
     @property
-    def diagnostics(self):
+    def diagnostics(self) -> Any:
         """The engine's :class:`~repro.diagnostics.report.DiagnosticsReport`.
 
         ``None`` for results built without one (hand-made arrays).
@@ -47,34 +50,38 @@ class PsdResult:
         return self.info.get("diagnostics")
 
     @property
-    def failures(self):
+    def failures(self) -> list:
         """Per-frequency failure records (empty list when clean)."""
         return self.info.get("failures", [])
 
-    def ok_mask(self):
-        """Boolean mask of frequencies that produced a finite PSD."""
+    def ok_mask(self) -> BoolArray:
+        """Boolean mask (same shape as ``psd``) of finite PSD samples."""
         return np.isfinite(self.psd)
 
     @property
-    def n_failed(self):
+    def n_failed(self) -> int:
         """Number of swept frequencies that produced no PSD value."""
         return int(np.sum(~self.ok_mask()))
 
-    def successful(self):
+    def successful(self) -> tuple[FloatArray, FloatArray]:
         """``(frequencies, psd)`` restricted to the finite samples."""
         mask = self.ok_mask()
         return self.frequencies[mask], self.psd[mask]
 
-    def single_sided(self):
+    def single_sided(self) -> FloatArray:
         """Single-sided PSD values (2× double-sided)."""
         return 2.0 * self.psd
 
-    def db(self, single_sided=False):
-        """PSD in dB (relative to 1 V²/Hz)."""
+    def db(self, single_sided: bool = False) -> FloatArray:
+        """PSD in dB relative to 1 V²/Hz, same shape as ``psd``.
+
+        ``single_sided=True`` applies the 2x single-sided convention
+        first; the default is the library's double-sided convention.
+        """
         values = self.single_sided() if single_sided else self.psd
         return np.asarray([db10(max(v, 0.0)) for v in values])
 
-    def at(self, frequency):
+    def at(self, frequency: float) -> float:
         """Log-linear interpolation of the PSD at one frequency."""
         f = float(frequency)
         if not (self.frequencies.min() <= f <= self.frequencies.max()):
@@ -83,7 +90,8 @@ class PsdResult:
                 f"[{self.frequencies.min()}, {self.frequencies.max()}]")
         return float(np.interp(f, self.frequencies, self.psd))
 
-    def integrated_power(self, f_low=None, f_high=None):
+    def integrated_power(self, f_low: float | None = None,
+                         f_high: float | None = None) -> float:
         """Trapezoidal integral of the double-sided PSD over [f_low, f_high].
 
         For a symmetric double-sided spectrum sampled on positive
@@ -109,8 +117,11 @@ class PsdResult:
         return float(np.trapezoid(ps, fs))
 
 
-def clip_negative_psd(freqs, values, report, logger=None):
-    """Clip negative PSD samples to zero, diagnosing the worst one.
+def clip_negative_psd(freqs: FloatArray, values: FloatArray, report: Any,
+                      logger: logging.Logger | None = None) -> FloatArray:
+    """Clip negative double-sided PSD samples (V²/Hz) to zero.
+
+    Diagnoses the worst offender on the report.
 
     A negative averaged PSD is pure discretization error (the true
     quantity is nonnegative); its magnitude measures how coarse the
@@ -139,13 +150,14 @@ def clip_negative_psd(freqs, values, report, logger=None):
     return clipped
 
 
-def worst_negative_psd(values):
-    """Most negative finite PSD sample, or 0.0 when none are negative."""
-    finite = np.isfinite(values)
-    negative = finite & (values < 0.0)
+def worst_negative_psd(values: ArrayLike) -> float:
+    """Most negative finite double-sided PSD sample (V²/Hz), else 0.0."""
+    samples = np.asarray(values, dtype=float)
+    finite = np.isfinite(samples)
+    negative = finite & (samples < 0.0)
     if not np.any(negative):
         return 0.0
-    return float(values[negative].min())
+    return float(samples[negative].min())
 
 
 @dataclass
@@ -158,13 +170,13 @@ class ConvergenceTrace:
     converged: bool
     periods: int
 
-    def final(self):
+    def final(self) -> float:
         return float(self.psd_estimates[-1])
 
-    def db_swing(self, last_n=10):
+    def db_swing(self, last_n: int = 10) -> float:
         """Max dB change over the last ``last_n`` samples."""
         tail = self.psd_estimates[-last_n:]
         tail = tail[tail > 0.0]
         if tail.size < 2:
-            return np.inf
-        return float(db10(tail.max()) - db10(tail.min()))
+            return float(np.inf)
+        return float(db10(float(tail.max())) - db10(float(tail.min())))

@@ -24,13 +24,17 @@ import numpy as np
 from ..errors import ReproError
 from ..units import BOLTZMANN, ROOM_TEMPERATURE
 
+#: Load capacitance, 1 pF per stage — matches the nonlinear ring
+#: (:mod:`repro.oscillator.ring3`) so the two models share an axis.
+LINEAR_RING_CAPACITANCE = 1e-12
+
 
 @dataclass(frozen=True)
 class LinearRingParams:
     """R, C of the loads; ``G_m = 2/R`` holds the oscillation condition."""
 
     resistance: float = 2e3
-    capacitance: float = 1e-12
+    capacitance: float = LINEAR_RING_CAPACITANCE
     temperature: float = ROOM_TEMPERATURE
 
     def __post_init__(self):

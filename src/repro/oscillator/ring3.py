@@ -34,7 +34,14 @@ from ..lptv.system import SampledLPTVSystem
 from ..noise.brute_force import brute_force_psd
 from ..noise.covariance import transient_covariance
 from ..steadystate.shooting import autonomous_steady_state
+from ..tolerances import ORBIT_IVP_ATOL, ORBIT_IVP_RTOL
 from ..units import BOLTZMANN, ROOM_TEMPERATURE, THERMAL_VOLTAGE_300K
+
+#: Draft Fig. 17 load capacitance, 1 pF per delay cell.
+RING3_CAPACITANCE = 1e-12
+#: Draft Fig. 17 tail current, 100 µA: swing I_b·R/2 = 100 mV with the
+#: 2 kΩ loads.
+RING3_I_BIAS = 1e-4
 
 
 @dataclass(frozen=True)
@@ -42,8 +49,8 @@ class Ring3Params:
     """Draft Fig. 17 values."""
 
     resistance: float = 2e3
-    capacitance: float = 1e-12
-    i_bias: float = 1e-4
+    capacitance: float = RING3_CAPACITANCE
+    i_bias: float = RING3_I_BIAS
     eta: float = 1.0
     v_thermal: float = THERMAL_VOLTAGE_300K
     temperature: float = ROOM_TEMPERATURE
@@ -108,7 +115,8 @@ def ring3_orbit(params=None, transient_periods=40, **kwargs):
     span = transient_periods * period_est
     sol = scipy.integrate.solve_ivp(
         rhs, (0.0, span), amp * np.array([1.0, -0.5, -0.5]),
-        method="RK45", rtol=1e-9, atol=1e-12, dense_output=True)
+        method="RK45", rtol=ORBIT_IVP_RTOL, atol=ORBIT_IVP_ATOL,
+        dense_output=True)
     if not sol.success:
         raise ReproError(f"transient pre-roll failed: {sol.message}")
     # Estimate the period from the last rising zero crossings of node 0.
@@ -129,8 +137,8 @@ def ring3_orbit(params=None, transient_periods=40, **kwargs):
     v_win = sol.sol(t_win)[0]
     guess = sol.sol(t_win[int(np.argmax(v_win))]).copy()
     orbit = autonomous_steady_state(_rhs(params), guess, period_guess,
-                                    anchor_index=0, rtol=1e-9,
-                                    atol=1e-12)
+                                    anchor_index=0, rtol=ORBIT_IVP_RTOL,
+                                    atol=ORBIT_IVP_ATOL)
     return params, orbit
 
 

@@ -195,6 +195,54 @@ RETRY_BACKOFF_CAP_SECONDS: float = 1.0
 #: one crash event do not retry in lockstep against the respawned pool.
 RETRY_JITTER_FRACTION: float = 0.25
 
+# ---------------------------------------------------------------------------
+# Circuit compilation (repro.circuit.statespace)
+# ---------------------------------------------------------------------------
+
+#: Relative threshold on the white-noise feedthrough row |Tn| (against
+#: the state-selection row scale) above which an observed node is
+#: rejected as having unbounded noise bandwidth.  1e-9 sits far above
+#: the O(n·eps·cond) rounding residue of the MNA projections yet nine
+#: decades below any physical feedthrough coefficient.
+OUTPUT_FEEDTHROUGH_RTOL: float = 1e-9
+
+#: Relative/absolute slack used to decide that an output maps to the
+#: *same* state combination in every clock phase (a hard engine
+#: requirement).  Matches :data:`OUTPUT_FEEDTHROUGH_RTOL`: both compare
+#: rows produced by the same projection arithmetic.
+OUTPUT_ROW_MATCH_RTOL: float = 1e-9
+
+#: Absolute companion to :data:`OUTPUT_ROW_MATCH_RTOL`, three decades
+#: below it for entries that are exactly zero in one phase's row.
+OUTPUT_ROW_MATCH_ATOL: float = 1e-12
+
+# ---------------------------------------------------------------------------
+# Oscillator extensions (repro.oscillator, repro.steadystate)
+# ---------------------------------------------------------------------------
+
+#: Relative tolerance of the adaptive IVP solves that settle and polish
+#: periodic orbits (transient pre-roll and Newton shooting).  The orbit
+#: feeds a *linearisation*, so its error must sit well below the few-%
+#: PSD accuracy target; 1e-9 leaves three orders of margin and still
+#: costs only ~2x the default-tolerance solve.
+ORBIT_IVP_RTOL: float = 1e-9
+
+#: Absolute companion to :data:`ORBIT_IVP_RTOL`, pinned three decades
+#: below it so sign changes through zero (the crossing detector's
+#: input) stay resolved when the state passes through the origin.
+ORBIT_IVP_ATOL: float = 1e-12
+
+# ---------------------------------------------------------------------------
+# Translinear extensions (repro.translinear)
+# ---------------------------------------------------------------------------
+
+#: Floor applied to large-signal orbit currents before they enter the
+#: shot-noise Jacobian and modulation matrices.  The class-B splitter
+#: drives one side's collector current exponentially toward zero every
+#: half cycle; 1e-30 A (far below one electron per orbit period) keeps
+#: the 1/y terms finite without perturbing any physical value.
+ORBIT_CURRENT_FLOOR: float = 1e-30
+
 __all__ = [
     "MACHINE_EPS",
     "TINY_FLOOR",
@@ -223,4 +271,10 @@ __all__ = [
     "RETRY_BACKOFF_FACTOR",
     "RETRY_BACKOFF_CAP_SECONDS",
     "RETRY_JITTER_FRACTION",
+    "OUTPUT_FEEDTHROUGH_RTOL",
+    "OUTPUT_ROW_MATCH_RTOL",
+    "OUTPUT_ROW_MATCH_ATOL",
+    "ORBIT_IVP_RTOL",
+    "ORBIT_IVP_ATOL",
+    "ORBIT_CURRENT_FLOOR",
 ]

@@ -30,23 +30,37 @@ from ..errors import ReproError
 from ..lptv.system import SampledLPTVSystem
 from ..units import THERMAL_VOLTAGE_300K
 
+#: Bias/scaling current of the companding-integrator examples, 1 µA —
+#: the draft's log-domain operating point (pole a = I/(C V_T)).
+CLASS_A_I_BIAS = 1e-6
+#: Integrating capacitance, 10 pF, as in the draft's examples.
+CLASS_A_CAPACITANCE = 10e-12
+#: Default input drive ``u(t) = u_dc + u_m sin``: DC 1 µA, swing 0.5 µA
+#: keeps u(t) > 0 (class-A operation) with 2:1 margin.
+CLASS_A_U_DC = 1e-6
+#: Input swing amplitude [A] (half the DC bias; see above).
+CLASS_A_U_AMPLITUDE = 0.5e-6
+#: External noise generator double-sided PSD [A²/Hz] used by the
+#: draft's SNR examples.
+CLASS_A_NOISE_PSD = 1e-22
+
 
 @dataclass(frozen=True)
 class ClassAParams:
     """Bias and drive for the class-A companding integrator."""
 
     #: Bias current I [A] — sets the pole ``a = I/(C V_T)``.
-    i_bias: float = 1e-6
+    i_bias: float = CLASS_A_I_BIAS
     #: Output scaling current I_o [A].
-    i_out: float = 1e-6
-    capacitance: float = 10e-12
+    i_out: float = CLASS_A_I_BIAS
+    capacitance: float = CLASS_A_CAPACITANCE
     v_thermal: float = THERMAL_VOLTAGE_300K
     #: Input drive: ``u(t) = u_dc + u_m sin(2π f_in t)`` [A].
-    u_dc: float = 1e-6
-    u_amplitude: float = 0.5e-6
+    u_dc: float = CLASS_A_U_DC
+    u_amplitude: float = CLASS_A_U_AMPLITUDE
     f_input: float = 50e3
     #: External noise generator double-sided PSD [A²/Hz].
-    noise_psd: float = 1e-22
+    noise_psd: float = CLASS_A_NOISE_PSD
 
     def __post_init__(self):
         if self.u_dc - abs(self.u_amplitude) <= 0.0:

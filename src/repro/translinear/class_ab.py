@@ -35,20 +35,32 @@ from ..noise.snr import signal_power_waveform, snr_from_variance
 from ..steadystate.shooting import forced_steady_state
 from ..units import THERMAL_VOLTAGE_300K
 
+#: Bias/scaling current, 1 µA — same log-domain operating point as the
+#: class-A example it is compared against.
+CLASS_AB_I_BIAS = 1e-6
+#: Integrating capacitance, 10 pF, as in the draft's examples.
+CLASS_AB_CAPACITANCE = 10e-12
+#: Default peak input current, 10 µA (mid-range of the Table I sweep,
+#: which runs 5 µA … 200 µA).
+CLASS_AB_U_PEAK = 10e-6
+#: External noise generator double-sided PSD [A²/Hz] used by the
+#: draft's SNR examples.
+CLASS_AB_NOISE_PSD = 1e-22
+
 
 @dataclass(frozen=True)
 class ClassAbParams:
     """Bias and drive for the Seevinck class-AB/B integrator."""
 
-    i_bias: float = 1e-6
-    i_out: float = 1e-6
-    capacitance: float = 10e-12
+    i_bias: float = CLASS_AB_I_BIAS
+    i_out: float = CLASS_AB_I_BIAS
+    capacitance: float = CLASS_AB_CAPACITANCE
     v_thermal: float = THERMAL_VOLTAGE_300K
     #: Peak input current [A] (the Table I sweep runs 5 µA … 200 µA).
-    u_peak: float = 10e-6
+    u_peak: float = CLASS_AB_U_PEAK
     f_input: float = 50e3
     #: External noise generator double-sided PSD [A²/Hz].
-    noise_psd: float = 1e-22
+    noise_psd: float = CLASS_AB_NOISE_PSD
 
     def __post_init__(self):
         for label, value in (("i_bias", self.i_bias),

@@ -29,18 +29,28 @@ from ..lptv.system import SampledLPTVSystem
 from ..mft.engine import MftNoiseAnalyzer
 from ..noise.snr import signal_power_waveform, snr_from_variance
 from ..steadystate.shooting import forced_steady_state
+from ..tolerances import ORBIT_CURRENT_FLOOR
 from ..units import ELEMENTARY_CHARGE, THERMAL_VOLTAGE_300K
+
+#: Fig. 14/15 input DC current, 0.1 µA: well below I_o so the
+#: modulation-index sweep m = u_m/u_dc reaches deep class-B operation.
+SHOT_U_DC = 0.1e-6
+#: Output/loop scaling current I_o, 1 µA (the draft's eq. (39) uses the
+#: same value for the loop bias).
+SHOT_I_OUT = 1e-6
+#: Integrating capacitance, 10 pF, as in the draft's examples.
+SHOT_CAPACITANCE = 10e-12
 
 
 @dataclass(frozen=True)
 class ShotNoiseParams:
     """Draft Fig. 14/15 parameters."""
 
-    u_dc: float = 0.1e-6
-    i_out: float = 1e-6
+    u_dc: float = SHOT_U_DC
+    i_out: float = SHOT_I_OUT
     #: Loop bias current; the draft's eq. (39) uses I_o here.
-    i_bias: float = 1e-6
-    capacitance: float = 10e-12
+    i_bias: float = SHOT_I_OUT
+    capacitance: float = SHOT_CAPACITANCE
     v_thermal: float = THERMAL_VOLTAGE_300K
     #: Input modulation index ``m`` (the Fig. 14 sweep).
     m_index: float = 10.0
@@ -110,14 +120,14 @@ def shot_noise_system(params=None, orbit=None, **kwargs):
         # prints the cross-coupling terms with what appears to be a
         # typographical swap; the consistent linearisation is the
         # Jacobian used here, identical in structure to eq. (35)).
-        y_as, y_bs = np.maximum(orbit(t), 1e-30)
+        y_as, y_bs = np.maximum(orbit(t), ORBIT_CURRENT_FLOOR)
         return -np.array([
             [params.i_bias + y_bs, y_as],
             [y_bs, params.i_bias + y_as],
         ]) / cvt
 
     def b_of_t(t):
-        y_as, y_bs = np.maximum(orbit(t), 1e-30)
+        y_as, y_bs = np.maximum(orbit(t), ORBIT_CURRENT_FLOOR)
         u_a, u_b = splitter_inputs(params, t)
         z_a = u_a * params.i_out / y_as
         z_b = u_b * params.i_out / y_bs
