@@ -8,7 +8,11 @@ performance layer:
 * on the 64-point SC low-pass sweep, the cached+parallel configuration
   is >= 2x faster than the serial-uncached seed path;
 * every configuration matches the serial-uncached reference to
-  <= 1e-12 relative on all finite points.
+  <= 1e-12 relative on all finite points (1e-9 for the spectral
+  kernel's reordered arithmetic);
+* per-source attribution costs <= 2.5x the unattributed sweep through
+  the stacked spectral kernel, leaves the total PSD bit-identical, and
+  produces bit-identical budgets under serial and process execution.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py``
 (the benchmarks tree is intentionally outside the tier-1 ``testpaths``).
@@ -44,6 +48,14 @@ SPECTRAL_SPEEDUP = 2.0
 #: stay at 1e-12.
 SPECTRAL_REL_TOL = 1e-9
 SPECTRAL_VARIANTS = ("serial-spectral", "parallel-spectral")
+
+ATTRIBUTION_WORKLOAD = "sc-lowpass-attribution"
+#: Acceptance gate: a fully attributed sweep (all noise sources) through
+#: the stacked spectral kernel must cost <= 2.5x the unattributed sweep
+#: of the same grid — context reuse plus multi-RHS batching, not
+#: n_sources x.  (Measured: ~0.7x, i.e. attribution through the batched
+#: kernel undercuts the per-frequency unattributed path outright.)
+ATTRIBUTION_COST_RATIO = 2.5
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 
@@ -111,7 +123,7 @@ class TestNumericalEquivalence:
             for variant in entry["variants"]:
                 rel = variant["max_rel_diff_vs_serial_uncached"]
                 tol = (SPECTRAL_REL_TOL
-                       if variant["variant"] in SPECTRAL_VARIANTS
+                       if variant["solver"] == "spectral-batch"
                        else EQUIVALENCE_REL_TOL)
                 assert rel <= tol, (
                     f"{entry['workload']}/{variant['variant']}: "
@@ -194,19 +206,105 @@ class TestSpectralBatchGate:
                 == [record(f) for f in reference.info["failures"]])
 
 
+class TestAttributionGates:
+    """Acceptance gates of per-source attribution (DESIGN.md §11).
+
+    The cost gate compares the recommended attributed configuration
+    (``spectral-attributed`` — all noise sources as stacked RHS rows
+    through the batched kernel) against the unattributed cached sweep
+    of the same grid; the identity gates assert that attribution is
+    free of numerical side effects: the total PSD is bit-identical with
+    and without it, serial and process execution produce bit-identical
+    budgets, and the budget rows sum to the total within the
+    conservation tolerance.
+    """
+
+    def _workload(self):
+        from repro.perf.workloads import (
+            default_workloads,
+            tiny_workloads,
+            workload_by_name,
+        )
+        pool = tiny_workloads() if TINY else default_workloads()
+        return workload_by_name(ATTRIBUTION_WORKLOAD, pool)
+
+    def _analyzer(self):
+        from repro.mft.context import clear_sweep_contexts
+        from repro.mft.engine import MftNoiseAnalyzer
+
+        workload = self._workload()
+        clear_sweep_contexts()
+        analyzer = MftNoiseAnalyzer(
+            workload.build(),
+            segments_per_phase=workload.segments_per_phase)
+        return analyzer, workload.frequencies()
+
+    @pytest.mark.skipif(
+        TINY, reason="tiny grids are dispatch-dominated; the cost gate "
+                     "is asserted on the full workloads")
+    def test_attributed_sweep_within_cost_gate(self, bench_data):
+        entry = _workload(bench_data, ATTRIBUTION_WORKLOAD)
+        unattributed = _variant(entry, "serial-cached")["wall_seconds"]
+        attributed = _variant(entry, "spectral-attributed")["wall_seconds"]
+        assert unattributed > 0.0
+        ratio = attributed / unattributed
+        assert ratio <= ATTRIBUTION_COST_RATIO, (
+            f"attributed sweep costs {ratio:.2f}x the unattributed one "
+            f"(need <= {ATTRIBUTION_COST_RATIO}x)")
+
+    @pytest.mark.skipif(
+        TINY, reason="tiny grids are dispatch-dominated; the cost gate "
+                     "is asserted on the full workloads")
+    def test_stacked_kernel_beats_per_frequency_attribution(
+            self, bench_data):
+        # The per-frequency attributed path pays one extra solve per
+        # source; the stacked multi-RHS kernel must beat it, or the
+        # "fast path" claim in DESIGN.md §11 is stale.
+        entry = _workload(bench_data, ATTRIBUTION_WORKLOAD)
+        per_freq = _variant(entry, "serial-attributed")["wall_seconds"]
+        stacked = _variant(entry, "spectral-attributed")["wall_seconds"]
+        assert stacked < per_freq
+
+    def test_total_psd_bit_identical_with_and_without_attribution(self):
+        analyzer, freqs = self._analyzer()
+        plain = analyzer.psd_sweep(freqs)
+        attributed = analyzer.psd_sweep(freqs, attribute_sources=True)
+        assert np.array_equal(plain.psd, attributed.psd)
+        assert attributed.info["budget"] is not None
+
+    def test_budget_identical_serial_vs_process(self):
+        analyzer, freqs = self._analyzer()
+        serial = analyzer.psd_sweep(freqs, attribute_sources=True)
+        process = analyzer.psd_sweep(freqs, parallel="process",
+                                     max_workers=2,
+                                     attribute_sources=True)
+        assert np.array_equal(serial.psd, process.psd)
+        assert serial.budget.labels == process.budget.labels
+        assert np.array_equal(serial.budget.total, process.budget.total)
+        assert np.array_equal(serial.budget.contributions,
+                              process.budget.contributions)
+
+    def test_headline_budget_conserves(self):
+        analyzer, freqs = self._analyzer()
+        for solver in (None, "spectral-batch"):
+            result = analyzer.psd_sweep(freqs, solver=solver,
+                                        attribute_sources=True)
+            result.budget.check_conservation()
+
+
 class TestObservabilityGates:
     """Acceptance gates of the repro.obs layer (schema v3)."""
 
     def test_every_variant_records_stages(self, bench_data):
         # Schema v3: each timed variant carries a non-empty per-span
         # seconds breakdown, always including the sweep root.
-        assert bench_data["schema_version"] == 3
+        assert bench_data["schema_version"] == 4
         for entry in bench_data["workloads"]:
             for variant in entry["variants"]:
                 stages = variant["stages"]
                 assert stages, (entry["workload"], variant["variant"])
-                root = ("mft.sweep" if entry["kind"] == "sweep"
-                        else "mft.solve")
+                root = ("mft.solve" if entry["kind"] == "adaptive"
+                        else "mft.sweep")
                 assert root in stages, (entry["workload"],
                                         variant["variant"],
                                         sorted(stages))

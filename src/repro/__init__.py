@@ -21,6 +21,7 @@ Package layout:
 * :mod:`repro.mft` — the mixed-frequency-time steady-state engine,
 * :mod:`repro.baselines` — independent comparator methods,
 * :mod:`repro.translinear`, :mod:`repro.oscillator` — extensions,
+* :mod:`repro.metrics` — figures of merit and per-source attribution,
 * :mod:`repro.analysis`, :mod:`repro.io` — façade and reporting.
 """
 
@@ -66,6 +67,7 @@ from .mft import (
     mft_psd,
     sweep_context_for,
 )
+from .metrics import ContributionBudget, MetricResult
 from .noise import PsdResult, brute_force_psd, periodic_covariance
 from .obs import Recorder
 
@@ -95,6 +97,8 @@ __all__ = [
     "MftNoiseAnalyzer", "mft_psd",
     "SweepContext", "SweepExecutor", "sweep_context_for",
     "PsdResult", "brute_force_psd", "periodic_covariance",
+    # metrics and attribution
+    "ContributionBudget", "MetricResult",
     # observability
     "Recorder",
 ]

@@ -113,7 +113,7 @@ class NoiseAnalysis:
     # -- spectra -------------------------------------------------------------
 
     def psd(self, frequencies, on_failure="record", budget=None,
-            solver=None, **solver_options):
+            solver=None, attribute_sources=False, **solver_options):
         """Averaged double-sided PSD of the selected output, in V²/Hz.
 
         ``solver`` picks the engine by name — ``"mft"`` (default),
@@ -125,19 +125,32 @@ class NoiseAnalysis:
         Monte-Carlo; ``frequencies`` must be ``None`` for Monte-Carlo,
         which defines its own Welch grid).
 
+        ``attribute_sources=True`` additionally decomposes the PSD per
+        noise source (one extra linear solve per source against the same
+        cached discretization) and attaches a
+        :class:`~repro.metrics.ContributionBudget` at ``result.budget``
+        whose rows sum to the unclipped total at every finite frequency;
+        ``result.budget.table()`` renders the ranked breakdown.  When the
+        analysis was built from a netlist-backed
+        :class:`~repro.circuit.statespace.SwitchedCircuitModel`, the
+        model's ``noise_labels`` name the rows; pass a list of labels to
+        override.
+
         Per-frequency failures yield NaN plus records in
         ``result.info["failures"]`` (``on_failure="record"``, default)
         instead of aborting the sweep; the fallback chain and preflight
         findings are in ``result.info["diagnostics"]``.
         """
-        return self.engine.psd(frequencies, on_failure=on_failure,
-                               budget=budget, solver=solver,
-                               **solver_options)
+        return self.engine.psd(
+            frequencies, on_failure=on_failure, budget=budget,
+            solver=solver,
+            attribute_sources=self._attribution_labels(attribute_sources),
+            **solver_options)
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
-                  solver=None, retry=None, faults=None, checkpoint=None,
-                  **solver_options):
+                  solver=None, attribute_sources=False, retry=None,
+                  faults=None, checkpoint=None, **solver_options):
         """Same as :meth:`psd` but through a parallel sweep executor.
 
         Values are the same double-sided PSD samples in V²/Hz, merged
@@ -152,6 +165,13 @@ class NoiseAnalysis:
         (``"brute-force"``, ``"monte-carlo"``) accept only
         ``parallel=None`` or ``"serial"``.
 
+        ``attribute_sources`` works exactly as in :meth:`psd`
+        (DESIGN.md §11): every chunk carries the per-source rows along
+        with the total through the same retry/budget/fault machinery, so
+        a failed frequency is NaN in the total *and* every budget row,
+        and the merged :class:`~repro.metrics.ContributionBudget` is
+        bit-identical between serial and process execution.
+
         Resilience knobs (DESIGN.md §10): ``retry`` sets the chunk
         retry/backoff/timeout policy
         (:class:`~repro.resilience.retry.RetryPolicy`), ``faults`` arms
@@ -160,13 +180,26 @@ class NoiseAnalysis:
         names a directory to persist completed chunks for bit-identical
         resume after an interruption.
         """
-        return self.engine.psd_sweep(frequencies, parallel=parallel,
-                                     max_workers=max_workers,
-                                     chunk_size=chunk_size, budget=budget,
-                                     on_failure=on_failure, solver=solver,
-                                     retry=retry, faults=faults,
-                                     checkpoint=checkpoint,
-                                     **solver_options)
+        return self.engine.psd_sweep(
+            frequencies, parallel=parallel, max_workers=max_workers,
+            chunk_size=chunk_size, budget=budget, on_failure=on_failure,
+            solver=solver,
+            attribute_sources=self._attribution_labels(attribute_sources),
+            retry=retry, faults=faults, checkpoint=checkpoint,
+            **solver_options)
+
+    def _attribution_labels(self, attribute_sources):
+        """Substitute the model's noise labels for a bare ``True``.
+
+        A netlist-backed model knows its per-source names
+        (``noise_labels``); a bare LPTV system does not, so ``True``
+        passes through and the engine falls back to ``source[i]``.
+        """
+        if attribute_sources is True and self.model is not None:
+            labels = getattr(self.model, "noise_labels", None)
+            if labels:
+                return list(labels)
+        return attribute_sources
 
     def psd_brute_force(self, frequencies, tol_db=0.1, window_periods=5,
                         **kwargs):

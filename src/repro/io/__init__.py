@@ -1,7 +1,8 @@
 """Reporting helpers: fixed-width tables, CSV export, ASCII spectra."""
 
 from .tables import format_table
-from .csvout import write_csv
+from .csvout import write_budget_csv, write_csv, write_psd_csv
 from .asciiplot import ascii_plot
 
-__all__ = ["format_table", "write_csv", "ascii_plot"]
+__all__ = ["format_table", "write_budget_csv", "write_csv",
+           "write_psd_csv", "ascii_plot"]

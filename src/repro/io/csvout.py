@@ -24,6 +24,23 @@ def write_csv(path, headers, rows):
     return path
 
 
+def write_budget_csv(path, budget):
+    """Write a :class:`~repro.metrics.ContributionBudget` as CSV.
+
+    One row per frequency: ``frequency_hz``, the unclipped ``total``
+    (double-sided V²/Hz), then one column per source label.  A failed
+    frequency is NaN in the total *and* every source column — the
+    budget's NaN-union contract survives the round trip.
+    """
+    headers = ["frequency_hz", "total"] + [str(label)
+                                           for label in budget.labels]
+    columns = [budget.frequencies, budget.total,
+               *(budget.contributions[s]
+                 for s in range(budget.n_sources))]
+    rows = list(zip(*columns))
+    return write_csv(path, headers, rows)
+
+
 def write_psd_csv(path, psd_result, extra_columns=None):
     """Write a :class:`~repro.noise.result.PsdResult` as CSV.
 

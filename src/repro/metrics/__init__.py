@@ -1,0 +1,49 @@
+"""Figures of merit and per-source attribution (``repro.metrics``).
+
+The layer that turns raw PSD arrays into answers: band-integrated noise
+power and RMS, SNR against the :mod:`repro.noise.snr` signal-power
+helpers, noise figure, spot noise — all returning tagged
+:class:`MetricResult` error results on insufficient data instead of
+raising — plus the :class:`ContributionBudget` the engines attach to
+``PsdResult.info["budget"]`` when a sweep runs with
+``attribute_sources=``.
+
+Quickstart::
+
+    from repro import NoiseAnalysis
+    from repro.circuits import sc_lowpass_system
+    from repro.metrics import rms_noise
+
+    analysis = NoiseAnalysis(sc_lowpass_system())
+    result = analysis.psd(freqs, attribute_sources=True)
+    ranked = result.budget.table()         # ranked per-source budget
+    rms = rms_noise(result, 10.0, 1e4)     # MetricResult, Vrms
+"""
+
+from .attribution import ContributionBudget
+from .band import (
+    integrated_noise_power,
+    noise_figure,
+    rms_noise,
+    snr,
+    spot_noise,
+)
+from .results import (
+    INSUFFICIENT_DATA_TAGS,
+    MetricResult,
+    insufficient,
+    metric_value,
+)
+
+__all__ = [
+    "ContributionBudget",
+    "INSUFFICIENT_DATA_TAGS",
+    "MetricResult",
+    "insufficient",
+    "integrated_noise_power",
+    "metric_value",
+    "noise_figure",
+    "rms_noise",
+    "snr",
+    "spot_noise",
+]

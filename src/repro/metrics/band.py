@@ -1,0 +1,296 @@
+"""Band-integrated figures of merit from a sampled PSD.
+
+Every function here consumes a :class:`~repro.noise.result.PsdResult`
+(the library's canonical **double-sided** spectra in V²/Hz) and returns
+a :class:`~repro.metrics.results.MetricResult` — the insufficient-data
+cases (empty band, band outside the swept range, all-NaN slice from a
+failed sweep, single-frequency grid) come back *tagged*, never raised
+and never silently ``0.0``.
+
+Band powers integrate the double-sided PSD over ``[f_low, f_high]`` on
+the positive-frequency axis and apply the factor 2 for the symmetric
+negative-frequency half, matching
+:func:`repro.noise.snr.integrated_noise_power`.  Band edges that fall
+between grid points are included by linear interpolation of the PSD at
+the exact edge — never truncated to the interior samples, which on
+coarse grids under-reports the band power by the two clipped edge
+trapezoids (see ``tests/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError
+from ..noise.result import PsdResult
+from ..obs import NULL_RECORDER
+from ..units import db10
+from .results import MetricResult, insufficient, metric_value
+
+__all__ = [
+    "integrated_noise_power",
+    "rms_noise",
+    "snr",
+    "noise_figure",
+    "spot_noise",
+]
+
+
+def _resolve_recorder(recorder: Any) -> Any:
+    return NULL_RECORDER if recorder is None else recorder
+
+
+def _band_power(psd_result: PsdResult, f_low: "float | None",
+                f_high: "float | None", name: str, unit: str
+                ) -> "tuple[float, dict[str, Any]] | MetricResult":
+    """Double-sided band noise power, or a tagged error result.
+
+    Returns ``(power_v2, info)`` on success.  The factor 2 for the
+    negative-frequency half of the double-sided spectrum is applied
+    here, once.
+    """
+    freqs = np.asarray(psd_result.frequencies, dtype=float)
+    psd = np.asarray(psd_result.psd, dtype=float)
+    finite = np.isfinite(psd) & np.isfinite(freqs)
+    n_finite = int(np.sum(finite))
+    if n_finite == 0:
+        return insufficient(
+            name, unit, "all-nan-psd",
+            f"every one of the {psd.size} swept PSD samples is NaN "
+            "(the sweep failed everywhere); nothing to integrate",
+            n_samples=int(psd.size))
+    if n_finite == 1:
+        return insufficient(
+            name, unit, "single-frequency",
+            "only one finite PSD sample "
+            f"(at {float(freqs[finite][0]):.6g} Hz); a band integral "
+            "needs at least two",
+            n_samples=int(psd.size), n_finite=n_finite)
+    fs = freqs[finite]
+    ps = psd[finite]
+    order = np.argsort(fs)
+    fs = fs[order]
+    ps = ps[order]
+    lo = float(fs[0]) if f_low is None else float(f_low)
+    hi = float(fs[-1]) if f_high is None else float(f_high)
+    if hi <= lo:
+        return insufficient(
+            name, unit, "empty-band",
+            f"band [{lo:.6g}, {hi:.6g}] Hz is empty (f_high <= f_low)",
+            f_low=lo, f_high=hi)
+    if lo < fs[0] or hi > fs[-1]:
+        return insufficient(
+            name, unit, "band-outside-range",
+            f"band [{lo:.6g}, {hi:.6g}] Hz extends outside the finite "
+            f"swept range [{fs[0]:.6g}, {fs[-1]:.6g}] Hz; extrapolating "
+            "a PSD is not meaningful",
+            f_low=lo, f_high=hi, f_min=float(fs[0]), f_max=float(fs[-1]))
+    if not np.all(finite[(freqs > lo) & (freqs < hi)]):
+        n_nan = int(np.sum(~finite[(freqs > lo) & (freqs < hi)]))
+        return insufficient(
+            name, unit, "nan-in-band",
+            f"{n_nan} swept PSD samples inside [{lo:.6g}, {hi:.6g}] Hz "
+            "are NaN (failed frequencies); integrating around them "
+            "would misreport the band power",
+            f_low=lo, f_high=hi, n_nan=n_nan)
+    mask = (fs >= lo) & (fs <= hi)
+    band_f = fs[mask]
+    band_p = ps[mask]
+    # Include the exact band edges by linear interpolation.
+    if band_f.size == 0 or band_f[0] > lo:
+        band_f = np.insert(band_f, 0, lo)
+        band_p = np.insert(band_p, 0, np.interp(lo, fs, ps))
+    if band_f[-1] < hi:
+        band_f = np.append(band_f, hi)
+        band_p = np.append(band_p, np.interp(hi, fs, ps))
+    power = 2.0 * float(np.trapezoid(band_p, band_f))
+    info: dict[str, Any] = {"f_low": lo, "f_high": hi,
+                            "n_samples": int(band_f.size)}
+    return power, info
+
+
+def integrated_noise_power(psd_result: PsdResult,
+                           f_low: "float | None" = None,
+                           f_high: "float | None" = None,
+                           recorder: Any = None) -> MetricResult:
+    """Total noise power (V²) in a band of a double-sided PSD.
+
+    ``2 ∫ S(f) df`` over ``[f_low, f_high]`` (default: the full finite
+    swept range), the factor 2 covering the negative-frequency half of
+    the double-sided spectrum.  Band edges between grid points are
+    interpolated, not truncated.
+    """
+    rec = _resolve_recorder(recorder)
+    with rec.span("metrics.integrated_noise_power"):
+        outcome = _band_power(psd_result, f_low, f_high,
+                              "integrated_noise_power", "V^2")
+        if isinstance(outcome, MetricResult):
+            rec.count("metrics.insufficient_data")
+            return outcome
+        power, info = outcome
+        rec.count("metrics.computed")
+        return metric_value("integrated_noise_power", power, "V^2",
+                            **info)
+
+
+def rms_noise(psd_result: PsdResult, f_low: "float | None" = None,
+              f_high: "float | None" = None,
+              recorder: Any = None) -> MetricResult:
+    """RMS noise voltage (Vrms) in a band of a double-sided PSD.
+
+    The square root of :func:`integrated_noise_power`; negative band
+    power (possible on a coarse grid whose unclipped PSD dips negative)
+    is reported as ``non-positive-power`` rather than a NaN from
+    ``sqrt``.
+    """
+    rec = _resolve_recorder(recorder)
+    with rec.span("metrics.rms_noise"):
+        outcome = _band_power(psd_result, f_low, f_high,
+                              "rms_noise", "Vrms")
+        if isinstance(outcome, MetricResult):
+            rec.count("metrics.insufficient_data")
+            return outcome
+        power, info = outcome
+        if power < 0.0:
+            rec.count("metrics.insufficient_data")
+            return insufficient(
+                "rms_noise", "Vrms", "non-positive-power",
+                f"band noise power is negative ({power:.3g} V^2): the "
+                "unclipped PSD dips below zero on this grid — refine "
+                "the discretization", power=power, **info)
+        rec.count("metrics.computed")
+        return metric_value("rms_noise", float(np.sqrt(power)), "Vrms",
+                            power=power, **info)
+
+
+def snr(psd_result: PsdResult, signal_power: float,
+        f_low: "float | None" = None, f_high: "float | None" = None,
+        recorder: Any = None) -> MetricResult:
+    """SNR (dB) of a signal power against band-integrated noise.
+
+    ``10 log10(P_signal / P_noise)`` with ``P_noise`` the double-sided
+    band integral (×2) of the PSD.  ``signal_power`` comes from the
+    :mod:`repro.noise.snr` helpers (``signal_power_sine``,
+    ``signal_power_waveform``); a negative value is an argument error
+    and raises, while degenerate *data* comes back as a tagged result.
+    """
+    signal_power = float(signal_power)
+    if signal_power < 0.0:
+        raise ReproError(
+            f"signal power must be >= 0, got {signal_power}")
+    rec = _resolve_recorder(recorder)
+    with rec.span("metrics.snr"):
+        outcome = _band_power(psd_result, f_low, f_high, "snr", "dB")
+        if isinstance(outcome, MetricResult):
+            rec.count("metrics.insufficient_data")
+            return outcome
+        noise_power, info = outcome
+        if noise_power <= 0.0:
+            rec.count("metrics.insufficient_data")
+            return insufficient(
+                "snr", "dB", "non-positive-power",
+                f"band noise power is not positive ({noise_power:.3g} "
+                "V^2); an SNR against it is undefined",
+                noise_power=noise_power, **info)
+        rec.count("metrics.computed")
+        value = float(db10(signal_power)) - float(db10(noise_power))
+        return metric_value("snr", value, "dB",
+                            signal_power=signal_power,
+                            noise_power=noise_power, **info)
+
+
+def noise_figure(psd_result: PsdResult, reference: "PsdResult | float",
+                 f_low: "float | None" = None,
+                 f_high: "float | None" = None,
+                 recorder: Any = None) -> MetricResult:
+    """Noise figure (dB) against a reference noise floor over a band.
+
+    ``10 log10(P_band / P_ref)`` where ``P_band`` is the double-sided
+    band power of ``psd_result`` and ``P_ref`` the same integral of the
+    ``reference`` — either another :class:`PsdResult` (e.g. the source
+    -resistor floor swept on any grid covering the band) or a flat
+    double-sided density in V²/Hz (e.g. ``2 k T R``).  Insufficient
+    data in either spectrum comes back tagged; a non-positive reference
+    power is ``non-positive-power``.
+    """
+    rec = _resolve_recorder(recorder)
+    with rec.span("metrics.noise_figure"):
+        outcome = _band_power(psd_result, f_low, f_high,
+                              "noise_figure", "dB")
+        if isinstance(outcome, MetricResult):
+            rec.count("metrics.insufficient_data")
+            return outcome
+        power, info = outcome
+        if isinstance(reference, PsdResult):
+            ref_outcome = _band_power(reference, f_low, f_high,
+                                      "noise_figure", "dB")
+            if isinstance(ref_outcome, MetricResult):
+                rec.count("metrics.insufficient_data")
+                return ref_outcome
+            ref_power, _ref_info = ref_outcome
+        else:
+            density = float(reference)
+            ref_power = 2.0 * density * (info["f_high"] - info["f_low"])
+        if ref_power <= 0.0 or power <= 0.0:
+            rec.count("metrics.insufficient_data")
+            return insufficient(
+                "noise_figure", "dB", "non-positive-power",
+                "noise figure needs positive band powers, got "
+                f"P_band={power:.3g} V^2, P_ref={ref_power:.3g} V^2",
+                power=power, reference_power=ref_power, **info)
+        rec.count("metrics.computed")
+        value = float(db10(power)) - float(db10(ref_power))
+        return metric_value("noise_figure", value, "dB", power=power,
+                            reference_power=ref_power, **info)
+
+
+def spot_noise(psd_result: PsdResult, frequency: float,
+               recorder: Any = None) -> MetricResult:
+    """Spot noise density (V²/Hz, double-sided) at one frequency.
+
+    Linear interpolation of the sampled double-sided PSD at
+    ``frequency``.  Out-of-range frequencies are
+    ``band-outside-range``; a NaN sample bracketing the frequency is
+    ``nan-in-band`` (interpolating across a failed frequency would
+    invent data); an all-NaN sweep is ``all-nan-psd``.
+    """
+    f = float(frequency)
+    rec = _resolve_recorder(recorder)
+    with rec.span("metrics.spot_noise", frequency=f):
+        freqs = np.asarray(psd_result.frequencies, dtype=float)
+        psd = np.asarray(psd_result.psd, dtype=float)
+        finite = np.isfinite(psd) & np.isfinite(freqs)
+        if not np.any(finite):
+            rec.count("metrics.insufficient_data")
+            return insufficient(
+                "spot_noise", "V^2/Hz", "all-nan-psd",
+                f"every one of the {psd.size} swept PSD samples is NaN "
+                "(the sweep failed everywhere)",
+                n_samples=int(psd.size), frequency=f)
+        order = np.argsort(freqs)
+        freqs = freqs[order]
+        psd = psd[order]
+        finite = finite[order]
+        if f < freqs[0] or f > freqs[-1]:
+            rec.count("metrics.insufficient_data")
+            return insufficient(
+                "spot_noise", "V^2/Hz", "band-outside-range",
+                f"frequency {f:.6g} Hz is outside the swept range "
+                f"[{freqs[0]:.6g}, {freqs[-1]:.6g}] Hz",
+                frequency=f, f_min=float(freqs[0]),
+                f_max=float(freqs[-1]))
+        right = int(np.searchsorted(freqs, f, side="left"))
+        left = right if freqs[right] == f else right - 1
+        if not (finite[left] and finite[right]):
+            rec.count("metrics.insufficient_data")
+            return insufficient(
+                "spot_noise", "V^2/Hz", "nan-in-band",
+                f"the PSD samples bracketing {f:.6g} Hz include a NaN "
+                "(failed frequency); interpolating across it would "
+                "invent data", frequency=f,
+                f_left=float(freqs[left]), f_right=float(freqs[right]))
+        rec.count("metrics.computed")
+        value = float(np.interp(f, freqs, psd))
+        return metric_value("spot_noise", value, "V^2/Hz", frequency=f)

@@ -1,0 +1,136 @@
+"""Error-result containers for the metrics layer.
+
+A figure of merit computed from a *partially failed* sweep is routine —
+a budget ran out, a chunk crashed, the requested band misses the swept
+grid — and raising from deep inside a report generator turns one bad
+band into a lost report.  Every public function in :mod:`repro.metrics`
+therefore returns a :class:`MetricResult` that is either *ok* (carrying
+the value) or *insufficient-data* (carrying a stable machine-readable
+tag plus a diagnostic finding), and never raises on degenerate data and
+never masks it as ``0.0``.
+
+Tags are a closed vocabulary (:data:`INSUFFICIENT_DATA_TAGS`) so tests
+and dashboards can dispatch on them::
+
+    result = integrated_noise_power(psd, 1.0, 10.0)
+    if not result:
+        handle(result.reason, result.detail)   # e.g. "empty-band"
+    else:
+        use(result.value, result.unit)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..diagnostics.report import DiagnosticsReport, Finding, Severity
+from ..errors import ReproError
+
+__all__ = [
+    "INSUFFICIENT_DATA_TAGS",
+    "MetricResult",
+    "insufficient",
+    "metric_value",
+]
+
+#: Closed vocabulary of insufficient-data tags.  ``reason`` of a failed
+#: :class:`MetricResult` is always one of these.
+INSUFFICIENT_DATA_TAGS = (
+    "empty-band",
+    "band-outside-range",
+    "all-nan-psd",
+    "single-frequency",
+    "nan-in-band",
+    "non-positive-power",
+)
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """One figure of merit, or a tagged insufficient-data outcome.
+
+    ``bool(result)`` is :attr:`ok`; :attr:`value` is NaN whenever the
+    metric could not be computed, so an accidentally unchecked result
+    poisons downstream arithmetic loudly instead of contributing a
+    silent ``0.0``.
+    """
+
+    #: Which metric this is ("integrated_noise_power", "snr", ...).
+    name: str
+    #: The figure of merit; NaN when :attr:`ok` is ``False``.
+    value: float
+    #: Unit string ("V^2", "Vrms", "dB", "V^2/Hz").
+    unit: str
+    #: ``True`` when :attr:`value` was computed from sufficient data.
+    ok: bool
+    #: Machine-readable tag from :data:`INSUFFICIENT_DATA_TAGS`
+    #: (empty when ok).
+    reason: str = ""
+    #: Human-readable diagnosis of what was missing (empty when ok).
+    detail: str = ""
+    #: Diagnostic findings (one per failure; empty when ok).
+    findings: tuple[Finding, ...] = ()
+    #: Free-form numeric context (band edges, sample counts, ...).
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def expect(self) -> float:
+        """The value, raising :class:`~repro.errors.ReproError` if not ok.
+
+        The explicit opt-in for callers that *want* an exception
+        boundary (scripts, tests) instead of the error-result flow.
+        """
+        if not self.ok:
+            raise ReproError(
+                f"metric {self.name!r} has no value "
+                f"({self.reason}): {self.detail}")
+        return self.value
+
+    def diagnostics(self) -> DiagnosticsReport:
+        """The findings wrapped as a DiagnosticsReport."""
+        return DiagnosticsReport(findings=list(self.findings),
+                                 context=f"metric {self.name}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (trace exports, bench artifacts)."""
+        return {
+            "name": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "ok": self.ok,
+            "reason": self.reason,
+            "detail": self.detail,
+            "findings": [f.to_dict() for f in self.findings],
+            "info": dict(self.info),
+        }
+
+
+def metric_value(name: str, value: float, unit: str,
+                 **info: Any) -> MetricResult:
+    """Build a successful :class:`MetricResult`."""
+    return MetricResult(name=name, value=float(value), unit=unit,
+                        ok=True, info=dict(info))
+
+
+def insufficient(name: str, unit: str, reason: str, detail: str,
+                 **info: Any) -> MetricResult:
+    """Build a tagged insufficient-data :class:`MetricResult`.
+
+    ``reason`` must come from :data:`INSUFFICIENT_DATA_TAGS`; anything
+    else is a programming error and raises.
+    """
+    if reason not in INSUFFICIENT_DATA_TAGS:
+        raise ReproError(
+            f"unknown insufficient-data tag {reason!r}; expected one "
+            f"of {INSUFFICIENT_DATA_TAGS}")
+    finding = Finding(
+        code=f"metric-{reason}", severity=Severity.WARNING,
+        message=f"metric {name!r} has insufficient data: {detail}",
+        data=dict(info))
+    return MetricResult(name=name, value=math.nan, unit=unit, ok=False,
+                        reason=reason, detail=detail,
+                        findings=(finding,), info=dict(info))

@@ -47,7 +47,7 @@ import hashlib
 import logging
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -59,6 +59,7 @@ from ..linalg.lyapunov import (
     solve_regularized_fixed_point,
 )
 from ..linalg.phi import affine_step_integrals
+from ..linalg.vanloan import vanloan_gramian
 from ..lptv.periodic_solve import PeriodicSolution, forcing_from_samples
 from ..noise.covariance import periodic_covariance
 from ..tolerances import FIXED_POINT_RIDGE
@@ -275,6 +276,9 @@ class SweepContext:
         self._forcing = {}
         self._omega_cache = OrderedDict()
         self._omega_cache_limit = _OMEGA_CACHE_LIMIT
+        self._source_discs = {}
+        self._source_covariances = {}
+        self._source_forcing = {}
 
     # -- cached frequency-independent quantities ----------------------------
 
@@ -352,6 +356,114 @@ class SweepContext:
         post, pre = self.covariance.forcing_samples(l_row)
         pairs = forcing_from_samples(self.disc, post, pre)
         self._forcing[key] = pairs
+        return pairs
+
+    # -- per-source decomposition -------------------------------------------
+
+    @property
+    def n_sources(self):
+        """Number of noise-source columns shared by every segment.
+
+        Per-source attribution needs one aligned column basis across the
+        whole period: ``B(t) B(t)^T = Σ_s b_s(t) b_s(t)^T`` only splits
+        the total covariance when column ``s`` means the *same physical
+        source* in every phase (the circuit builder guarantees this by
+        sharing one noise-descriptor list across phases). A system whose
+        phases disagree on the column count cannot be attributed.
+        """
+        counts = {seg.b_matrix.shape[1] for seg in self.disc.segments}
+        if len(counts) != 1:
+            raise ReproError(
+                "per-source attribution needs the same number of noise "
+                f"columns in every phase, got counts {sorted(counts)}")
+        return int(counts.pop())
+
+    def source_disc(self, source):
+        """Discretization whose Gramians keep only noise column ``source``.
+
+        Same grid, propagators and jumps as :attr:`disc` — only the Van
+        Loan Gramians are rebuilt from the single column
+        ``b_s b_s^T``.  The Gramian integral is linear in ``B B^T``, but
+        the Van Loan ``expm`` rounds each single-column Gramian
+        independently, so the raw per-source Gramians drift from the
+        total by ~1e-12 relative — which a near-marginal circuit (e.g.
+        the ideal SC integrator) amplifies through its periodic
+        covariance fixed point by the fixed point's condition number,
+        enough to breach the 1e-9 conservation contract.  The split is
+        therefore made *exactly conservative*: the per-segment defect
+        ``G_total − Σ_s G_s`` is redistributed over the sources,
+        weighted by each Gramian's trace (a ~1e-12 relative nudge),
+        so every quantity the covariance solve consumes decomposes to
+        summation rounding only.  All sources are built in one pass and
+        cached; segments sharing ``(A, B, h)`` (all segments of one
+        clock phase) share one Gramian computation.
+        """
+        source = int(source)
+        n_src = self.n_sources
+        if not 0 <= source < n_src:
+            raise ReproError(
+                f"noise source index {source} out of range for "
+                f"{n_src} sources")
+        cached = self._source_discs.get(source)
+        if cached is not None:
+            self.stats.hit("source-disc")
+            return cached
+        self.stats.miss("source-disc")
+        disc = self.disc
+        gram_cache = {}
+        per_source = [[] for _ in range(n_src)]
+        for seg in disc.segments:  # scn: ignore[SCN008] - frequency-independent one-time precompute, not a sweep loop
+            key = (id(seg.a_matrix), id(seg.b_matrix), seg.duration)
+            entry = gram_cache.get(key)
+            if entry is None:
+                cols = [np.ascontiguousarray(seg.b_matrix[:, [s]])
+                        for s in range(n_src)]
+                grams = [vanloan_gramian(seg.a_matrix, col @ col.T,
+                                         seg.duration)[1]
+                         for col in cols]
+                defect = seg.gramian - np.add.reduce(grams)
+                traces = np.array([np.trace(g).real for g in grams])
+                total_trace = float(traces.sum())
+                if total_trace > 0.0:
+                    weights = traces / total_trace
+                else:
+                    weights = np.full(n_src, 1.0 / n_src)
+                grams = [gram + weight * defect
+                         for gram, weight in zip(grams, weights)]
+                entry = (cols, grams)
+                gram_cache[key] = entry
+            for s in range(n_src):
+                per_source[s].append(replace(seg, b_matrix=entry[0][s],
+                                             gramian=entry[1][s]))
+        for s in range(n_src):
+            self._source_discs[s] = replace(disc,
+                                            segments=per_source[s])
+        return self._source_discs[source]
+
+    def source_covariance(self, source):
+        """Periodic covariance driven by noise column ``source`` alone."""
+        source = int(source)
+        cached = self._source_covariances.get(source)
+        if cached is not None:
+            self.stats.hit("source-covariance")
+            return cached
+        self.stats.miss("source-covariance")
+        covariance = periodic_covariance(self.source_disc(source))
+        self._source_covariances[source] = covariance
+        return covariance
+
+    def source_forcing_pairs(self, l_row, source):
+        """Cross-spectral forcing ``K_s(t) l`` of one noise source."""
+        l_row = np.asarray(l_row, dtype=float)
+        key = (int(source), l_row.tobytes())
+        cached = self._source_forcing.get(key)
+        if cached is not None:
+            self.stats.hit("source-forcing")
+            return cached
+        self.stats.miss("source-forcing")
+        post, pre = self.source_covariance(source).forcing_samples(l_row)
+        pairs = forcing_from_samples(self.disc, post, pre)
+        self._source_forcing[key] = pairs
         return pairs
 
     def shifted_integrals(self, omega):
@@ -532,7 +644,7 @@ class SweepContext:
         """
         return sweep_context_for(system, segments_per_phase)
 
-    def warm_up(self, l_row=None):
+    def warm_up(self, l_row=None, sources=False):
         """Force every frequency-independent quantity to exist.
 
         Called before parallel dispatch so thread workers never race on
@@ -540,11 +652,19 @@ class SweepContext:
         through the fork/pickle instead of recomputing it. Idempotent
         with respect to :attr:`stats`: repeated warm-ups only *add*
         hit counts — the counters are never reset, so accumulated
-        hit/miss history survives any number of warm-ups.
+        hit/miss history survives any number of warm-ups. With
+        ``sources=True`` the per-source covariances (and, given
+        ``l_row``, forcing pairs) of an attribution run are included.
         """
         _ = self.structure, self.covariance, self.monodromy
         if l_row is not None:
             self.forcing_pairs(l_row)
+        if sources:
+            for s in range(self.n_sources):
+                if l_row is not None:
+                    self.source_forcing_pairs(l_row, s)
+                else:
+                    self.source_covariance(s)
         return self
 
     def __repr__(self):

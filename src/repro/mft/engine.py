@@ -212,6 +212,11 @@ class MftNoiseAnalyzer:
         self._covariance = None
         self._forcing = None
         self._refined = {}
+        # Per-source attribution mode: set by psd()/psd_sweep() around a
+        # sweep (attribute_sources=), consumed by the inner sweep loops
+        # and the executor (value_width, checkpoint key).
+        self._attribution = False
+        self._source_labels = None
         if fallback is True or fallback is None:
             self.fallback = FallbackPolicy()
         elif fallback is False:
@@ -245,11 +250,99 @@ class MftNoiseAnalyzer:
         Called by the sweep executor before parallel dispatch so thread
         workers never race on lazy initialisation and forked process
         workers inherit the precomputed work instead of redoing it.
+        In attribution mode the per-source covariances and forcing
+        pairs are included — they are frequency-independent too.
         """
         self._forcing_pairs()
         if self._context is not None:
-            self._context.warm_up(self._l_row)
+            self._context.warm_up(self._l_row, sources=self._attribution)
         return self
+
+    # -- per-source attribution ---------------------------------------------
+
+    @property
+    def value_width(self):
+        """Columns per frequency the sweep loops produce (1 + n_sources).
+
+        The executor reads this to size its merge buffer and key its
+        checkpoints; outside attribution mode it is 1 and the sweep
+        values stay plain 1-D arrays.
+        """
+        if not self._attribution:
+            return 1
+        return 1 + self._context.n_sources
+
+    def _resolve_source_labels(self, attribute_sources):
+        """Labels for the budget rows from ``attribute_sources``.
+
+        ``True`` falls back to positional ``source<k>`` names; a
+        sequence must name every noise column of the system.
+        """
+        n_src = self._context.n_sources
+        if attribute_sources is True:
+            return [f"source{k}" for k in range(n_src)]
+        labels = [str(label) for label in attribute_sources]
+        if len(labels) != n_src:
+            raise ReproError(
+                f"attribute_sources names {len(labels)} sources but the "
+                f"system has {n_src} noise columns")
+        return labels
+
+    class _AttributionMode:
+        """Arm/disarm the analyzer's attribution state around a sweep."""
+
+        def __init__(self, analyzer, attribute_sources):
+            self.analyzer = analyzer
+            self.attribute_sources = attribute_sources
+
+        def __enter__(self):
+            analyzer = self.analyzer
+            if not self.attribute_sources:
+                return analyzer
+            if analyzer._context is None:
+                raise ReproError(
+                    "attribute_sources= needs the shared sweep context "
+                    "for the per-source covariances; construct the "
+                    "analyzer with cache=True (the default) or an "
+                    "explicit context=")
+            analyzer._source_labels = analyzer._resolve_source_labels(
+                self.attribute_sources)
+            analyzer._attribution = True
+            return analyzer
+
+        def __exit__(self, *exc_info):
+            self.analyzer._attribution = False
+            self.analyzer._source_labels = None
+            return False
+
+    def _psd_vector_at(self, frequency, solver="direct",
+                       ridge=FIXED_POINT_RIDGE, condition_limit=None):
+        """``[total, source_0, …]`` PSD at one frequency (attribution).
+
+        Every entry comes from the same solver settings at the same ω —
+        the shifted step integrals are shared through the per-ω cache —
+        so the per-source values sum to the total by linearity of the
+        periodic solve in its forcing (to rounding).
+        """
+        context = self._context
+        omega = 2.0 * np.pi * float(frequency)
+        period = self._disc.period
+        out = np.empty(1 + context.n_sources)
+        solution = context.solve_shifted(
+            omega, self._forcing_pairs(), solver=solver, ridge=ridge,
+            condition_limit=condition_limit)
+        # Same expression shape as _psd_at (2*x/T, not (2/T)*x) so the
+        # total column is bit-identical to an unattributed sweep.
+        out[0] = float(2.0 * np.real(
+            self._l_row @ solution.integrate_dot()) / period)
+        for s in range(context.n_sources):
+            solution = context.solve_shifted(
+                omega, context.source_forcing_pairs(self._l_row, s),
+                solver=solver, ridge=ridge,
+                condition_limit=condition_limit)
+            out[1 + s] = float(2.0 * np.real(
+                self._l_row @ solution.integrate_dot()) / period)
+        return out
 
     # -- covariance ---------------------------------------------------------
 
@@ -317,7 +410,9 @@ class MftNoiseAnalyzer:
         rec = self.recorder
         failures = []
         attempts_log = []
-        values = np.full(freqs.shape, np.nan)
+        width = self.value_width
+        values = np.full(freqs.shape if width == 1
+                         else (freqs.size, width), np.nan)
         for idx, f in enumerate(freqs):
             reason = budget.exceeded()
             if reason is not None:
@@ -379,7 +474,9 @@ class MftNoiseAnalyzer:
         rec = self.recorder
         failures = []
         attempts_log = []
-        values = np.full(freqs.shape, np.nan)
+        width = self.value_width
+        values = np.full(freqs.shape if width == 1
+                         else (freqs.size, width), np.nan)
         reason = budget.exceeded()
         if reason is not None:
             _record_budget_failures(freqs, 0, reason, failures, report)
@@ -403,15 +500,29 @@ class MftNoiseAnalyzer:
                           first_frequency=float(freqs[finite_idx[0]]),
                           n=int(finite_idx.size))
             policy = self.fallback
-            with rec.span("spectral.batch", n=int(finite_idx.size)):
+            forcing = self._forcing_pairs()
+            if width > 1:
+                # Stacked solve: row 0 the total forcing, rows 1…n the
+                # per-source forcings, sharing one LU per frequency.
+                forcing = np.stack(
+                    [forcing]
+                    + [self._context.source_forcing_pairs(self._l_row, s)
+                       for s in range(width - 1)])
+            with rec.span("spectral.batch", n=int(finite_idx.size),
+                          rows=int(width)):
                 batch = self._context.solve_batched(
-                    2.0 * np.pi * freqs[finite_idx], self._forcing_pairs(),
+                    2.0 * np.pi * freqs[finite_idx], forcing,
                     condition_limit=(policy.condition_limit
                                      if policy is not None else None),
                     recorder=rec)
             psd = (2.0 * np.real(batch.integral @ self._l_row)
                    / self._disc.period)
-            ok = batch.ok & np.isfinite(psd)
+            if width > 1:
+                # (R, n_freq) → (n_freq, R) rows of [total, sources…].
+                psd = psd.T
+                ok = batch.ok & np.all(np.isfinite(psd), axis=1)
+            else:
+                ok = batch.ok & np.isfinite(psd)
             values[finite_idx[ok]] = psd[ok]
             rescue_idx = [int(i) for i in finite_idx[~ok]]
             if batch.fallback_groups:
@@ -455,10 +566,22 @@ class MftNoiseAnalyzer:
         return values, failures, attempts_log
 
     def psd(self, frequencies, on_failure="record", budget=None,
-            solver=None, **solver_options):
+            solver=None, attribute_sources=False, **solver_options):
         """Averaged double-sided PSD (V²/Hz) over a frequency grid.
 
         Returns a :class:`~repro.noise.result.PsdResult`.
+
+        ``attribute_sources`` — ``True`` or a sequence of per-source
+        labels — additionally decomposes the PSD per noise-source
+        column: the result carries a
+        :class:`~repro.metrics.ContributionBudget` in
+        ``result.info["budget"]`` (also via ``result.budget``) whose
+        per-source rows sum to the total PSD at every frequency (NaN
+        where the total is NaN — never dropped from one side only).
+        Attribution reuses the shared sweep context, so the extra cost
+        is bounded by the shared matrix work, not ``n_sources×``;
+        supported for the ``mft``, ``spectral-batch``, and
+        ``brute-force`` solvers.
 
         Each frequency runs through the graceful-degradation chain (when
         :attr:`fallback` is enabled). With ``on_failure="record"`` (the
@@ -487,6 +610,7 @@ class MftNoiseAnalyzer:
             return self._delegate_solver(solver, frequencies,
                                          budget=budget,
                                          on_failure=on_failure,
+                                         attribute_sources=attribute_sources,
                                          **solver_options)
         if solver_options:
             raise ReproError(
@@ -505,13 +629,13 @@ class MftNoiseAnalyzer:
         sweep = (self._sweep_batched if solver == "spectral-batch"
                  else self._sweep_raw)
         t0 = time.perf_counter()
-        with rec.span("mft.sweep", solver=solver, n=int(freqs.size),
-                      backend="inline"):
-            values, failures, attempts_log = sweep(
-                freqs, on_failure, budget, report)
-            with rec.span("mft.clip"):
-                clipped = clip_negative_psd(freqs, values, report,
-                                            logger=logger)
+        with self._AttributionMode(self, attribute_sources):
+            with rec.span("mft.sweep", solver=solver, n=int(freqs.size),
+                          backend="inline"):
+                values, failures, attempts_log = sweep(
+                    freqs, on_failure, budget, report)
+                raw_total, clipped, contribution = finalize_sweep_values(
+                    self, freqs, values, report, solver=solver)
         runtime = time.perf_counter() - t0
         if rec.enabled:
             if stats_before is not None:
@@ -531,19 +655,20 @@ class MftNoiseAnalyzer:
                 "solver": solver,
                 "segments": len(self._disc.segments),
                 "negative_clipped": int(np.sum(
-                    np.isfinite(values) & (values < 0.0))),
-                "worst_negative_psd": worst_negative_psd(values),
+                    np.isfinite(raw_total) & (raw_total < 0.0))),
+                "worst_negative_psd": worst_negative_psd(raw_total),
                 "diagnostics": report,
                 "failures": failures,
                 "fallback_attempts": attempts_log,
+                "budget": contribution,
                 "cache_stats": (self.cache_stats.to_dict()
                                 if self.cache_stats is not None else None),
             })
 
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
-                  solver=None, retry=None, faults=None, checkpoint=None,
-                  **solver_options):
+                  solver=None, attribute_sources=False, retry=None,
+                  faults=None, checkpoint=None, **solver_options):
         """Averaged double-sided PSD (V²/Hz) via a :class:`SweepExecutor`.
 
         ``parallel`` is ``None``/``"serial"`` for in-process execution,
@@ -568,6 +693,12 @@ class MftNoiseAnalyzer:
         * ``"brute-force"`` / ``"monte-carlo"`` — delegate to the
           baseline engines (serial only; extra ``solver_options`` are
           forwarded).
+
+        ``attribute_sources`` decomposes the PSD per noise source
+        exactly as in :meth:`psd`; the executor ships the widened
+        per-chunk values through the same retry/fault/checkpoint
+        machinery, so a NaN'd chunk is NaN in both the total and every
+        budget row.
 
         Resilience (DESIGN.md §10): ``retry`` is a chunk-level
         :class:`~repro.resilience.retry.RetryPolicy` (or ``True`` /
@@ -596,6 +727,7 @@ class MftNoiseAnalyzer:
             return self._delegate_solver(solver, frequencies,
                                          budget=budget,
                                          on_failure=on_failure,
+                                         attribute_sources=attribute_sources,
                                          **solver_options)
         if solver_options:
             raise ReproError(
@@ -606,11 +738,14 @@ class MftNoiseAnalyzer:
                                  max_workers=max_workers,
                                  chunk_size=chunk_size, solver=solver,
                                  retry=retry, faults=faults)
-        return executor.run(self, frequencies, budget=budget,
-                            on_failure=on_failure, checkpoint=checkpoint)
+        with self._AttributionMode(self, attribute_sources):
+            return executor.run(self, frequencies, budget=budget,
+                                on_failure=on_failure,
+                                checkpoint=checkpoint)
 
     def _delegate_solver(self, solver, frequencies, budget=None,
-                         on_failure="record", **solver_options):
+                         on_failure="record", attribute_sources=False,
+                         **solver_options):
         """Route ``solver="brute-force"|"monte-carlo"`` to the baselines.
 
         The delegation forwards the analyzer's own output row, shared
@@ -628,10 +763,22 @@ class MftNoiseAnalyzer:
             else:
                 kwargs.setdefault("segments_per_phase",
                                   self.segments_per_phase)
-            return brute_force_psd(self.system, frequencies,
-                                   output_row=self.output_row,
-                                   on_failure=on_failure, budget=budget,
-                                   recorder=self.recorder, **kwargs)
+            result = brute_force_psd(self.system, frequencies,
+                                     output_row=self.output_row,
+                                     on_failure=on_failure, budget=budget,
+                                     recorder=self.recorder, **kwargs)
+            if attribute_sources:
+                self._attribute_brute_force(result, attribute_sources,
+                                            kwargs, on_failure, budget)
+            else:
+                result.info.setdefault("budget", None)
+            return result
+        if attribute_sources:
+            raise ReproError(
+                "attribute_sources= is not supported for "
+                "solver='monte-carlo' (a sampled estimator cannot "
+                "guarantee the conservation contract); use 'mft', "
+                "'spectral-batch', or 'brute-force'")
         from ..baselines.montecarlo import monte_carlo_psd
         if frequencies is not None:
             raise ReproError(
@@ -649,6 +796,60 @@ class MftNoiseAnalyzer:
         result.info["standard_error"] = mc.standard_error
         result.info["n_periods"] = mc.n_periods
         return result
+
+    def _attribute_brute_force(self, result, attribute_sources, kwargs,
+                               on_failure, budget):
+        """Per-source transient replays onto a brute-force total sweep.
+
+        The total run's converged horizon (periods per frequency) is
+        replayed once per noise source with that source's single-column
+        Gramians; the integrated covariance/cross-spectrum/ESD ODEs are
+        linear in the Gramians, so the replays sum to the total exactly.
+        Frequencies where the total failed are NaN in every replay, and
+        a replay failure NaNs the total back (the NaN-union contract).
+        Mutates ``result`` in place: attaches ``info["budget"]``.
+        """
+        from ..noise.brute_force import brute_force_psd
+        with self._AttributionMode(self, attribute_sources):
+            context = self._context
+            rec = self.recorder
+            freqs = result.frequencies
+            details = result.info["details"]
+            periods = np.full(freqs.shape, np.nan)
+            for idx, detail in enumerate(details):
+                if detail is not None:
+                    periods[idx] = detail.periods
+            kwargs = dict(kwargs)
+            kwargs.pop("context", None)
+            kwargs.pop("segments_per_phase", None)
+            n_sources = context.n_sources
+            contributions = np.empty((n_sources, freqs.size))
+            with rec.span("attribution.replay", n_sources=int(n_sources),
+                          n=int(freqs.size)):
+                for s in range(n_sources):
+                    source = brute_force_psd(
+                        self.system, freqs, output_row=self.output_row,
+                        on_failure=on_failure, budget=budget,
+                        recorder=rec, disc=context.source_disc(s),
+                        fixed_periods=periods, **kwargs)
+                    contributions[s] = source.psd
+            # NaN union both ways: a frequency that failed anywhere is
+            # NaN in the total AND in every budget row.
+            nan_mask = ~np.isfinite(result.psd)
+            nan_mask |= np.any(~np.isfinite(contributions), axis=0)
+            result.psd[nan_mask] = np.nan
+            contributions[:, nan_mask] = np.nan
+            with rec.span("attribution.budget", n_sources=int(n_sources)):
+                from ..metrics import ContributionBudget
+                result.info["budget"] = ContributionBudget(
+                    frequencies=freqs,
+                    labels=list(self._source_labels),
+                    contributions=contributions,
+                    total=np.array(result.psd, dtype=float),
+                    output=result.output, method=result.method,
+                    solver="brute-force")
+            rec.count("attribution.sources", n_sources)
+            rec.count("attribution.sweeps")
 
     # -- tracing --------------------------------------------------------------
 
@@ -671,11 +872,20 @@ class MftNoiseAnalyzer:
     # -- fallback machinery -------------------------------------------------
 
     def _strategies(self, frequency, budget):
-        """Ordered (name, thunk) solve strategies for one frequency."""
+        """Ordered (name, thunk) solve strategies for one frequency.
+
+        In attribution mode every strategy returns the
+        ``[total, source…]`` vector instead of a scalar — the whole
+        vector comes from one strategy at one discretization, so a
+        fallback never mixes solver settings between the total and the
+        budget rows (which would break conservation).
+        """
+        solve_at = (self._psd_vector_at if self._attribution
+                    else self._psd_at)
         policy = self.fallback
         if policy is None:
-            return [("mft-direct", lambda: self._psd_at(frequency))]
-        strategies = [("mft-direct", lambda: self._psd_at(
+            return [("mft-direct", lambda: solve_at(frequency))]
+        strategies = [("mft-direct", lambda: solve_at(
             frequency, condition_limit=policy.condition_limit))]
         if policy.enable_refinement and np.isscalar(
                 self.segments_per_phase):
@@ -688,17 +898,29 @@ class MftNoiseAnalyzer:
                 previous = refined
                 strategies.append((
                     f"mft-refine-{refined}",
-                    lambda r=refined: self._refined_analyzer(r)._psd_at(
-                        frequency,
-                        condition_limit=policy.condition_limit)))
+                    lambda r=refined: self._refined_solve(
+                        r, frequency, policy)))
         if policy.enable_regularized:
-            strategies.append(("mft-regularized", lambda: self._psd_at(
+            strategies.append(("mft-regularized", lambda: solve_at(
                 frequency, solver="lstsq",
                 ridge=policy.regularization)))
         if policy.enable_brute_force:
             strategies.append(("brute-force", lambda: self._brute_force_at(
                 frequency, policy, budget)))
         return strategies
+
+    def _refined_solve(self, segments, frequency, policy):
+        """One refined-grid strategy call (scalar or attribution vector)."""
+        refined = self._refined_analyzer(segments)
+        if not self._attribution:
+            return refined._psd_at(frequency,
+                                   condition_limit=policy.condition_limit)
+        if refined._context is None:
+            raise ReproError(
+                "refined attribution solve needs a cached sibling "
+                "analyzer (cache=True)")
+        return refined._psd_vector_at(
+            frequency, condition_limit=policy.condition_limit)
 
     def _refined_analyzer(self, segments):
         """A sibling analyzer on a denser grid (built once, cached)."""
@@ -715,7 +937,13 @@ class MftNoiseAnalyzer:
         return analyzer
 
     def _brute_force_at(self, frequency, policy, budget):
-        """Terminal fallback: the transient engine at one frequency."""
+        """Terminal fallback: the transient engine at one frequency.
+
+        In attribution mode the total run's convergence horizon is
+        replayed per source at fixed period count, so the per-source
+        transients sum to the total one by linearity of the integrated
+        ODEs (see :func:`repro.noise.brute_force.brute_force_psd`).
+        """
         from ..noise.brute_force import brute_force_psd
         kwargs = dict(policy.brute_force_kwargs)
         kwargs.setdefault("segments_per_phase",
@@ -729,7 +957,21 @@ class MftNoiseAnalyzer:
                                  output_row=self.output_row,
                                  budget=budget, recorder=self.recorder,
                                  **kwargs)
-        return float(result.psd[0])
+        if not self._attribution:
+            return float(result.psd[0])
+        context = self._context
+        periods = result.info["details"][0].periods
+        out = np.empty(1 + context.n_sources)
+        out[0] = float(result.psd[0])
+        kwargs.pop("context", None)
+        for s in range(context.n_sources):
+            source = brute_force_psd(
+                self.system, [frequency], output_row=self.output_row,
+                budget=budget, recorder=self.recorder,
+                disc=context.source_disc(s), fixed_periods=periods,
+                **kwargs)
+            out[1 + s] = float(source.psd[0])
+        return out
 
     # -- other observables --------------------------------------------------
 
@@ -761,6 +1003,42 @@ class MftNoiseAnalyzer:
         if names:
             return names[self.output_row]
         return f"row{self.output_row}"
+
+
+def finalize_sweep_values(analyzer, freqs, values, report, solver=None):
+    """Clip the total PSD and split off the attribution budget.
+
+    Shared tail of the inline (:meth:`MftNoiseAnalyzer.psd`) and
+    executor sweeps.  ``values`` is the raw sweep output: 1-D outside
+    attribution mode, ``(n_freq, 1 + n_sources)`` inside it (column 0
+    the total, columns 1… the per-source rows).  Returns
+    ``(raw_total, clipped_total, budget_or_none)``; the budget rows are
+    deliberately **unclipped** so they sum to the unclipped total
+    exactly, and a frequency that is NaN in the total is NaN in every
+    budget row (whole rows fail together — the NaN-union contract).
+    """
+    rec = analyzer.recorder
+    if values.ndim == 1:
+        with rec.span("mft.clip"):
+            clipped = clip_negative_psd(freqs, values, report,
+                                        logger=logger)
+        return values, clipped, None
+    raw_total = np.ascontiguousarray(values[:, 0])
+    contributions = np.ascontiguousarray(values[:, 1:].T)
+    with rec.span("mft.clip"):
+        clipped = clip_negative_psd(freqs, raw_total, report,
+                                    logger=logger)
+    n_sources = contributions.shape[0]
+    with rec.span("attribution.budget", n_sources=int(n_sources)):
+        from ..metrics import ContributionBudget
+        contribution = ContributionBudget(
+            frequencies=freqs, labels=list(analyzer._source_labels),
+            contributions=contributions, total=raw_total,
+            output=analyzer._output_name(), method="mft",
+            solver=solver)
+    rec.count("attribution.sources", n_sources)
+    rec.count("attribution.sweeps")
+    return raw_total, clipped, contribution
 
 
 def _record_budget_failures(freqs, start_idx, reason, failures, report):

@@ -64,7 +64,7 @@ import numpy as np
 from ..diagnostics.budget import as_budget
 from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
 from ..errors import ReproError
-from ..noise.result import PsdResult, clip_negative_psd, worst_negative_psd
+from ..noise.result import PsdResult, worst_negative_psd
 from ..obs import span_summary
 from ..resilience.checkpoint import SweepCheckpoint
 from ..resilience.faults import (
@@ -74,7 +74,7 @@ from ..resilience.faults import (
     fire,
 )
 from ..resilience.retry import resolve_retry
-from .engine import fold_cache_delta
+from .engine import finalize_sweep_values, fold_cache_delta
 
 logger = logging.getLogger(__name__)
 
@@ -405,10 +405,11 @@ class SweepExecutor:
                     if output[4] is not None:
                         rec.merge(output[4], parent_id=parent_span)
                 values, failures, attempts = self._merge(
-                    freqs, state, budget, report)
-            with rec.span("mft.clip"):
-                clipped = clip_negative_psd(freqs, values, report,
-                                            logger=logger)
+                    freqs, state, budget, report,
+                    width=analyzer.value_width)
+            raw_total, clipped, contribution = finalize_sweep_values(
+                analyzer, freqs, values, report,
+                solver=self.solver or "mft")
         runtime = time.perf_counter() - t0
         if rec.enabled:
             rec.count("executor.chunks_dispatched",
@@ -432,11 +433,12 @@ class SweepExecutor:
                 "runtime_seconds": runtime,
                 "segments": len(analyzer._disc.segments),
                 "negative_clipped": int(np.sum(
-                    np.isfinite(values) & (values < 0.0))),
-                "worst_negative_psd": worst_negative_psd(values),
+                    np.isfinite(raw_total) & (raw_total < 0.0))),
+                "worst_negative_psd": worst_negative_psd(raw_total),
                 "diagnostics": report,
                 "failures": failures,
                 "fallback_attempts": attempts,
+                "budget": contribution,
                 "cache_stats": (stats.to_dict()
                                 if stats is not None else None),
                 "executor": {
@@ -487,6 +489,7 @@ class SweepExecutor:
             "solver": self.solver or "mft",
             "chunk_size": int(self.chunk_size),
             "on_failure": str(on_failure),
+            "value_width": int(analyzer.value_width),
         }
 
     # -- backends ------------------------------------------------------------
@@ -686,9 +689,15 @@ class SweepExecutor:
     # -- merging -------------------------------------------------------------
 
     @staticmethod
-    def _merge(freqs, state, budget, report):
-        """Stitch chunk outputs back into one sweep, in index order."""
-        values = np.full(freqs.shape, np.nan)
+    def _merge(freqs, state, budget, report, width=1):
+        """Stitch chunk outputs back into one sweep, in index order.
+
+        In attribution mode (``width > 1``) the merge buffer is
+        ``(n_freq, width)`` and a chunk that failed or was skipped
+        leaves its whole rows NaN — total and budget columns together.
+        """
+        values = np.full(freqs.shape if width == 1
+                         else (freqs.size, width), np.nan)
         failures = []
         attempts = []
         for idx, (start, chunk) in enumerate(state.chunks):

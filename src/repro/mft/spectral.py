@@ -105,6 +105,12 @@ class BatchedSolveResult:
     through the reference fallback chain so failure semantics match the
     per-ω path exactly.  ``fallback_groups`` lists the segment-group
     indices that used the per-frequency path (defective eigenbasis).
+
+    For a *stacked* solve (forcing of shape ``(R, S, 2, n)``, one row
+    per forcing vector — attribution passes the total plus one row per
+    noise source) ``integral`` and ``v0`` gain a leading ``R`` axis and
+    ``ok`` masks a frequency only when **every** row solved (the rows
+    share one LU factorization per frequency, so they fail together).
     """
 
     omegas: FloatArray
@@ -226,20 +232,25 @@ def _lu_step_integrals(group, omegas, eye):
 
 
 def _reference_group_integrals(group, omegas, forcing, g_seg):
-    """Per-frequency fallback: fill ``g_seg`` for one defective group."""
+    """Per-frequency fallback: fill ``g_seg`` for one defective group.
+
+    ``forcing`` is the stacked ``(R, S, 2, n)`` form and ``g_seg`` the
+    ``(R, n_freq, n_seg, n)`` output; the per-ω integrals are computed
+    once and applied to every forcing row.
+    """
     idx = group.indices
     h = group.duration
     n = group.a_matrix.shape[0]
     eye = np.eye(n)
-    f0 = forcing[idx, 0]
-    slope = (forcing[idx, 1] - f0) / h
+    f0 = forcing[:, idx, 0]
+    slope = (forcing[:, idx, 1] - f0) / h
     # scn: ignore[SCN008] - defective-eigenbasis rescue for one ω-block;
     # budget and fault seams gate at the executor chunk around the block
     for fi, omega in enumerate(omegas):
         a_shifted = group.a_matrix.astype(complex) - 1j * omega * eye
         phi_shifted = np.exp(-1j * omega * h) * group.phi
         _phi, i1, i2 = affine_step_integrals(a_shifted, h, phi=phi_shifted)
-        g_seg[fi, idx] = f0 @ i1.T + slope @ i2.T
+        g_seg[:, fi, idx] = f0 @ i1.T + slope @ i2.T
 
 
 def solve_spectral_batch(context, omegas, segment_forcing,
@@ -251,7 +262,12 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     :meth:`~repro.mft.context.SweepContext.solve_shifted`; see the
     module docstring for the identities.  ``omegas`` is a 1-D float
     array [rad/s] of finite frequencies; ``segment_forcing`` the usual
-    ``(S, 2, n)`` endpoint pairs.  With ``condition_limit`` given,
+    ``(S, 2, n)`` endpoint pairs, or a stacked ``(R, S, 2, n)`` block of
+    ``R`` independent forcing rows solved against **shared** per-ω
+    matrix work (eigenbasis φ-integrals, one LU of ``I − e^{-jωT}M₀``
+    with ``R`` right-hand sides, shared resolvent factorizations) —
+    this is what keeps per-source attribution ~context-bound instead of
+    ``n_sources×``.  With ``condition_limit`` given,
     frequencies whose ``cond(I − M_ω)`` exceeds it are *masked out*
     (``ok`` False) rather than raising — the engine reruns them through
     the per-frequency fallback chain, which reproduces the reference
@@ -270,10 +286,15 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     n = disc.n_states
     n_seg = len(disc.segments)
     forcing = np.asarray(segment_forcing)
-    if forcing.shape != (n_seg, 2, n):
+    stacked = forcing.ndim == 4
+    if not stacked:
+        forcing = forcing[None]
+    if forcing.shape[1:] != (n_seg, 2, n):
         raise ReproError(
-            f"segment forcing must have shape ({n_seg}, 2, {n}), "
-            f"got {forcing.shape}")
+            f"segment forcing must have shape ({n_seg}, 2, {n}) or "
+            f"(R, {n_seg}, 2, {n}), got "
+            f"{forcing.shape if stacked else forcing.shape[1:]}")
+    n_rows = forcing.shape[0]
     omegas = np.asarray(omegas, dtype=float).reshape(-1)
     if not np.all(np.isfinite(omegas)):
         raise ReproError("batched solve frequencies must be finite "
@@ -287,9 +308,10 @@ def solve_spectral_batch(context, omegas, segment_forcing,
         recorder.count("spectral.fallback_groups", len(fallback_groups))
 
     if n_freq == 0:
+        empty_shape = (n_rows, 0, n) if stacked else (0, n)
         return BatchedSolveResult(
-            omegas=omegas, integral=np.empty((0, n), dtype=complex),
-            v0=np.empty((0, n), dtype=complex),
+            omegas=omegas, integral=np.empty(empty_shape, dtype=complex),
+            v0=np.empty(empty_shape, dtype=complex),
             conditions=np.empty(0, dtype=float),
             ok=np.empty(0, dtype=bool), fallback_groups=fallback_groups)
 
@@ -304,7 +326,7 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     # the very same LU through a stacked solve instead of the (more
     # accurate, but differently-rounded) eigenbasis division.
     with recorder.span("spectral.step-integrals", n_groups=len(bases)):
-        g_seg = np.empty((n_freq, n_seg, n), dtype=complex)
+        g_seg = np.empty((n_rows, n_freq, n_seg, n), dtype=complex)
         eye_c = np.eye(n, dtype=complex)
         norm_h_groups = [_group_norm_h(group.a_matrix, omegas,
                                        group.duration)
@@ -317,8 +339,8 @@ def solve_spectral_batch(context, omegas, segment_forcing,
                 continue
             idx = np.asarray(group.indices)
             h = group.duration
-            f0 = forcing[idx, 0]
-            slope = (forcing[idx, 1] - f0) / h
+            f0 = forcing[:, idx, 0]
+            slope = (forcing[:, idx, 1] - f0) / h
             small = norm_h_groups[g] < SERIES_THRESHOLD
             if np.any(small):
                 rows = np.nonzero(small)[0]
@@ -326,16 +348,16 @@ def solve_spectral_batch(context, omegas, segment_forcing,
                 cs = slope @ basis.inverse.T
                 z = (basis.values[None, :] - 1j * omegas[rows, None]) * h
                 i1d, i2d = phi_scalar_integrals(z, h)
-                coeffs = (i1d[:, None, :] * c0[None, :, :]
-                          + i2d[:, None, :] * cs[None, :, :])
-                g_seg[rows[:, None], idx[None, :]] = (
+                coeffs = (i1d[None, :, None, :] * c0[:, None, :, :]
+                          + i2d[None, :, None, :] * cs[:, None, :, :])
+                g_seg[:, rows[:, None], idx[None, :]] = (
                     coeffs @ basis.vectors.T)
             if not np.all(small):
                 rows = np.nonzero(~small)[0]
                 i1, i2 = _lu_step_integrals(group, omegas[rows], eye_c)
-                g_seg[rows[:, None], idx[None, :]] = (
-                    np.einsum("fij,sj->fsi", i1, f0)
-                    + np.einsum("fij,sj->fsi", i2, slope))
+                g_seg[:, rows[:, None], idx[None, :]] = (
+                    np.einsum("fij,rsj->rfsi", i1, f0)
+                    + np.einsum("fij,rsj->rfsi", i2, slope))
 
     # One-period affine map, all frequencies at once:
     # M_ω = e^{-jωT} M₀ and g_ω = Σ_k e^{-jω(T − t_end_k)} R_k g_k.
@@ -348,10 +370,12 @@ def solve_spectral_batch(context, omegas, segment_forcing,
         conditions = batched_condition_number(m_stack)
         tail_phase = np.exp(-1j * omegas[:, None]
                             * (period - struct.t_end)[None, :])
-        g_acc = np.einsum("kij,fkj->fi", struct.suffix,
-                          tail_phase[:, :, None] * g_seg)
-        v0, ok = batched_solve(m_stack, g_acc,
-                               context="batched fixed-point solve")
+        g_acc = np.einsum("kij,rfkj->rfi", struct.suffix,
+                          tail_phase[None, :, :, None] * g_seg)
+        # One LU per frequency, all forcing rows as stacked RHS columns.
+        v0_cols, ok = batched_solve(m_stack, np.moveaxis(g_acc, 0, -1),
+                                    context="batched fixed-point solve")
+        v0 = np.moveaxis(v0_cols, -1, 0)
         if condition_limit is not None:
             ok = ok & ~(conditions > condition_limit)
 
@@ -360,18 +384,18 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     with recorder.span("spectral.trace", n_segments=int(n_seg)):
         seg_phase = np.exp(-1j * omegas[:, None]
                            * struct.durations[None, :])
-        pre = np.empty((n_freq, n_seg + 1, n), dtype=complex)
-        post = np.empty((n_freq, n_seg + 1, n), dtype=complex)
-        pre[:, 0] = v0
-        post[:, 0] = v0
+        pre = np.empty((n_rows, n_freq, n_seg + 1, n), dtype=complex)
+        post = np.empty((n_rows, n_freq, n_seg + 1, n), dtype=complex)
+        pre[:, :, 0] = v0
+        post[:, :, 0] = v0
         v = v0
         for k in range(n_seg):
-            v = seg_phase[:, k, None] * (v @ struct.phi_stack[k].T) \
-                + g_seg[:, k]
-            pre[:, k + 1] = v
+            v = seg_phase[None, :, k, None] * (v @ struct.phi_stack[k].T) \
+                + g_seg[:, :, k]
+            pre[:, :, k + 1] = v
             if struct.has_jump[k]:
                 v = v @ struct.jumps[k].T
-            post[:, k + 1] = v
+            post[:, :, k + 1] = v
 
     # Period integral per group: resolvent solve (in the eigenbasis for
     # diagonalizable groups) above the stiffness threshold, derivative-
@@ -379,42 +403,48 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     # the per-frequency reference decision.
     from .context import _RESOLVENT_NORM_THRESHOLD
     with recorder.span("spectral.period-integral"):
-        integral = np.zeros((n_freq, n), dtype=complex)
+        integral = np.zeros((n_rows, n_freq, n), dtype=complex)
         for g, group in enumerate(struct.groups):
             idx = group.indices
             h = group.duration
             a = group.a_matrix
-            post_g = post[:, idx]
-            pre_g = pre[:, idx + 1]
+            post_g = post[:, :, idx]
+            pre_g = pre[:, :, idx + 1]
             dpost_g = (post_g @ a.T
-                       - 1j * omegas[:, None, None] * post_g
-                       + forcing[None, idx, 0])
+                       - 1j * omegas[None, :, None, None] * post_g
+                       + forcing[:, None, idx, 0])
             dpre_g = (pre_g @ a.T
-                      - 1j * omegas[:, None, None] * pre_g
-                      + forcing[None, idx, 1])
+                      - 1j * omegas[None, :, None, None] * pre_g
+                      + forcing[:, None, idx, 1])
             trapezoid = np.sum(
                 0.5 * h * (post_g + pre_g)
-                + h * h / 12.0 * (dpost_g - dpre_g), axis=1)
+                + h * h / 12.0 * (dpost_g - dpre_g), axis=2)
             use_resolvent = norm_h_groups[g] > _RESOLVENT_NORM_THRESHOLD
             if not np.any(use_resolvent):
                 integral += trapezoid
                 continue
-            f_int = 0.5 * h * (forcing[idx, 0] + forcing[idx, 1])
-            rhs = np.sum(pre_g - post_g - f_int[None, :, :], axis=1)
+            f_int = 0.5 * h * (forcing[:, idx, 0] + forcing[:, idx, 1])
+            rhs = np.sum(pre_g - post_g - f_int[:, None, :, :], axis=2)
             # Resolvent A_ω⁻¹ rhs through the same LAPACK LU the
             # reference path uses (not eigenbasis division): A_ω is
             # ill-conditioned exactly when the resolvent branch triggers
             # (stiff segment, ‖A‖h large, |μ_min| ~ ω), and a
             # cond(A_ω)·eps-sized solver difference would eat the 1e-9
-            # equivalence budget.
+            # equivalence budget.  One factorization per frequency
+            # serves every forcing row as a stacked RHS column.
             a_shifted_stack = (a.astype(complex)[None, :, :]
                                - 1j * omegas[:, None, None]
                                * np.eye(n, dtype=complex)[None, :, :])
-            resolvent, solve_ok = batched_solve(
-                a_shifted_stack, rhs, context="segment integral resolvent")
+            resolvent_cols, solve_ok = batched_solve(
+                a_shifted_stack, np.moveaxis(rhs, 0, -1),
+                context="segment integral resolvent")
+            resolvent = np.moveaxis(resolvent_cols, -1, 0)
             good = use_resolvent & solve_ok
-            integral += np.where(good[:, None], resolvent, trapezoid)
+            integral += np.where(good[None, :, None], resolvent, trapezoid)
 
+    if not stacked:
+        integral = integral[0]
+        v0 = v0[0]
     return BatchedSolveResult(
         omegas=omegas, integral=integral, v0=v0, conditions=conditions,
         ok=ok, fallback_groups=fallback_groups)

@@ -63,7 +63,7 @@ def brute_force_psd(system, frequencies, output_row=0,
                     segments_per_phase=64, tol_db=0.1, window_periods=5,
                     max_periods=20000, min_periods=8, step_mode="exact",
                     on_failure="raise", budget=None, context=None,
-                    recorder=None):
+                    recorder=None, disc=None, fixed_periods=None):
     """Average double-sided output PSD (V²/Hz) at the given frequencies [Hz].
 
     Returns a :class:`~repro.noise.result.PsdResult`; per-frequency
@@ -72,7 +72,10 @@ def brute_force_psd(system, frequencies, output_row=0,
     A ``context`` (:class:`~repro.mft.context.SweepContext`) supplies a
     prebuilt discretization — propagators and Van Loan Gramians computed
     once and shared with the MFT engine — in which case its density
-    overrides ``segments_per_phase``.
+    overrides ``segments_per_phase``. An explicit ``disc``
+    (:class:`~repro.lptv.discretization.PeriodDiscretization`) overrides
+    both; per-source attribution uses it to replay the transient with a
+    single noise column's Gramians.
 
     With ``on_failure="raise"`` (the default, the historical behaviour) a
     frequency that fails to settle within ``max_periods`` clock periods
@@ -86,6 +89,14 @@ def brute_force_psd(system, frequencies, output_row=0,
     hang the sweep. A ``recorder`` (:class:`~repro.obs.Recorder`) traces
     the sweep: one ``brute-force.sweep`` root span with a
     ``brute-force.solve`` child per frequency.
+
+    ``fixed_periods`` — an int, or an array with one entry per frequency
+    — integrates *exactly* that many clock periods and skips the
+    convergence test entirely. This is the attribution replay mode: the
+    integrated ODEs are linear in the Gramians, so per-source transients
+    run for the same horizon as the total sum to it exactly. A NaN entry
+    skips its frequency (the total failed there, so the per-source value
+    must stay NaN too).
     """
     if on_failure not in ("raise", "record"):
         raise ReproError(
@@ -94,10 +105,14 @@ def brute_force_psd(system, frequencies, output_row=0,
         from ..obs import NULL_RECORDER
         recorder = NULL_RECORDER
     freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    if fixed_periods is not None:
+        fixed_periods = np.broadcast_to(
+            np.asarray(fixed_periods, dtype=float), freqs.shape)
     budget = as_budget(budget)
     budget.start()
-    disc = (context.disc if context is not None
-            else system.discretize(segments_per_phase))
+    if disc is None:
+        disc = (context.disc if context is not None
+                else system.discretize(segments_per_phase))
     l_row = np.asarray(system.output_matrix)[output_row].astype(float)
     report = DiagnosticsReport(context="brute-force sweep")
     details = []
@@ -109,7 +124,7 @@ def brute_force_psd(system, frequencies, output_row=0,
         _sweep_loop(disc, l_row, freqs, tol_db, window_periods,
                     max_periods, min_periods, step_mode, on_failure,
                     budget, recorder, report, details, failures,
-                    psd_values)
+                    psd_values, fixed_periods=fixed_periods)
     runtime = time.perf_counter() - t_start
     ok_periods = int(sum(d.periods for d in details if d is not None))
     logger.debug("brute-force sweep: %d frequencies, %d periods, %.3g s",
@@ -132,9 +147,17 @@ def brute_force_psd(system, frequencies, output_row=0,
 
 def _sweep_loop(disc, l_row, freqs, tol_db, window_periods, max_periods,
                 min_periods, step_mode, on_failure, budget, recorder,
-                report, details, failures, psd_values):
+                report, details, failures, psd_values,
+                fixed_periods=None):
     """Per-frequency loop of :func:`brute_force_psd` (mutates outputs)."""
     for idx, f in enumerate(freqs):
+        target = None
+        if fixed_periods is not None:
+            if not np.isfinite(fixed_periods[idx]):
+                # The total run failed here; keep the replay NaN too.
+                details.append(None)
+                continue
+            target = int(fixed_periods[idx])
         reason = budget.exceeded()
         if reason is not None:
             for k in range(idx, freqs.size):
@@ -173,7 +196,8 @@ def _sweep_loop(disc, l_row, freqs, tol_db, window_periods, max_periods,
                                frequency=float(f)) as span:
                 detail = _single_frequency(disc, l_row, f, tol_db,
                                            window_periods, max_periods,
-                                           min_periods, step_mode, budget)
+                                           min_periods, step_mode, budget,
+                                           fixed_periods=target)
                 span.tag(periods=int(detail.periods))
             if recorder.enabled:
                 recorder.observe("brute-force.solve_seconds",
@@ -217,10 +241,16 @@ def _shifted_step_integrals(disc, omega):
 
 
 def _single_frequency(disc, l_row, frequency, tol_db, window_periods,
-                      max_periods, min_periods, step_mode, budget=None):
+                      max_periods, min_periods, step_mode, budget=None,
+                      fixed_periods=None):
     if step_mode not in ("exact", "trapezoid"):
         raise ReproError(f"unknown step_mode {step_mode!r}")
     deadline = budget.deadline() if budget is not None else None
+    if fixed_periods is not None:
+        if fixed_periods < 1:
+            raise ReproError(
+                f"fixed_periods must be >= 1, got {fixed_periods}")
+        max_periods = int(fixed_periods)
     omega = 2.0 * np.pi * frequency
     n = disc.n_states
     k_mat = np.zeros((n, n))
@@ -268,7 +298,8 @@ def _single_frequency(disc, l_row, frequency, tol_db, window_periods,
         period_index += 1
         history_t.append(t_abs)
         history_psd.append(esd / t_abs if t_abs > 0.0 else 0.0)
-        if period_index >= max(min_periods, window_periods + 1):
+        if fixed_periods is None and period_index >= max(
+                min_periods, window_periods + 1):
             if _window_converged(history_psd, window_periods, tol_db):
                 converged = True
                 break
@@ -280,6 +311,10 @@ def _single_frequency(disc, l_row, frequency, tol_db, window_periods,
                 iterations=period_index, frequency=float(frequency))
     runtime = time.perf_counter() - t0
 
+    if fixed_periods is not None:
+        # Replay mode: the horizon was fixed up front, there is no
+        # convergence test to pass.
+        converged = True
     if not converged:
         raise ConvergenceError(
             f"brute-force PSD at {frequency:.6g} Hz did not settle within "

@@ -54,6 +54,15 @@ class PsdResult:
         """Per-frequency failure records (empty list when clean)."""
         return self.info.get("failures", [])
 
+    @property
+    def budget(self) -> Any:
+        """The :class:`~repro.metrics.ContributionBudget` of the sweep.
+
+        Populated when the sweep ran with ``attribute_sources=``;
+        ``None`` otherwise.
+        """
+        return self.info.get("budget")
+
     def ok_mask(self) -> BoolArray:
         """Boolean mask (same shape as ``psd``) of finite PSD samples."""
         return np.isfinite(self.psd)
@@ -104,6 +113,11 @@ class PsdResult:
         hi = f.max() if f_high is None else float(f_high)
         if hi <= lo:
             raise ReproError(f"empty frequency band [{lo}, {hi}]")
+        if lo < f.min() or hi > f.max():
+            raise ReproError(
+                f"band [{lo}, {hi}] extends outside the sampled range "
+                f"[{f.min()}, {f.max()}]; a PSD cannot be extrapolated "
+                "(np.interp would silently clamp the edge values)")
         mask = (f >= lo) & (f <= hi)
         fs = f[mask]
         ps = p[mask]

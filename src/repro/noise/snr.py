@@ -41,7 +41,13 @@ def integrated_noise_power(psd_result, f_low=None, f_high=None):
     """Total noise power in a band from a double-sided PSD.
 
     The factor 2 accounts for the negative-frequency half of the
-    double-sided spectrum.
+    double-sided spectrum.  Band edges that fall between grid points
+    are included by linear interpolation of the PSD at the exact edge —
+    never truncated to the interior samples, which on coarse grids
+    under-reports the band power (see ``tests/test_metrics.py``).  A
+    band extending outside the swept range raises
+    :class:`~repro.errors.ReproError`; for a never-raising variant use
+    :func:`repro.metrics.integrated_noise_power`.
     """
     return 2.0 * psd_result.integrated_power(f_low, f_high)
 

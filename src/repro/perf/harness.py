@@ -12,7 +12,7 @@ can never silently trade correctness for wall clock.
 The JSON schema (validated by :func:`validate_bench`, checked in CI)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "suite": "sweep",
       "generated_at": "2026-01-01T00:00:00Z",
       "tiny": false,
@@ -28,6 +28,7 @@ The JSON schema (validated by :func:`validate_bench`, checked in CI)::
               "backend": "serial",
               "cache": false,
               "solver": null,
+              "attributed": false,
               "wall_seconds": 0.37,
               "n_points": 64,
               "points_per_second": 172.0,
@@ -63,6 +64,13 @@ per named span (:func:`repro.obs.stage_totals`), so a wall-clock
 regression can be localised to eigenbasis construction versus the
 batched solve versus dispatch overhead without rerunning anything.
 History entries are unchanged — pre-v3 history carries forward as-is.
+
+Schema v4 adds the ``"attribution"`` workload kind and the per-variant
+``attributed`` flag: attribution workloads time the per-source PSD
+decomposition (``attribute_sources=``, DESIGN.md §11) against the plain
+sweep on the same grid, so the attributed/unattributed cost ratio is
+part of the recorded trajectory and gated in
+``benchmarks/test_perf_regression.py``.
 """
 
 from __future__ import annotations
@@ -85,8 +93,9 @@ from .workloads import Workload, default_workloads, tiny_workloads
 
 #: Bump when the JSON layout changes incompatibly.  v2: per-variant
 #: ``solver`` axis + append-only ``history`` list.  v3: per-variant
-#: ``stages`` block (seconds per recorded span name).
-BENCH_SCHEMA_VERSION = 3
+#: ``stages`` block (seconds per recorded span name).  v4: the
+#: ``"attribution"`` workload kind + per-variant ``attributed`` flag.
+BENCH_SCHEMA_VERSION = 4
 
 #: Default artifact path, relative to the repository root.
 BENCH_FILENAME = "BENCH_sweep.json"
@@ -111,6 +120,27 @@ ADAPTIVE_VARIANTS: tuple[tuple[str, bool, str, str | None], ...] = (
     ("serial-cached", True, "serial", None),
 )
 
+#: Attribution matrix: (variant, cache, backend, solver, attributed).
+#: Attribution needs the shared sweep context for the per-source
+#: covariances, so every attributed variant runs cache=True; the gate
+#: in ``benchmarks/test_perf_regression.py`` therefore compares
+#: ``spectral-attributed`` against the like-for-like
+#: ``serial-spectral`` baseline (the stacked multi-RHS kernel is the
+#: supported fast path for attribution — the per-frequency
+#: ``serial-attributed`` variant is recorded for the trajectory but
+#: pays one extra solve per source and is not gated).  The attributed
+#: variants' equivalence column doubles as a check that attribution
+#: leaves the total PSD bit-identical.
+ATTRIBUTION_VARIANTS: tuple[tuple[str, bool, str, str | None, bool],
+                            ...] = (
+    ("serial-uncached", False, "serial", None, False),
+    ("serial-cached", True, "serial", None, False),
+    ("serial-attributed", True, "serial", None, True),
+    ("serial-spectral", True, "serial", "spectral-batch", False),
+    ("spectral-attributed", True, "serial", "spectral-batch", True),
+    ("parallel-attributed", True, "thread", "spectral-batch", True),
+)
+
 
 @dataclass
 class VariantResult:
@@ -126,6 +156,7 @@ class VariantResult:
     solver: str | None = None
     stages: dict[str, float] | None = None
     trace: dict[str, Any] | None = None
+    attributed: bool = False
 
     def to_dict(self, reference: "VariantResult") -> dict[str, Any]:
         rate = (self.n_points / self.wall_seconds
@@ -135,6 +166,7 @@ class VariantResult:
             "backend": self.backend,
             "cache": self.cache,
             "solver": self.solver,
+            "attributed": self.attributed,
             "wall_seconds": self.wall_seconds,
             "n_points": self.n_points,
             "points_per_second": rate,
@@ -173,8 +205,15 @@ def max_relative_difference(reference: FloatArray,
 
 
 def _time_sweep(workload: Workload, cache: bool, backend: str,
-                solver: str | None = None) -> VariantResult:
-    """One cold timed run of a fixed-grid sweep workload."""
+                solver: str | None = None,
+                attributed: bool = False) -> VariantResult:
+    """One cold timed run of a fixed-grid sweep workload.
+
+    ``attributed=True`` runs the same sweep with per-source attribution
+    armed; the recorded ``values`` stay the *total* PSD samples, so the
+    equivalence column doubles as a check that attribution leaves the
+    total unchanged.
+    """
     system = workload.build()
     freqs = workload.frequencies()
     clear_sweep_contexts()
@@ -183,10 +222,10 @@ def _time_sweep(workload: Workload, cache: bool, backend: str,
     analyzer = MftNoiseAnalyzer(
         system, segments_per_phase=workload.segments_per_phase,
         cache=cache, recorder=recorder)
-    if solver is not None:
+    if solver is not None or attributed:
         result = analyzer.psd_sweep(
             freqs, parallel=None if backend == "serial" else backend,
-            solver=solver)
+            solver=solver, attribute_sources=attributed)
     elif backend == "serial":
         result = analyzer.psd(freqs)
     else:
@@ -197,7 +236,8 @@ def _time_sweep(workload: Workload, cache: bool, backend: str,
         variant="", backend=backend, cache=cache, wall_seconds=wall,
         n_points=int(freqs.size), values=result.psd, solver=solver,
         cache_stats=stats.to_dict() if stats is not None else None,
-        stages=stage_totals(recorder), trace=recorder.export())
+        stages=stage_totals(recorder), trace=recorder.export(),
+        attributed=attributed)
 
 
 def _time_adaptive(workload: Workload, cache: bool) -> VariantResult:
@@ -234,14 +274,21 @@ def run_workload(workload: Workload,
     the ``--trace`` CLI artifact; the bench JSON itself only carries the
     compact per-stage totals.
     """
-    variants = (SWEEP_VARIANTS if workload.kind == "sweep"
-                else ADAPTIVE_VARIANTS)
+    if workload.kind == "attribution":
+        variants: tuple[tuple, ...] = ATTRIBUTION_VARIANTS
+    elif workload.kind == "sweep":
+        variants = SWEEP_VARIANTS
+    else:
+        variants = ADAPTIVE_VARIANTS
     results: list[VariantResult] = []
-    for name, cache, backend, solver in variants:
-        if workload.kind == "sweep":
-            run = _time_sweep(workload, cache, backend, solver)
-        else:
+    for spec in variants:
+        name, cache, backend, solver = spec[:4]
+        attributed = bool(spec[4]) if len(spec) > 4 else False
+        if workload.kind == "adaptive":
             run = _time_adaptive(workload, cache)
+        else:
+            run = _time_sweep(workload, cache, backend, solver,
+                              attributed=attributed)
         run.variant = name
         results.append(run)
         if trace_sink is not None:
@@ -332,6 +379,7 @@ _VARIANT_FIELDS: dict[str, type | tuple[type, ...]] = {
     "backend": str,
     "cache": bool,
     "solver": (str, type(None)),
+    "attributed": bool,
     "wall_seconds": (int, float),
     "n_points": int,
     "points_per_second": (int, float),
@@ -392,7 +440,7 @@ def validate_bench(data: dict[str, Any]) -> None:
             if key not in entry:
                 raise ReproError(
                     f"workload entry is missing {key!r}: {entry!r}")
-        if entry["kind"] not in ("sweep", "adaptive"):
+        if entry["kind"] not in ("sweep", "adaptive", "attribution"):
             raise ReproError(
                 f"unknown workload kind {entry['kind']!r}")
         if not isinstance(entry["variants"], list) or not entry["variants"]:

@@ -42,7 +42,10 @@ class Workload:
 
     ``build`` returns a fresh LPTV system; ``grid`` the fixed frequency
     grid of a plain sweep (``None`` for adaptive workloads, which carry
-    an :class:`AdaptiveSpec` instead).
+    an :class:`AdaptiveSpec` instead).  ``attribution=True`` marks a
+    fixed-grid workload whose variants additionally time the per-source
+    decomposition (``attribute_sources=``, DESIGN.md §11) against the
+    plain sweep.
     """
 
     name: str
@@ -51,15 +54,21 @@ class Workload:
     segments_per_phase: int = 64
     grid: Callable[[], FloatArray] | None = None
     adaptive: AdaptiveSpec | None = None
+    attribution: bool = False
 
     def __post_init__(self) -> None:
         if (self.grid is None) == (self.adaptive is None):
             raise ReproError(
                 f"workload {self.name!r} must define exactly one of "
                 "grid or adaptive")
+        if self.attribution and self.grid is None:
+            raise ReproError(
+                f"attribution workload {self.name!r} needs a fixed grid")
 
     @property
     def kind(self) -> str:
+        if self.attribution:
+            return "attribution"
         return "sweep" if self.grid is not None else "adaptive"
 
     def frequencies(self) -> FloatArray:
@@ -110,6 +119,15 @@ def default_workloads() -> list[Workload]:
                         "per-block amortization dominates",
             build=lambda: sc_lowpass_system().system,
             grid=_sc_lowpass_grid_256,
+        ),
+        Workload(
+            name="sc-lowpass-attribution",
+            description="SC low-pass filter, 64-point sweep with "
+                        "per-source attribution; the regression gate "
+                        "bounds the attributed/unattributed cost ratio",
+            build=lambda: sc_lowpass_system().system,
+            grid=_sc_lowpass_grid,
+            attribution=True,
         ),
         Workload(
             name="sc-bandpass-adaptive",

@@ -118,6 +118,18 @@ SWEEP_REFINE_DB: float = 0.5
 SPECTRAL_EIGENBASIS_COND_LIMIT: float = 1e6
 
 # ---------------------------------------------------------------------------
+# Metrics and attribution (repro.metrics)
+# ---------------------------------------------------------------------------
+
+#: Scale-relative bound on the per-frequency conservation residual of a
+#: :class:`~repro.metrics.ContributionBudget`:
+#: ``max|Σ_s S_s(ω) − S_total(ω)| / max|S_total|``.  Every solve in the
+#: decomposition is *linear* in its per-source forcing/Gramian, so the
+#: residual is pure rounding — measured ~1e-10 on the library circuits —
+#: and 1e-9 matches the spectral-batch equivalence gate.
+ATTRIBUTION_CONSERVATION_RTOL: float = 1e-9
+
+# ---------------------------------------------------------------------------
 # Schedules and time grids
 # ---------------------------------------------------------------------------
 
@@ -260,6 +272,7 @@ __all__ = [
     "PSD_CLIP_ATOL",
     "SWEEP_REFINE_DB",
     "SPECTRAL_EIGENBASIS_COND_LIMIT",
+    "ATTRIBUTION_CONSERVATION_RTOL",
     "SCHEDULE_TILE_RTOL",
     "GRID_SNAP_RTOL",
     "TRAPEZOID_RTOL",

@@ -1,0 +1,253 @@
+"""Per-source attribution: conservation battery + NaN/resume contracts.
+
+The headline satellite: for **every** circuit in the library and every
+deterministic solver (``mft``, ``spectral-batch``, ``brute-force``) the
+per-source contributions must sum to the total PSD within the shared
+``ATTRIBUTION_CONSERVATION_RTOL`` (1e-9) at every frequency.  With the
+exactly conservative Gramian split in ``SweepContext.source_disc`` the
+observed residuals are machine precision (~1e-15, worst ~3e-14 on the
+near-marginal ideal integrator); the 1e-9 gate leaves headroom without
+ever letting a real decomposition bug through.
+
+The rest of the file pins the contracts around the happy path: NaN
+masks stay a *union* through injected chunk faults, checkpoints refuse
+to splice unattributed chunks into an attributed sweep, labels resolve
+from the model, and the sampled Monte-Carlo estimator refuses to
+attribute at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import NoiseAnalysis
+from repro.circuits import (
+    sample_hold_system,
+    sc_bandpass_system,
+    sc_integrator_system,
+    sc_lowpass_system,
+    switched_rc_system,
+)
+from repro.errors import ReproError
+from repro.metrics import ContributionBudget
+from repro.mft.context import clear_sweep_contexts
+from repro.mft.engine import MftNoiseAnalyzer
+from repro.obs import Recorder
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy
+
+#: Every circuit the library ships, with its per-source count.
+CIRCUITS = {
+    "switched-rc": (switched_rc_system, 1),
+    "sc-lowpass": (sc_lowpass_system, 5),
+    "sc-bandpass": (sc_bandpass_system, 12),
+    "sc-integrator": (sc_integrator_system, 4),
+    "sample-hold": (sample_hold_system, 2),
+}
+
+SOLVERS = [None, "spectral-batch", "brute-force"]
+
+SPP = 16
+
+
+def battery_grid(system, n=3):
+    """Three in-band points clear of DC and the Nyquist edge."""
+    period = system.period
+    return np.linspace(0.05 / period, 0.35 / period, n)
+
+
+def build_analysis(name):
+    clear_sweep_contexts()
+    build, _ = CIRCUITS[name]
+    return NoiseAnalysis(build(), segments_per_phase=SPP)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_contexts():
+    clear_sweep_contexts()
+    yield
+    clear_sweep_contexts()
+
+
+class TestConservationBattery:
+    """Contributions sum to the total on every circuit x solver."""
+
+    @pytest.mark.parametrize("solver", SOLVERS,
+                             ids=["mft", "spectral-batch", "brute-force"])
+    @pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+    def test_budget_conserves(self, circuit, solver):
+        analysis = build_analysis(circuit)
+        freqs = battery_grid(analysis.system)
+        options = {"tol_db": 1.0} if solver == "brute-force" else {}
+        result = analysis.psd(freqs, solver=solver,
+                              attribute_sources=True, **options)
+        budget = result.budget
+        assert isinstance(budget, ContributionBudget)
+        _, n_sources = CIRCUITS[circuit]
+        assert len(budget.labels) == n_sources
+        assert budget.contributions.shape == (n_sources, freqs.size)
+        assert np.all(np.isfinite(result.psd))
+        # The gate itself: raises listing the worst frequency if the
+        # decomposition leaks more than 1e-9 of the total anywhere.
+        budget.check_conservation()
+        # The budget's total *is* the sweep's PSD, bit for bit — the
+        # rows are a decomposition of the same numbers the caller sees.
+        assert np.array_equal(budget.total, result.psd)
+
+    @pytest.mark.parametrize("circuit", sorted(CIRCUITS))
+    def test_attribution_leaves_total_unchanged(self, circuit):
+        analysis = build_analysis(circuit)
+        freqs = battery_grid(analysis.system)
+        plain = analysis.psd(freqs)
+        assert plain.budget is None
+        attributed = analysis.psd(freqs, attribute_sources=True)
+        assert np.array_equal(plain.psd, attributed.psd)
+
+    def test_sweep_budget_matches_inline_psd(self):
+        analysis = build_analysis("sc-lowpass")
+        freqs = battery_grid(analysis.system, n=6)
+        inline = analysis.psd(freqs, attribute_sources=True)
+        swept = analysis.psd_sweep(freqs, chunk_size=2,
+                                   attribute_sources=True)
+        assert np.array_equal(inline.psd, swept.psd)
+        assert np.array_equal(inline.budget.contributions,
+                              swept.budget.contributions)
+        swept.budget.check_conservation()
+
+
+class TestFaultedSweeps:
+    """Satellite: NaN masks stay a union through injected faults."""
+
+    def _faulted_sweep(self, backend="serial"):
+        analysis = build_analysis("sc-lowpass")
+        freqs = battery_grid(analysis.system, n=12)
+        # Fires on more attempts than max_retries=1 allows, so chunk 1
+        # (indices 4..7) fails for good and degrades to NaN.
+        plan = FaultPlan([FaultSpec("executor.chunk", "transient",
+                                    attempts=4, match={"chunk": 4})])
+        policy = RetryPolicy(max_retries=1, backoff_seconds=0.0,
+                             jitter=0.0)
+        result = analysis.psd_sweep(freqs, parallel=backend,
+                                    chunk_size=4, max_workers=2,
+                                    attribute_sources=True,
+                                    faults=plan, retry=policy)
+        return result
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_nan_union_through_chunk_failure(self, backend):
+        result = self._faulted_sweep(backend)
+        assert result.info["executor"]["n_chunks_failed"] == 1
+        nan_mask = np.isnan(result.psd)
+        assert nan_mask.tolist() == [False] * 4 + [True] * 4 + [False] * 4
+        budget = result.budget
+        # Failed frequencies are NaN in the total AND in every row:
+        # a partial budget at a failed point would be unverifiable.
+        for row in budget.contributions:
+            np.testing.assert_array_equal(np.isnan(row), nan_mask)
+        np.testing.assert_array_equal(np.isnan(budget.total), nan_mask)
+        # Conservation still holds on the surviving frequencies.
+        budget.check_conservation()
+        assert budget.ok_mask().sum() == 8
+
+    def test_recovered_faults_keep_budget_bit_identical(self):
+        analysis = build_analysis("sc-lowpass")
+        freqs = battery_grid(analysis.system, n=12)
+        reference = analysis.psd_sweep(freqs, chunk_size=4,
+                                       attribute_sources=True)
+        plan = FaultPlan([FaultSpec("executor.chunk", "transient",
+                                    rate=0.5)], seed=7)
+        faulted = analysis.psd_sweep(freqs, chunk_size=4,
+                                     attribute_sources=True,
+                                     faults=plan, retry=RetryPolicy())
+        assert faulted.info["executor"]["n_retries"] > 0
+        assert np.array_equal(reference.psd, faulted.psd)
+        assert np.array_equal(reference.budget.contributions,
+                              faulted.budget.contributions)
+
+
+class TestCheckpointing:
+    def test_attributed_resume_is_bit_identical(self, tmp_path):
+        analysis = build_analysis("sc-lowpass")
+        freqs = battery_grid(analysis.system, n=12)
+        first = analysis.psd_sweep(freqs, chunk_size=4,
+                                   attribute_sources=True,
+                                   checkpoint=tmp_path / "ckpt")
+        again = analysis.psd_sweep(freqs, chunk_size=4,
+                                   attribute_sources=True,
+                                   checkpoint=tmp_path / "ckpt")
+        assert again.info["executor"]["n_chunks_resumed"] == 3
+        assert np.array_equal(first.psd, again.psd)
+        assert np.array_equal(first.budget.contributions,
+                              again.budget.contributions)
+
+    def test_checkpoint_rejects_value_width_mismatch(self, tmp_path):
+        # An unattributed checkpoint stores 1 column per frequency; an
+        # attributed resume needs 1 + n_sources and must refuse to
+        # splice rather than fabricate missing per-source data.
+        analysis = build_analysis("sc-lowpass")
+        freqs = battery_grid(analysis.system, n=12)
+        analysis.psd_sweep(freqs, chunk_size=4,
+                           checkpoint=tmp_path / "ckpt")
+        with pytest.raises(ReproError, match="different"):
+            analysis.psd_sweep(freqs, chunk_size=4,
+                               attribute_sources=True,
+                               checkpoint=tmp_path / "ckpt")
+
+
+class TestLabelsAndModes:
+    def test_model_noise_labels_name_the_rows(self):
+        analysis = build_analysis("sc-lowpass")
+        freqs = battery_grid(analysis.system)
+        result = analysis.psd(freqs, attribute_sources=True)
+        assert result.budget.labels == list(analysis.model.noise_labels)
+        assert "op:vn" in result.budget.labels
+
+    def test_custom_labels_override(self):
+        analysis = build_analysis("switched-rc")
+        freqs = battery_grid(analysis.system)
+        result = analysis.psd(freqs, attribute_sources=["track-R"])
+        assert result.budget.labels == ["track-R"]
+
+    def test_bare_system_falls_back_to_positional_labels(self):
+        clear_sweep_contexts()
+        analyzer = MftNoiseAnalyzer(switched_rc_system(),
+                                    segments_per_phase=SPP, cache=True)
+        result = analyzer.psd(battery_grid(analyzer.system),
+                              attribute_sources=True)
+        assert result.budget.labels == ["source0"]
+
+    def test_wrong_label_count_raises(self):
+        analysis = build_analysis("switched-rc")
+        with pytest.raises(ReproError, match="noise columns"):
+            analysis.psd(battery_grid(analysis.system),
+                         attribute_sources=["a", "b", "c"])
+
+    def test_uncached_analyzer_refuses_attribution(self):
+        analyzer = MftNoiseAnalyzer(switched_rc_system(),
+                                    segments_per_phase=SPP, cache=False)
+        with pytest.raises(ReproError, match="cache=True"):
+            analyzer.psd(battery_grid(analyzer.system),
+                         attribute_sources=True)
+
+    def test_monte_carlo_refuses_attribution(self):
+        analysis = build_analysis("switched-rc")
+        with pytest.raises(ReproError, match="monte-carlo"):
+            analysis.psd(None, solver="monte-carlo",
+                         attribute_sources=True)
+
+
+class TestObservability:
+    def test_attribution_spans_and_counters(self):
+        clear_sweep_contexts()
+        model = sc_lowpass_system()
+        recorder = Recorder()
+        analyzer = MftNoiseAnalyzer(model.system,
+                                    segments_per_phase=SPP,
+                                    cache=True, recorder=recorder)
+        freqs = battery_grid(analyzer.system)
+        result = analyzer.psd(freqs, attribute_sources=True)
+        assert result.budget is not None
+        counters = recorder.counters
+        assert counters.get("attribution.sweeps") == 1
+        assert counters.get("attribution.sources") == 5
+        names = {span.name for span in recorder.spans}
+        assert "attribution.budget" in names
+        assert recorder.is_balanced()
