@@ -12,7 +12,10 @@ performance layer:
   kernel's reordered arithmetic);
 * per-source attribution costs <= 2.5x the unattributed sweep through
   the stacked spectral kernel, leaves the total PSD bit-identical, and
-  produces bit-identical budgets under serial and process execution.
+  produces bit-identical budgets under serial and process execution;
+* the parameter-batched corner solve is >= 3x faster than 16
+  independent cached spectral sweeps of the same family at <= 1e-9
+  relative deviation (DESIGN.md §12).
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py``
 (the benchmarks tree is intentionally outside the tier-1 ``testpaths``).
@@ -35,6 +38,10 @@ from repro.perf import (
     run_suite,
     validate_bench,
 )
+from repro.tolerances import (
+    CORNER_SPEEDUP_FLOOR,
+    PARAM_BATCH_EQUIVALENCE_RTOL,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 HEADLINE_WORKLOAD = "sc-lowpass-sweep-64"
@@ -56,6 +63,8 @@ ATTRIBUTION_WORKLOAD = "sc-lowpass-attribution"
 #: n_sources x.  (Measured: ~0.7x, i.e. attribution through the batched
 #: kernel undercuts the per-frequency unattributed path outright.)
 ATTRIBUTION_COST_RATIO = 2.5
+
+CORNER_WORKLOAD = "sc-lowpass-corners"
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 
@@ -123,7 +132,8 @@ class TestNumericalEquivalence:
             for variant in entry["variants"]:
                 rel = variant["max_rel_diff_vs_serial_uncached"]
                 tol = (SPECTRAL_REL_TOL
-                       if variant["solver"] == "spectral-batch"
+                       if variant["solver"] in ("spectral-batch",
+                                                "param-batch")
                        else EQUIVALENCE_REL_TOL)
                 assert rel <= tol, (
                     f"{entry['workload']}/{variant['variant']}: "
@@ -292,13 +302,91 @@ class TestAttributionGates:
             result.budget.check_conservation()
 
 
+class TestCornerBatchGate:
+    """Acceptance gates of the parameter-batched corner solve (§12).
+
+    The headline claim: a 16-corner family over the 64-point SC
+    low-pass grid solves >= 3x faster through ``corner_psd_sweep`` than
+    through 16 independent cached spectral sweeps of the same members,
+    while every corner's PSD stays within 1e-9 relative of its
+    independent sweep (measured: ~2e-15 — the batched path solves the
+    identical per-group systems, merely stacked).
+    """
+
+    @pytest.mark.skipif(
+        TINY, reason="tiny grids are dispatch-dominated; speedup is "
+                     "asserted on the full workloads")
+    def test_corner_batch_beats_independent_sweeps(self, bench_data):
+        entry = _workload(bench_data, CORNER_WORKLOAD)
+        variant = _variant(entry, "corner-batch")
+        speedup = variant["speedup_vs_serial_uncached"]
+        assert speedup >= CORNER_SPEEDUP_FLOOR, (
+            f"corner-batch only {speedup:.2f}x vs {variant['n_params']} "
+            f"independent cached spectral sweeps "
+            f"(need >= {CORNER_SPEEDUP_FLOOR}x)")
+
+    def test_corner_batch_deviation_within_budget(self, bench_data):
+        # Runs in tiny mode too: deviation is grid-size independent.
+        entry = _workload(bench_data, CORNER_WORKLOAD)
+        for name in ("corner-batch", "corner-batch-attributed"):
+            rel = _variant(entry, name)["max_rel_diff_vs_serial_uncached"]
+            assert rel <= PARAM_BATCH_EQUIVALENCE_RTOL, (
+                f"{CORNER_WORKLOAD}/{name}: {rel:.3e} "
+                f"(tol {PARAM_BATCH_EQUIVALENCE_RTOL:.0e})")
+
+    def test_n_params_recorded_per_variant(self, bench_data):
+        # Schema v5: every variant carries the parameter-axis width —
+        # M for the corners kind, 1 everywhere else.
+        for entry in bench_data["workloads"]:
+            for variant in entry["variants"]:
+                if entry["kind"] == "corners":
+                    assert variant["n_params"] > 1, variant["variant"]
+                else:
+                    assert variant["n_params"] == 1, variant["variant"]
+
+    def test_per_corner_failures_match_independent_sweeps(self):
+        # Injected non-finite frequencies must NaN exactly the same
+        # (corner, frequency) cells — and record the same per-corner
+        # failure stages — through the flattened batched axis as
+        # through M independent member sweeps.
+        from repro.mft.context import clear_sweep_contexts
+        from repro.mft.corners import _build_members, corner_psd_sweep
+        from repro.perf.workloads import (
+            default_workloads,
+            tiny_workloads,
+            workload_by_name,
+        )
+
+        pool = tiny_workloads() if TINY else default_workloads()
+        workload = workload_by_name(CORNER_WORKLOAD, pool)
+        family = workload.corner_family()
+        system = workload.build()
+        freqs = workload.frequencies().copy()
+        freqs[1] = np.inf
+        freqs[3] = np.nan
+        clear_sweep_contexts()
+        batched = corner_psd_sweep(
+            system, family, freqs,
+            segments_per_phase=workload.segments_per_phase)
+        members = _build_members(system, family, 0,
+                                 workload.segments_per_phase, None, True)
+        record = lambda f: (f.index, f.stage)  # noqa: E731
+        for m, member in enumerate(members):
+            reference = member.psd_sweep(freqs, solver="spectral-batch")
+            name = family.names[m]
+            assert np.array_equal(np.isnan(batched.values[m]),
+                                  np.isnan(reference.psd)), name
+            assert ([record(f) for f in batched.failures.get(name, [])]
+                    == [record(f) for f in reference.info["failures"]]), name
+
+
 class TestObservabilityGates:
     """Acceptance gates of the repro.obs layer (schema v3)."""
 
     def test_every_variant_records_stages(self, bench_data):
         # Schema v3: each timed variant carries a non-empty per-span
         # seconds breakdown, always including the sweep root.
-        assert bench_data["schema_version"] == 4
+        assert bench_data["schema_version"] == 5
         for entry in bench_data["workloads"]:
             for variant in entry["variants"]:
                 stages = variant["stages"]

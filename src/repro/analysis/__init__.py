@@ -6,12 +6,13 @@ assemble the engines by hand.
 """
 
 from ..diagnostics.budget import SweepBudget
+from ..mft.corners import CornerSweepResult
 from ..noise.result import PsdResult
 from ..obs import Recorder
 from .api import NoiseAnalysis, compare_spectra
 from .spectrum import SpectrumComparison
 
 __all__ = [
-    "NoiseAnalysis", "PsdResult", "Recorder", "SpectrumComparison",
-    "SweepBudget", "compare_spectra",
+    "CornerSweepResult", "NoiseAnalysis", "PsdResult", "Recorder",
+    "SpectrumComparison", "SweepBudget", "compare_spectra",
 ]

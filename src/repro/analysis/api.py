@@ -188,6 +188,48 @@ class NoiseAnalysis:
             retry=retry, faults=faults, checkpoint=checkpoint,
             **solver_options)
 
+    def psd_corners(self, grid, frequencies, parallel=None,
+                    max_workers=None, chunk_size=None, budget=None,
+                    on_failure="record", attribute_sources=False,
+                    derive_intensity=True, retry=None, faults=None,
+                    checkpoint=None):
+        """PSD of every corner of a parameter grid in one batched sweep.
+
+        ``grid`` is a :class:`~repro.circuits.corners.ParameterGrid`
+        (explicit corners, a dynamics × intensity cross, or a seeded
+        mismatch cloud); the result is a
+        :class:`~repro.mft.corners.CornerSweepResult` whose
+        ``values[m, k]`` is corner ``m``'s double-sided PSD at
+        ``frequencies[k]`` — the same V²/Hz samples M independent
+        :meth:`psd_sweep` calls would produce, computed through the
+        parameter-batched spectral kernel (DESIGN.md §12): corners
+        sharing dynamics share propagators, covariance bases, and
+        per-frequency kernel work, and uniform intensity corners share
+        a single kernel row.
+
+        ``attribute_sources`` attaches one
+        :class:`~repro.metrics.ContributionBudget` per corner at
+        ``result.budgets[name]``.  ``derive_intensity=False`` rebuilds
+        every intensity corner from its rescaled system instead of
+        deriving it from the dynamics root (slower, but numerically
+        identical to a by-hand rebuild).  The executor knobs
+        (``parallel``/``budget``/``retry``/``faults``/``checkpoint``…)
+        act on the flattened ``(frequency, corner)`` axis exactly as in
+        :meth:`psd_sweep`.
+        """
+        from ..mft.corners import corner_psd_sweep
+
+        target = self.model if self.model is not None else self.system
+        return corner_psd_sweep(
+            target, grid, frequencies, output_row=self.output_row,
+            segments_per_phase=self.segments_per_phase,
+            parallel=parallel, max_workers=max_workers,
+            chunk_size=chunk_size, budget=budget, on_failure=on_failure,
+            attribute_sources=self._attribution_labels(attribute_sources),
+            derive_intensity=derive_intensity, retry=retry,
+            faults=faults, checkpoint=checkpoint,
+            recorder=self.engine.recorder)
+
     def _attribution_labels(self, attribute_sources):
         """Substitute the model's noise labels for a bare ``True``.
 

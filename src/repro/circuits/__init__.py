@@ -7,6 +7,12 @@ first principles) or a
 circuits) together with the component values quoted in the text.
 """
 
+from .corners import (
+    NOMINAL_TEMPERATURE_K,
+    CornerSpec,
+    ParameterGrid,
+    scale_system_noise,
+)
 from .switched_rc import SwitchedRcParams, switched_rc_system
 from .sc_lowpass import ScLowpassParams, sc_lowpass_netlist, sc_lowpass_system
 from .sc_bandpass import (
@@ -22,6 +28,10 @@ from .sc_integrator import (
 from .sample_hold import SampleHoldParams, sample_hold_netlist, sample_hold_system
 
 __all__ = [
+    "NOMINAL_TEMPERATURE_K",
+    "CornerSpec",
+    "ParameterGrid",
+    "scale_system_noise",
     "SwitchedRcParams",
     "switched_rc_system",
     "ScLowpassParams",

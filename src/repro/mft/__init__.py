@@ -22,6 +22,7 @@ against it in the tests.
 """
 
 from .engine import InstantaneousPsd, MftNoiseAnalyzer, mft_psd
+from .corners import CornerBatchAnalyzer, CornerSweepResult, corner_psd_sweep
 from .context import (
     CacheStats,
     SweepContext,
@@ -33,8 +34,10 @@ from .executor import SweepExecutor
 from .spectral import (
     BatchedSolveResult,
     GroupBasis,
+    ParamBatchedSolveResult,
     build_group_bases,
     phi_scalar_integrals,
+    solve_param_batched,
     solve_spectral_batch,
 )
 from .sweep import (
@@ -54,9 +57,14 @@ __all__ = [
     "SweepContext",
     "SweepExecutor",
     "BatchedSolveResult",
+    "CornerBatchAnalyzer",
+    "CornerSweepResult",
     "GroupBasis",
+    "ParamBatchedSolveResult",
     "build_group_bases",
+    "corner_psd_sweep",
     "phi_scalar_integrals",
+    "solve_param_batched",
     "solve_spectral_batch",
     "sweep_context_for",
     "clear_sweep_contexts",

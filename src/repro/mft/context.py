@@ -632,6 +632,38 @@ class SweepContext:
                                     condition_limit=condition_limit,
                                     recorder=recorder)
 
+    # -- parameter-family support (DESIGN.md §12) ---------------------------
+
+    @property
+    def dynamics_key(self):
+        """Identity of this context's dynamics (shared segment structure).
+
+        Two contexts with equal ``dynamics_key`` share the *same*
+        ``A``-matrix structure object — propagators, suffix products,
+        spectral eigenbases, shifted-integral cache — so the
+        parameter-batched kernel can stack their forcing rows into one
+        solve.  Derived intensity-scaled contexts share their parent's
+        structure by reference and therefore its key.
+        """
+        return id(self.structure)
+
+    def derive_intensity_scaled(self, scales, system=None):
+        """A context whose noise PSDs are scaled, sharing all dynamics work.
+
+        ``scales`` is a scalar PSD multiplier or a per-source array (one
+        entry per noise column).  The derived context shares this
+        context's structure, monodromy, spectral eigenbases, and
+        shifted-integral cache *by reference* — the MFT pipeline is
+        linear in ``B Bᵀ``, so only the Gramians, ``B`` columns, and
+        forcing pairs are restacked (a scalar multiply for a uniform
+        scale, a per-source Gramian sum otherwise).  This is what makes
+        an intensity-only corner nearly free next to its dynamics root.
+
+        ``system`` optionally carries the matching rescaled system (for
+        fallback paths that rediscretize); defaults to the parent's.
+        """
+        return _DerivedIntensityContext(self, scales, system=system)
+
     # -- misc ---------------------------------------------------------------
 
     @classmethod
@@ -673,6 +705,176 @@ class SweepContext:
         return (f"SweepContext(segments_per_phase="
                 f"{self.segments_per_phase!r}, built={built}/3, "
                 f"{self.stats})")
+
+
+class _DerivedIntensityContext(SweepContext):
+    """Intensity-scaled view of a parent context.
+
+    Built by :meth:`SweepContext.derive_intensity_scaled`; see there for
+    the sharing contract.  The uniform-scalar fast path exploits strict
+    linearity: ``forcing = α² · parent_forcing`` exactly, so a uniform
+    corner costs one array multiply per cached quantity.  Per-source
+    scales recombine the parent's exactly-conservative per-source
+    Gramian split (``Σ_s G_s = G_total``), so equal per-source scales
+    reproduce the uniform path to summation rounding.
+    """
+
+    def __init__(self, parent, scales, system=None):
+        scale_arr = np.atleast_1d(np.asarray(scales, dtype=float))
+        if scale_arr.ndim != 1 or scale_arr.size == 0:
+            raise ReproError(
+                f"intensity scales must be a scalar or 1-D array, got "
+                f"shape {np.asarray(scales).shape}")
+        if not np.all(np.isfinite(scale_arr)) or not np.all(scale_arr > 0):
+            raise ReproError(
+                "intensity scales must be finite and positive, got "
+                f"{scale_arr}")
+        self.parent = parent
+        self.system = system if system is not None else parent.system
+        self.segments_per_phase = parent.segments_per_phase
+        self.stats = CacheStats()
+        self._scales = scale_arr
+        self._uniform = float(scale_arr[0]) if scale_arr.size == 1 else None
+        # Dynamics work shared by reference (the point of the exercise):
+        # same A matrices → same structure, monodromy, eigenbases, and
+        # shifted step integrals.  Forcing the parent's lazy properties
+        # here keeps ``dynamics_key`` stable across derivations.
+        self._structure = parent.structure
+        self._monodromy = parent.monodromy
+        self._omega_cache = parent._omega_cache
+        self._omega_cache_limit = parent._omega_cache_limit
+        self._spectral = None  # delegated to the parent via the property
+        # Intensity-dependent quantities are rebuilt lazily (cheaply).
+        self._disc = None
+        self._covariance = None
+        self._forcing = {}
+        self._source_discs = {}
+        self._source_covariances = {}
+        self._source_forcing = {}
+
+    def _per_source_scales(self):
+        """The scale vector broadcast to one entry per noise source."""
+        n_src = self.parent.n_sources
+        if self._uniform is not None:
+            return np.full(n_src, self._uniform)
+        if self._scales.size != n_src:
+            raise ReproError(
+                f"{self._scales.size} intensity scales for a system "
+                f"with {n_src} noise sources")
+        return self._scales
+
+    @property
+    def disc(self):
+        """Parent discretization with ``B``/Gramians intensity-rescaled."""
+        if self._disc is not None:
+            self.stats.hit("disc")
+            return self._disc
+        self.stats.miss("disc")
+        parent_disc = self.parent.disc
+        if self._uniform is not None:
+            scale = self._uniform
+            amplitude = np.sqrt(scale)
+            segments = [replace(seg, b_matrix=seg.b_matrix * amplitude,
+                                gramian=seg.gramian * scale)
+                        for seg in parent_disc.segments]
+        else:
+            scales = self._per_source_scales()
+            amplitude = np.sqrt(scales)
+            source_discs = [self.parent.source_disc(s)
+                            for s in range(scales.size)]
+            segments = []
+            # scn: ignore[SCN008] - bounded per-segment array restack of
+            # cached parent Gramians; no solves or integrations inside
+            for k, seg in enumerate(parent_disc.segments):
+                gram = np.add.reduce([
+                    scales[s] * source_discs[s].segments[k].gramian
+                    for s in range(scales.size)])
+                segments.append(replace(
+                    seg, b_matrix=seg.b_matrix * amplitude[None, :],
+                    gramian=gram))
+        self._disc = replace(parent_disc, segments=segments)
+        return self._disc
+
+    @property
+    def spectral_bases(self):
+        """The parent's eigenbases — dynamics are identical by design."""
+        return self.parent.spectral_bases
+
+    def forcing_pairs(self, l_row):
+        """Intensity-scaled forcing by linearity in the noise PSDs."""
+        l_row = np.asarray(l_row, dtype=float)
+        key = l_row.tobytes()
+        cached = self._forcing.get(key)
+        if cached is not None:
+            self.stats.hit("forcing")
+            return cached
+        self.stats.miss("forcing")
+        if self._uniform is not None:
+            pairs = self._uniform * self.parent.forcing_pairs(l_row)
+        else:
+            scales = self._per_source_scales()
+            pairs = np.add.reduce([
+                scales[s] * self.parent.source_forcing_pairs(l_row, s)
+                for s in range(scales.size)])
+        self._forcing[key] = pairs
+        return pairs
+
+    def source_disc(self, source):
+        """Parent's single-source discretization, intensity-rescaled."""
+        source = int(source)
+        cached = self._source_discs.get(source)
+        if cached is not None:
+            self.stats.hit("source-disc")
+            return cached
+        self.stats.miss("source-disc")
+        scale = float(self._per_source_scales()[source])
+        parent_sd = self.parent.source_disc(source)
+        amplitude = np.sqrt(scale)
+        segments = [replace(seg, b_matrix=seg.b_matrix * amplitude,
+                            gramian=seg.gramian * scale)
+                    for seg in parent_sd.segments]
+        self._source_discs[source] = replace(parent_sd, segments=segments)
+        return self._source_discs[source]
+
+    def source_forcing_pairs(self, l_row, source):
+        """One source's forcing, scaled by that source's PSD multiplier."""
+        l_row = np.asarray(l_row, dtype=float)
+        source = int(source)
+        key = (source, l_row.tobytes())
+        cached = self._source_forcing.get(key)
+        if cached is not None:
+            self.stats.hit("source-forcing")
+            return cached
+        self.stats.miss("source-forcing")
+        scale = float(self._per_source_scales()[source])
+        pairs = scale * self.parent.source_forcing_pairs(l_row, source)
+        self._source_forcing[key] = pairs
+        return pairs
+
+    def warm_up(self, l_row=None, sources=False):
+        """Warm through the parent, then the cheap scaled overlays.
+
+        Deliberately skips the base class's covariance warm-up: the
+        batched path reaches covariance only through the (overridden,
+        linearly scaled) forcing pairs, and solving a fresh periodic
+        Lyapunov equation per intensity corner would forfeit exactly
+        the sharing this class exists for.
+        """
+        need_sources = sources or self._uniform is None
+        self.parent.warm_up(l_row=l_row, sources=need_sources)
+        _ = self.structure, self.monodromy
+        if l_row is not None:
+            self.forcing_pairs(l_row)
+        if sources and l_row is not None:
+            for s in range(self.n_sources):
+                self.source_forcing_pairs(l_row, s)
+        return self
+
+    def __repr__(self):
+        kind = ("uniform" if self._uniform is not None
+                else f"{self._scales.size}-source")
+        return (f"_DerivedIntensityContext({kind}, "
+                f"parent={self.parent!r})")
 
 
 # -- registry ---------------------------------------------------------------
@@ -721,7 +923,8 @@ def discretization_fingerprint(system, segments_per_phase):
     return digest.hexdigest()
 
 
-def sweep_context_for(system, segments_per_phase=64):
+def sweep_context_for(system, segments_per_phase=64, family=None,
+                      build=None):
     """Context for ``(system, density)`` from the module registry.
 
     Returns the cached context when the fingerprint matches a previous
@@ -731,8 +934,18 @@ def sweep_context_for(system, segments_per_phase=64):
     the limit — and every access holds :data:`_REGISTRY_LOCK`, so
     concurrent analyzers (thread sweep backends, parallel test workers)
     always agree on one context per fingerprint.
+
+    ``family`` salts the key with a parameter-family hash
+    (:meth:`repro.circuits.corners.ParameterGrid.family_hash`): a corner
+    sweep's contexts — possibly intensity-derived, with rescaled
+    Gramians — can then never be served to, or alias, a plain sweep of
+    a system that fingerprints identically.  ``build`` supplies the
+    context constructor on a miss (e.g. a closure deriving from a
+    dynamics root); the default builds a fresh :class:`SweepContext`.
     """
     key = discretization_fingerprint(system, segments_per_phase)
+    if family is not None:
+        key = f"{key}:family={family}"
     with _REGISTRY_LOCK:
         context = _REGISTRY.get(key)
         if context is not None:
@@ -740,7 +953,10 @@ def sweep_context_for(system, segments_per_phase=64):
             registry_stats.hit("context")
             return context
         registry_stats.miss("context")
-        context = SweepContext(system, segments_per_phase)
+        if build is not None:
+            context = build()
+        else:
+            context = SweepContext(system, segments_per_phase)
         while len(_REGISTRY) >= _REGISTRY_LIMIT:
             _REGISTRY.popitem(last=False)
             registry_stats.evict("context")

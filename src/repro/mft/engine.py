@@ -224,7 +224,12 @@ class MftNoiseAnalyzer:
         else:
             self.fallback = fallback
         self.budget = budget
-        if preflight:
+        if isinstance(preflight, DiagnosticsReport):
+            # An already-computed report (e.g. shared across the derived
+            # intensity corners of one dynamics root in a corner sweep) —
+            # adopt it instead of re-validating the same discretization.
+            self.preflight = preflight
+        elif preflight:
             with self.recorder.span("mft.preflight"):
                 self.preflight = require_preflight(self._disc)
         else:
@@ -399,14 +404,18 @@ class MftNoiseAnalyzer:
         with self.recorder.span("mft.solve", frequency=float(frequency)):
             return self._psd_at(frequency)
 
-    def _sweep_raw(self, freqs, on_failure, budget, report):
+    def _sweep_raw(self, freqs, on_failure, budget, report, start=0):
         """Inner sweep loop shared by :meth:`psd` and the executor.
 
         Mutates ``report`` with per-frequency findings and returns
         ``(values, failures, attempts)`` with *unclipped* values, so the
         caller decides where negative-PSD clipping is diagnosed (once
-        per sweep, not once per chunk).
+        per sweep, not once per chunk).  ``start`` is the chunk's offset
+        into the full sweep grid — unused here (frequencies are
+        self-describing), but part of the sweep-callable signature so
+        flattened-axis analyzers can recover cell identities.
         """
+        del start  # cell identity is not positional for this analyzer
         rec = self.recorder
         failures = []
         attempts_log = []
@@ -452,7 +461,7 @@ class MftNoiseAnalyzer:
                 logger.warning("recording NaN at %.6g Hz: %s", f, exc)
         return values, failures, attempts_log
 
-    def _sweep_batched(self, freqs, on_failure, budget, report):
+    def _sweep_batched(self, freqs, on_failure, budget, report, start=0):
         """Frequency-batched sweep of one ω-block (``spectral-batch``).
 
         Drop-in for :meth:`_sweep_raw` over one executor chunk: same
@@ -465,7 +474,10 @@ class MftNoiseAnalyzer:
         fallback chain, so their attempt records and failures are
         exactly the per-ω path's.  The budget gates the block as a
         whole (dispatch semantics, matching the executor's chunk gate).
+        ``start`` (the chunk offset) is accepted for sweep-callable
+        signature compatibility and unused here.
         """
+        del start
         if self._context is None:
             raise ReproError(
                 "solver='spectral-batch' needs the shared sweep context; "

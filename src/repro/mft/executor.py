@@ -91,7 +91,15 @@ _DEFAULT_SPECTRAL_CHUNK = 64
 
 #: ``None`` and ``"mft"`` are the same per-frequency reference sweep —
 #: ``"mft"`` is the unified-API spelling (:mod:`repro.noise.solvers`).
-_SOLVERS = (None, "mft", "spectral-batch")
+#: ``"param-batch"`` is the corner-sweep analyzer's flattened
+#: (param, freq)-axis solver (:mod:`repro.mft.corners`); it is reached
+#: through :func:`repro.mft.corners.corner_psd_sweep`, not the unified
+#: solver registry.
+_SOLVERS = (None, "mft", "spectral-batch", "param-batch")
+
+#: Solvers whose chunks are evaluated as one batched block through the
+#: analyzer's ``_sweep_batched`` (vs the per-frequency ``_sweep_raw``).
+_BATCHED_SOLVERS = ("spectral-batch", "param-batch")
 
 
 def _default_workers():
@@ -161,13 +169,22 @@ def _run_chunk(analyzer, frequencies, on_failure, solver=None,
         report = DiagnosticsReport(context="mft sweep chunk")
         budget = as_budget(None)
         budget.start()
-        sweep = (analyzer._sweep_batched if solver == "spectral-batch"
+        sweep = (analyzer._sweep_batched if solver in _BATCHED_SOLVERS
                  else analyzer._sweep_raw)
         with rec.span("executor.chunk", _parent=parent_span,
                       n=int(len(frequencies)), pid=os.getpid()):
-            values, failures, attempts = sweep(
-                np.asarray(frequencies, dtype=float), on_failure, budget,
-                report)
+            # ``start`` tells flattened-axis analyzers (param-batch)
+            # which (corner, frequency) cells this chunk covers; the
+            # plain batched sweep ignores it, and the raw path keeps
+            # its legacy signature (duck-typed analyzer overrides).
+            if solver in _BATCHED_SOLVERS:
+                values, failures, attempts = sweep(
+                    np.asarray(frequencies, dtype=float), on_failure,
+                    budget, report, start=int(chunk_start))
+            else:
+                values, failures, attempts = sweep(
+                    np.asarray(frequencies, dtype=float), on_failure,
+                    budget, report)
         obs = None
         if collect:
             if stats_before is not None:
@@ -324,7 +341,7 @@ class SweepExecutor:
         self.max_workers = _positive_int("max_workers", max_workers,
                                          _default_workers())
         default_chunk = (_DEFAULT_SPECTRAL_CHUNK
-                         if solver == "spectral-batch" else _DEFAULT_CHUNK)
+                         if solver in _BATCHED_SOLVERS else _DEFAULT_CHUNK)
         self.chunk_size = _positive_int("chunk_size", chunk_size,
                                         default_chunk)
         self.retry = resolve_retry(retry)
@@ -372,10 +389,10 @@ class SweepExecutor:
                       n=int(freqs.size)):
             with rec.span("mft.warmup"):
                 analyzer.warm_up()
-                if self.solver == "spectral-batch":
+                if self.solver in _BATCHED_SOLVERS:
                     if analyzer.context is None:
                         raise ReproError(
-                            "solver='spectral-batch' needs the shared "
+                            f"solver={self.solver!r} needs the shared "
                             "sweep context; construct the analyzer with "
                             "cache=True (the default) or an explicit "
                             "context=")
@@ -480,6 +497,10 @@ class SweepExecutor:
         from .context import discretization_fingerprint
         grid = hashlib.sha256(
             np.ascontiguousarray(freqs, dtype=float).tobytes())
+        # ``family`` is the parameter-family hash of a corner-sweep
+        # analyzer (None for plain sweeps): a corner sweep's checkpoint
+        # can then never be resumed into a plain sweep of a system that
+        # fingerprints identically, and vice versa.
         return {
             "fingerprint": discretization_fingerprint(
                 analyzer.system, analyzer.segments_per_phase),
@@ -490,6 +511,7 @@ class SweepExecutor:
             "chunk_size": int(self.chunk_size),
             "on_failure": str(on_failure),
             "value_width": int(analyzer.value_width),
+            "family": getattr(analyzer, "family_hash", None),
         }
 
     # -- backends ------------------------------------------------------------

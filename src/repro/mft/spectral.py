@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import array_module
 from ..errors import ReproError, SingularMatrixError
 from ..linalg.checked import (
     batched_condition_number,
@@ -65,9 +66,11 @@ logger = logging.getLogger(__name__)
 __all__ = [
     "GroupBasis",
     "BatchedSolveResult",
+    "ParamBatchedSolveResult",
     "build_group_bases",
     "phi_scalar_integrals",
     "solve_spectral_batch",
+    "solve_param_batched",
 ]
 
 #: Mirrors ``_SERIES_TERMS`` of :mod:`repro.linalg.phi`: 12 terms give
@@ -300,6 +303,10 @@ def solve_spectral_batch(context, omegas, segment_forcing,
         raise ReproError("batched solve frequencies must be finite "
                          "(filter non-finite inputs before the kernel)")
     n_freq = omegas.size
+    # All heavy array math below dispatches through the active backend
+    # (numpy today — bit-identical to direct numpy calls; see
+    # :mod:`repro.backend` for the contract an accelerator must satisfy).
+    xp = array_module()
     with recorder.span("spectral.eigenbasis"):
         bases = context.spectral_bases
     fallback_groups = [g for g, basis in enumerate(bases)
@@ -356,33 +363,33 @@ def solve_spectral_batch(context, omegas, segment_forcing,
                 rows = np.nonzero(~small)[0]
                 i1, i2 = _lu_step_integrals(group, omegas[rows], eye_c)
                 g_seg[:, rows[:, None], idx[None, :]] = (
-                    np.einsum("fij,rsj->rfsi", i1, f0)
-                    + np.einsum("fij,rsj->rfsi", i2, slope))
+                    xp.einsum("fij,rsj->rfsi", i1, f0)
+                    + xp.einsum("fij,rsj->rfsi", i2, slope))
 
     # One-period affine map, all frequencies at once:
     # M_ω = e^{-jωT} M₀ and g_ω = Σ_k e^{-jω(T − t_end_k)} R_k g_k.
     with recorder.span("spectral.solve", n=int(n_freq)):
         period = disc.period
-        phase_total = np.exp(-1j * omegas * period)
+        phase_total = xp.exp(-1j * omegas * period)
         monodromy = context.monodromy.astype(complex)
-        eye = np.eye(n, dtype=complex)
+        eye = xp.eye(n, dtype=complex)
         m_stack = eye[None, :, :] - phase_total[:, None, None] * monodromy
         conditions = batched_condition_number(m_stack)
-        tail_phase = np.exp(-1j * omegas[:, None]
+        tail_phase = xp.exp(-1j * omegas[:, None]
                             * (period - struct.t_end)[None, :])
-        g_acc = np.einsum("kij,rfkj->rfi", struct.suffix,
+        g_acc = xp.einsum("kij,rfkj->rfi", struct.suffix,
                           tail_phase[None, :, :, None] * g_seg)
         # One LU per frequency, all forcing rows as stacked RHS columns.
-        v0_cols, ok = batched_solve(m_stack, np.moveaxis(g_acc, 0, -1),
+        v0_cols, ok = batched_solve(m_stack, xp.moveaxis(g_acc, 0, -1),
                                     context="batched fixed-point solve")
-        v0 = np.moveaxis(v0_cols, -1, 0)
+        v0 = xp.moveaxis(v0_cols, -1, 0)
         if condition_limit is not None:
             ok = ok & ~(conditions > condition_limit)
 
     # One sequential pass through the period (inherently ordered),
     # vectorized across the whole frequency block.
     with recorder.span("spectral.trace", n_segments=int(n_seg)):
-        seg_phase = np.exp(-1j * omegas[:, None]
+        seg_phase = xp.exp(-1j * omegas[:, None]
                            * struct.durations[None, :])
         pre = np.empty((n_rows, n_freq, n_seg + 1, n), dtype=complex)
         post = np.empty((n_rows, n_freq, n_seg + 1, n), dtype=complex)
@@ -434,13 +441,13 @@ def solve_spectral_batch(context, omegas, segment_forcing,
             # serves every forcing row as a stacked RHS column.
             a_shifted_stack = (a.astype(complex)[None, :, :]
                                - 1j * omegas[:, None, None]
-                               * np.eye(n, dtype=complex)[None, :, :])
+                               * xp.eye(n, dtype=complex)[None, :, :])
             resolvent_cols, solve_ok = batched_solve(
-                a_shifted_stack, np.moveaxis(rhs, 0, -1),
+                a_shifted_stack, xp.moveaxis(rhs, 0, -1),
                 context="segment integral resolvent")
-            resolvent = np.moveaxis(resolvent_cols, -1, 0)
+            resolvent = xp.moveaxis(resolvent_cols, -1, 0)
             good = use_resolvent & solve_ok
-            integral += np.where(good[None, :, None], resolvent, trapezoid)
+            integral += xp.where(good[None, :, None], resolvent, trapezoid)
 
     if not stacked:
         integral = integral[0]
@@ -448,3 +455,125 @@ def solve_spectral_batch(context, omegas, segment_forcing,
     return BatchedSolveResult(
         omegas=omegas, integral=integral, v0=v0, conditions=conditions,
         ok=ok, fallback_groups=fallback_groups)
+
+
+@dataclass
+class ParamBatchedSolveResult:
+    """Outcome of one parameter-batched solve across a corner family.
+
+    ``results[m]`` is the :class:`BatchedSolveResult` of parameter set
+    ``m`` in input order, shaped exactly as if ``solve_spectral_batch``
+    had been called for that parameter alone — the param batching is an
+    *execution* strategy, not a result-shape change.  ``param_groups``
+    lists the parameter indices that shared one stacked kernel call
+    (same ``dynamics_key``); ``stacked_calls`` counts those calls (the
+    speedup lever: 16 corners over 4 dynamics points → 4 calls).
+    ``fallback_params`` lists parameters whose stacked call failed and
+    were recomputed through the single-parameter PR-4 path.
+    """
+
+    omegas: FloatArray
+    results: list
+    param_groups: list
+    stacked_calls: int
+    fallback_params: list = field(default_factory=list)
+    solver: str = "param-batch"
+
+
+def solve_param_batched(contexts, omegas, forcings, condition_limit=None,
+                        recorder=None) -> ParamBatchedSolveResult:
+    """One batched periodic solve across M parameter sets × all ω.
+
+    ``contexts[m]`` and ``forcings[m]`` describe parameter set ``m``:
+    a :class:`~repro.mft.context.SweepContext` (possibly intensity-
+    derived) and its ``(S, 2, n)`` — or stacked ``(R, S, 2, n)`` —
+    forcing.  Parameter sets whose contexts share a ``dynamics_key``
+    (identical segment structure: dynamics roots with their derived
+    intensity corners) are concatenated along the forcing-row axis and
+    solved through **one** :func:`solve_spectral_batch` call — one
+    eigenbasis, one φ-integral stack, one LU per frequency serving every
+    member's rows — then sliced back into per-parameter results.  This
+    is the fallback lattice's outer level (param): a stacked call that
+    raises falls back per member to the single-parameter path
+    (recorded in ``fallback_params``); per-frequency failures inside a
+    call are reported through each member's ``ok`` mask exactly as in
+    the single-parameter kernel, for the engine's per-cell rescue.
+
+    A single-member group degenerates to a plain
+    ``solve_spectral_batch`` call with the member's own forcing, so
+    ``M=1`` is bit-identical to the PR-4 path by construction.
+    """
+    if recorder is None:
+        from ..obs import NULL_RECORDER
+        recorder = NULL_RECORDER
+    contexts = list(contexts)
+    forcings = [np.asarray(f) for f in forcings]
+    if len(contexts) != len(forcings):
+        raise ReproError(
+            f"{len(contexts)} contexts vs {len(forcings)} forcings")
+    if not contexts:
+        raise ReproError("param-batched solve needs at least one "
+                         "parameter set")
+    omegas = np.asarray(omegas, dtype=float).reshape(-1)
+
+    # Group members by shared dynamics, preserving first-appearance
+    # order on both the groups and their members.
+    group_members: "dict[int, list[int]]" = {}
+    for m, context in enumerate(contexts):
+        group_members.setdefault(context.dynamics_key, []).append(m)
+    param_groups = list(group_members.values())
+    recorder.count("param_batch.groups", len(param_groups))
+
+    results: list = [None] * len(contexts)
+    fallback_params: list = []
+    stacked_calls = 0
+    for members in param_groups:
+        stacked_calls += 1
+        if len(members) == 1:
+            m = members[0]
+            results[m] = solve_spectral_batch(
+                contexts[m], omegas, forcings[m],
+                condition_limit=condition_limit, recorder=recorder)
+            continue
+        row_slices = []
+        rows = []
+        offset = 0
+        for m in members:
+            forcing = forcings[m]
+            block = forcing if forcing.ndim == 4 else forcing[None]
+            rows.append(block)
+            row_slices.append((offset, offset + block.shape[0],
+                               forcing.ndim == 4))
+            offset += block.shape[0]
+        try:
+            with recorder.span("spectral.param-stack",
+                               n_params=len(members), n_rows=offset):
+                batch = solve_spectral_batch(
+                    contexts[members[0]], omegas,
+                    np.concatenate(rows, axis=0),
+                    condition_limit=condition_limit, recorder=recorder)
+        except ReproError:
+            # Param-level fallback: rerun each member alone through the
+            # single-parameter kernel (the PR-4 path).
+            logger.info(
+                "param-batched solve: stacked call over params %s "
+                "failed; retrying per parameter", members)
+            for m in members:
+                fallback_params.append(m)
+                results[m] = solve_spectral_batch(
+                    contexts[m], omegas, forcings[m],
+                    condition_limit=condition_limit, recorder=recorder)
+            continue
+        for m, (lo, hi, was_stacked) in zip(members, row_slices):
+            integral = batch.integral[lo:hi]
+            v0 = batch.v0[lo:hi]
+            if not was_stacked:
+                integral = integral[0]
+                v0 = v0[0]
+            results[m] = BatchedSolveResult(
+                omegas=batch.omegas, integral=integral, v0=v0,
+                conditions=batch.conditions, ok=batch.ok,
+                fallback_groups=batch.fallback_groups)
+    return ParamBatchedSolveResult(
+        omegas=omegas, results=results, param_groups=param_groups,
+        stacked_calls=stacked_calls, fallback_params=fallback_params)

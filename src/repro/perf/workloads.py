@@ -17,10 +17,14 @@ from typing import Any
 import numpy as np
 
 from ..circuits import (
+    NOMINAL_TEMPERATURE_K,
+    ParameterGrid,
+    ScLowpassParams,
     sc_bandpass_system,
     sc_lowpass_system,
     switched_rc_system,
 )
+from ..circuits.sc_lowpass import SC_LOWPASS_C1, SC_LOWPASS_C2
 from ..errors import ReproError
 from ..typing import FloatArray
 
@@ -45,7 +49,11 @@ class Workload:
     an :class:`AdaptiveSpec` instead).  ``attribution=True`` marks a
     fixed-grid workload whose variants additionally time the per-source
     decomposition (``attribute_sources=``, DESIGN.md §11) against the
-    plain sweep.
+    plain sweep.  ``corners`` (a factory returning a
+    :class:`~repro.circuits.ParameterGrid`) marks a fixed-grid workload
+    whose variants time the parameter-batched corner sweep
+    (``corner_psd_sweep``, DESIGN.md §12) against M independent
+    per-corner spectral sweeps of the same family.
     """
 
     name: str
@@ -55,6 +63,7 @@ class Workload:
     grid: Callable[[], FloatArray] | None = None
     adaptive: AdaptiveSpec | None = None
     attribution: bool = False
+    corners: Callable[[], ParameterGrid] | None = None
 
     def __post_init__(self) -> None:
         if (self.grid is None) == (self.adaptive is None):
@@ -64,9 +73,17 @@ class Workload:
         if self.attribution and self.grid is None:
             raise ReproError(
                 f"attribution workload {self.name!r} needs a fixed grid")
+        if self.corners is not None and (self.grid is None
+                                         or self.attribution):
+            raise ReproError(
+                f"corners workload {self.name!r} needs a fixed grid and "
+                "no attribution flag (the corners variants time "
+                "attribution themselves)")
 
     @property
     def kind(self) -> str:
+        if self.corners is not None:
+            return "corners"
         if self.attribution:
             return "attribution"
         return "sweep" if self.grid is not None else "adaptive"
@@ -76,6 +93,18 @@ class Workload:
             raise ReproError(
                 f"adaptive workload {self.name!r} has no fixed grid")
         return np.asarray(self.grid(), dtype=float)
+
+    def corner_family(self) -> ParameterGrid:
+        """The workload's :class:`ParameterGrid` (corners kind only)."""
+        if self.corners is None:
+            raise ReproError(
+                f"workload {self.name!r} defines no corner family")
+        family = self.corners()
+        if not isinstance(family, ParameterGrid):
+            raise ReproError(
+                f"workload {self.name!r}: corners factory must return "
+                f"a ParameterGrid, got {type(family).__name__}")
+        return family
 
 
 def _switched_rc_grid() -> FloatArray:
@@ -88,6 +117,47 @@ def _sc_lowpass_grid() -> FloatArray:
 
 def _sc_lowpass_grid_256() -> FloatArray:
     return np.linspace(100.0, 12e3, 256)
+
+
+#: Relative capacitor spread of the corner workload: ±10% on the
+#: paper's C1/C2 values — a typical SC process-corner envelope.
+CORNER_CAP_SPREAD = 0.10
+
+#: Temperature corners [K] of the corner workload; noise PSDs scale as
+#: ``T / NOMINAL_TEMPERATURE_K`` (thermal 4kTR with 300 K baked in).
+CORNER_TEMPERATURE_COLD_K = 250.0
+CORNER_TEMPERATURE_HOT_K = 340.0
+
+#: Worst-case intensity corner: every noise PSD 25% above nominal
+#: (hot silicon plus a pessimistic op-amp noise budget).
+CORNER_WORST_CASE_SCALE = 1.25
+
+
+def _sc_lowpass_corner_family() -> ParameterGrid:
+    """16-corner family: 4 capacitor corners × 4 intensity corners.
+
+    The dynamics-major product keeps corners that share capacitor
+    values adjacent, which is the layout the parameter-batched solver
+    groups: each of the 4 dynamics roots carries its 4 intensity
+    variants as derived (shared-propagator) contexts.
+    """
+    lo = 1.0 - CORNER_CAP_SPREAD
+    hi = 1.0 + CORNER_CAP_SPREAD
+    dynamics: dict[str, dict[str, Any]] = {
+        "nom": {},
+        "c1lo": {"c1": lo * SC_LOWPASS_C1},
+        "c1hi": {"c1": hi * SC_LOWPASS_C1},
+        "c2hi": {"c2": hi * SC_LOWPASS_C2},
+    }
+    intensities: dict[str, float | dict[Any, float]] = {
+        "cold": CORNER_TEMPERATURE_COLD_K / NOMINAL_TEMPERATURE_K,
+        "nom": 1.0,
+        "hot": CORNER_TEMPERATURE_HOT_K / NOMINAL_TEMPERATURE_K,
+        "wc": CORNER_WORST_CASE_SCALE,
+    }
+    return ParameterGrid.cross(dynamics, intensities,
+                               builder=sc_lowpass_system,
+                               base_params=ScLowpassParams())
 
 
 def default_workloads() -> list[Workload]:
@@ -128,6 +198,17 @@ def default_workloads() -> list[Workload]:
             build=lambda: sc_lowpass_system().system,
             grid=_sc_lowpass_grid,
             attribution=True,
+        ),
+        Workload(
+            name="sc-lowpass-corners",
+            description="SC low-pass filter, 16-corner family "
+                        "(4 capacitor corners x 4 noise-intensity "
+                        "corners) over the 64-point baseband grid; the "
+                        "corner-batch gate bounds the batched solve "
+                        "against 16 independent cached spectral sweeps",
+            build=lambda: sc_lowpass_system().system,
+            grid=_sc_lowpass_grid,
+            corners=_sc_lowpass_corner_family,
         ),
         Workload(
             name="sc-bandpass-adaptive",

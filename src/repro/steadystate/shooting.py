@@ -19,6 +19,17 @@ import scipy.integrate
 from ..diagnostics.report import DiagnosticsReport
 from ..errors import ConvergenceError, SingularMatrixError
 from ..linalg.checked import checked_solve
+from ..tolerances import (
+    SHOOTING_AUTONOMOUS_TOL,
+    SHOOTING_DERIVATIVE_STEP_REL,
+    SHOOTING_FD_NORM_FLOOR,
+    SHOOTING_FD_SCALE_FLOOR,
+    SHOOTING_FD_STEP_FLOOR,
+    SHOOTING_FORCED_TOL,
+    SHOOTING_IVP_ATOL,
+    SHOOTING_IVP_RTOL,
+    SHOOTING_RELAX_RTOL_CAP,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -43,7 +54,7 @@ class PeriodicOrbit:
 
     def derivative(self, t):
         """Centred-difference time derivative of the orbit at ``t``."""
-        eps = 1e-6 * self.period
+        eps = SHOOTING_DERIVATIVE_STEP_REL * self.period
         return (self(t + eps) - self(t - eps)) / (2.0 * eps)
 
     def fundamental_amplitude(self, state_index=0):
@@ -103,8 +114,9 @@ def _cap_newton_step(delta, x0):
     return delta
 
 
-def forced_steady_state(fun, period, x0_guess, max_iter=30, tol=1e-10,
-                        dense_points=1025, rtol=1e-10, atol=1e-12,
+def forced_steady_state(fun, period, x0_guess, max_iter=30,
+                        tol=SHOOTING_FORCED_TOL, dense_points=1025,
+                        rtol=SHOOTING_IVP_RTOL, atol=SHOOTING_IVP_ATOL,
                         transient_periods=20):
     """Periodic steady state of ``dx/dt = f(t, x)`` with known period.
 
@@ -120,7 +132,8 @@ def forced_steady_state(fun, period, x0_guess, max_iter=30, tol=1e-10,
     if transient_periods > 0:
         sol = scipy.integrate.solve_ivp(
             fun, (0.0, transient_periods * period), x0, method="Radau",
-            rtol=min(1e-6, rtol * 1e3), atol=np.sqrt(atol))
+            rtol=min(SHOOTING_RELAX_RTOL_CAP, rtol * 1e3),
+            atol=np.sqrt(atol))
         if sol.success and np.all(np.isfinite(sol.y[:, -1])):
             x0 = sol.y[:, -1]
         else:
@@ -159,8 +172,9 @@ def forced_steady_state(fun, period, x0_guess, max_iter=30, tol=1e-10,
 
 
 def autonomous_steady_state(fun, x0_guess, period_guess, anchor_index=0,
-                            max_iter=50, tol=1e-9, dense_points=2049,
-                            rtol=1e-10, atol=1e-12):
+                            max_iter=50, tol=SHOOTING_AUTONOMOUS_TOL,
+                            dense_points=2049, rtol=SHOOTING_IVP_RTOL,
+                            atol=SHOOTING_IVP_ATOL):
     """Periodic orbit of an autonomous system with unknown period.
 
     Unknowns are ``(x0, T)``; the extra degree of freedom (time
@@ -191,9 +205,9 @@ def autonomous_steady_state(fun, x0_guess, period_guess, anchor_index=0,
         monodromy = _fd_monodromy(fun, x0, period, x_end, rtol, atol)
         jac[:n, :n] = monodromy - np.eye(n)
         jac[:n, n] = np.atleast_1d(np.asarray(fun(period, x_end)))
-        eps = max(np.sqrt(rtol) * 10.0, 1e-7)
+        eps = max(np.sqrt(rtol) * 10.0, SHOOTING_FD_STEP_FLOOR)
         for k in range(n):
-            dx = eps * max(abs(x0[k]), 1e-3)
+            dx = eps * max(abs(x0[k]), SHOOTING_FD_SCALE_FLOOR)
             xp = x0.copy()
             xp[k] += dx
             jac[n, k] = (period * np.atleast_1d(np.asarray(
@@ -237,8 +251,8 @@ def _fd_monodromy(fun, x0, period, x_end, rtol, atol):
     """
     n = x0.size
     monodromy = np.zeros((n, n))
-    scale = max(float(np.linalg.norm(x0, np.inf)), 1e-6)
-    eps = max(np.sqrt(rtol) * 10.0, 1e-7)
+    scale = max(float(np.linalg.norm(x0, np.inf)), SHOOTING_FD_NORM_FLOOR)
+    eps = max(np.sqrt(rtol) * 10.0, SHOOTING_FD_STEP_FLOOR)
     for k in range(n):
         dx = eps * scale
         xp = x0.copy()

@@ -255,6 +255,87 @@ ORBIT_IVP_ATOL: float = 1e-12
 #: the 1/y terms finite without perturbing any physical value.
 ORBIT_CURRENT_FLOOR: float = 1e-30
 
+# ---------------------------------------------------------------------------
+# Shooting steady state (repro.steadystate.shooting)
+# ---------------------------------------------------------------------------
+
+#: Relative Newton termination of forced-period shooting:
+#: ``‖x(T) − x0‖∞ ≤ tol · (1 + ‖x0‖∞)``.  ~1e6·eps absorbs the Radau
+#: integrator's own error accumulation over one period while staying
+#: far below the 0.1 dB validation budget of the extension circuits.
+SHOOTING_FORCED_TOL: float = 1e-10
+
+#: Newton termination of autonomous (unknown-period) shooting, one
+#: decade looser than :data:`SHOOTING_FORCED_TOL`: the period unknown
+#: adds a finite-difference row to the Jacobian whose noise floor
+#: limits the achievable residual.
+SHOOTING_AUTONOMOUS_TOL: float = 1e-9
+
+#: Relative tolerance of the Radau trajectory integrations inside the
+#: shooting loops.  The finite-difference monodromy steps scale with
+#: ``√rtol``, so this also fixes the Jacobian accuracy (~1e-5).
+SHOOTING_IVP_RTOL: float = 1e-10
+
+#: Absolute companion to :data:`SHOOTING_IVP_RTOL`, two decades below
+#: it so states passing through zero stay resolved.
+SHOOTING_IVP_ATOL: float = 1e-12
+
+#: Cap on the relaxation transient's (deliberately loosened) rtol: the
+#: free-running settling periods only need to land near the attractor,
+#: not resolve it.
+SHOOTING_RELAX_RTOL_CAP: float = 1e-6
+
+#: Floor of the finite-difference steps used for the monodromy and
+#: anchor rows.  Steps must sit well above the integrator error floor
+#: (``√rtol`` scaling); this floor keeps them sane when callers pass an
+#: extremely tight rtol.
+SHOOTING_FD_STEP_FLOOR: float = 1e-7
+
+#: Per-component scale floor of the anchor-row difference step, so a
+#: state sitting exactly at zero still gets a finite step.
+SHOOTING_FD_SCALE_FLOOR: float = 1e-3
+
+#: Norm floor of the monodromy difference scale — same role as
+#: :data:`SHOOTING_FD_SCALE_FLOOR` for the whole-state norm.
+SHOOTING_FD_NORM_FLOOR: float = 1e-6
+
+#: Relative half-width of the centred difference used for orbit time
+#: derivatives, as a fraction of the period.  Orbits are only stored at
+#: ~1e3 dense samples, so a smaller step would difference interpolation
+#: noise.
+SHOOTING_DERIVATIVE_STEP_REL: float = 1e-6
+
+# ---------------------------------------------------------------------------
+# Corner / parameter-batched sweeps (repro.mft.corners, repro.perf)
+# ---------------------------------------------------------------------------
+
+#: Maximum relative deviation allowed between the parameter-batched
+#: corner sweep and per-corner cached spectral sweeps in the benchmark
+#: equivalence gates.  The batched path shares kernel rows and LU
+#: factors but performs the same per-cell arithmetic, so the observed
+#: deviation is rounding-level (~1e-14); 1e-9 leaves five decades of
+#: headroom across platforms/BLAS builds.
+PARAM_BATCH_EQUIVALENCE_RTOL: float = 1e-9
+
+#: Parity-battery bound: an M-corner batched sweep versus M independent
+#: sweeps over the *same* cached contexts.  Row stacking and the exact
+#: ``α²·psd`` intensity rescale differ from per-corner solves only by
+#: reordered floating-point operations (measured ~3e-15).
+PARAM_BATCH_PARITY_RTOL: float = 1e-12
+
+#: Bound on a derived intensity corner versus a from-scratch rebuild of
+#: the rescaled system.  The two are *different* roundings of the same
+#: quantity — restacking scales the cached covariance forcing exactly,
+#: while a rebuild re-rounds the Van Loan Gramians and the covariance
+#: fixed point — and the gap is amplified by the fixed-point solve's
+#: conditioning (measured ~3e-8 on the sc-lowpass corners workload).
+CORNER_INTENSITY_RESTACK_RTOL: float = 1e-6
+
+#: Minimum speedup of the parameter-batched corner sweep over per-corner
+#: cached spectral sweeps enforced by the ``sc-lowpass-corners``
+#: benchmark gate (measured ~3.8× at 16 corners × 64 frequencies).
+CORNER_SPEEDUP_FLOOR: float = 3.0
+
 __all__ = [
     "MACHINE_EPS",
     "TINY_FLOOR",
@@ -290,4 +371,17 @@ __all__ = [
     "ORBIT_IVP_RTOL",
     "ORBIT_IVP_ATOL",
     "ORBIT_CURRENT_FLOOR",
+    "SHOOTING_FORCED_TOL",
+    "SHOOTING_AUTONOMOUS_TOL",
+    "SHOOTING_IVP_RTOL",
+    "SHOOTING_IVP_ATOL",
+    "SHOOTING_RELAX_RTOL_CAP",
+    "SHOOTING_FD_STEP_FLOOR",
+    "SHOOTING_FD_SCALE_FLOOR",
+    "SHOOTING_FD_NORM_FLOOR",
+    "SHOOTING_DERIVATIVE_STEP_REL",
+    "PARAM_BATCH_EQUIVALENCE_RTOL",
+    "PARAM_BATCH_PARITY_RTOL",
+    "CORNER_INTENSITY_RESTACK_RTOL",
+    "CORNER_SPEEDUP_FLOOR",
 ]

@@ -220,8 +220,9 @@ class TestExports:
     def test_analysis_all_is_exactly_the_public_surface(self):
         import repro.analysis as analysis_pkg
         assert set(analysis_pkg.__all__) == {
-            "NoiseAnalysis", "PsdResult", "Recorder",
-            "SpectrumComparison", "SweepBudget", "compare_spectra",
+            "CornerSweepResult", "NoiseAnalysis", "PsdResult",
+            "Recorder", "SpectrumComparison", "SweepBudget",
+            "compare_spectra",
         }
 
     def test_top_level_reexports(self):
