@@ -18,7 +18,6 @@ import logging
 
 import numpy as np
 
-from .._compat import absorb_positional
 from ..diagnostics.preflight import preflight_report
 from ..errors import ReproError
 from ..io.tables import format_table
@@ -29,13 +28,6 @@ from ..tolerances import DIRECT_SOLVE_COND_LIMIT, FLOQUET_MARGIN
 from .spectrum import SpectrumComparison
 
 logger = logging.getLogger(__name__)
-
-_UNSET = object()
-
-#: Legacy positional order of the pre-redesign constructor; positional
-#: use is absorbed with a DeprecationWarning for one release.
-_CTOR_ORDER = ("segments_per_phase", "output_row", "preflight",
-               "fallback", "budget", "cache", "context")
 
 
 def _system_of(model_or_system):
@@ -53,28 +45,23 @@ class NoiseAnalysis:
 
     Accepts either a :class:`~repro.circuit.statespace.SwitchedCircuitModel`
     (netlist-based) or a bare LPTV system. All options after the model
-    are keyword-only; legacy positional use still works for one release
-    with a :class:`DeprecationWarning` (see DESIGN.md §9). Pass a
+    are strictly keyword-only (see DESIGN.md §9). Pass a
     :class:`~repro.obs.Recorder` as ``recorder=`` to trace every solve —
     the default is a shared no-op recorder costing one attribute check.
     """
 
-    def __init__(self, model_or_system, *args, segments_per_phase=_UNSET,
-                 output_row=_UNSET, preflight=_UNSET, fallback=_UNSET,
-                 budget=_UNSET, cache=_UNSET, context=_UNSET,
-                 recorder=_UNSET):
-        explicit = {name: value for name, value in (
-            ("segments_per_phase", segments_per_phase),
-            ("output_row", output_row), ("preflight", preflight),
-            ("fallback", fallback), ("budget", budget),
-            ("cache", cache), ("context", context),
-            ("recorder", recorder)) if value is not _UNSET}
-        params = absorb_positional("NoiseAnalysis", _CTOR_ORDER, args,
-                                   explicit)
+    def __init__(self, model_or_system, *, segments_per_phase=64,
+                 output_row=0, preflight=True, fallback=True,
+                 budget=None, cache=True, context=None,
+                 recorder=None):
         self.system, self.model = _system_of(model_or_system)
-        self.segments_per_phase = params.get("segments_per_phase", 64)
-        self.output_row = params.get("output_row", 0)
-        self.engine = MftNoiseAnalyzer(self.system, **params)
+        self.segments_per_phase = segments_per_phase
+        self.output_row = output_row
+        self.engine = MftNoiseAnalyzer(
+            self.system, segments_per_phase=segments_per_phase,
+            output_row=output_row, preflight=preflight,
+            fallback=fallback, budget=budget, cache=cache,
+            context=context, recorder=recorder)
         if self.engine.preflight.has_warnings:
             logger.warning("preflight: %s",
                            self.engine.preflight.summary())
@@ -130,7 +117,7 @@ class NoiseAnalysis:
         cached discretization) and attaches a
         :class:`~repro.metrics.ContributionBudget` at ``result.budget``
         whose rows sum to the unclipped total at every finite frequency;
-        ``result.budget.table()`` renders the ranked breakdown.  When the
+        ``result.budget.to_table()`` renders the ranked breakdown.  When the
         analysis was built from a netlist-backed
         :class:`~repro.circuit.statespace.SwitchedCircuitModel`, the
         model's ``noise_labels`` name the rows; pass a list of labels to
@@ -150,7 +137,8 @@ class NoiseAnalysis:
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
                   solver=None, attribute_sources=False, retry=None,
-                  faults=None, checkpoint=None, **solver_options):
+                  faults=None, checkpoint=None, pool=None,
+                  **solver_options):
         """Same as :meth:`psd` but through a parallel sweep executor.
 
         Values are the same double-sided PSD samples in V²/Hz, merged
@@ -178,14 +166,16 @@ class NoiseAnalysis:
         a deterministic fault-injection plan
         (:class:`~repro.resilience.faults.FaultPlan`), ``checkpoint``
         names a directory to persist completed chunks for bit-identical
-        resume after an interruption.
+        resume after an interruption.  ``pool`` injects a shared
+        :class:`repro.service.WorkerPool` so successive sweeps reuse
+        warm workers (requires a concurrent ``parallel=`` backend).
         """
         return self.engine.psd_sweep(
             frequencies, parallel=parallel, max_workers=max_workers,
             chunk_size=chunk_size, budget=budget, on_failure=on_failure,
             solver=solver,
             attribute_sources=self._attribution_labels(attribute_sources),
-            retry=retry, faults=faults, checkpoint=checkpoint,
+            retry=retry, faults=faults, checkpoint=checkpoint, pool=pool,
             **solver_options)
 
     def psd_corners(self, grid, frequencies, parallel=None,

@@ -175,6 +175,16 @@ class DiagnosticsReport:
             "timeline": [dict(row) for row in self.timeline],
         }
 
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        report = cls(
+            findings=[Finding.from_dict(f)
+                      for f in data.get("findings", [])],
+            context=str(data.get("context", "")))
+        report.timeline = [dict(row) for row in data.get("timeline", [])]
+        return report
+
     def summary(self):
         counts = {}
         for f in self.findings:

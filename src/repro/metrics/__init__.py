@@ -16,7 +16,7 @@ Quickstart::
 
     analysis = NoiseAnalysis(sc_lowpass_system())
     result = analysis.psd(freqs, attribute_sources=True)
-    ranked = result.budget.table()         # ranked per-source budget
+    ranked = result.budget.to_table()         # ranked per-source budget
     rms = rms_noise(result, 10.0, 1e4)     # MetricResult, Vrms
 """
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..io.tables import format_table
+from ..results.protocol import deprecated_export_alias
 from ..tolerances import ATTRIBUTION_CONSERVATION_RTOL
 from ..typing import BoolArray, FloatArray
 
@@ -201,8 +202,8 @@ class ContributionBudget:
             rows.append((self.labels[int(s)], power, fraction))
         return rows
 
-    def table(self, f_low: "float | None" = None,
-              f_high: "float | None" = None) -> str:
+    def to_table(self, f_low: "float | None" = None,
+                 f_high: "float | None" = None) -> str:
         """Fixed-width ranked contribution table (diff-friendly text)."""
         ranked = self.ranked(f_low, f_high)
         rows = [[rank + 1, label, power,
@@ -216,7 +217,25 @@ class ContributionBudget:
             ["rank", "source", "band power [V^2]", "share"], rows,
             title=title)
 
+    table = deprecated_export_alias("table", "to_table")
+
     # -- export --------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready payload; inverse is
+        :func:`repro.results.from_payload`."""
+        from ..results import to_payload
+        return to_payload(self)
+
+    def to_csv(self, path: Any) -> Any:
+        """Write the per-frequency budget as CSV; returns the path.
+
+        Delegates to :func:`repro.io.write_budget_csv` — one row per
+        frequency with the double-sided V²/Hz total and one column per
+        source.
+        """
+        from ..io import write_budget_csv
+        return write_budget_csv(path, self)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly form (trace exports, bench artifacts)."""

@@ -46,6 +46,7 @@ from ..diagnostics.report import DiagnosticsReport, FrequencyFailure
 from ..errors import ReproError
 from ..noise.result import PsdResult
 from ..resilience.faults import fire as _inject_fault
+from ..results.protocol import deprecated_export_alias
 from ..typing import FloatArray
 from .context import SweepContext, sweep_context_for
 from .engine import MftNoiseAnalyzer, _record_budget_failures
@@ -528,9 +529,13 @@ class CornerSweepResult:
         order = np.argsort(-np.nan_to_num(keys, nan=-np.inf))
         return [(self.corner_names[i], float(keys[i])) for i in order]
 
-    def table(self, frequency: "float | None" = None,
-              limit: "int | None" = None) -> str:
-        """Ranked worst-corner table (the README quickstart's output)."""
+    def to_table(self, frequency: "float | None" = None,
+                 limit: "int | None" = None) -> str:
+        """Ranked worst-corner table (the README quickstart's output).
+
+        Values are double-sided PSDs in V²/Hz — peak over the grid, or
+        at the grid frequency nearest ``frequency`` when given.
+        """
         ranked = self.worst_corners(frequency)
         if limit is not None:
             ranked = ranked[:int(limit)]
@@ -543,6 +548,26 @@ class CornerSweepResult:
         for name, value in ranked:
             lines.append(f"{name.ljust(name_width)}  {value:.6e}")
         return "\n".join(lines)
+
+    table = deprecated_export_alias("table", "to_table")
+
+    def to_json(self) -> "dict[str, Any]":
+        """JSON-ready payload; inverse is
+        :func:`repro.results.from_payload`."""
+        from ..results import to_payload
+        return to_payload(self)
+
+    def to_csv(self, path: Any) -> Any:
+        """Write the corner matrix as CSV; returns the path.
+
+        One row per frequency: ``frequency_hz`` then one double-sided
+        V²/Hz column per corner (NaN where that cell failed).
+        """
+        from ..io import write_csv
+        headers = ["frequency_hz"] + list(self.corner_names)
+        rows = list(zip(self.frequencies,
+                        *(self.values[m] for m in range(self.n_corners))))
+        return write_csv(path, headers, rows)
 
     def __repr__(self) -> str:
         return (f"CornerSweepResult({self.n_corners} corners x "

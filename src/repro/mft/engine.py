@@ -46,7 +46,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._compat import absorb_positional
 from ..diagnostics.budget import as_budget
 from ..diagnostics.fallback import (
     FallbackExhausted,
@@ -66,19 +65,6 @@ from ..tolerances import FIXED_POINT_RIDGE
 from .context import CacheStats, SweepContext, sweep_context_for
 
 logger = logging.getLogger(__name__)
-
-_UNSET = object()
-
-#: Legacy positional order of the analyzer constructor arguments after
-#: ``system`` — consumed by the one-release deprecation shim.
-_CTOR_ORDER = ("segments_per_phase", "output_row", "preflight",
-               "fallback", "budget", "cache", "context")
-
-
-def _pick(params, name, default):
-    value = params.get(name, _UNSET)
-    return default if value is _UNSET else value
-
 
 def fold_cache_delta(recorder, before, after):
     """Fold a cache-stats delta into a recorder's counters.
@@ -152,31 +138,14 @@ class MftNoiseAnalyzer:
         from every stage of the analysis (default: the shared no-op
         recorder — tracing off, one attribute check per stage).
 
-    All parameters after ``system`` are keyword-only; positional use is
-    supported through a one-release :class:`DeprecationWarning` shim
+    All parameters after ``system`` are strictly keyword-only
     (see DESIGN.md §9).
     """
 
-    def __init__(self, system, *args, segments_per_phase=_UNSET,
-                 output_row=_UNSET, preflight=_UNSET, fallback=_UNSET,
-                 budget=_UNSET, cache=_UNSET, context=_UNSET,
-                 recorder=_UNSET):
-        explicit = {name: value for name, value in (
-            ("segments_per_phase", segments_per_phase),
-            ("output_row", output_row), ("preflight", preflight),
-            ("fallback", fallback), ("budget", budget),
-            ("cache", cache), ("context", context),
-            ("recorder", recorder)) if value is not _UNSET}
-        params = absorb_positional("MftNoiseAnalyzer", _CTOR_ORDER,
-                                   args, explicit)
-        segments_per_phase = _pick(params, "segments_per_phase", 64)
-        output_row = _pick(params, "output_row", 0)
-        preflight = _pick(params, "preflight", True)
-        fallback = _pick(params, "fallback", True)
-        budget = _pick(params, "budget", None)
-        cache = _pick(params, "cache", True)
-        context = _pick(params, "context", None)
-        recorder = _pick(params, "recorder", None)
+    def __init__(self, system, *, segments_per_phase=64,
+                 output_row=0, preflight=True, fallback=True,
+                 budget=None, cache=True, context=None,
+                 recorder=None):
         if not hasattr(system, "discretize") or not hasattr(
                 system, "output_matrix"):
             raise ReproError(
@@ -680,7 +649,8 @@ class MftNoiseAnalyzer:
     def psd_sweep(self, frequencies, parallel=None, max_workers=None,
                   chunk_size=None, budget=None, on_failure="record",
                   solver=None, attribute_sources=False, retry=None,
-                  faults=None, checkpoint=None, **solver_options):
+                  faults=None, checkpoint=None, pool=None,
+                  **solver_options):
         """Averaged double-sided PSD (V²/Hz) via a :class:`SweepExecutor`.
 
         ``parallel`` is ``None``/``"serial"`` for in-process execution,
@@ -722,6 +692,11 @@ class MftNoiseAnalyzer:
         persists each completed chunk so an interrupted sweep resumes
         bit-identically.  All three are executor features and are
         rejected for the delegated baseline solvers.
+
+        ``pool`` injects a shared pool provider (e.g.
+        :class:`repro.service.WorkerPool`) so successive sweeps reuse
+        warm workers instead of spawning a pool per call; requires a
+        concurrent ``parallel=`` backend.
         """
         solver = resolve_solver(solver)
         if solver in ("brute-force", "monte-carlo"):
@@ -731,9 +706,9 @@ class MftNoiseAnalyzer:
                     f"{parallel!r} is not supported — drop parallel= or "
                     "use solver='mft'/'spectral-batch'")
             if (retry is not None or faults is not None
-                    or checkpoint is not None):
+                    or checkpoint is not None or pool is not None):
                 raise ReproError(
-                    f"retry=, faults=, and checkpoint= are sweep-"
+                    f"retry=, faults=, checkpoint=, and pool= are sweep-"
                     f"executor features; solver {solver!r} delegates to "
                     "a baseline engine that does not support them")
             return self._delegate_solver(solver, frequencies,
@@ -749,7 +724,7 @@ class MftNoiseAnalyzer:
         executor = SweepExecutor(backend=parallel or "serial",
                                  max_workers=max_workers,
                                  chunk_size=chunk_size, solver=solver,
-                                 retry=retry, faults=faults)
+                                 retry=retry, faults=faults, pool=pool)
         with self._AttributionMode(self, attribute_sources):
             return executor.run(self, frequencies, budget=budget,
                                 on_failure=on_failure,

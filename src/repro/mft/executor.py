@@ -323,10 +323,18 @@ class SweepExecutor:
         every chunk for deterministic fault injection (tests, chaos
         runs).  ``None`` (the default) injects nothing and costs one
         integer check per seam.
+    pool:
+        A shared pool provider (duck-typed: ``acquire()`` returns a
+        live ``concurrent.futures`` executor, ``respawn()`` replaces a
+        broken one) such as :class:`repro.service.WorkerPool`.  The
+        executor then never shuts the pool down — the provider owns its
+        lifetime — so successive sweeps reuse warm worker processes.
+        ``None`` (the default) creates and tears down a private pool
+        per sweep, exactly as before.
     """
 
     def __init__(self, backend="serial", max_workers=None, chunk_size=None,
-                 solver=None, retry=None, faults=None):
+                 solver=None, retry=None, faults=None, pool=None):
         if backend not in _BACKENDS:
             raise ReproError(
                 f"unknown sweep backend {backend!r}; expected one of "
@@ -350,6 +358,19 @@ class SweepExecutor:
                 "faults must be a repro.resilience.FaultPlan (or None), "
                 f"got {type(faults).__name__}")
         self.faults = faults
+        if pool is not None and (not callable(getattr(pool, "acquire",
+                                                      None))
+                                 or not callable(getattr(pool, "respawn",
+                                                         None))):
+            raise ReproError(
+                "pool must provide acquire() and respawn() (e.g. "
+                "repro.service.WorkerPool), got "
+                f"{type(pool).__name__}")
+        if pool is not None and backend == "serial":
+            raise ReproError(
+                "a shared pool needs a concurrent backend; use "
+                "backend='thread' or backend='process'")
+        self.pool = pool
 
     # -- public API ----------------------------------------------------------
 
@@ -569,6 +590,8 @@ class SweepExecutor:
                     break
 
     def _make_pool(self):
+        if self.pool is not None:
+            return self.pool.acquire()
         if self.backend == "thread":
             return cf.ThreadPoolExecutor(max_workers=self.max_workers)
         try:
@@ -577,6 +600,18 @@ class SweepExecutor:
             ctx = multiprocessing.get_context()
         return cf.ProcessPoolExecutor(max_workers=self.max_workers,
                                       mp_context=ctx)
+
+    def _respawn_pool(self, pool):
+        """Replace a broken pool; a shared provider respawns its own."""
+        if self.pool is not None:
+            return self.pool.respawn()
+        pool.shutdown(wait=False, cancel_futures=True)
+        return self._make_pool()
+
+    def _release_pool(self, pool):
+        """End-of-sweep teardown; a shared pool outlives the sweep."""
+        if self.pool is None:
+            pool.shutdown(wait=True)
 
     def _handle_failure(self, state, queue, idx, attempt, stage, exc):
         """Requeue a failed chunk with backoff, or declare it exhausted."""
@@ -698,15 +733,14 @@ class SweepExecutor:
                             cf.BrokenExecutor(
                                 "sibling of a crashed worker"))
                     pending.clear()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = self._make_pool()
+                    pool = self._respawn_pool(pool)
         finally:
             # Abandon not-yet-started chunks when a worker raised
             # (on_failure="raise") or the sweep was killed; no-op on
             # the clean path where ``pending`` is already empty.
             for future in pending:
                 future.cancel()
-            pool.shutdown(wait=True)
+            self._release_pool(pool)
 
     # -- merging -------------------------------------------------------------
 

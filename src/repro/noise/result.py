@@ -130,6 +130,55 @@ class PsdResult:
             ps = np.append(ps, np.interp(hi, f, p))
         return float(np.trapezoid(ps, fs))
 
+    # -- repro.results export protocol -------------------------------------
+
+    def to_table(self, limit: int | None = None) -> str:
+        """Fixed-width table of the spectrum (double-sided V²/Hz).
+
+        One row per sampled frequency: the PSD value, its dB form, and
+        an ``ok`` column flagging failed (NaN) samples.  ``limit`` caps
+        the number of rows (evenly subsampled); the footer then notes
+        how many rows were elided.
+        """
+        from ..io import format_table
+        n = self.frequencies.size
+        indices = np.arange(n)
+        if limit is not None and 0 < limit < n:
+            indices = np.unique(np.linspace(
+                0, n - 1, int(limit)).round().astype(int))
+        rows = []
+        for i in indices:
+            value = float(self.psd[i])
+            ok = bool(np.isfinite(value))
+            rows.append([f"{self.frequencies[i]:.6g}",
+                         f"{value:.6g}" if ok else "nan",
+                         f"{db10(max(value, 0.0)):.2f}" if ok and value > 0
+                         else ("-inf" if ok else "nan"),
+                         "yes" if ok else "FAILED"])
+        title = f"PSD [{self.method or 'unknown'}]"
+        if self.output:
+            title += f" output={self.output}"
+        table = format_table(
+            ["frequency_hz", "psd_v2_per_hz", "db", "ok"], rows,
+            title=title)
+        if len(indices) < n:
+            table += f"\n({n - len(indices)} of {n} rows elided)"
+        return table
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready payload; inverse is :func:`repro.results.from_payload`.
+
+        Failures, diagnostics, and attribution budgets survive the
+        round trip; PSD samples stay double-sided V²/Hz.
+        """
+        from ..results import to_payload
+        return to_payload(self)
+
+    def to_csv(self, path: Any) -> Any:
+        """Write the spectrum as CSV (double-sided V²/Hz); returns the path."""
+        from ..io import write_psd_csv
+        return write_psd_csv(path, self)
+
 
 def clip_negative_psd(freqs: FloatArray, values: FloatArray, report: Any,
                       logger: logging.Logger | None = None) -> FloatArray:

@@ -12,7 +12,7 @@ can never silently trade correctness for wall clock.
 The JSON schema (validated by :func:`validate_bench`, checked in CI)::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "suite": "sweep",
       "generated_at": "2026-01-01T00:00:00Z",
       "tiny": false,
@@ -82,6 +82,23 @@ sweeps", the baseline the corner-batch acceptance gate speaks of.  The
 recorded ``values`` of a corners variant are the stacked ``(M, K)``
 per-corner PSDs, so the equivalence column bounds the whole family at
 once.  History entries are unchanged.
+
+Schema v6 adds the ``"service"`` workload kind and the per-variant
+``service`` block: service workloads push a submission stream — N
+distinct sweep jobs (distinct grids, hence distinct content
+addresses) repeated P passes — through the :mod:`repro.service` layer
+and record stream throughput (jobs/s), per-job latency percentiles
+(p50/p99 from stream start), and result-store hit counts.  The cold
+serial submit loop recomputes every submission; the long-lived
+service variants compute each distinct job once and serve duplicates
+from the content-addressed store.  The recorded ``values`` are the
+stacked ``(N·P, K)`` per-submission PSDs, so the equivalence column
+doubles as the batch-parity check: store-served duplicates and
+pool-sharded sweeps must reproduce independent cold runs
+bit-for-bit.  The throughput gate in
+``benchmarks/test_perf_regression.py`` bounds the 2-worker pooled
+service against the serial submit loop.  History entries are
+unchanged.
 """
 
 from __future__ import annotations
@@ -107,7 +124,9 @@ from .workloads import Workload, default_workloads, tiny_workloads
 #: ``stages`` block (seconds per recorded span name).  v4: the
 #: ``"attribution"`` workload kind + per-variant ``attributed`` flag.
 #: v5: the ``"corners"`` workload kind + per-variant ``n_params``.
-BENCH_SCHEMA_VERSION = 5
+#: v6: the ``"service"`` workload kind + per-variant ``service`` block
+#: (throughput, latency percentiles, store telemetry).
+BENCH_SCHEMA_VERSION = 6
 
 #: Default artifact path, relative to the repository root.
 BENCH_FILENAME = "BENCH_sweep.json"
@@ -174,6 +193,30 @@ CORNER_VARIANTS: tuple[tuple[str, bool, str, str | None, bool], ...] = (
     ("corner-batch-attributed", True, "serial", "param-batch", True),
 )
 
+#: Service matrix: (variant, long-lived service, queue backend).
+#: Every variant runs the same submission list: N distinct jobs
+#: repeated P passes (duplicate traffic — the same circuit/grid
+#: re-analyzed, which is what batch submission streams look like).
+#: ``serial-uncached`` is the reference: a serial submit loop in which
+#: every submission is an independent *cold* run — fresh context
+#: registry, fresh queue (hence fresh, useless store) per submission;
+#: what N·P one-off analyses cost without a service.  ``serial-store``
+#: is one long-lived serial-backend queue: distinct jobs computed
+#: once, every duplicate served from the content-addressed result
+#: store — isolating the store's contribution.  ``pool-2`` is the
+#: service as shipped: the same long-lived queue over a 2-worker
+#: shared process pool sharding each computed sweep's chunks; the
+#: throughput gate divides this against ``serial-uncached``.  For the
+#: long-lived variants the store's hit counters become the variant's
+#: ``cache_stats`` (cache flag True), and the equivalence column
+#: checks every store-served duplicate bit-identical to the cold
+#: recompute.
+SERVICE_VARIANTS: tuple[tuple[str, bool, str, str | None], ...] = (
+    ("serial-uncached", False, "serial", None),
+    ("serial-store", True, "serial", None),
+    ("pool-2", True, "process", None),
+)
+
 
 @dataclass
 class VariantResult:
@@ -191,11 +234,12 @@ class VariantResult:
     trace: dict[str, Any] | None = None
     attributed: bool = False
     n_params: int = 1
+    service: dict[str, Any] | None = None
 
     def to_dict(self, reference: "VariantResult") -> dict[str, Any]:
         rate = (self.n_points / self.wall_seconds
                 if self.wall_seconds > 0.0 else float("inf"))
-        return {
+        entry = {
             "variant": self.variant,
             "backend": self.backend,
             "cache": self.cache,
@@ -213,6 +257,9 @@ class VariantResult:
             "max_rel_diff_vs_serial_uncached": max_relative_difference(
                 reference.values, self.values),
         }
+        if self.service is not None:
+            entry["service"] = dict(self.service)
+        return entry
 
 
 def max_relative_difference(reference: FloatArray,
@@ -338,6 +385,98 @@ def _time_corners(workload: Workload, variant: str, cache: bool,
         attributed=attributed, n_params=n_params)
 
 
+def _time_service(workload: Workload, variant: str, long_lived: bool,
+                  backend: str) -> VariantResult:
+    """One timed submission stream through the service layer.
+
+    The stream is N distinct jobs (grids ``grid * (1 + step*j)``, so
+    each has its own content address) submitted P passes — duplicate
+    traffic a real batch front-end sees.  The recorded ``values`` are
+    the stacked ``(N*P, K)`` per-submission PSDs in stream order;
+    since the reference recomputes every submission cold, the
+    equivalence column *is* the proof that store-served duplicates and
+    pool-sharded sweeps are bit-identical to independent cold runs.
+
+    The ``serial-uncached`` reference is the no-service baseline: each
+    submission runs in its own fresh queue over a freshly cleared
+    context registry — N·P independent one-off analyses.  The
+    long-lived variants run one :class:`~repro.service.JobQueue` for
+    the whole stream: distinct jobs are computed once (sharded across
+    the worker pool on the pooled variant) and every duplicate is a
+    content-address hit served from the result store without a single
+    kernel solve.
+
+    Latency percentiles are measured from stream-submit time to each
+    job's completion — the client-visible figure for "submit a batch,
+    when is job i usable".
+    """
+    from ..service import JobQueue, JobSpec
+
+    spec = workload.service
+    assert spec is not None
+    system = workload.build()
+    base = workload.frequencies()
+    grids = [base * (1.0 + spec.grid_step * j)
+             for j in range(spec.n_jobs)]
+    stream = [grid for _ in range(spec.n_passes) for grid in grids]
+
+    def make_spec(grid: FloatArray) -> Any:
+        return JobSpec(system, grid,
+                       segments_per_phase=workload.segments_per_phase)
+
+    clear_sweep_contexts()
+    recorder = Recorder()
+    latencies: list[float] = []
+    stats: dict[str, Any] | None = None
+    results = []
+    if not long_lived:
+        t0 = time.perf_counter()
+        for grid in stream:
+            clear_sweep_contexts()
+            with JobQueue() as queue:
+                handle = queue.submit(make_spec(grid),
+                                      recorder=recorder)
+                results.append(handle.wait(timeout=600.0))
+            latencies.append(time.perf_counter() - t0)
+        wall = time.perf_counter() - t0
+    else:
+        kwargs: dict[str, Any] = {}
+        if backend != "serial":
+            kwargs = {"backend": backend,
+                      "max_workers": spec.max_workers}
+        with JobQueue(**kwargs) as queue:
+            t0 = time.perf_counter()
+            handles = [queue.submit(make_spec(grid), recorder=recorder)
+                       for grid in stream]
+            for handle in handles:
+                handle.wait(timeout=600.0)
+                latencies.append(time.perf_counter() - t0)
+            wall = time.perf_counter() - t0
+            results = [handle.result for handle in handles]
+            stats = queue.store.stats.to_dict()
+    values = np.stack([job_result.result.psd for job_result in results])
+    n_submissions = len(stream)
+    service: dict[str, Any] = {
+        "n_jobs": int(spec.n_jobs),
+        "n_passes": int(spec.n_passes),
+        "n_submissions": n_submissions,
+        "max_workers": (1 if backend == "serial"
+                        else int(spec.max_workers)),
+        "throughput_jobs_per_s": (n_submissions / wall
+                                  if wall > 0.0 else float("inf")),
+        "latency_p50_s": float(np.percentile(latencies, 50)),
+        "latency_p99_s": float(np.percentile(latencies, 99)),
+        "store_hits": sum(1 for job_result in results
+                          if job_result.served_from_store),
+    }
+    return VariantResult(
+        variant=variant, backend=backend, cache=long_lived,
+        wall_seconds=wall, n_points=int(base.size) * n_submissions,
+        values=values, solver=None, cache_stats=stats,
+        stages=stage_totals(recorder), trace=recorder.export(),
+        service=service)
+
+
 def _time_adaptive(workload: Workload, cache: bool) -> VariantResult:
     """One cold timed run of an adaptive-grid workload."""
     spec = workload.adaptive
@@ -372,8 +511,10 @@ def run_workload(workload: Workload,
     the ``--trace`` CLI artifact; the bench JSON itself only carries the
     compact per-stage totals.
     """
-    if workload.kind == "corners":
-        variants: tuple[tuple, ...] = CORNER_VARIANTS
+    if workload.kind == "service":
+        variants: tuple[tuple, ...] = SERVICE_VARIANTS
+    elif workload.kind == "corners":
+        variants = CORNER_VARIANTS
     elif workload.kind == "attribution":
         variants = ATTRIBUTION_VARIANTS
     elif workload.kind == "sweep":
@@ -384,7 +525,9 @@ def run_workload(workload: Workload,
     for spec in variants:
         name, cache, backend, solver = spec[:4]
         attributed = bool(spec[4]) if len(spec) > 4 else False
-        if workload.kind == "corners":
+        if workload.kind == "service":
+            run = _time_service(workload, name, cache, backend)
+        elif workload.kind == "corners":
             run = _time_corners(workload, name, cache, backend, solver,
                                 attributed=attributed)
         elif workload.kind == "adaptive":
@@ -492,6 +635,18 @@ _VARIANT_FIELDS: dict[str, type | tuple[type, ...]] = {
     "max_rel_diff_vs_serial_uncached": (int, float),
 }
 
+#: Required numeric fields of a service variant's ``service`` block.
+_SERVICE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "n_jobs": int,
+    "n_passes": int,
+    "n_submissions": int,
+    "max_workers": int,
+    "throughput_jobs_per_s": (int, float),
+    "latency_p50_s": (int, float),
+    "latency_p99_s": (int, float),
+    "store_hits": int,
+}
+
 _HISTORY_FIELDS: dict[str, type | tuple[type, ...]] = {
     "git_sha": str,
     "timestamp": str,
@@ -545,7 +700,7 @@ def validate_bench(data: dict[str, Any]) -> None:
                 raise ReproError(
                     f"workload entry is missing {key!r}: {entry!r}")
         if entry["kind"] not in ("sweep", "adaptive", "attribution",
-                                 "corners"):
+                                 "corners", "service"):
             raise ReproError(
                 f"unknown workload kind {entry['kind']!r}")
         if not isinstance(entry["variants"], list) or not entry["variants"]:
@@ -571,6 +726,23 @@ def validate_bench(data: dict[str, Any]) -> None:
                 raise ReproError(
                     "variant cache_stats must be an object or null, "
                     f"got {type(stats).__name__}")
+            if entry["kind"] == "service":
+                block = variant.get("service")
+                if not isinstance(block, dict):
+                    raise ReproError(
+                        f"service variant {variant.get('variant')!r} "
+                        "must carry a service block")
+                for key, types in _SERVICE_FIELDS.items():
+                    if key not in block:
+                        raise ReproError(
+                            f"service block is missing {key!r}: "
+                            f"{block!r}")
+                    if (not isinstance(block[key], types)
+                            or isinstance(block[key], bool)):
+                        raise ReproError(
+                            f"service field {key!r} has type "
+                            f"{type(block[key]).__name__}, expected "
+                            f"{types}")
             for stage, seconds in variant["stages"].items():
                 if (not isinstance(stage, str)
                         or not isinstance(seconds, (int, float))

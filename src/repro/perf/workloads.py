@@ -41,6 +41,27 @@ class AdaptiveSpec:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """Parameters of a service workload (see :mod:`repro.service`).
+
+    The submission list is ``n_jobs`` distinct sweep jobs — each over
+    the workload's grid scaled by a distinct factor, so no two share a
+    content address — repeated ``n_passes`` times, modelling real
+    batch traffic where the same circuit/grid is re-analyzed.  The
+    serial submit-loop reference recomputes every submission cold; the
+    long-lived service computes each distinct job once and serves the
+    duplicates from the content-addressed result store, sharding each
+    computed sweep across ``max_workers`` workers.
+    """
+
+    n_jobs: int = 6
+    n_passes: int = 3
+    max_workers: int = 2
+    #: Per-job grid scale step: job ``j`` sweeps ``grid * (1 + step*j)``.
+    grid_step: float = 0.01
+
+
+@dataclass(frozen=True)
 class Workload:
     """One named benchmark workload.
 
@@ -53,7 +74,11 @@ class Workload:
     :class:`~repro.circuits.ParameterGrid`) marks a fixed-grid workload
     whose variants time the parameter-batched corner sweep
     (``corner_psd_sweep``, DESIGN.md §12) against M independent
-    per-corner spectral sweeps of the same family.
+    per-corner spectral sweeps of the same family.  ``service`` (a
+    :class:`ServiceSpec`) marks a fixed-grid workload whose variants
+    time the job-queue service layer (DESIGN.md §13): N jobs through a
+    serial submit loop versus a shared worker pool, plus the
+    store-resubmit configuration.
     """
 
     name: str
@@ -64,6 +89,7 @@ class Workload:
     adaptive: AdaptiveSpec | None = None
     attribution: bool = False
     corners: Callable[[], ParameterGrid] | None = None
+    service: ServiceSpec | None = None
 
     def __post_init__(self) -> None:
         if (self.grid is None) == (self.adaptive is None):
@@ -79,9 +105,18 @@ class Workload:
                 f"corners workload {self.name!r} needs a fixed grid and "
                 "no attribution flag (the corners variants time "
                 "attribution themselves)")
+        if self.service is not None and (self.grid is None
+                                         or self.attribution
+                                         or self.corners is not None):
+            raise ReproError(
+                f"service workload {self.name!r} needs a fixed grid and "
+                "no attribution/corners flags (the service variants "
+                "own their whole configuration matrix)")
 
     @property
     def kind(self) -> str:
+        if self.service is not None:
+            return "service"
         if self.corners is not None:
             return "corners"
         if self.attribution:
@@ -117,6 +152,10 @@ def _sc_lowpass_grid() -> FloatArray:
 
 def _sc_lowpass_grid_256() -> FloatArray:
     return np.linspace(100.0, 12e3, 256)
+
+
+def _sc_lowpass_grid_16() -> FloatArray:
+    return np.linspace(100.0, 12e3, 16)
 
 
 #: Relative capacitor spread of the corner workload: ±10% on the
@@ -211,6 +250,28 @@ def default_workloads() -> list[Workload]:
             corners=_sc_lowpass_corner_family,
         ),
         Workload(
+            name="sc-service-throughput",
+            description="Service batch throughput: 6 distinct SC "
+                        "low-pass sweep jobs (64-point grids, distinct "
+                        "content addresses) submitted 3 times each; "
+                        "the service gate bounds the 2-worker pooled "
+                        "service (store-armed) against the cold serial "
+                        "submit loop",
+            build=lambda: sc_lowpass_system().system,
+            grid=_sc_lowpass_grid,
+            service=ServiceSpec(n_jobs=6, n_passes=3, max_workers=2),
+        ),
+        Workload(
+            name="sc-service-latency",
+            description="Service latency profile: 16 small distinct SC "
+                        "low-pass jobs (16-point grids) submitted "
+                        "twice each through a JobQueue; records "
+                        "p50/p99 job latency and store-hit telemetry",
+            build=lambda: sc_lowpass_system().system,
+            grid=_sc_lowpass_grid_16,
+            service=ServiceSpec(n_jobs=16, n_passes=2, max_workers=2),
+        ),
+        Workload(
             name="sc-bandpass-adaptive",
             description="SC band-pass biquad, adaptive grid resolving "
                         "the resonance",
@@ -229,9 +290,13 @@ def tiny_workloads() -> list[Workload]:
             grid = workload.frequencies()[::8]
             if grid.size < 3:
                 grid = workload.frequencies()[:3]
-            tiny.append(replace(workload,
-                                grid=lambda g=grid: g,
-                                segments_per_phase=16))
+            small = replace(workload, grid=lambda g=grid: g,
+                            segments_per_phase=16)
+            if workload.service is not None:
+                small = replace(small, service=replace(
+                    workload.service,
+                    n_jobs=min(3, workload.service.n_jobs)))
+            tiny.append(small)
         else:
             assert workload.adaptive is not None
             tiny.append(replace(

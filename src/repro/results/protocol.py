@@ -1,0 +1,55 @@
+"""The :class:`Exportable` protocol and the one-release alias helper."""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = ["Exportable", "deprecated_export_alias"]
+
+
+@runtime_checkable
+class Exportable(Protocol):
+    """Structural type of every exportable result.
+
+    ``isinstance(obj, Exportable)`` checks the three protocol methods
+    are present — the test battery asserts it for every result type the
+    library returns.
+    """
+
+    def to_table(self, **options: Any) -> str:
+        """Fixed-width text table of the result."""
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready payload; inverse is
+        :func:`repro.results.from_payload`."""
+
+    def to_csv(self, path: Any) -> Any:
+        """Write the result as CSV; returns the path written."""
+
+
+def deprecated_export_alias(old: str, new: str) -> Callable[..., Any]:
+    """Build a method aliasing ``old`` onto protocol method ``new``.
+
+    The alias forwards all arguments and warns with
+    :class:`DeprecationWarning` — the §9 deprecation policy: old names
+    keep working for one release, never silently.
+
+    Usage (inside a class body)::
+
+        table = deprecated_export_alias("table", "to_table")
+    """
+
+    def alias(self: Any, *args: Any, **kwargs: Any) -> Any:
+        warnings.warn(
+            f"{type(self).__name__}.{old}() is deprecated; use "
+            f"{type(self).__name__}.{new}() — the repro.results export "
+            "protocol (removed next release)",
+            DeprecationWarning, stacklevel=2)
+        return getattr(self, new)(*args, **kwargs)
+
+    alias.__name__ = old
+    alias.__qualname__ = old
+    alias.__doc__ = (f"Deprecated alias of :meth:`{new}` "
+                     "(one release, warns).")
+    return alias

@@ -421,12 +421,17 @@ class TestCornerSweepResultViews:
         assert np.isnan(ranked[-1][1])
 
     def test_table_lists_every_corner(self, result, mixed_grid):
-        table = result.table()
+        table = result.to_table()
         for name in mixed_grid.names:
             assert name in table
         assert "peak PSD" in table
-        assert len(result.table(limit=2).splitlines()) == 4
-        assert "@ 1000" in result.table(frequency=1e3)
+        assert len(result.to_table(limit=2).splitlines()) == 4
+        assert "@ 1000" in result.to_table(frequency=1e3)
+
+    def test_legacy_table_aliases_to_table_with_warning(self, result):
+        with pytest.warns(DeprecationWarning, match="to_table"):
+            legacy = result.table(limit=2)
+        assert legacy == result.to_table(limit=2)
 
     def test_repr_mentions_shape(self, result):
         assert "4 corners x 8 frequencies" in repr(result)

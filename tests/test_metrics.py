@@ -323,10 +323,16 @@ class TestContributionBudget:
         assert np.all(np.isnan(budget.integrated(3.5, 3.9)))
 
     def test_table_renders_ranked_budget(self):
-        table = self.budget().table()
+        table = self.budget().to_table()
         assert "vout" in table
         assert "75.0%" in table and "25.0%" in table
         assert table.index(" b ") < table.index(" a ")
+
+    def test_legacy_table_aliases_to_table_with_warning(self):
+        budget = self.budget()
+        with pytest.warns(DeprecationWarning, match="to_table"):
+            legacy = budget.table()
+        assert legacy == budget.to_table()
 
     def test_to_dict_round_trip(self):
         data = self.budget().to_dict()

@@ -423,17 +423,10 @@ class TestBaselineInstrumentation:
         assert rec.is_balanced()
 
 
-class TestDeprecatedPositionalCtor:
-    def test_engine_positional_warns_and_matches_keyword(self, rc_system):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = MftNoiseAnalyzer(rc_system, 16, 0)
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        modern = MftNoiseAnalyzer(rc_system, segments_per_phase=16,
-                                  output_row=0)
-        assert legacy.segments_per_phase == modern.segments_per_phase
-        assert legacy.output_row == modern.output_row
+class TestKeywordOnlyEngineCtor:
+    def test_engine_positional_raises_type_error(self, rc_system):
+        with pytest.raises(TypeError, match="positional"):
+            MftNoiseAnalyzer(rc_system, 16)
 
     def test_keyword_call_does_not_warn(self, rc_system):
         with warnings.catch_warnings():

@@ -186,34 +186,19 @@ class TestSharedKeywords:
         assert analysis.trace_export()["spans"]
 
 
-class TestDeprecationShims:
-    def test_facade_positional_warns_but_works(self, rc_system):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = NoiseAnalysis(rc_system, 16, 0)
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        modern = NoiseAnalysis(rc_system, segments_per_phase=16)
-        np.testing.assert_array_equal(legacy.psd(GRID[:2]).psd,
-                                      modern.psd(GRID[:2]).psd)
+class TestKeywordOnlyConstructors:
+    def test_facade_positional_raises_type_error(self, rc_system):
+        with pytest.raises(TypeError, match="positional"):
+            NoiseAnalysis(rc_system, 16)
 
     def test_facade_keyword_call_is_silent(self, rc_system):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             NoiseAnalysis(rc_system, segments_per_phase=16)
 
-    def test_positional_keyword_conflict_raises(self, rc_system):
-        with pytest.raises(TypeError, match="multiple values"), \
-                warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            NoiseAnalysis(rc_system, 16, segments_per_phase=32)
-
-    def test_positional_overflow_raises(self, rc_system):
-        with pytest.raises(TypeError, match="positional"), \
-                warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            NoiseAnalysis(rc_system, 16, 0, True, True, None, True,
-                          None, "extra")
+    def test_compat_shim_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro._compat import absorb_positional  # noqa: F401
 
 
 class TestExports:
